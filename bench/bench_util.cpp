@@ -1,0 +1,233 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/math.h"
+#include "common/rng.h"
+
+namespace ksir::bench {
+
+Scale GetScale() {
+  const char* env = std::getenv("KSIR_BENCH_SCALE");
+  if (env == nullptr) return Scale::kSmall;
+  if (std::strcmp(env, "smoke") == 0) return Scale::kSmoke;
+  if (std::strcmp(env, "paper") == 0) return Scale::kPaper;
+  return Scale::kSmall;
+}
+
+double ElementFactor(Scale scale) {
+  switch (scale) {
+    case Scale::kSmoke:
+      return 0.15;
+    case Scale::kSmall:
+      return 1.0;
+    case Scale::kPaper:
+      return 8.0;
+  }
+  return 1.0;
+}
+
+std::size_t NumQueries(Scale scale) {
+  switch (scale) {
+    case Scale::kSmoke:
+      return 5;
+    case Scale::kSmall:
+      return 30;
+    case Scale::kPaper:
+      return 100;
+  }
+  return 30;
+}
+
+double CalibrateEta(const GeneratedStream& stream, Timestamp window_length) {
+  // Mean singleton semantic score: sum over the element's topic support of
+  // R_i(e), which only needs the model (no window).
+  const TopicModel& model = stream.model;
+  double semantic_sum = 0.0;
+  for (const SocialElement& e : stream.elements) {
+    for (const auto& [topic, p_e] : e.topics.entries()) {
+      for (const auto& [word, count] : e.doc.word_counts()) {
+        const double p = model.WordProb(topic, word) * p_e;
+        semantic_sum += static_cast<double>(count) * EntropyWeight(p);
+      }
+    }
+  }
+
+  // Mean singleton influence: one backward pass over references restricted
+  // to the window length.
+  std::unordered_map<ElementId, const SocialElement*> by_id;
+  by_id.reserve(stream.elements.size());
+  for (const SocialElement& e : stream.elements) by_id[e.id] = &e;
+  double influence_sum = 0.0;
+  for (const SocialElement& e : stream.elements) {
+    for (ElementId ref : e.refs) {
+      const auto it = by_id.find(ref);
+      if (it == by_id.end()) continue;
+      const SocialElement& target = *it->second;
+      if (e.ts - target.ts >= window_length) continue;
+      influence_sum += SparseVector::Dot(e.topics, target.topics);
+    }
+  }
+  if (semantic_sum <= 0.0) return 1.0;
+  const double eta = influence_sum / semantic_sum;
+  return std::max(eta, 1e-4);
+}
+
+Dataset MakeDataset(int which, int num_topics) {
+  const double factor = ElementFactor(GetScale());
+  StreamProfile profile;
+  switch (which) {
+    case 0:
+      profile = AMinerSimProfile(factor);
+      break;
+    case 1:
+      profile = RedditSimProfile(factor);
+      break;
+    default:
+      profile = TwitterSimProfile(factor);
+      break;
+  }
+  profile.num_topics = num_topics;
+  auto stream = GenerateStream(profile);
+  KSIR_CHECK(stream.ok());
+  Dataset dataset{profile.name, std::move(stream).value(), 1.0};
+  dataset.eta = CalibrateEta(dataset.stream);
+  return dataset;
+}
+
+std::vector<Dataset> MakeAllDatasets(int num_topics) {
+  std::vector<Dataset> datasets;
+  for (int which = 0; which < 3; ++which) {
+    datasets.push_back(MakeDataset(which, num_topics));
+  }
+  return datasets;
+}
+
+std::vector<QuerySpec> MakeWorkload(const Dataset& dataset, std::size_t count,
+                                    std::uint64_t seed) {
+  // The paper draws 1-5 keywords "randomly from the vocabulary" (uniform).
+  // Most of the vocabulary is topic-core tail words, so uniform draws yield
+  // topically focused queries; a light sqrt-frequency weight keeps a dash
+  // of realism (users type words that exist in the stream) without letting
+  // ubiquitous background words dominate.
+  const Vocabulary& vocab = dataset.stream.vocab;
+  std::vector<double> weights(vocab.size());
+  for (std::size_t w = 0; w < vocab.size(); ++w) {
+    weights[w] = std::sqrt(static_cast<double>(
+        vocab.OccurrenceCount(static_cast<WordId>(w)) + 1));
+  }
+  AliasTable sampler(weights);
+  Rng rng(seed);
+  InferenceOptions options;
+  options.iterations = 20;
+  options.burn_in = 8;
+  TopicInferencer inferencer(&dataset.stream.model, options);
+
+  std::vector<QuerySpec> workload;
+  workload.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    QuerySpec spec;
+    const std::size_t num_keywords = 1 + rng.NextUint64(5);
+    for (std::size_t j = 0; j < num_keywords; ++j) {
+      spec.keywords.push_back(static_cast<WordId>(sampler.Sample(&rng)));
+    }
+    spec.x = inferencer.InferSparse(Document::FromWordIds(spec.keywords), i);
+    spec.x.NormalizeL1();
+    workload.push_back(std::move(spec));
+  }
+  return workload;
+}
+
+EngineConfig MakeConfig(const Dataset& dataset, Timestamp window_length,
+                        RefreshMode mode) {
+  EngineConfig config;
+  config.scoring.lambda = 0.5;
+  config.scoring.eta = dataset.eta;
+  config.window_length = window_length;
+  config.bucket_length = 15 * 60;
+  config.refresh_mode = mode;
+  return config;
+}
+
+std::unique_ptr<KsirEngine> BuildAndFeed(const Dataset& dataset,
+                                         const EngineConfig& config) {
+  auto engine = std::make_unique<KsirEngine>(config, &dataset.stream.model);
+  KSIR_CHECK(engine->Append(dataset.stream.elements).ok());
+  return engine;
+}
+
+CellStats RunWorkload(const KsirEngine& engine,
+                      const std::vector<QuerySpec>& workload,
+                      Algorithm algorithm, std::int32_t k, double epsilon) {
+  CellStats stats;
+  const double active = static_cast<double>(engine.window().num_active());
+  for (const QuerySpec& spec : workload) {
+    KsirQuery query;
+    query.k = k;
+    query.x = spec.x;
+    query.algorithm = algorithm;
+    query.epsilon = epsilon;
+    const auto result = engine.Query(query);
+    KSIR_CHECK(result.ok());
+    stats.mean_time_ms += result->stats.elapsed_ms;
+    stats.mean_score += result->score;
+    if (active > 0) {
+      stats.mean_eval_ratio +=
+          static_cast<double>(result->stats.num_evaluated) / active;
+    }
+    ++stats.queries;
+  }
+  if (stats.queries > 0) {
+    const double n = static_cast<double>(stats.queries);
+    stats.mean_time_ms /= n;
+    stats.mean_score /= n;
+    stats.mean_eval_ratio /= n;
+  }
+  return stats;
+}
+
+void PrintBanner(const std::string& title, const std::string& paper_ref) {
+  const char* scale = "small";
+  switch (GetScale()) {
+    case Scale::kSmoke:
+      scale = "smoke";
+      break;
+    case Scale::kSmall:
+      scale = "small";
+      break;
+    case Scale::kPaper:
+      scale = "paper";
+      break;
+  }
+  std::printf("================================================================"
+              "===============\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s   (KSIR_BENCH_SCALE=%s)\n", paper_ref.c_str(),
+              scale);
+  std::printf("================================================================"
+              "===============\n");
+}
+
+void PrintHeaderRow(const std::string& axis,
+                    const std::vector<std::string>& labels) {
+  std::printf("%-14s", axis.c_str());
+  for (const auto& label : labels) std::printf(" %16s", label.c_str());
+  std::printf("\n");
+  std::printf("--------------");
+  for (std::size_t i = 0; i < labels.size(); ++i) std::printf("-----------------");
+  std::printf("\n");
+}
+
+void PrintRow(const std::string& axis_value, const std::vector<double>& values,
+              int precision) {
+  std::printf("%-14s", axis_value.c_str());
+  for (double v : values) std::printf(" %16.*f", precision, v);
+  std::printf("\n");
+}
+
+}  // namespace ksir::bench

@@ -1,0 +1,36 @@
+// Figure 7: average k-SIR query time of MTTS and MTTD with varying epsilon
+// (0.1 .. 0.5), defaults k = 10, z = 50, T = 24 h, on all three datasets.
+//
+// Expected shape (paper): MTTS time drops sharply as epsilon grows (fewer
+// candidates); MTTD is insensitive, rising slightly (lower termination
+// threshold -> more retrievals).
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace ksir;
+  using namespace ksir::bench;
+  PrintBanner("Figure 7 - query time vs epsilon (MTTS, MTTD)",
+              "EDBT'19 Fig. 7(a)-(c)");
+
+  const std::size_t num_queries = NumQueries(GetScale());
+  for (int which = 0; which < 3; ++which) {
+    const Dataset dataset = MakeDataset(which);
+    const auto engine = BuildAndFeed(dataset, MakeConfig(dataset));
+    const auto workload = MakeWorkload(dataset, num_queries);
+    std::printf("\n[%s]  active elements at query time: %zu\n",
+                dataset.name.c_str(), engine->window().num_active());
+    PrintHeaderRow("eps", {"MTTS (ms)", "MTTD (ms)"});
+    for (const double eps : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+      const CellStats mtts =
+          RunWorkload(*engine, workload, Algorithm::kMtts, 10, eps);
+      const CellStats mttd =
+          RunWorkload(*engine, workload, Algorithm::kMttd, 10, eps);
+      char axis[16];
+      std::snprintf(axis, sizeof(axis), "%.1f", eps);
+      PrintRow(axis, {mtts.mean_time_ms, mttd.mean_time_ms});
+    }
+  }
+  return 0;
+}

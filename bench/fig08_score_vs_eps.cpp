@@ -1,0 +1,42 @@
+// Figure 8: average representativeness score of MTTS and MTTD with varying
+// epsilon; CELF's score is printed as the quality reference.
+//
+// Expected shape (paper): both decrease mildly with epsilon; even at
+// eps = 0.5 the loss vs CELF stays within ~5%.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace ksir;
+  using namespace ksir::bench;
+  PrintBanner("Figure 8 - result score vs epsilon (MTTS, MTTD; CELF ref)",
+              "EDBT'19 Fig. 8(a)-(c)");
+
+  const std::size_t num_queries = NumQueries(GetScale());
+  for (int which = 0; which < 3; ++which) {
+    const Dataset dataset = MakeDataset(which);
+    const auto engine = BuildAndFeed(dataset, MakeConfig(dataset));
+    const auto workload = MakeWorkload(dataset, num_queries);
+    const CellStats celf =
+        RunWorkload(*engine, workload, Algorithm::kCelf, 10, 0.1);
+    std::printf("\n[%s]  CELF reference score: %.4f\n", dataset.name.c_str(),
+                celf.mean_score);
+    PrintHeaderRow("eps",
+                   {"MTTS score", "MTTD score", "MTTS/CELF", "MTTD/CELF"});
+    for (const double eps : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+      const CellStats mtts =
+          RunWorkload(*engine, workload, Algorithm::kMtts, 10, eps);
+      const CellStats mttd =
+          RunWorkload(*engine, workload, Algorithm::kMttd, 10, eps);
+      char axis[16];
+      std::snprintf(axis, sizeof(axis), "%.1f", eps);
+      PrintRow(axis,
+               {mtts.mean_score, mttd.mean_score,
+                celf.mean_score > 0 ? mtts.mean_score / celf.mean_score : 0,
+                celf.mean_score > 0 ? mttd.mean_score / celf.mean_score : 0},
+               4);
+    }
+  }
+  return 0;
+}

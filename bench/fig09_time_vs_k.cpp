@@ -1,0 +1,43 @@
+// Figure 9: average query time of all five methods with varying k (5..25).
+//
+// Expected shape (paper): MTTS and MTTD at least an order of magnitude
+// faster than CELF and SieveStreaming; Top-k Representative fastest; times
+// of MTTS/MTTD grow with k (more elements pass the thresholds).
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace ksir;
+  using namespace ksir::bench;
+  PrintBanner("Figure 9 - query time vs k (all methods)",
+              "EDBT'19 Fig. 9(a)-(c)");
+
+  const std::size_t num_queries = NumQueries(GetScale());
+  for (int which = 0; which < 3; ++which) {
+    const Dataset dataset = MakeDataset(which);
+    const auto engine = BuildAndFeed(dataset, MakeConfig(dataset));
+    const auto workload = MakeWorkload(dataset, num_queries);
+    std::printf("\n[%s]  active elements at query time: %zu\n",
+                dataset.name.c_str(), engine->window().num_active());
+    PrintHeaderRow("k", {"CELF (ms)", "Sieve (ms)", "Top-k (ms)", "MTTS (ms)",
+                         "MTTD (ms)"});
+    for (const int k : {5, 10, 15, 20, 25}) {
+      const CellStats celf =
+          RunWorkload(*engine, workload, Algorithm::kCelf, k, 0.1);
+      const CellStats sieve =
+          RunWorkload(*engine, workload, Algorithm::kSieveStreaming, k, 0.1);
+      const CellStats topk =
+          RunWorkload(*engine, workload, Algorithm::kTopkRepresentative, k,
+                      0.1);
+      const CellStats mtts =
+          RunWorkload(*engine, workload, Algorithm::kMtts, k, 0.1);
+      const CellStats mttd =
+          RunWorkload(*engine, workload, Algorithm::kMttd, k, 0.1);
+      PrintRow(std::to_string(k),
+               {celf.mean_time_ms, sieve.mean_time_ms, topk.mean_time_ms,
+                mtts.mean_time_ms, mttd.mean_time_ms});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 10: fraction of active elements evaluated by MTTS / MTTD with
+// varying k.
+//
+// Expected shape (paper): both evaluate only a small percentage of the
+// active elements (>= 98% pruned), growing roughly linearly with k; MTTD's
+// ratio is higher than MTTS's (it retrieves more but re-evaluates less).
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace ksir;
+  using namespace ksir::bench;
+  PrintBanner("Figure 10 - evaluated-element ratio vs k (MTTS, MTTD)",
+              "EDBT'19 Fig. 10(a)-(c)");
+
+  const std::size_t num_queries = NumQueries(GetScale());
+  for (int which = 0; which < 3; ++which) {
+    const Dataset dataset = MakeDataset(which);
+    const auto engine = BuildAndFeed(dataset, MakeConfig(dataset));
+    const auto workload = MakeWorkload(dataset, num_queries);
+    std::printf("\n[%s]  active elements at query time: %zu\n",
+                dataset.name.c_str(), engine->window().num_active());
+    PrintHeaderRow("k", {"MTTS ratio %", "MTTD ratio %"});
+    for (const int k : {5, 10, 15, 20, 25}) {
+      const CellStats mtts =
+          RunWorkload(*engine, workload, Algorithm::kMtts, k, 0.1);
+      const CellStats mttd =
+          RunWorkload(*engine, workload, Algorithm::kMttd, k, 0.1);
+      PrintRow(std::to_string(k),
+               {100.0 * mtts.mean_eval_ratio, 100.0 * mttd.mean_eval_ratio});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 11: result score of all five methods with varying k.
+//
+// Expected shape (paper): MTTD ~= CELF (> 99%), MTTS > 95% of CELF,
+// SieveStreaming below both, Top-k Representative the lowest and degrading
+// relative to the others as k grows (overlaps ignored).
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace ksir;
+  using namespace ksir::bench;
+  PrintBanner("Figure 11 - result score vs k (all methods)",
+              "EDBT'19 Fig. 11(a)-(c)");
+
+  const std::size_t num_queries = NumQueries(GetScale());
+  for (int which = 0; which < 3; ++which) {
+    const Dataset dataset = MakeDataset(which);
+    const auto engine = BuildAndFeed(dataset, MakeConfig(dataset));
+    const auto workload = MakeWorkload(dataset, num_queries);
+    std::printf("\n[%s]\n", dataset.name.c_str());
+    PrintHeaderRow("k", {"CELF", "Sieve", "Top-k Rep.", "MTTS", "MTTD"});
+    for (const int k : {5, 10, 15, 20, 25}) {
+      const CellStats celf =
+          RunWorkload(*engine, workload, Algorithm::kCelf, k, 0.1);
+      const CellStats sieve =
+          RunWorkload(*engine, workload, Algorithm::kSieveStreaming, k, 0.1);
+      const CellStats topk = RunWorkload(
+          *engine, workload, Algorithm::kTopkRepresentative, k, 0.1);
+      const CellStats mtts =
+          RunWorkload(*engine, workload, Algorithm::kMtts, k, 0.1);
+      const CellStats mttd =
+          RunWorkload(*engine, workload, Algorithm::kMttd, k, 0.1);
+      PrintRow(std::to_string(k),
+               {celf.mean_score, sieve.mean_score, topk.mean_score,
+                mtts.mean_score, mttd.mean_score},
+               4);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 12: query time with varying number of topics z (50 .. 250).
+//
+// Expected shape (paper): MTTS/MTTD get faster as z grows (per-topic lists
+// get shorter and sparser), with a possible uptick at large z when query
+// vectors gain non-zero entries; batch baselines change little.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace ksir;
+  using namespace ksir::bench;
+  PrintBanner("Figure 12 - query time vs number of topics z",
+              "EDBT'19 Fig. 12(a)-(c)");
+
+  const std::size_t num_queries = NumQueries(GetScale());
+  for (int which = 0; which < 3; ++which) {
+    std::printf("\n[%s]\n", MakeDataset(which, 50).name.c_str());
+    PrintHeaderRow("z", {"CELF (ms)", "Sieve (ms)", "Top-k (ms)", "MTTS (ms)",
+                         "MTTD (ms)"});
+    for (const int z : {50, 100, 150, 200, 250}) {
+      const Dataset dataset = MakeDataset(which, z);
+      const auto engine = BuildAndFeed(dataset, MakeConfig(dataset));
+      const auto workload = MakeWorkload(dataset, num_queries);
+      const CellStats celf =
+          RunWorkload(*engine, workload, Algorithm::kCelf, 10, 0.1);
+      const CellStats sieve =
+          RunWorkload(*engine, workload, Algorithm::kSieveStreaming, 10, 0.1);
+      const CellStats topk = RunWorkload(
+          *engine, workload, Algorithm::kTopkRepresentative, 10, 0.1);
+      const CellStats mtts =
+          RunWorkload(*engine, workload, Algorithm::kMtts, 10, 0.1);
+      const CellStats mttd =
+          RunWorkload(*engine, workload, Algorithm::kMttd, 10, 0.1);
+      PrintRow(std::to_string(z),
+               {celf.mean_time_ms, sieve.mean_time_ms, topk.mean_time_ms,
+                mtts.mean_time_ms, mttd.mean_time_ms});
+    }
+  }
+  return 0;
+}

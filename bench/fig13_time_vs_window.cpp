@@ -1,0 +1,42 @@
+// Figure 13: query time with varying window length T (6 .. 30 hours).
+//
+// Expected shape (paper): every method slows as T grows (more active
+// elements), but MTTS/MTTD keep their large margin over the baselines.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace ksir;
+  using namespace ksir::bench;
+  PrintBanner("Figure 13 - query time vs window length T",
+              "EDBT'19 Fig. 13(a)-(c)");
+
+  const std::size_t num_queries = NumQueries(GetScale());
+  for (int which = 0; which < 3; ++which) {
+    const Dataset dataset = MakeDataset(which);
+    const auto workload = MakeWorkload(dataset, num_queries);
+    std::printf("\n[%s]\n", dataset.name.c_str());
+    PrintHeaderRow("T (hours)", {"actives", "CELF (ms)", "Sieve (ms)",
+                                 "Top-k (ms)", "MTTS (ms)", "MTTD (ms)"});
+    for (const int hours : {6, 12, 18, 24, 30}) {
+      const auto engine = BuildAndFeed(
+          dataset, MakeConfig(dataset, static_cast<Timestamp>(hours) * 3600));
+      const CellStats celf =
+          RunWorkload(*engine, workload, Algorithm::kCelf, 10, 0.1);
+      const CellStats sieve =
+          RunWorkload(*engine, workload, Algorithm::kSieveStreaming, 10, 0.1);
+      const CellStats topk = RunWorkload(
+          *engine, workload, Algorithm::kTopkRepresentative, 10, 0.1);
+      const CellStats mtts =
+          RunWorkload(*engine, workload, Algorithm::kMtts, 10, 0.1);
+      const CellStats mttd =
+          RunWorkload(*engine, workload, Algorithm::kMttd, 10, 0.1);
+      PrintRow(std::to_string(hours),
+               {static_cast<double>(engine->window().num_active()),
+                celf.mean_time_ms, sieve.mean_time_ms, topk.mean_time_ms,
+                mtts.mean_time_ms, mttd.mean_time_ms});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 14: ranked-list maintenance time per arriving element, with
+// varying z (left plot) and varying T (right plot).
+//
+// Expected shape (paper): update time grows with z (more lists per element)
+// and with T (more active elements per list), staying well under a
+// millisecond per element.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace ksir;
+  using namespace ksir::bench;
+  PrintBanner("Figure 14 - update time per element vs z and vs T",
+              "EDBT'19 Fig. 14 (left/right)");
+
+  std::printf("\n-- update time (ms/element) vs number of topics z "
+              "(T = 24 h) --\n");
+  PrintHeaderRow("z", {"AMinerSim", "RedditSim", "TwitterSim"});
+  for (const int z : {50, 100, 150, 200, 250}) {
+    std::vector<double> cells;
+    for (int which = 0; which < 3; ++which) {
+      const Dataset dataset = MakeDataset(which, z);
+      const auto engine = BuildAndFeed(dataset, MakeConfig(dataset));
+      const auto stats = engine->maintenance_stats();
+      cells.push_back(stats.total_update_ms /
+                      static_cast<double>(stats.elements_ingested));
+    }
+    PrintRow(std::to_string(z), cells, 4);
+  }
+
+  std::printf("\n-- update time (ms/element) vs window length T (z = 50) --\n");
+  PrintHeaderRow("T (hours)", {"AMinerSim", "RedditSim", "TwitterSim"});
+  for (const int hours : {6, 12, 18, 24, 30}) {
+    std::vector<double> cells;
+    for (int which = 0; which < 3; ++which) {
+      const Dataset dataset = MakeDataset(which);
+      const auto engine = BuildAndFeed(
+          dataset, MakeConfig(dataset, static_cast<Timestamp>(hours) * 3600));
+      const auto stats = engine->maintenance_stats();
+      cells.push_back(stats.total_update_ms /
+                      static_cast<double>(stats.elements_ingested));
+    }
+    PrintRow(std::to_string(hours), cells, 4);
+  }
+  return 0;
+}

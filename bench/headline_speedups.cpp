@@ -1,0 +1,59 @@
+// Headline claim (paper abstract / Section 5.3): "MTTS and MTTD achieve up
+// to 124x and 390x speedups over the baselines for k-SIR processing with at
+// most 5% and 1% losses in quality."
+//
+// Prints, per dataset, the speedup of MTTS/MTTD over the slower of the two
+// baselines (CELF, SieveStreaming) and the quality retained vs CELF, at the
+// default parameters. Speedups grow with the active-window size, so the
+// paper-scale factors need KSIR_BENCH_SCALE=paper (and were measured by the
+// authors on windows holding orders of magnitude more elements).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace ksir;
+  using namespace ksir::bench;
+  PrintBanner("Headline - speedups over baselines and quality retained",
+              "EDBT'19 abstract / Section 5.3");
+
+  const std::size_t num_queries = NumQueries(GetScale());
+  double best_mtts_speedup = 0.0;
+  double best_mttd_speedup = 0.0;
+  for (int which = 0; which < 3; ++which) {
+    const Dataset dataset = MakeDataset(which);
+    const auto engine = BuildAndFeed(dataset, MakeConfig(dataset));
+    const auto workload = MakeWorkload(dataset, num_queries);
+    std::printf("\n[%s]  active elements: %zu\n", dataset.name.c_str(),
+                engine->window().num_active());
+    PrintHeaderRow("k", {"MTTS speedup", "MTTD speedup", "MTTS qual%",
+                         "MTTD qual%"});
+    for (const int k : {10, 25}) {
+      const CellStats celf =
+          RunWorkload(*engine, workload, Algorithm::kCelf, k, 0.1);
+      const CellStats sieve =
+          RunWorkload(*engine, workload, Algorithm::kSieveStreaming, k, 0.1);
+      const CellStats mtts =
+          RunWorkload(*engine, workload, Algorithm::kMtts, k, 0.1);
+      const CellStats mttd =
+          RunWorkload(*engine, workload, Algorithm::kMttd, k, 0.1);
+      const double slow_baseline =
+          std::max(celf.mean_time_ms, sieve.mean_time_ms);
+      const double mtts_speedup = slow_baseline / mtts.mean_time_ms;
+      const double mttd_speedup = slow_baseline / mttd.mean_time_ms;
+      best_mtts_speedup = std::max(best_mtts_speedup, mtts_speedup);
+      best_mttd_speedup = std::max(best_mttd_speedup, mttd_speedup);
+      PrintRow(std::to_string(k),
+               {mtts_speedup, mttd_speedup,
+                100.0 * mtts.mean_score / celf.mean_score,
+                100.0 * mttd.mean_score / celf.mean_score},
+               1);
+    }
+  }
+  std::printf("\nBest observed speedup at this scale: MTTS %.0fx, MTTD %.0fx "
+              "(paper: up to 124x / 390x on windows holding 10-100x more "
+              "elements; the margin grows with n_t).\n",
+              best_mtts_speedup, best_mttd_speedup);
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Query-server simulation: the paper's deployment claim is that thousands
+// of users can submit ad-hoc k-SIR queries that must each be answered in
+// real time while the stream keeps flowing.
+//
+// One writer thread ingests a RedditSim stream bucket by bucket; several
+// reader threads fire random keyword queries concurrently (shared-lock
+// queries vs. exclusive-lock ingestion). Reports query throughput and
+// latency percentiles per algorithm.
+//
+//   $ ./query_server_sim
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/engine.h"
+#include "stream/generator.h"
+#include "topic/inference.h"
+
+namespace {
+
+using namespace ksir;  // NOLINT(build/namespaces) - example brevity
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(values.size() - 1));
+  return values[idx];
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Query-server simulation: concurrent ad-hoc k-SIR queries\n");
+  std::printf("=========================================================\n");
+
+  StreamProfile profile = RedditSimProfile();
+  profile.num_elements = 8000;
+  auto generated = GenerateStream(profile);
+  KSIR_CHECK(generated.ok());
+  const GeneratedStream& stream = *generated;
+
+  EngineConfig config;
+  config.scoring.eta = 20.0;
+  config.window_length = 24 * 3600;
+  config.bucket_length = 15 * 60;
+  KsirEngine engine(config, &stream.model);
+
+  // Pre-infer a pool of random keyword query vectors (frequency-weighted
+  // keyword draws, 1-5 keywords each, as in Section 5.1).
+  TopicInferencer inferencer(&stream.model);
+  std::vector<double> word_weights(stream.vocab.size());
+  for (std::size_t w = 0; w < stream.vocab.size(); ++w) {
+    word_weights[w] = static_cast<double>(
+        stream.vocab.OccurrenceCount(static_cast<WordId>(w)) + 1);
+  }
+  AliasTable word_sampler(word_weights);
+  Rng rng(2024);
+  std::vector<SparseVector> query_pool;
+  for (int i = 0; i < 64; ++i) {
+    const auto num_keywords = 1 + rng.NextUint64(5);
+    std::vector<WordId> keywords;
+    for (std::size_t j = 0; j < num_keywords; ++j) {
+      keywords.push_back(static_cast<WordId>(word_sampler.Sample(&rng)));
+    }
+    query_pool.push_back(
+        inferencer.InferSparse(Document::FromWordIds(keywords), i));
+  }
+
+  struct AlgoStats {
+    Algorithm algorithm;
+    std::vector<double> latencies_ms;
+    std::mutex mutex;
+  };
+  AlgoStats mtts{Algorithm::kMtts, {}, {}};
+  AlgoStats mttd{Algorithm::kMttd, {}, {}};
+  std::vector<AlgoStats*> algos = {&mtts, &mttd};
+
+  std::atomic<bool> done{false};
+  std::atomic<std::int64_t> total_queries{0};
+
+  // Leave a core for the writer; pthread rwlocks prefer readers, so a
+  // short think-time between queries keeps the ingestion thread from
+  // starving on small machines.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned num_readers = std::clamp(hw - 1, 1u, 4u);
+  std::vector<std::thread> readers;
+  for (unsigned t = 0; t < num_readers; ++t) {
+    readers.emplace_back([&, t]() {
+      Rng thread_rng(9000 + t);
+      while (!done.load(std::memory_order_relaxed)) {
+        AlgoStats* algo = algos[thread_rng.NextUint64(algos.size())];
+        KsirQuery query;
+        query.k = 10;
+        query.epsilon = 0.1;
+        query.algorithm = algo->algorithm;
+        query.x = query_pool[thread_rng.NextUint64(query_pool.size())];
+        const auto result = engine.Query(query);
+        if (result.ok()) {
+          total_queries.fetch_add(1, std::memory_order_relaxed);
+          std::lock_guard lock(algo->mutex);
+          algo->latencies_ms.push_back(result->stats.elapsed_ms);
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+      }
+    });
+  }
+
+  // Writer: feed the whole stream.
+  WallTimer wall;
+  std::size_t begin = 0;
+  Timestamp bucket_end = 0;
+  while (begin < stream.elements.size()) {
+    bucket_end += config.bucket_length;
+    std::vector<SocialElement> bucket;
+    while (begin < stream.elements.size() &&
+           stream.elements[begin].ts <= bucket_end) {
+      bucket.push_back(stream.elements[begin]);
+      ++begin;
+    }
+    KSIR_CHECK(engine.AdvanceTo(bucket_end, std::move(bucket)).ok());
+  }
+  done.store(true);
+  for (auto& reader : readers) reader.join();
+  const double elapsed_s = wall.ElapsedMillis() / 1000.0;
+
+  std::printf("\n%u reader threads, 1 writer; %lld queries answered while "
+              "ingesting %zu elements in %.1f s (%.0f queries/s).\n",
+              num_readers, static_cast<long long>(total_queries.load()),
+              stream.elements.size(), elapsed_s,
+              static_cast<double>(total_queries.load()) / elapsed_s);
+
+  std::printf("\n%-8s %10s %10s %10s %10s\n", "algo", "count", "p50 (ms)",
+              "p95 (ms)", "p99 (ms)");
+  for (AlgoStats* algo : algos) {
+    std::printf("%-8s %10zu %10.3f %10.3f %10.3f\n",
+                std::string(AlgorithmName(algo->algorithm)).c_str(),
+                algo->latencies_ms.size(),
+                Percentile(algo->latencies_ms, 0.50),
+                Percentile(algo->latencies_ms, 0.95),
+                Percentile(algo->latencies_ms, 0.99));
+  }
+
+  const auto stats = engine.maintenance_stats();
+  std::printf("\nMaintenance: %.3f ms/element with concurrent readers.\n",
+              stats.total_update_ms /
+                  static_cast<double>(stats.elements_ingested));
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Lightweight always-on invariant checking (the library is exception-free;
+// a failed check is a programming error and aborts with a message).
+#ifndef KSIR_COMMON_CHECK_H_
+#define KSIR_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ksir::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "KSIR_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace ksir::internal
+
+/// Aborts the process when `expr` is false. Used for internal invariants
+/// whose violation indicates a bug, never for recoverable input errors
+/// (those return Status).
+#define KSIR_CHECK(expr)                                       \
+  do {                                                         \
+    if (!(expr)) {                                             \
+      ::ksir::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                          \
+  } while (false)
+
+/// Debug-only variant of KSIR_CHECK.
+#ifdef NDEBUG
+#define KSIR_DCHECK(expr) \
+  do {                    \
+  } while (false)
+#else
+#define KSIR_DCHECK(expr) KSIR_CHECK(expr)
+#endif
+
+#endif  // KSIR_COMMON_CHECK_H_

@@ -1,0 +1,107 @@
+// Deterministic pseudo-random number generation and the samplers used by the
+// synthetic stream generator and the topic model trainers.
+//
+// The engine is xoshiro256** seeded via splitmix64: fast, high quality, and
+// reproducible across platforms (unlike std::mt19937 distributions, whose
+// results are implementation-defined; all distribution code here is our own
+// so that a fixed seed yields identical streams everywhere).
+#ifndef KSIR_COMMON_RNG_H_
+#define KSIR_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ksir {
+
+/// Deterministic 64-bit PRNG (xoshiro256**) with sampling helpers.
+class Rng {
+ public:
+  /// Seeds the generator; identical seeds produce identical sequences.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t NextUint64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, bound) for bound >= 1.
+  std::uint64_t NextUint64(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive, lo <= hi.
+  std::int64_t NextInt(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (deterministic).
+  double NextGaussian();
+
+  /// Gamma(shape, 1) via Marsaglia-Tsang; shape > 0.
+  double NextGamma(double shape);
+
+  /// Poisson(mean) via inversion (mean < 30) or PTRS-style normal
+  /// approximation with correction for larger means.
+  std::int64_t NextPoisson(double mean);
+
+  /// Samples an index in [0, weights.size()) proportional to weights
+  /// (linear scan; use AliasTable for repeated draws).
+  std::size_t NextCategorical(const std::vector<double>& weights);
+
+  /// Symmetric Dirichlet(alpha) sample of dimension `dim` (normalized).
+  std::vector<double> NextDirichlet(double alpha, std::size_t dim);
+
+  /// Dirichlet with per-dimension concentration parameters.
+  std::vector<double> NextDirichlet(const std::vector<double>& alpha);
+
+  /// Forks an independent generator deterministically derived from this one.
+  Rng Fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Zipf(s) sampler over ranks {1, ..., n}: P(X = r) ∝ r^{-s}.
+/// Uses rejection-inversion (W. Hörmann & G. Derflinger), O(1) per draw,
+/// suitable for vocabulary-scale n.
+class ZipfSampler {
+ public:
+  /// n >= 1, exponent s > 0 (s != 1 handled as well as s == 1).
+  ZipfSampler(std::size_t n, double s);
+
+  /// Returns a rank in [1, n].
+  std::size_t Sample(Rng* rng) const;
+
+  std::size_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  std::size_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double threshold_;
+};
+
+/// Walker alias table for O(1) categorical sampling after O(n) setup.
+class AliasTable {
+ public:
+  /// Builds from (possibly unnormalized) nonnegative weights; at least one
+  /// weight must be positive.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Samples an index in [0, size()).
+  std::size_t Sample(Rng* rng) const;
+
+  std::size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+}  // namespace ksir
+
+#endif  // KSIR_COMMON_RNG_H_

@@ -1,0 +1,141 @@
+// Status / StatusOr error handling (the library does not use exceptions,
+// following the Google C++ style guide; fallible APIs return Status or
+// StatusOr<T> like Arrow / RocksDB).
+#ifndef KSIR_COMMON_STATUS_H_
+#define KSIR_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/check.h"
+
+namespace ksir {
+
+/// Machine-readable error category.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIOError,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a StatusCode ("OK", "IOError"...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation: a code plus an optional message.
+/// Cheap to copy in the OK case (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored StatusOr aborts (programming error).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (OK).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    KSIR_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    KSIR_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    KSIR_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    KSIR_CHECK(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define KSIR_RETURN_NOT_OK(expr)          \
+  do {                                    \
+    ::ksir::Status _st = (expr);          \
+    if (!_st.ok()) return _st;            \
+  } while (false)
+
+/// Assigns the value of a StatusOr expression to `lhs` or propagates error.
+#define KSIR_ASSIGN_OR_RETURN(lhs, expr)         \
+  auto KSIR_CONCAT_(_sor_, __LINE__) = (expr);   \
+  if (!KSIR_CONCAT_(_sor_, __LINE__).ok())       \
+    return KSIR_CONCAT_(_sor_, __LINE__).status(); \
+  lhs = std::move(KSIR_CONCAT_(_sor_, __LINE__)).value()
+
+#define KSIR_CONCAT_IMPL_(a, b) a##b
+#define KSIR_CONCAT_(a, b) KSIR_CONCAT_IMPL_(a, b)
+
+}  // namespace ksir
+
+#endif  // KSIR_COMMON_STATUS_H_

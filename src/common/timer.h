@@ -1,0 +1,35 @@
+// Wall-clock stopwatch used by the experiment harness.
+#ifndef KSIR_COMMON_TIMER_H_
+#define KSIR_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace ksir {
+
+/// Monotonic stopwatch; starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in milliseconds since construction / last Restart().
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ksir
+
+#endif  // KSIR_COMMON_TIMER_H_

@@ -1,0 +1,30 @@
+// Core scalar type aliases shared across all ksir subsystems.
+#ifndef KSIR_COMMON_TYPES_H_
+#define KSIR_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace ksir {
+
+/// Identifier of a social element within a stream (dense, 0-based).
+using ElementId = std::int64_t;
+/// Identifier of a word in a Vocabulary (dense, 0-based).
+using WordId = std::int32_t;
+/// Identifier of a topic in a TopicModel (dense, 0-based).
+using TopicId = std::int32_t;
+/// Discrete stream time. The unit is arbitrary (the benchmarks use seconds);
+/// window length T and bucket length L are expressed in the same unit.
+using Timestamp = std::int64_t;
+
+inline constexpr ElementId kInvalidElementId = -1;
+inline constexpr WordId kInvalidWordId = -1;
+inline constexpr TopicId kInvalidTopicId = -1;
+inline constexpr Timestamp kMinTimestamp =
+    std::numeric_limits<Timestamp>::min();
+inline constexpr Timestamp kMaxTimestamp =
+    std::numeric_limits<Timestamp>::max();
+
+}  // namespace ksir
+
+#endif  // KSIR_COMMON_TYPES_H_

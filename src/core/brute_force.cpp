@@ -1,0 +1,75 @@
+#include "core/brute_force.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "core/candidate_state.h"
+
+namespace ksir {
+
+namespace {
+
+constexpr std::size_t kMaxBruteForceElements = 40;
+
+}  // namespace
+
+QueryResult RunBruteForce(const ScoringContext& ctx,
+                          const ActiveWindow& window, const KsirQuery& query) {
+  KSIR_CHECK(query.k >= 1);
+  WallTimer timer;
+  QueryResult result;
+
+  std::vector<ElementId> ids = window.ActiveIds();
+  std::sort(ids.begin(), ids.end());
+  KSIR_CHECK(ids.size() <= kMaxBruteForceElements);
+
+  const std::size_t n = ids.size();
+  const std::size_t k = std::min<std::size_t>(
+      static_cast<std::size_t>(query.k), n);
+  if (k == 0) {
+    result.stats.elapsed_ms = timer.ElapsedMillis();
+    return result;
+  }
+
+  // Enumerate combinations of exactly k ids (monotonicity makes a full-size
+  // set optimal).
+  std::vector<std::size_t> combo(k);
+  for (std::size_t i = 0; i < k; ++i) combo[i] = i;
+
+  std::vector<ElementId> best_set;
+  double best_score = -1.0;
+  while (true) {
+    CandidateState candidate(&ctx, &query.x);
+    for (std::size_t idx : combo) {
+      const SocialElement* e = window.Find(ids[idx]);
+      KSIR_CHECK(e != nullptr);
+      candidate.Add(*e);
+      ++result.stats.num_gain_evaluations;
+    }
+    if (candidate.score() > best_score) {
+      best_score = candidate.score();
+      best_set = candidate.members();
+    }
+    // Next combination (lexicographic).
+    std::size_t i = k;
+    while (i > 0) {
+      --i;
+      if (combo[i] != i + n - k) {
+        ++combo[i];
+        for (std::size_t j = i + 1; j < k; ++j) combo[j] = combo[j - 1] + 1;
+        break;
+      }
+      if (i == 0) {
+        result.element_ids = best_set;
+        result.score = best_score;
+        result.stats.num_evaluated = n;
+        result.stats.elapsed_ms = timer.ElapsedMillis();
+        return result;
+      }
+    }
+  }
+}
+
+}  // namespace ksir

@@ -1,0 +1,20 @@
+// Exhaustive k-SIR solver: enumerates every size-min(k, n) subset of the
+// active elements. Exponential; exists solely as the exact oracle for the
+// approximation-ratio tests (the k-SIR query is NP-hard, Theorem 3.8).
+#ifndef KSIR_CORE_BRUTE_FORCE_H_
+#define KSIR_CORE_BRUTE_FORCE_H_
+
+#include "core/query.h"
+#include "core/scoring.h"
+#include "window/active_window.h"
+
+namespace ksir {
+
+/// Returns the optimal result S* and OPT = f(S*, x). Aborts (by design) on
+/// instances with more than a few dozen active elements.
+QueryResult RunBruteForce(const ScoringContext& ctx,
+                          const ActiveWindow& window, const KsirQuery& query);
+
+}  // namespace ksir
+
+#endif  // KSIR_CORE_BRUTE_FORCE_H_

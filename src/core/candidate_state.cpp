@@ -1,0 +1,102 @@
+#include "core/candidate_state.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ksir {
+
+CandidateState::CandidateState(const ScoringContext* ctx,
+                               const SparseVector* query)
+    : ctx_(ctx) {
+  KSIR_CHECK(ctx != nullptr);
+  KSIR_CHECK(query != nullptr);
+  topics_.reserve(query->nnz());
+  for (const auto& [topic, weight] : query->entries()) {
+    if (weight <= 0.0) continue;
+    topics_.push_back(TopicState{topic, weight, {}, {}});
+  }
+}
+
+double CandidateState::MarginalGain(const SocialElement& e) const {
+  if (member_ids_.contains(e.id)) return 0.0;
+  double gain = 0.0;
+  const auto& referrers = ctx_->window().ReferrersOf(e.id);
+  for (const TopicState& state : topics_) {
+    const double p_e = e.topics.Get(state.topic);
+    if (p_e <= 0.0) continue;
+
+    // Semantic gain: words where e's sigma beats the current best.
+    double semantic_gain = 0.0;
+    for (const auto& [word, count] : e.doc.word_counts()) {
+      const double sigma = ctx_->Sigma(state.topic, word, count, p_e);
+      if (sigma <= 0.0) continue;
+      const auto it = state.best_sigma.find(word);
+      const double best = it == state.best_sigma.end() ? 0.0 : it->second;
+      if (sigma > best) semantic_gain += sigma - best;
+    }
+
+    // Influence gain: residual coverage probability of e's referrers.
+    double influence_gain = 0.0;
+    for (const Referrer& r : referrers) {
+      const SocialElement* referrer = ctx_->window().Find(r.id);
+      KSIR_DCHECK(referrer != nullptr);
+      if (referrer == nullptr) continue;
+      const double p_edge = p_e * referrer->topics.Get(state.topic);
+      if (p_edge <= 0.0) continue;
+      const auto it = state.survive.find(r.id);
+      const double survive = it == state.survive.end() ? 1.0 : it->second;
+      influence_gain += p_edge * survive;
+    }
+
+    gain += state.query_weight *
+            (ctx_->params().lambda * semantic_gain +
+             ctx_->influence_factor() * influence_gain);
+  }
+  return gain;
+}
+
+double CandidateState::Add(const SocialElement& e) {
+  KSIR_CHECK(!member_ids_.contains(e.id));
+  double gain = 0.0;
+  const auto& referrers = ctx_->window().ReferrersOf(e.id);
+  for (TopicState& state : topics_) {
+    const double p_e = e.topics.Get(state.topic);
+    if (p_e <= 0.0) continue;
+
+    double semantic_gain = 0.0;
+    for (const auto& [word, count] : e.doc.word_counts()) {
+      const double sigma = ctx_->Sigma(state.topic, word, count, p_e);
+      if (sigma <= 0.0) continue;
+      auto [it, inserted] = state.best_sigma.try_emplace(word, sigma);
+      if (inserted) {
+        semantic_gain += sigma;
+      } else if (sigma > it->second) {
+        semantic_gain += sigma - it->second;
+        it->second = sigma;
+      }
+    }
+
+    double influence_gain = 0.0;
+    for (const Referrer& r : referrers) {
+      const SocialElement* referrer = ctx_->window().Find(r.id);
+      KSIR_DCHECK(referrer != nullptr);
+      if (referrer == nullptr) continue;
+      const double p_edge = p_e * referrer->topics.Get(state.topic);
+      if (p_edge <= 0.0) continue;
+      auto [it, inserted] = state.survive.try_emplace(r.id, 1.0);
+      influence_gain += p_edge * it->second;
+      it->second *= (1.0 - p_edge);
+    }
+
+    gain += state.query_weight *
+            (ctx_->params().lambda * semantic_gain +
+             ctx_->influence_factor() * influence_gain);
+  }
+  members_.push_back(e.id);
+  member_ids_.insert(e.id);
+  score_ += gain;
+  return gain;
+}
+
+}  // namespace ksir

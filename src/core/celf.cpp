@@ -1,0 +1,106 @@
+#include "core/celf.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "core/candidate_state.h"
+
+namespace ksir {
+
+namespace {
+
+struct HeapEntry {
+  double cached_gain;
+  ElementId id;
+  /// |S| at the time the gain was computed; a gain is current iff it was
+  /// computed against the present S.
+  std::size_t stamp;
+
+  bool operator<(const HeapEntry& other) const {
+    if (cached_gain != other.cached_gain) {
+      return cached_gain < other.cached_gain;
+    }
+    return id > other.id;
+  }
+};
+
+}  // namespace
+
+QueryResult RunCelf(const ScoringContext& ctx, const ActiveWindow& window,
+                    const KsirQuery& query) {
+  KSIR_CHECK(query.k >= 1);
+  WallTimer timer;
+  QueryResult result;
+  CandidateState candidate(&ctx, &query.x);
+
+  // First pass: singleton scores of all active elements.
+  std::priority_queue<HeapEntry> heap;
+  window.ForEachActive([&](const SocialElement& e) {
+    const double score = ctx.ElementScore(e, query.x);
+    ++result.stats.num_evaluated;
+    if (score > 0.0) heap.push(HeapEntry{score, e.id, 0});
+  });
+
+  while (!heap.empty() &&
+         candidate.size() < static_cast<std::size_t>(query.k)) {
+    const HeapEntry top = heap.top();
+    heap.pop();
+    if (top.cached_gain <= 0.0) break;
+    if (top.stamp == candidate.size()) {
+      const SocialElement* e = window.Find(top.id);
+      KSIR_CHECK(e != nullptr);
+      candidate.Add(*e);
+    } else {
+      const SocialElement* e = window.Find(top.id);
+      KSIR_CHECK(e != nullptr);
+      const double gain = candidate.MarginalGain(*e);
+      ++result.stats.num_gain_evaluations;
+      if (gain > 0.0) heap.push(HeapEntry{gain, top.id, candidate.size()});
+    }
+  }
+
+  result.element_ids = candidate.members();
+  result.score = candidate.score();
+  result.stats.elapsed_ms = timer.ElapsedMillis();
+  return result;
+}
+
+QueryResult RunGreedy(const ScoringContext& ctx, const ActiveWindow& window,
+                      const KsirQuery& query) {
+  KSIR_CHECK(query.k >= 1);
+  WallTimer timer;
+  QueryResult result;
+  CandidateState candidate(&ctx, &query.x);
+
+  std::vector<ElementId> ids = window.ActiveIds();
+  std::sort(ids.begin(), ids.end());  // deterministic tie-breaking
+
+  for (std::int32_t round = 0; round < query.k; ++round) {
+    const SocialElement* best = nullptr;
+    double best_gain = 0.0;
+    for (ElementId id : ids) {
+      if (candidate.Contains(id)) continue;
+      const SocialElement* e = window.Find(id);
+      KSIR_CHECK(e != nullptr);
+      const double gain = candidate.MarginalGain(*e);
+      ++result.stats.num_gain_evaluations;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = e;
+      }
+    }
+    if (best == nullptr) break;  // no positive gain remains
+    candidate.Add(*best);
+  }
+
+  result.stats.num_evaluated = ids.size();
+  result.element_ids = candidate.members();
+  result.score = candidate.score();
+  result.stats.elapsed_ms = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace ksir

@@ -1,0 +1,26 @@
+// Batch submodular-maximization baselines over the full active set:
+// CELF (lazy greedy, Leskovec et al. 2007) and the plain greedy of
+// Nemhauser et al. 1978. Both are (1 - 1/e)-approximate; CELF is the
+// paper's strongest-quality baseline.
+#ifndef KSIR_CORE_CELF_H_
+#define KSIR_CORE_CELF_H_
+
+#include "core/query.h"
+#include "core/scoring.h"
+#include "window/active_window.h"
+
+namespace ksir {
+
+/// Lazy greedy: evaluates every active element once up front, then uses
+/// cached gains as upper bounds.
+QueryResult RunCelf(const ScoringContext& ctx, const ActiveWindow& window,
+                    const KsirQuery& query);
+
+/// Plain greedy: k passes of full marginal-gain recomputation. O(k * n)
+/// evaluations; used as a test oracle for CELF equivalence.
+QueryResult RunGreedy(const ScoringContext& ctx, const ActiveWindow& window,
+                      const KsirQuery& query);
+
+}  // namespace ksir
+
+#endif  // KSIR_CORE_CELF_H_

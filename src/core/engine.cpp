@@ -1,0 +1,135 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <mutex>
+#include <string>
+
+#include "common/timer.h"
+#include "core/brute_force.h"
+#include "core/celf.h"
+#include "core/mttd.h"
+#include "core/mtts.h"
+#include "core/sieve_streaming.h"
+#include "core/topk_representative.h"
+
+namespace ksir {
+
+std::string_view AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kMtts:
+      return "MTTS";
+    case Algorithm::kMttd:
+      return "MTTD";
+    case Algorithm::kCelf:
+      return "CELF";
+    case Algorithm::kGreedy:
+      return "Greedy";
+    case Algorithm::kSieveStreaming:
+      return "SieveStreaming";
+    case Algorithm::kTopkRepresentative:
+      return "Top-k Representative";
+    case Algorithm::kBruteForce:
+      return "BruteForce";
+  }
+  return "Unknown";
+}
+
+KsirEngine::KsirEngine(EngineConfig config, const TopicModel* model)
+    : config_(config),
+      window_(config.window_length, config.archive_retention),
+      index_(model != nullptr ? model->num_topics() : 1),
+      scoring_(model, &window_, config.scoring),
+      maintainer_(&scoring_, &index_, config.refresh_mode) {
+  KSIR_CHECK(config.bucket_length > 0);
+  KSIR_CHECK(config.window_length >= config.bucket_length);
+}
+
+Status KsirEngine::AdvanceTo(Timestamp bucket_end,
+                             std::vector<SocialElement> bucket) {
+  std::unique_lock lock(mutex_);
+  WallTimer timer;
+  const std::size_t n = bucket.size();
+  KSIR_ASSIGN_OR_RETURN(ActiveWindow::UpdateResult update,
+                        window_.Advance(bucket_end, std::move(bucket)));
+  maintainer_.Apply(update);
+  stats_.elements_ingested += static_cast<std::int64_t>(n);
+  ++stats_.buckets_processed;
+  stats_.elements_expired += static_cast<std::int64_t>(update.expired.size());
+  stats_.dangling_refs += update.dangling_refs;
+  stats_.total_update_ms += timer.ElapsedMillis();
+  return Status::OK();
+}
+
+Status KsirEngine::Append(std::vector<SocialElement> elements) {
+  if (elements.empty()) return Status::OK();
+  const Timestamp l = config_.bucket_length;
+  std::size_t begin = 0;
+  while (begin < elements.size()) {
+    // Bucket end: the smallest multiple of L at/after the first element
+    // (strictly after the current clock).
+    const Timestamp first_ts = elements[begin].ts;
+    if (first_ts <= now()) {
+      return Status::InvalidArgument(
+          "element ts " + std::to_string(first_ts) +
+          " not newer than engine time " + std::to_string(now()));
+    }
+    Timestamp bucket_end = ((first_ts + l - 1) / l) * l;
+    if (bucket_end <= now()) bucket_end += l;
+    std::size_t end = begin;
+    while (end < elements.size() && elements[end].ts <= bucket_end) ++end;
+    // Final chunk: advance only to the last element's timestamp so that a
+    // subsequent Append may deliver elements of the same (open) bucket.
+    if (end == elements.size()) bucket_end = elements[end - 1].ts;
+    std::vector<SocialElement> bucket(
+        std::make_move_iterator(elements.begin() +
+                                static_cast<std::ptrdiff_t>(begin)),
+        std::make_move_iterator(elements.begin() +
+                                static_cast<std::ptrdiff_t>(end)));
+    KSIR_RETURN_NOT_OK(AdvanceTo(bucket_end, std::move(bucket)));
+    begin = end;
+  }
+  return Status::OK();
+}
+
+StatusOr<QueryResult> KsirEngine::Query(const KsirQuery& query) const {
+  if (query.k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (query.x.empty()) {
+    return Status::InvalidArgument("query vector is empty");
+  }
+  const bool needs_epsilon = query.algorithm == Algorithm::kMtts ||
+                             query.algorithm == Algorithm::kMttd ||
+                             query.algorithm == Algorithm::kSieveStreaming;
+  if (needs_epsilon && (query.epsilon <= 0.0 || query.epsilon >= 1.0)) {
+    return Status::InvalidArgument("epsilon must be in (0, 1)");
+  }
+  std::shared_lock lock(mutex_);
+  switch (query.algorithm) {
+    case Algorithm::kMtts:
+      return RunMtts(scoring_, index_, query);
+    case Algorithm::kMttd:
+      return RunMttd(scoring_, index_, query);
+    case Algorithm::kCelf:
+      return RunCelf(scoring_, window_, query);
+    case Algorithm::kGreedy:
+      return RunGreedy(scoring_, window_, query);
+    case Algorithm::kSieveStreaming:
+      return RunSieveStreaming(scoring_, window_, query);
+    case Algorithm::kTopkRepresentative:
+      return RunTopkRepresentative(scoring_, index_, query);
+    case Algorithm::kBruteForce:
+      return RunBruteForce(scoring_, window_, query);
+  }
+  return Status::InvalidArgument("unknown algorithm");
+}
+
+Timestamp KsirEngine::now() const {
+  std::shared_lock lock(mutex_);
+  return window_.now();
+}
+
+MaintenanceStats KsirEngine::maintenance_stats() const {
+  std::shared_lock lock(mutex_);
+  return stats_;
+}
+
+}  // namespace ksir

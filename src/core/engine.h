@@ -1,0 +1,93 @@
+// KsirEngine: the top-level query-processing system of Figure 4.
+//
+// Owns the active window, the per-topic ranked lists and the scoring
+// context; ingests the stream in buckets (Algorithm 1) and answers ad-hoc
+// k-SIR queries with any of the implemented algorithms. Concurrent queries
+// are allowed (shared lock); bucket ingestion is exclusive.
+#ifndef KSIR_CORE_ENGINE_H_
+#define KSIR_CORE_ENGINE_H_
+
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "core/index_maintainer.h"
+#include "core/query.h"
+#include "core/ranked_list.h"
+#include "core/scoring.h"
+#include "stream/element.h"
+#include "topic/topic_model.h"
+#include "window/active_window.h"
+
+namespace ksir {
+
+/// Engine configuration (paper defaults: T = 24 h, L = 15 min,
+/// lambda = 0.5, eta = 20 or 200).
+struct EngineConfig {
+  ScoringParams scoring;
+  /// Window length T in stream time units.
+  Timestamp window_length = 24 * 3600;
+  /// Bucket length L in stream time units; must divide evenly into the
+  /// ingestion pattern (buckets end at multiples of L).
+  Timestamp bucket_length = 15 * 60;
+  /// How long deactivated elements stay resurrectable by late references;
+  /// <= 0 means "same as window_length" (see ActiveWindow).
+  Timestamp archive_retention = 0;
+  RefreshMode refresh_mode = RefreshMode::kExact;
+};
+
+/// Cumulative ingestion statistics.
+struct MaintenanceStats {
+  std::int64_t elements_ingested = 0;
+  std::int64_t buckets_processed = 0;
+  std::int64_t elements_expired = 0;
+  std::int64_t dangling_refs = 0;
+  /// Total wall time spent in AdvanceTo (window + ranked-list updates).
+  double total_update_ms = 0.0;
+};
+
+/// Streaming k-SIR query engine.
+class KsirEngine {
+ public:
+  /// `model` must outlive the engine. Elements handed to the engine must
+  /// already carry their sparse topic vectors (use TopicInferencer or a
+  /// generator's ground truth).
+  KsirEngine(EngineConfig config, const TopicModel* model);
+
+  /// Advances the clock to `bucket_end` and ingests `bucket` (elements with
+  /// ts in (previous time, bucket_end], sorted by ts). Thread-exclusive.
+  Status AdvanceTo(Timestamp bucket_end, std::vector<SocialElement> bucket);
+
+  /// Convenience: splits `elements` (sorted by ts) into buckets of
+  /// `config.bucket_length` and ingests them all, ending at the bucket
+  /// boundary that covers the last element.
+  Status Append(std::vector<SocialElement> elements);
+
+  /// Answers one k-SIR query at the current time. Thread-safe with other
+  /// queries; blocks AdvanceTo.
+  StatusOr<QueryResult> Query(const KsirQuery& query) const;
+
+  /// Current engine clock.
+  Timestamp now() const;
+
+  /// Read access for tests / benches (not thread-safe against AdvanceTo).
+  const ActiveWindow& window() const { return window_; }
+  const RankedListIndex& index() const { return index_; }
+  const ScoringContext& scoring() const { return scoring_; }
+  const EngineConfig& config() const { return config_; }
+  MaintenanceStats maintenance_stats() const;
+
+ private:
+  EngineConfig config_;
+  ActiveWindow window_;
+  RankedListIndex index_;
+  ScoringContext scoring_;
+  IndexMaintainer maintainer_;
+  MaintenanceStats stats_;
+  mutable std::shared_mutex mutex_;
+};
+
+}  // namespace ksir
+
+#endif  // KSIR_CORE_ENGINE_H_

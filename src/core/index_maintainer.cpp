@@ -1,0 +1,49 @@
+#include "core/index_maintainer.h"
+
+#include "common/check.h"
+
+namespace ksir {
+
+IndexMaintainer::IndexMaintainer(const ScoringContext* ctx,
+                                 RankedListIndex* index, RefreshMode mode)
+    : ctx_(ctx), index_(index), mode_(mode) {
+  KSIR_CHECK(ctx != nullptr);
+  KSIR_CHECK(index != nullptr);
+}
+
+void IndexMaintainer::Apply(const ActiveWindow::UpdateResult& update) {
+  const ActiveWindow& window = ctx_->window();
+  // Expiry first: expired ids are no longer in the window store.
+  for (ElementId id : update.expired) {
+    index_->Erase(id);
+  }
+  for (ElementId id : update.inserted) {
+    const SocialElement* e = window.Find(id);
+    KSIR_CHECK(e != nullptr);
+    index_->Insert(id, ctx_->AllTopicScores(*e), window.LastReferredAt(id));
+  }
+  // Resurrected elements were erased from the lists when they deactivated;
+  // they re-enter with freshly computed scores.
+  for (ElementId id : update.resurrected) {
+    const SocialElement* e = window.Find(id);
+    KSIR_CHECK(e != nullptr);
+    index_->Insert(id, ctx_->AllTopicScores(*e), window.LastReferredAt(id));
+  }
+  for (ElementId id : update.gained_referrer) {
+    Reposition(id);
+  }
+  if (mode_ == RefreshMode::kExact) {
+    for (ElementId id : update.lost_referrer) {
+      Reposition(id);
+    }
+  }
+}
+
+void IndexMaintainer::Reposition(ElementId id) {
+  const SocialElement* e = ctx_->window().Find(id);
+  KSIR_CHECK(e != nullptr);
+  index_->Update(id, ctx_->AllTopicScores(*e),
+                 ctx_->window().LastReferredAt(id));
+}
+
+}  // namespace ksir

@@ -1,0 +1,47 @@
+// Algorithm 1: keeps the per-topic ranked lists consistent with the active
+// window as buckets arrive and expire.
+#ifndef KSIR_CORE_INDEX_MAINTAINER_H_
+#define KSIR_CORE_INDEX_MAINTAINER_H_
+
+#include "core/ranked_list.h"
+#include "core/scoring.h"
+#include "window/active_window.h"
+
+namespace ksir {
+
+/// How ranked-list scores react to referrer expiry (DESIGN.md §5).
+enum class RefreshMode {
+  /// Reposition elements whose referrers expired: list scores are always
+  /// exactly delta_i(e). Default.
+  kExact,
+  /// Literal Algorithm 1: scores are only refreshed when an element gains a
+  /// referrer. A score may stay stale-high after referrer expiry, which
+  /// keeps upper-bound pruning sound but less tight.
+  kPaper,
+};
+
+/// Applies window updates to the ranked lists (Algorithm 1 lines 4-13).
+class IndexMaintainer {
+ public:
+  /// `ctx` and `index` must outlive the maintainer; `ctx`'s window must be
+  /// the window whose updates are applied.
+  IndexMaintainer(const ScoringContext* ctx, RankedListIndex* index,
+                  RefreshMode mode = RefreshMode::kExact);
+
+  /// Applies one Advance() result. Must be called after every window
+  /// advance, with no interleaved advances.
+  void Apply(const ActiveWindow::UpdateResult& update);
+
+  RefreshMode mode() const { return mode_; }
+
+ private:
+  void Reposition(ElementId id);
+
+  const ScoringContext* ctx_;
+  RankedListIndex* index_;
+  RefreshMode mode_;
+};
+
+}  // namespace ksir
+
+#endif  // KSIR_CORE_INDEX_MAINTAINER_H_

@@ -1,0 +1,23 @@
+// Multi-Topic ThresholdDescend (paper Algorithm 3).
+//
+// A single candidate grown over rounds of geometrically descending
+// thresholds tau; elements retrieved from the ranked lists are buffered and
+// may be re-evaluated in later rounds (lazy marginal gains are upper bounds
+// by submodularity). Guarantees a (1 - 1/e - eps)-approximation.
+#ifndef KSIR_CORE_MTTD_H_
+#define KSIR_CORE_MTTD_H_
+
+#include "core/query.h"
+#include "core/ranked_list.h"
+#include "core/scoring.h"
+
+namespace ksir {
+
+/// Runs MTTD for `query` against the current index state. The query's
+/// epsilon must be in (0, 1).
+QueryResult RunMttd(const ScoringContext& ctx, const RankedListIndex& index,
+                    const KsirQuery& query);
+
+}  // namespace ksir
+
+#endif  // KSIR_CORE_MTTD_H_

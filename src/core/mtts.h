@@ -1,0 +1,24 @@
+// Multi-Topic ThresholdStream (paper Algorithm 2).
+//
+// SieveStreaming-style geometric threshold candidates fed by the best-first
+// ranked-list traversal; terminates as soon as the upper bound of any
+// unevaluated element falls below the smallest unfilled candidate threshold.
+// Guarantees a (1/2 - eps)-approximation and evaluates each active element
+// at most once.
+#ifndef KSIR_CORE_MTTS_H_
+#define KSIR_CORE_MTTS_H_
+
+#include "core/query.h"
+#include "core/ranked_list.h"
+#include "core/scoring.h"
+
+namespace ksir {
+
+/// Runs MTTS for `query` against the current index state. The query's
+/// epsilon must be in (0, 1).
+QueryResult RunMtts(const ScoringContext& ctx, const RankedListIndex& index,
+                    const KsirQuery& query);
+
+}  // namespace ksir
+
+#endif  // KSIR_CORE_MTTS_H_

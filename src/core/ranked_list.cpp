@@ -1,0 +1,87 @@
+#include "core/ranked_list.h"
+
+#include "common/check.h"
+
+namespace ksir {
+
+void RankedList::Insert(ElementId id, double score, Timestamp te) {
+  const auto [it, inserted] = by_id_.emplace(id, std::make_pair(score, te));
+  KSIR_CHECK(inserted);
+  ordered_.insert(Key{score, id});
+}
+
+void RankedList::Update(ElementId id, double score, Timestamp te) {
+  const auto it = by_id_.find(id);
+  KSIR_CHECK(it != by_id_.end());
+  const auto erased = ordered_.erase(Key{it->second.first, id});
+  KSIR_CHECK(erased == 1);
+  it->second = {score, te};
+  ordered_.insert(Key{score, id});
+}
+
+void RankedList::Erase(ElementId id) {
+  const auto it = by_id_.find(id);
+  KSIR_CHECK(it != by_id_.end());
+  const auto erased = ordered_.erase(Key{it->second.first, id});
+  KSIR_CHECK(erased == 1);
+  by_id_.erase(it);
+}
+
+RankedList::Tuple RankedList::Get(ElementId id) const {
+  const auto it = by_id_.find(id);
+  KSIR_CHECK(it != by_id_.end());
+  return Tuple{id, it->second.first, it->second.second};
+}
+
+Timestamp RankedList::TimeOf(ElementId id) const {
+  const auto it = by_id_.find(id);
+  KSIR_CHECK(it != by_id_.end());
+  return it->second.second;
+}
+
+RankedListIndex::RankedListIndex(std::size_t num_topics)
+    : lists_(num_topics) {
+  KSIR_CHECK(num_topics > 0);
+}
+
+void RankedListIndex::Insert(
+    ElementId id, const std::vector<std::pair<TopicId, double>>& topic_scores,
+    Timestamp te) {
+  KSIR_CHECK(!membership_.contains(id));
+  auto& topics = membership_[id];
+  topics.reserve(topic_scores.size());
+  for (const auto& [topic, score] : topic_scores) {
+    KSIR_CHECK(topic >= 0 && static_cast<std::size_t>(topic) < lists_.size());
+    lists_[static_cast<std::size_t>(topic)].Insert(id, score, te);
+    topics.push_back(topic);
+    ++total_entries_;
+  }
+}
+
+void RankedListIndex::Update(
+    ElementId id, const std::vector<std::pair<TopicId, double>>& topic_scores,
+    Timestamp te) {
+  const auto it = membership_.find(id);
+  KSIR_CHECK(it != membership_.end());
+  KSIR_CHECK(it->second.size() == topic_scores.size());
+  for (const auto& [topic, score] : topic_scores) {
+    lists_[static_cast<std::size_t>(topic)].Update(id, score, te);
+  }
+}
+
+void RankedListIndex::Erase(ElementId id) {
+  const auto it = membership_.find(id);
+  KSIR_CHECK(it != membership_.end());
+  for (TopicId topic : it->second) {
+    lists_[static_cast<std::size_t>(topic)].Erase(id);
+    --total_entries_;
+  }
+  membership_.erase(it);
+}
+
+const RankedList& RankedListIndex::list(TopicId topic) const {
+  KSIR_CHECK(topic >= 0 && static_cast<std::size_t>(topic) < lists_.size());
+  return lists_[static_cast<std::size_t>(topic)];
+}
+
+}  // namespace ksir

@@ -1,0 +1,111 @@
+// Per-topic ranked lists (paper Section 4.1, Algorithm 1).
+//
+// RL_i keeps one tuple <delta_i(e), t_e> per active element with p_i(e) > 0,
+// sorted by topic-wise representativeness score descending. The index
+// supports O(log n) insert / reposition / erase and ordered traversal for
+// the threshold algorithms.
+#ifndef KSIR_CORE_RANKED_LIST_H_
+#define KSIR_CORE_RANKED_LIST_H_
+
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ksir {
+
+/// One topic's ranked list.
+class RankedList {
+ public:
+  /// Ordering key: score descending, id ascending for determinism.
+  struct Key {
+    double score;
+    ElementId id;
+
+    bool operator<(const Key& other) const {
+      if (score != other.score) return score > other.score;
+      return id < other.id;
+    }
+  };
+
+  /// Full tuple view <delta_i(e), t_e> plus the element id.
+  struct Tuple {
+    ElementId id;
+    double score;
+    Timestamp te;
+  };
+
+  using const_iterator = std::set<Key>::const_iterator;
+
+  /// Inserts a new element; it must not be present.
+  void Insert(ElementId id, double score, Timestamp te);
+
+  /// Repositions an existing element with a new score / referral time.
+  void Update(ElementId id, double score, Timestamp te);
+
+  /// Removes an element; it must be present.
+  void Erase(ElementId id);
+
+  bool Contains(ElementId id) const { return by_id_.contains(id); }
+
+  /// Tuple of a present element.
+  Tuple Get(ElementId id) const;
+
+  std::size_t size() const { return ordered_.size(); }
+  bool empty() const { return ordered_.empty(); }
+
+  /// Ordered traversal (descending score).
+  const_iterator begin() const { return ordered_.begin(); }
+  const_iterator end() const { return ordered_.end(); }
+
+  /// t_e of a present element (stored beside the ordering key).
+  Timestamp TimeOf(ElementId id) const;
+
+ private:
+  std::set<Key> ordered_;
+  std::unordered_map<ElementId, std::pair<double, Timestamp>> by_id_;
+};
+
+/// The z ranked lists plus the per-element topic membership needed to erase
+/// expired elements without consulting the (already pruned) window.
+class RankedListIndex {
+ public:
+  explicit RankedListIndex(std::size_t num_topics);
+
+  /// Inserts `id` into the list of every (topic, score) pair.
+  void Insert(ElementId id,
+              const std::vector<std::pair<TopicId, double>>& topic_scores,
+              Timestamp te);
+
+  /// Repositions `id` in every list it belongs to. `topic_scores` must cover
+  /// exactly the element's topic support (same topics as at insertion).
+  void Update(ElementId id,
+              const std::vector<std::pair<TopicId, double>>& topic_scores,
+              Timestamp te);
+
+  /// Removes `id` from all its lists.
+  void Erase(ElementId id);
+
+  bool Contains(ElementId id) const { return membership_.contains(id); }
+
+  const RankedList& list(TopicId topic) const;
+
+  std::size_t num_topics() const { return lists_.size(); }
+
+  /// Total tuples across all lists.
+  std::size_t total_entries() const { return total_entries_; }
+
+  /// Number of distinct indexed elements.
+  std::size_t num_elements() const { return membership_.size(); }
+
+ private:
+  std::vector<RankedList> lists_;
+  std::unordered_map<ElementId, std::vector<TopicId>> membership_;
+  std::size_t total_entries_ = 0;
+};
+
+}  // namespace ksir
+
+#endif  // KSIR_CORE_RANKED_LIST_H_

@@ -1,0 +1,79 @@
+#include "core/scoring.h"
+
+#include "common/check.h"
+#include "common/math.h"
+
+namespace ksir {
+
+ScoringContext::ScoringContext(const TopicModel* model,
+                               const ActiveWindow* window,
+                               ScoringParams params)
+    : model_(model), window_(window), params_(params) {
+  KSIR_CHECK(model != nullptr);
+  KSIR_CHECK(window != nullptr);
+  KSIR_CHECK(params.lambda >= 0.0 && params.lambda <= 1.0);
+  KSIR_CHECK(params.eta > 0.0);
+  influence_factor_ = (1.0 - params_.lambda) / params_.eta;
+}
+
+double ScoringContext::Sigma(TopicId topic, WordId word,
+                             std::int32_t frequency,
+                             double topic_prob_e) const {
+  if (topic_prob_e <= 0.0) return 0.0;
+  const double p = model_->WordProb(topic, word) * topic_prob_e;
+  return static_cast<double>(frequency) * EntropyWeight(p);
+}
+
+double ScoringContext::SemanticScore(TopicId topic,
+                                     const SocialElement& e) const {
+  const double p_e = e.topics.Get(topic);
+  if (p_e <= 0.0) return 0.0;
+  double score = 0.0;
+  for (const auto& [word, count] : e.doc.word_counts()) {
+    score += Sigma(topic, word, count, p_e);
+  }
+  return score;
+}
+
+double ScoringContext::InfluenceScore(TopicId topic,
+                                      const SocialElement& e) const {
+  const double p_e = e.topics.Get(topic);
+  if (p_e <= 0.0) return 0.0;
+  double score = 0.0;
+  for (const Referrer& r : window_->ReferrersOf(e.id)) {
+    const SocialElement* referrer = window_->Find(r.id);
+    KSIR_DCHECK(referrer != nullptr);
+    if (referrer == nullptr) continue;
+    score += p_e * referrer->topics.Get(topic);
+  }
+  return score;
+}
+
+double ScoringContext::TopicScore(TopicId topic, const SocialElement& e) const {
+  const double p_e = e.topics.Get(topic);
+  if (p_e <= 0.0) return 0.0;
+  return params_.lambda * SemanticScore(topic, e) +
+         influence_factor_ * InfluenceScore(topic, e);
+}
+
+double ScoringContext::ElementScore(const SocialElement& e,
+                                    const SparseVector& x) const {
+  double score = 0.0;
+  for (const auto& [topic, weight] : x.entries()) {
+    if (e.topics.Get(topic) <= 0.0) continue;
+    score += weight * TopicScore(topic, e);
+  }
+  return score;
+}
+
+std::vector<std::pair<TopicId, double>> ScoringContext::AllTopicScores(
+    const SocialElement& e) const {
+  std::vector<std::pair<TopicId, double>> scores;
+  scores.reserve(e.topics.nnz());
+  for (const auto& [topic, prob] : e.topics.entries()) {
+    scores.emplace_back(topic, TopicScore(topic, e));
+  }
+  return scores;
+}
+
+}  // namespace ksir

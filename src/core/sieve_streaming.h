@@ -1,0 +1,22 @@
+// SieveStreaming (Badanidiyuru et al., KDD 2014): single-pass streaming
+// submodular maximization with geometric threshold candidates. The paper's
+// strongest streaming baseline; (1/2 - eps)-approximate. Unlike MTTS it has
+// no ranked lists, so it must evaluate every active element.
+#ifndef KSIR_CORE_SIEVE_STREAMING_H_
+#define KSIR_CORE_SIEVE_STREAMING_H_
+
+#include "core/query.h"
+#include "core/scoring.h"
+#include "window/active_window.h"
+
+namespace ksir {
+
+/// Runs SieveStreaming over the active elements (in id order, which models
+/// an arbitrary stream order deterministically).
+QueryResult RunSieveStreaming(const ScoringContext& ctx,
+                              const ActiveWindow& window,
+                              const KsirQuery& query);
+
+}  // namespace ksir
+
+#endif  // KSIR_CORE_SIEVE_STREAMING_H_

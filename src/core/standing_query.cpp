@@ -1,0 +1,44 @@
+#include "core/standing_query.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ksir {
+
+StandingQueryManager::StandingQueryManager(const KsirEngine* engine)
+    : engine_(engine) {
+  KSIR_CHECK(engine != nullptr);
+}
+
+std::int64_t StandingQueryManager::Register(KsirQuery query,
+                                            Callback callback) {
+  KSIR_CHECK(callback != nullptr);
+  const std::int64_t id = next_id_++;
+  entries_.emplace(id, Entry{std::move(query), std::move(callback), {}, false});
+  return id;
+}
+
+bool StandingQueryManager::Unregister(std::int64_t standing_id) {
+  return entries_.erase(standing_id) > 0;
+}
+
+Status StandingQueryManager::EvaluateAll() {
+  Status first_error;
+  for (auto& [id, entry] : entries_) {
+    auto result = engine_->Query(entry.query);
+    if (!result.ok()) {
+      if (first_error.ok()) first_error = result.status();
+      continue;
+    }
+    std::vector<ElementId> sorted = result->element_ids;
+    std::sort(sorted.begin(), sorted.end());
+    const bool changed = !entry.evaluated_once || sorted != entry.last_result;
+    entry.last_result = std::move(sorted);
+    entry.evaluated_once = true;
+    entry.callback(id, *result, changed);
+  }
+  return first_error;
+}
+
+}  // namespace ksir

@@ -1,0 +1,61 @@
+// Standing (continuous) k-SIR queries: the deployment pattern of the
+// paper's introduction — users keep an interest registered and the system
+// refreshes their representative set as the window slides. This manager
+// re-evaluates registered queries on demand (typically once per bucket) and
+// reports whether each result set changed.
+#ifndef KSIR_CORE_STANDING_QUERY_H_
+#define KSIR_CORE_STANDING_QUERY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+
+namespace ksir {
+
+/// Registry of standing queries over one engine.
+/// Thread-compatible; call EvaluateAll from the ingestion thread after
+/// AdvanceTo (queries themselves take the engine's shared lock).
+class StandingQueryManager {
+ public:
+  /// Invoked per standing query per evaluation. `changed` is true when the
+  /// result's element set differs from the previous evaluation.
+  using Callback = std::function<void(std::int64_t standing_id,
+                                      const QueryResult& result,
+                                      bool changed)>;
+
+  /// `engine` must outlive the manager.
+  explicit StandingQueryManager(const KsirEngine* engine);
+
+  /// Registers a query; returns its standing id.
+  std::int64_t Register(KsirQuery query, Callback callback);
+
+  /// Removes a standing query; false when the id is unknown.
+  bool Unregister(std::int64_t standing_id);
+
+  /// Re-evaluates every standing query against the engine's current state.
+  /// Returns the first query error encountered (remaining queries still
+  /// run).
+  Status EvaluateAll();
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    KsirQuery query;
+    Callback callback;
+    std::vector<ElementId> last_result;  // sorted
+    bool evaluated_once = false;
+  };
+
+  const KsirEngine* engine_;
+  std::map<std::int64_t, Entry> entries_;
+  std::int64_t next_id_ = 1;
+};
+
+}  // namespace ksir
+
+#endif  // KSIR_CORE_STANDING_QUERY_H_

@@ -1,0 +1,22 @@
+// Top-k Representative baseline (paper Section 5.1): the k active elements
+// with the highest singleton scores delta(e, x), retrieved from the ranked
+// lists with upper-bound early termination. Ignores word and influence
+// overlap, hence only 1/k-approximate for k-SIR.
+#ifndef KSIR_CORE_TOPK_REPRESENTATIVE_H_
+#define KSIR_CORE_TOPK_REPRESENTATIVE_H_
+
+#include "core/query.h"
+#include "core/ranked_list.h"
+#include "core/scoring.h"
+
+namespace ksir {
+
+/// Runs the top-k representative baseline. The reported score is f(S, x) of
+/// the returned set (comparable with the submodular algorithms).
+QueryResult RunTopkRepresentative(const ScoringContext& ctx,
+                                  const RankedListIndex& index,
+                                  const KsirQuery& query);
+
+}  // namespace ksir
+
+#endif  // KSIR_CORE_TOPK_REPRESENTATIVE_H_

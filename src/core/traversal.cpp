@@ -1,0 +1,63 @@
+#include "core/traversal.h"
+
+#include "common/check.h"
+
+namespace ksir {
+
+RankedListCursor::RankedListCursor(const RankedListIndex* index,
+                                   const SparseVector* query) {
+  KSIR_CHECK(index != nullptr);
+  KSIR_CHECK(query != nullptr);
+  lists_.reserve(query->nnz());
+  for (const auto& [topic, weight] : query->entries()) {
+    if (weight <= 0.0) continue;
+    if (static_cast<std::size_t>(topic) >= index->num_topics()) continue;
+    const RankedList& list = index->list(topic);
+    lists_.push_back(ListPos{topic, weight, list.begin(), list.end()});
+  }
+}
+
+void RankedListCursor::SkipVisited(ListPos* pos) const {
+  while (pos->it != pos->end && visited_.contains(pos->it->id)) {
+    ++pos->it;
+  }
+}
+
+double RankedListCursor::UpperBound() const {
+  double ub = 0.0;
+  for (const ListPos& pos : lists_) {
+    if (pos.it == pos.end) continue;
+    ub += pos.weight * pos.it->score;
+  }
+  return ub;
+}
+
+bool RankedListCursor::Exhausted() const {
+  for (const ListPos& pos : lists_) {
+    if (pos.it != pos.end) return false;
+  }
+  return true;
+}
+
+std::optional<ElementId> RankedListCursor::PopNext() {
+  ListPos* best = nullptr;
+  double best_value = -1.0;
+  for (ListPos& pos : lists_) {
+    if (pos.it == pos.end) continue;
+    const double value = pos.weight * pos.it->score;
+    if (value > best_value) {
+      best_value = value;
+      best = &pos;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  const ElementId id = best->it->id;
+  visited_.insert(id);
+  ++num_retrieved_;
+  // Keep the invariant: every head position points at an unvisited tuple,
+  // so UpperBound() matches the paper's UB over unevaluated elements.
+  for (ListPos& pos : lists_) SkipVisited(&pos);
+  return id;
+}
+
+}  // namespace ksir

@@ -1,0 +1,64 @@
+// Best-first merged traversal of the ranked lists for one query
+// (the RL_i.first / RL_i.next operations of Section 4.1).
+//
+// The cursor walks the lists of the query's support topics in decreasing
+// x_i * delta_i(e) order, maintains the upper bound
+//   UB(x) = sum_i x_i * delta_i(e(i))
+// over all unevaluated elements, and marks elements visited across lists so
+// that each element is popped at most once per query (Section 4.1:
+// "once a tuple for element e has been accessed in one ranked list, the
+// remaining tuples for e in the other lists are marked as visited").
+// Visited marking is query-local, so concurrent queries share the index.
+#ifndef KSIR_CORE_TRAVERSAL_H_
+#define KSIR_CORE_TRAVERSAL_H_
+
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/sparse_vector.h"
+#include "common/types.h"
+#include "core/ranked_list.h"
+
+namespace ksir {
+
+/// Single-query read-only cursor over a RankedListIndex.
+class RankedListCursor {
+ public:
+  /// `index` and `query` must outlive the cursor; the index must stay
+  /// unmodified while the cursor lives.
+  RankedListCursor(const RankedListIndex* index, const SparseVector* query);
+
+  /// Upper bound on delta(e, x) of any element not yet popped. 0 when all
+  /// lists are exhausted.
+  double UpperBound() const;
+
+  /// True when every list of the query support is exhausted.
+  bool Exhausted() const;
+
+  /// Pops the element at the head position with maximum x_i * delta_i and
+  /// marks it visited everywhere. nullopt when exhausted.
+  std::optional<ElementId> PopNext();
+
+  /// Elements popped so far.
+  std::size_t num_retrieved() const { return num_retrieved_; }
+
+ private:
+  struct ListPos {
+    TopicId topic;
+    double weight;  // x_i
+    RankedList::const_iterator it;
+    RankedList::const_iterator end;
+  };
+
+  /// Advances `pos` past visited entries.
+  void SkipVisited(ListPos* pos) const;
+
+  std::vector<ListPos> lists_;
+  std::unordered_set<ElementId> visited_;
+  std::size_t num_retrieved_ = 0;
+};
+
+}  // namespace ksir
+
+#endif  // KSIR_CORE_TRAVERSAL_H_

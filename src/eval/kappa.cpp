@@ -1,0 +1,57 @@
+#include "eval/kappa.h"
+
+#include <cmath>
+
+namespace ksir {
+
+StatusOr<double> CohenLinearWeightedKappa(const std::vector<std::int32_t>& a,
+                                          const std::vector<std::int32_t>& b,
+                                          std::int32_t num_categories) {
+  if (a.empty() || a.size() != b.size()) {
+    return Status::InvalidArgument("rating sequences must match and be nonempty");
+  }
+  if (num_categories < 2) {
+    return Status::InvalidArgument("need at least two rating categories");
+  }
+  const auto c = static_cast<std::size_t>(num_categories);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] < 1 || a[i] > num_categories || b[i] < 1 ||
+        b[i] > num_categories) {
+      return Status::OutOfRange("rating outside [1, num_categories]");
+    }
+  }
+
+  // Observed matrix and marginals.
+  std::vector<std::vector<double>> observed(c, std::vector<double>(c, 0.0));
+  std::vector<double> marginal_a(c, 0.0);
+  std::vector<double> marginal_b(c, 0.0);
+  const double n = static_cast<double>(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto ra = static_cast<std::size_t>(a[i] - 1);
+    const auto rb = static_cast<std::size_t>(b[i] - 1);
+    observed[ra][rb] += 1.0 / n;
+    marginal_a[ra] += 1.0 / n;
+    marginal_b[rb] += 1.0 / n;
+  }
+
+  // Linear weights: w_ij = 1 - |i - j| / (c - 1); kappa = 1 - D_o / D_e with
+  // disagreement D = sum (1 - w_ij) p_ij.
+  double observed_disagreement = 0.0;
+  double expected_disagreement = 0.0;
+  const double denom = static_cast<double>(c - 1);
+  for (std::size_t i = 0; i < c; ++i) {
+    for (std::size_t j = 0; j < c; ++j) {
+      const double penalty =
+          std::abs(static_cast<double>(i) - static_cast<double>(j)) / denom;
+      observed_disagreement += penalty * observed[i][j];
+      expected_disagreement += penalty * marginal_a[i] * marginal_b[j];
+    }
+  }
+  if (expected_disagreement <= 0.0) {
+    // Both raters used a single identical category: perfect agreement.
+    return 1.0;
+  }
+  return 1.0 - observed_disagreement / expected_disagreement;
+}
+
+}  // namespace ksir

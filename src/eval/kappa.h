@@ -1,0 +1,23 @@
+// Cohen's weighted kappa (Cohen 1968) with linear disagreement weights, as
+// the paper uses to report inter-rater agreement in the user study.
+#ifndef KSIR_EVAL_KAPPA_H_
+#define KSIR_EVAL_KAPPA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ksir {
+
+/// Computes linearly weighted kappa between two raters. `a` and `b` are
+/// parallel rating sequences with values in [1, num_categories]. Returns 1
+/// for perfect agreement, 0 for chance-level agreement. Fails on empty or
+/// mismatched input, or out-of-range ratings.
+StatusOr<double> CohenLinearWeightedKappa(const std::vector<std::int32_t>& a,
+                                          const std::vector<std::int32_t>& b,
+                                          std::int32_t num_categories);
+
+}  // namespace ksir
+
+#endif  // KSIR_EVAL_KAPPA_H_

@@ -1,0 +1,74 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ksir {
+
+double CoverageScore(const ActiveWindow& window,
+                     const std::vector<ElementId>& result_set,
+                     const SparseVector& x) {
+  if (result_set.empty()) return 0.0;
+  std::vector<const SocialElement*> members;
+  members.reserve(result_set.size());
+  std::unordered_set<ElementId> member_ids;
+  for (ElementId id : result_set) {
+    const SocialElement* e = window.Find(id);
+    if (e == nullptr) continue;
+    members.push_back(e);
+    member_ids.insert(id);
+  }
+  if (members.empty()) return 0.0;
+
+  double total = 0.0;
+  window.ForEachActive([&](const SocialElement& e) {
+    if (member_ids.contains(e.id)) return;
+    const double rel = SparseVector::Cosine(e.topics, x);
+    if (rel <= 0.0) return;
+    double best_sim = 0.0;
+    for (const SocialElement* m : members) {
+      best_sim = std::max(best_sim, SparseVector::Cosine(e.topics, m->topics));
+    }
+    total += rel * best_sim;
+  });
+  return total;
+}
+
+std::int64_t InfluenceCount(const ActiveWindow& window,
+                            const std::vector<ElementId>& result_set) {
+  std::unordered_set<ElementId> influenced;
+  for (ElementId id : result_set) {
+    for (const Referrer& r : window.ReferrersOf(id)) {
+      influenced.insert(r.id);
+    }
+  }
+  return static_cast<std::int64_t>(influenced.size());
+}
+
+std::int64_t TopkInfluentialCount(const ActiveWindow& window, std::size_t k) {
+  std::vector<std::int64_t> degrees;
+  degrees.reserve(window.num_active());
+  window.ForEachActive([&](const SocialElement& e) {
+    degrees.push_back(
+        static_cast<std::int64_t>(window.ReferrersOf(e.id).size()));
+  });
+  const std::size_t take = std::min(k, degrees.size());
+  std::partial_sort(degrees.begin(),
+                    degrees.begin() + static_cast<std::ptrdiff_t>(take),
+                    degrees.end(), std::greater<>());
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < take; ++i) total += degrees[i];
+  return total;
+}
+
+double NormalizedInfluence(const ActiveWindow& window,
+                           const std::vector<ElementId>& result_set,
+                           std::size_t k) {
+  const std::int64_t normalizer = TopkInfluentialCount(window, k);
+  if (normalizer <= 0) return 0.0;
+  const double ratio = static_cast<double>(InfluenceCount(window, result_set)) /
+                       static_cast<double>(normalizer);
+  return std::clamp(ratio, 0.0, 1.0);
+}
+
+}  // namespace ksir

@@ -1,0 +1,38 @@
+// Quantitative effectiveness metrics of Section 5.2 (Table 6).
+#ifndef KSIR_EVAL_METRICS_H_
+#define KSIR_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "common/sparse_vector.h"
+#include "common/types.h"
+#include "window/active_window.h"
+
+namespace ksir {
+
+/// Coverage score of a result set S w.r.t. query x (Lin & Bilmes style, as
+/// used by the paper):
+///   sum_{e in A_t \ S} max_{e' in S} rel(e, x) * sim(e, e')
+/// with rel and sim both topic-vector cosine similarities. Higher is better.
+double CoverageScore(const ActiveWindow& window,
+                     const std::vector<ElementId>& result_set,
+                     const SparseVector& x);
+
+/// Influence score: number of active elements referring to at least one
+/// element of S.
+std::int64_t InfluenceCount(const ActiveWindow& window,
+                            const std::vector<ElementId>& result_set);
+
+/// Influence score of the k most-referred active elements (the paper's
+/// normalizer: scores are scaled to [0, 1] by dividing by this).
+std::int64_t TopkInfluentialCount(const ActiveWindow& window, std::size_t k);
+
+/// InfluenceCount / TopkInfluentialCount, clamped to [0, 1]; 0 when the
+/// normalizer is 0.
+double NormalizedInfluence(const ActiveWindow& window,
+                           const std::vector<ElementId>& result_set,
+                           std::size_t k);
+
+}  // namespace ksir
+
+#endif  // KSIR_EVAL_METRICS_H_

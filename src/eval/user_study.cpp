@@ -1,0 +1,179 @@
+#include "eval/user_study.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "eval/kappa.h"
+#include "eval/metrics.h"
+
+namespace ksir {
+
+namespace {
+
+// Mean topic-space relevance of the result set's members to the query.
+double MeanRelevance(const ActiveWindow& window,
+                     const std::vector<ElementId>& result_set,
+                     const SparseVector& x) {
+  if (result_set.empty()) return 0.0;
+  double total = 0.0;
+  std::size_t found = 0;
+  for (ElementId id : result_set) {
+    const SocialElement* e = window.Find(id);
+    if (e == nullptr) continue;
+    total += SparseVector::Cosine(e->topics, x);
+    ++found;
+  }
+  return found == 0 ? 0.0 : total / static_cast<double>(found);
+}
+
+// Ranks `raw` descending and maps ranks onto 1..5 (5 = best), matching the
+// paper's "least ... to most ..." five-point scale.
+std::vector<std::int32_t> RanksToRatings(const std::vector<double>& raw) {
+  const std::size_t m = raw.size();
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (raw[a] != raw[b]) return raw[a] > raw[b];
+    return a < b;
+  });
+  std::vector<std::int32_t> ratings(m);
+  for (std::size_t rank = 0; rank < m; ++rank) {
+    const double frac =
+        m == 1 ? 1.0
+               : static_cast<double>(m - 1 - rank) / static_cast<double>(m - 1);
+    ratings[order[rank]] = 1 + static_cast<std::int32_t>(std::lround(4.0 * frac));
+  }
+  return ratings;
+}
+
+}  // namespace
+
+StatusOr<UserStudyResult> RunProxyUserStudy(
+    const ActiveWindow& window,
+    const std::vector<std::vector<StudyEntry>>& queries,
+    const std::vector<SparseVector>& query_vectors, UserStudyOptions options) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("study needs at least one query");
+  }
+  if (queries.size() != query_vectors.size()) {
+    return Status::InvalidArgument("queries / query_vectors size mismatch");
+  }
+  if (options.raters_per_query < 2) {
+    return Status::InvalidArgument("need at least two raters for kappa");
+  }
+  const std::size_t num_methods = queries.front().size();
+  if (num_methods < 2) {
+    return Status::InvalidArgument("study needs at least two methods");
+  }
+  for (const auto& entries : queries) {
+    if (entries.size() != num_methods) {
+      return Status::InvalidArgument("every query must rate the same methods");
+    }
+    for (std::size_t m = 0; m < num_methods; ++m) {
+      if (entries[m].method != queries.front()[m].method) {
+        return Status::InvalidArgument("method order differs across queries");
+      }
+    }
+  }
+
+  const auto raters = static_cast<std::size_t>(options.raters_per_query);
+  // ratings[aspect][rater] is the flat sequence over (query, method).
+  std::vector<std::vector<std::int32_t>> rep_ratings(raters);
+  std::vector<std::vector<std::int32_t>> impact_ratings(raters);
+  std::vector<double> rep_sum(num_methods, 0.0);
+  std::vector<double> impact_sum(num_methods, 0.0);
+
+  Rng rng(options.seed);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto& entries = queries[q];
+    const SparseVector& x = query_vectors[q];
+
+    // Raw aspect scores per method.
+    std::vector<double> rep_raw(num_methods);
+    std::vector<double> impact_raw(num_methods);
+    double max_cov = 0.0;
+    double max_rel = 0.0;
+    std::vector<double> cov(num_methods);
+    std::vector<double> rel(num_methods);
+    for (std::size_t m = 0; m < num_methods; ++m) {
+      cov[m] = CoverageScore(window, entries[m].result_set, x);
+      rel[m] = MeanRelevance(window, entries[m].result_set, x);
+      max_cov = std::max(max_cov, cov[m]);
+      max_rel = std::max(max_rel, rel[m]);
+    }
+    for (std::size_t m = 0; m < num_methods; ++m) {
+      const double cov_n = max_cov > 0.0 ? cov[m] / max_cov : 0.0;
+      const double rel_n = max_rel > 0.0 ? rel[m] / max_rel : 0.0;
+      rep_raw[m] = 0.5 * cov_n + 0.5 * rel_n;
+      impact_raw[m] =
+          static_cast<double>(InfluenceCount(window, entries[m].result_set));
+    }
+
+    // Rater noise is additive and scaled to the spread of the raw scores
+    // across methods: raters disagree about close calls, not about clear
+    // winners, which yields the partial (0.5-0.9) kappa the paper reports.
+    auto spread = [](const std::vector<double>& values) {
+      double mean = 0.0;
+      for (double v : values) mean += v;
+      mean /= static_cast<double>(values.size());
+      double var = 0.0;
+      for (double v : values) var += (v - mean) * (v - mean);
+      const double sd = std::sqrt(var / static_cast<double>(values.size()));
+      return sd > 0.0 ? sd : 1.0;
+    };
+    const double rep_spread = spread(rep_raw);
+    const double impact_spread = spread(impact_raw);
+    for (std::size_t r = 0; r < raters; ++r) {
+      std::vector<double> rep_noisy(num_methods);
+      std::vector<double> impact_noisy(num_methods);
+      for (std::size_t m = 0; m < num_methods; ++m) {
+        rep_noisy[m] = rep_raw[m] + options.rater_noise * rep_spread *
+                                        rng.NextGaussian();
+        impact_noisy[m] = impact_raw[m] + options.rater_noise *
+                                              impact_spread *
+                                              rng.NextGaussian();
+      }
+      const auto rep = RanksToRatings(rep_noisy);
+      const auto imp = RanksToRatings(impact_noisy);
+      for (std::size_t m = 0; m < num_methods; ++m) {
+        rep_ratings[r].push_back(rep[m]);
+        impact_ratings[r].push_back(imp[m]);
+        rep_sum[m] += rep[m];
+        impact_sum[m] += imp[m];
+      }
+    }
+  }
+
+  UserStudyResult result;
+  const double denom =
+      static_cast<double>(queries.size()) * static_cast<double>(raters);
+  for (std::size_t m = 0; m < num_methods; ++m) {
+    result.ratings.push_back(MethodRating{queries.front()[m].method,
+                                          rep_sum[m] / denom,
+                                          impact_sum[m] / denom});
+  }
+
+  // Mean pairwise weighted kappa across raters.
+  double rep_kappa_sum = 0.0;
+  double impact_kappa_sum = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t a = 0; a < raters; ++a) {
+    for (std::size_t b = a + 1; b < raters; ++b) {
+      KSIR_ASSIGN_OR_RETURN(
+          double rk, CohenLinearWeightedKappa(rep_ratings[a], rep_ratings[b], 5));
+      KSIR_ASSIGN_OR_RETURN(
+          double ik,
+          CohenLinearWeightedKappa(impact_ratings[a], impact_ratings[b], 5));
+      rep_kappa_sum += rk;
+      impact_kappa_sum += ik;
+      ++pairs;
+    }
+  }
+  result.kappa_representativeness = rep_kappa_sum / static_cast<double>(pairs);
+  result.kappa_impact = impact_kappa_sum / static_cast<double>(pairs);
+  return result;
+}
+
+}  // namespace ksir

@@ -1,0 +1,70 @@
+#include "search/div.h"
+
+#include <algorithm>
+
+namespace ksir {
+
+namespace {
+
+// score(q, S) with relevance already known per element.
+double Objective(const TfIdfIndex& index, const std::vector<ElementId>& set,
+                 const std::vector<double>& rels, double lambda) {
+  double rel_sum = 0.0;
+  for (double r : rels) rel_sum += r;
+  double div = 0.0;
+  if (set.size() >= 2) {
+    double dissim = 0.0;
+    std::size_t pairs = 0;
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      for (std::size_t j = i + 1; j < set.size(); ++j) {
+        dissim += 1.0 - index.ElementSimilarity(set[i], set[j]);
+        ++pairs;
+      }
+    }
+    div = dissim / static_cast<double>(pairs);
+  }
+  return lambda * rel_sum + (1.0 - lambda) * div;
+}
+
+}  // namespace
+
+std::vector<ElementId> DivTopK(const TfIdfIndex& index,
+                               const std::vector<WordId>& keywords,
+                               std::size_t k, DivOptions options) {
+  const std::vector<ElementId> pool =
+      index.TopK(keywords, options.candidate_pool);
+  if (pool.empty() || k == 0) return {};
+
+  std::vector<double> pool_rel(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    pool_rel[i] = index.Similarity(pool[i], keywords);
+  }
+
+  std::vector<ElementId> selected;
+  std::vector<double> selected_rel;
+  std::vector<bool> used(pool.size(), false);
+  while (selected.size() < k) {
+    double best_score = -1.0;
+    std::size_t best_idx = pool.size();
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (used[i]) continue;
+      selected.push_back(pool[i]);
+      selected_rel.push_back(pool_rel[i]);
+      const double score =
+          Objective(index, selected, selected_rel, options.lambda);
+      selected.pop_back();
+      selected_rel.pop_back();
+      if (score > best_score) {
+        best_score = score;
+        best_idx = i;
+      }
+    }
+    if (best_idx == pool.size()) break;
+    used[best_idx] = true;
+    selected.push_back(pool[best_idx]);
+    selected_rel.push_back(pool_rel[best_idx]);
+  }
+  return selected;
+}
+
+}  // namespace ksir

@@ -1,0 +1,31 @@
+// Diversity-aware top-k keyword query (Chen & Cong, SIGMOD 2015; the DIV
+// baseline of Section 5.1):
+//   score(q, S) = lambda * sum_{e in S} rel(q, e) + (1 - lambda) * div(S)
+// where rel is TF-IDF cosine relevance and div is the average pairwise
+// dissimilarity in S. Maximized greedily over a relevance-pruned candidate
+// pool (the objective is not submodular; greedy is the standard heuristic).
+#ifndef KSIR_SEARCH_DIV_H_
+#define KSIR_SEARCH_DIV_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "search/tfidf.h"
+
+namespace ksir {
+
+/// DIV configuration; the paper sets lambda = 0.3 following [9].
+struct DivOptions {
+  double lambda = 0.3;
+  /// Greedy works over the `candidate_pool` most relevant elements.
+  std::size_t candidate_pool = 100;
+};
+
+/// Runs the DIV baseline against a TF-IDF snapshot.
+std::vector<ElementId> DivTopK(const TfIdfIndex& index,
+                               const std::vector<WordId>& keywords,
+                               std::size_t k, DivOptions options = {});
+
+}  // namespace ksir
+
+#endif  // KSIR_SEARCH_DIV_H_

@@ -1,0 +1,58 @@
+#include "search/lexrank.h"
+
+#include <cstddef>
+
+#include "common/check.h"
+
+namespace ksir {
+
+std::vector<double> LexRank(const std::vector<std::vector<double>>& similarity,
+                            LexRankOptions options) {
+  const std::size_t n = similarity.size();
+  if (n == 0) return {};
+  for (const auto& row : similarity) KSIR_CHECK(row.size() == n);
+
+  // Row-normalized adjacency after thresholding.
+  std::vector<std::vector<double>> transition(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (similarity[i][j] >= options.threshold) {
+        transition[i][j] = similarity[i][j];
+        row_sum += similarity[i][j];
+      }
+    }
+    if (row_sum > 0.0) {
+      for (std::size_t j = 0; j < n; ++j) transition[i][j] /= row_sum;
+    }
+  }
+
+  const double uniform = 1.0 / static_cast<double>(n);
+  std::vector<double> rank(n, uniform);
+  std::vector<double> next(n, 0.0);
+  for (std::int32_t iter = 0; iter < options.iterations; ++iter) {
+    for (std::size_t j = 0; j < n; ++j) {
+      next[j] = (1.0 - options.damping) * uniform;
+    }
+    double dangling = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      bool has_out = false;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (transition[i][j] > 0.0) {
+          next[j] += options.damping * rank[i] * transition[i][j];
+          has_out = true;
+        }
+      }
+      if (!has_out) dangling += rank[i];
+    }
+    // Dangling mass is redistributed uniformly (standard PageRank fix).
+    for (std::size_t j = 0; j < n; ++j) {
+      next[j] += options.damping * dangling * uniform;
+    }
+    rank.swap(next);
+  }
+  return rank;
+}
+
+}  // namespace ksir

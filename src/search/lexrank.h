@@ -1,0 +1,29 @@
+// LexRank (Erkan & Radev 2004): eigenvector centrality over a sentence /
+// element similarity graph. Used by the Sumblr-style summarizer to pick the
+// most central element of each cluster.
+#ifndef KSIR_SEARCH_LEXRANK_H_
+#define KSIR_SEARCH_LEXRANK_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ksir {
+
+/// LexRank parameters.
+struct LexRankOptions {
+  /// Similarities below this threshold are treated as no edge.
+  double threshold = 0.1;
+  /// PageRank-style damping factor.
+  double damping = 0.85;
+  std::int32_t iterations = 50;
+};
+
+/// Computes LexRank scores from a symmetric similarity matrix
+/// (`similarity[i][j]` in [0, 1]). Returns a distribution summing to 1;
+/// isolated nodes receive the uniform teleport mass.
+std::vector<double> LexRank(const std::vector<std::vector<double>>& similarity,
+                            LexRankOptions options = {});
+
+}  // namespace ksir
+
+#endif  // KSIR_SEARCH_LEXRANK_H_

@@ -1,0 +1,58 @@
+#include "search/pagerank.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace ksir {
+
+std::unordered_map<ElementId, double> ComputePageRank(
+    const ActiveWindow& window, PageRankOptions options) {
+  KSIR_CHECK(options.damping >= 0.0 && options.damping < 1.0);
+  // Dense local ids for the active set.
+  std::vector<ElementId> ids = window.ActiveIds();
+  const std::size_t n = ids.size();
+  std::unordered_map<ElementId, double> result;
+  if (n == 0) return result;
+  std::unordered_map<ElementId, std::size_t> local;
+  local.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) local[ids[i]] = i;
+
+  // Edges: referrer -> referenced element (influence flows to the cited).
+  // ReferrersOf(e) holds the in-window elements referring to e, so each
+  // (r, e) pair is an edge r -> e.
+  std::vector<std::vector<std::size_t>> in_edges(n);   // e <- r
+  std::vector<std::size_t> out_degree(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const Referrer& r : window.ReferrersOf(ids[i])) {
+      const auto it = local.find(r.id);
+      if (it == local.end()) continue;
+      in_edges[i].push_back(it->second);
+      ++out_degree[it->second];
+    }
+  }
+
+  const double uniform = 1.0 / static_cast<double>(n);
+  std::vector<double> rank(n, uniform);
+  std::vector<double> next(n, 0.0);
+  for (std::int32_t iter = 0; iter < options.iterations; ++iter) {
+    double dangling = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (out_degree[i] == 0) dangling += rank[i];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      double incoming = 0.0;
+      for (std::size_t r : in_edges[i]) {
+        incoming += rank[r] / static_cast<double>(out_degree[r]);
+      }
+      next[i] = (1.0 - options.damping) * uniform +
+                options.damping * (incoming + dangling * uniform);
+    }
+    rank.swap(next);
+  }
+  result.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) result[ids[i]] = rank[i];
+  return result;
+}
+
+}  // namespace ksir

@@ -1,0 +1,31 @@
+// PageRank over the in-window reference graph. The paper's related work
+// (Section 1) notes that existing social search scores influence by author
+// PageRank; Sumblr [27] uses it for ranking. This implementation provides
+// that comparator component: ranks elements by reference-graph centrality,
+// an alternative influence weight for the Sumblr-style summarizer.
+#ifndef KSIR_SEARCH_PAGERANK_H_
+#define KSIR_SEARCH_PAGERANK_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "window/active_window.h"
+
+namespace ksir {
+
+/// PageRank parameters.
+struct PageRankOptions {
+  double damping = 0.85;
+  std::int32_t iterations = 30;
+};
+
+/// PageRank scores of all active elements over the edge set
+/// { referrer -> referenced : both active, referral in-window }.
+/// Scores sum to 1; isolated elements receive the teleport mass.
+std::unordered_map<ElementId, double> ComputePageRank(
+    const ActiveWindow& window, PageRankOptions options = {});
+
+}  // namespace ksir
+
+#endif  // KSIR_SEARCH_PAGERANK_H_

@@ -1,0 +1,30 @@
+#include "search/rel.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ksir {
+
+std::vector<ElementId> RelevanceTopK(const ActiveWindow& window,
+                                     const SparseVector& x, std::size_t k) {
+  using Scored = std::pair<double, ElementId>;
+  std::vector<Scored> scored;
+  scored.reserve(window.num_active());
+  window.ForEachActive([&](const SocialElement& e) {
+    const double sim = SparseVector::Cosine(e.topics, x);
+    if (sim > 0.0) scored.emplace_back(sim, e.id);
+  });
+  const std::size_t take = std::min(k, scored.size());
+  std::partial_sort(scored.begin(),
+                    scored.begin() + static_cast<std::ptrdiff_t>(take),
+                    scored.end(), [](const Scored& a, const Scored& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;
+                    });
+  std::vector<ElementId> result;
+  result.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) result.push_back(scored[i].second);
+  return result;
+}
+
+}  // namespace ksir

@@ -1,0 +1,21 @@
+// Top-k relevance query in topic space (Zhang et al., TOIS 2017; the REL
+// baseline of Section 5.1): the k active elements whose topic vectors have
+// the highest cosine similarity to the query vector.
+#ifndef KSIR_SEARCH_REL_H_
+#define KSIR_SEARCH_REL_H_
+
+#include <vector>
+
+#include "common/sparse_vector.h"
+#include "common/types.h"
+#include "window/active_window.h"
+
+namespace ksir {
+
+/// Scans the active elements and returns the k most topically relevant.
+std::vector<ElementId> RelevanceTopK(const ActiveWindow& window,
+                                     const SparseVector& x, std::size_t k);
+
+}  // namespace ksir
+
+#endif  // KSIR_SEARCH_REL_H_

@@ -1,0 +1,194 @@
+#include "search/sumblr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "search/lexrank.h"
+
+namespace ksir {
+
+namespace {
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+// k-means++ initialization followed by Lloyd iterations; returns the cluster
+// assignment of each point.
+std::vector<std::size_t> KMeans(const std::vector<std::vector<double>>& points,
+                                std::size_t num_clusters,
+                                std::int32_t iterations, Rng* rng) {
+  const std::size_t n = points.size();
+  KSIR_CHECK(num_clusters >= 1 && num_clusters <= n);
+  std::vector<std::vector<double>> centers;
+  centers.reserve(num_clusters);
+  centers.push_back(points[rng->NextUint64(n)]);
+  std::vector<double> dist(n, std::numeric_limits<double>::max());
+  while (centers.size() < num_clusters) {
+    for (std::size_t i = 0; i < n; ++i) {
+      dist[i] = std::min(dist[i], SquaredDistance(points[i], centers.back()));
+    }
+    double total = 0.0;
+    for (double d : dist) total += d;
+    if (total <= 0.0) {
+      centers.push_back(points[rng->NextUint64(n)]);
+      continue;
+    }
+    double target = rng->NextDouble() * total;
+    std::size_t pick = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      target -= dist[i];
+      if (target < 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    centers.push_back(points[pick]);
+  }
+
+  std::vector<std::size_t> assignment(n, 0);
+  const std::size_t dim = points.front().size();
+  for (std::int32_t iter = 0; iter < iterations; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < centers.size(); ++c) {
+        const double d = SquaredDistance(points[i], centers[c]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      if (assignment[i] != best_c) {
+        assignment[i] = best_c;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    std::vector<std::vector<double>> sums(centers.size(),
+                                          std::vector<double>(dim, 0.0));
+    std::vector<std::size_t> counts(centers.size(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t d = 0; d < dim; ++d) {
+        sums[assignment[i]][d] += points[i][d];
+      }
+      ++counts[assignment[i]];
+    }
+    for (std::size_t c = 0; c < centers.size(); ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its center
+      for (std::size_t d = 0; d < dim; ++d) {
+        centers[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+  return assignment;
+}
+
+}  // namespace
+
+std::vector<ElementId> SumblrSummarize(const ActiveWindow& window,
+                                       const TfIdfIndex& tfidf,
+                                       const std::vector<WordId>& keywords,
+                                       std::size_t k, std::size_t num_topics,
+                                       SumblrOptions options) {
+  if (k == 0) return {};
+  // --- Candidate filter: elements containing >= 1 keyword. ---
+  const std::unordered_set<WordId> keyword_set(keywords.begin(),
+                                               keywords.end());
+  std::vector<const SocialElement*> candidates;
+  window.ForEachActive([&](const SocialElement& e) {
+    for (const auto& [word, count] : e.doc.word_counts()) {
+      if (keyword_set.contains(word)) {
+        candidates.push_back(&e);
+        return;
+      }
+    }
+  });
+  if (candidates.empty()) return {};
+  // Deterministic order, most recent first; cap the candidate set.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const SocialElement* a, const SocialElement* b) {
+              if (a->ts != b->ts) return a->ts > b->ts;
+              return a->id < b->id;
+            });
+  if (candidates.size() > options.max_candidates) {
+    candidates.resize(options.max_candidates);
+  }
+
+  // --- Cluster by topic vector. ---
+  const std::size_t n = candidates.size();
+  const std::size_t num_clusters = std::min(k, n);
+  std::vector<std::vector<double>> points;
+  points.reserve(n);
+  for (const SocialElement* e : candidates) {
+    points.push_back(e->topics.ToDense(num_topics));
+  }
+  Rng rng(options.seed);
+  const std::vector<std::size_t> assignment =
+      KMeans(points, num_clusters, options.kmeans_iterations, &rng);
+
+  // --- LexRank over the TF-IDF similarity graph of all candidates. ---
+  std::vector<std::vector<double>> sim(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double s =
+          tfidf.ElementSimilarity(candidates[i]->id, candidates[j]->id);
+      sim[i][j] = s;
+      sim[j][i] = s;
+    }
+  }
+  const std::vector<double> centrality = LexRank(sim);
+
+  // --- Representative per cluster: centrality x influence weight. ---
+  std::vector<double> final_score(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double in_degree =
+        static_cast<double>(window.ReferrersOf(candidates[i]->id).size());
+    final_score[i] =
+        centrality[i] *
+        std::pow(1.0 + std::log1p(in_degree), options.influence_boost);
+  }
+  std::vector<std::size_t> best_of_cluster(num_clusters, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t& best = best_of_cluster[assignment[i]];
+    if (best == n || final_score[i] > final_score[best]) best = i;
+  }
+  std::vector<ElementId> result;
+  std::unordered_set<std::size_t> taken;
+  for (std::size_t c = 0; c < num_clusters; ++c) {
+    if (best_of_cluster[c] == n) continue;
+    result.push_back(candidates[best_of_cluster[c]]->id);
+    taken.insert(best_of_cluster[c]);
+  }
+  // Fill up to k with the next-best remaining candidates.
+  if (result.size() < k) {
+    std::vector<std::size_t> rest;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!taken.contains(i)) rest.push_back(i);
+    }
+    std::sort(rest.begin(), rest.end(), [&](std::size_t a, std::size_t b) {
+      if (final_score[a] != final_score[b]) {
+        return final_score[a] > final_score[b];
+      }
+      return candidates[a]->id < candidates[b]->id;
+    });
+    for (std::size_t i : rest) {
+      if (result.size() >= k) break;
+      result.push_back(candidates[i]->id);
+    }
+  }
+  return result;
+}
+
+}  // namespace ksir

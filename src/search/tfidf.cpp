@@ -1,0 +1,193 @@
+#include "search/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace ksir {
+
+TfIdfIndex TfIdfIndex::Build(const ActiveWindow& window) {
+  TfIdfIndex index;
+  window.ForEachActive([&](const SocialElement& e) {
+    ++index.num_docs_;
+    for (const auto& [word, count] : e.doc.word_counts()) {
+      ++index.doc_freq_[word];
+    }
+  });
+  double total_length = 0.0;
+  window.ForEachActive([&](const SocialElement& e) {
+    ElementVector vec;
+    vec.weights.reserve(e.doc.num_distinct_words());
+    vec.counts = e.doc.word_counts();
+    vec.length = e.doc.num_tokens();
+    total_length += static_cast<double>(vec.length);
+    double norm_sq = 0.0;
+    for (const auto& [word, count] : e.doc.word_counts()) {
+      const double w =
+          (1.0 + std::log(static_cast<double>(count))) * index.Idf(word);
+      if (w <= 0.0) continue;
+      vec.weights.emplace_back(word, w);
+      norm_sq += w * w;
+      index.postings_[word].push_back(e.id);
+    }
+    vec.norm = std::sqrt(norm_sq);
+    index.vectors_.emplace(e.id, std::move(vec));
+  });
+  if (index.num_docs_ > 0) {
+    index.average_length_ =
+        total_length / static_cast<double>(index.num_docs_);
+  }
+  return index;
+}
+
+double TfIdfIndex::Idf(WordId word) const {
+  const auto it = doc_freq_.find(word);
+  const std::int64_t df = it == doc_freq_.end() ? 0 : it->second;
+  const double idf = std::log(static_cast<double>(num_docs_) /
+                              (1.0 + static_cast<double>(df)));
+  return std::max(0.0, idf);
+}
+
+double TfIdfIndex::Similarity(ElementId id,
+                              const std::vector<WordId>& keywords) const {
+  const auto it = vectors_.find(id);
+  if (it == vectors_.end()) return 0.0;
+  const ElementVector& vec = it->second;
+  if (vec.norm <= 0.0) return 0.0;
+
+  // Query vector: tf = 1 per distinct keyword.
+  std::unordered_set<WordId> distinct(keywords.begin(), keywords.end());
+  double dot = 0.0;
+  double query_norm_sq = 0.0;
+  for (WordId word : distinct) {
+    const double qw = Idf(word);
+    if (qw <= 0.0) continue;
+    query_norm_sq += qw * qw;
+    const auto wit = std::lower_bound(
+        vec.weights.begin(), vec.weights.end(), word,
+        [](const auto& p, WordId w) { return p.first < w; });
+    if (wit != vec.weights.end() && wit->first == word) {
+      dot += qw * wit->second;
+    }
+  }
+  if (query_norm_sq <= 0.0) return 0.0;
+  return dot / (vec.norm * std::sqrt(query_norm_sq));
+}
+
+double TfIdfIndex::ElementSimilarity(ElementId a, ElementId b) const {
+  const auto ia = vectors_.find(a);
+  const auto ib = vectors_.find(b);
+  if (ia == vectors_.end() || ib == vectors_.end()) return 0.0;
+  const ElementVector& va = ia->second;
+  const ElementVector& vb = ib->second;
+  if (va.norm <= 0.0 || vb.norm <= 0.0) return 0.0;
+  double dot = 0.0;
+  auto pa = va.weights.begin();
+  auto pb = vb.weights.begin();
+  while (pa != va.weights.end() && pb != vb.weights.end()) {
+    if (pa->first < pb->first) {
+      ++pa;
+    } else if (pb->first < pa->first) {
+      ++pb;
+    } else {
+      dot += pa->second * pb->second;
+      ++pa;
+      ++pb;
+    }
+  }
+  return dot / (va.norm * vb.norm);
+}
+
+double TfIdfIndex::Bm25Score(ElementId id,
+                             const std::vector<WordId>& keywords, double k1,
+                             double b) const {
+  const auto it = vectors_.find(id);
+  if (it == vectors_.end()) return 0.0;
+  const ElementVector& vec = it->second;
+  if (vec.length <= 0 || average_length_ <= 0.0) return 0.0;
+  const double norm_len =
+      static_cast<double>(vec.length) / average_length_;
+  std::unordered_set<WordId> distinct(keywords.begin(), keywords.end());
+  double score = 0.0;
+  for (WordId word : distinct) {
+    const auto wit = std::lower_bound(
+        vec.counts.begin(), vec.counts.end(), word,
+        [](const auto& p, WordId w) { return p.first < w; });
+    if (wit == vec.counts.end() || wit->first != word) continue;
+    const double tf = static_cast<double>(wit->second);
+    // BM25 idf: ln((N - df + 0.5) / (df + 0.5) + 1), always positive.
+    const auto dit = doc_freq_.find(word);
+    const double df =
+        dit == doc_freq_.end() ? 0.0 : static_cast<double>(dit->second);
+    const double idf = std::log(
+        (static_cast<double>(num_docs_) - df + 0.5) / (df + 0.5) + 1.0);
+    score += idf * tf * (k1 + 1.0) /
+             (tf + k1 * (1.0 - b + b * norm_len));
+  }
+  return score;
+}
+
+std::vector<ElementId> TfIdfIndex::TopKBm25(
+    const std::vector<WordId>& keywords, std::size_t k, double k1,
+    double b) const {
+  std::unordered_set<ElementId> candidates;
+  std::unordered_set<WordId> distinct(keywords.begin(), keywords.end());
+  for (WordId word : distinct) {
+    const auto it = postings_.find(word);
+    if (it == postings_.end()) continue;
+    candidates.insert(it->second.begin(), it->second.end());
+  }
+  using Scored = std::pair<double, ElementId>;
+  std::vector<Scored> scored;
+  scored.reserve(candidates.size());
+  for (ElementId id : candidates) {
+    const double s = Bm25Score(id, keywords, k1, b);
+    if (s > 0.0) scored.emplace_back(s, id);
+  }
+  const std::size_t take = std::min(k, scored.size());
+  std::partial_sort(scored.begin(),
+                    scored.begin() + static_cast<std::ptrdiff_t>(take),
+                    scored.end(), [](const Scored& a, const Scored& b2) {
+                      if (a.first != b2.first) return a.first > b2.first;
+                      return a.second < b2.second;
+                    });
+  std::vector<ElementId> result;
+  result.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) result.push_back(scored[i].second);
+  return result;
+}
+
+std::vector<ElementId> TfIdfIndex::TopK(const std::vector<WordId>& keywords,
+                                        std::size_t k) const {
+  // Gather candidates from the postings of the query terms.
+  std::unordered_set<ElementId> candidates;
+  std::unordered_set<WordId> distinct(keywords.begin(), keywords.end());
+  for (WordId word : distinct) {
+    const auto it = postings_.find(word);
+    if (it == postings_.end()) continue;
+    candidates.insert(it->second.begin(), it->second.end());
+  }
+  using Scored = std::pair<double, ElementId>;
+  std::vector<Scored> scored;
+  scored.reserve(candidates.size());
+  for (ElementId id : candidates) {
+    const double sim = Similarity(id, keywords);
+    if (sim > 0.0) scored.emplace_back(sim, id);
+  }
+  const std::size_t take = std::min(k, scored.size());
+  std::partial_sort(scored.begin(),
+                    scored.begin() + static_cast<std::ptrdiff_t>(take),
+                    scored.end(), [](const Scored& a, const Scored& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;
+                    });
+  std::vector<ElementId> result;
+  result.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) result.push_back(scored[i].second);
+  return result;
+}
+
+}  // namespace ksir

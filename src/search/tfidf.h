@@ -1,0 +1,73 @@
+// Top-k keyword query with log-normalized TF-IDF weighting and cosine
+// similarity (the TF-IDF baseline of Section 5.1), plus Okapi BM25 scoring
+// (the other textual-relevance metric the paper's related work names).
+#ifndef KSIR_SEARCH_TFIDF_H_
+#define KSIR_SEARCH_TFIDF_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "window/active_window.h"
+
+namespace ksir {
+
+/// Immutable TF-IDF snapshot of the active elements at build time. Rebuild
+/// after the window advances.
+class TfIdfIndex {
+ public:
+  /// Builds document frequencies and element norms over A_t.
+  static TfIdfIndex Build(const ActiveWindow& window);
+
+  /// k most similar active elements to the keyword query (elements with
+  /// zero similarity are never returned). Keywords are word ids; callers
+  /// translate strings through their Vocabulary.
+  std::vector<ElementId> TopK(const std::vector<WordId>& keywords,
+                              std::size_t k) const;
+
+  /// Cosine similarity between an indexed element and the keyword query.
+  double Similarity(ElementId id, const std::vector<WordId>& keywords) const;
+
+  /// Cosine similarity between two indexed elements (TF-IDF space).
+  double ElementSimilarity(ElementId a, ElementId b) const;
+
+  /// idf(w) = ln(N / (1 + df(w))) clamped at 0.
+  double Idf(WordId word) const;
+
+  /// Okapi BM25 score of an indexed element against the keyword query.
+  /// Standard parameters k1 (term-frequency saturation) and b (length
+  /// normalization).
+  double Bm25Score(ElementId id, const std::vector<WordId>& keywords,
+                   double k1 = 1.2, double b = 0.75) const;
+
+  /// k active elements with the highest BM25 scores (> 0).
+  std::vector<ElementId> TopKBm25(const std::vector<WordId>& keywords,
+                                  std::size_t k, double k1 = 1.2,
+                                  double b = 0.75) const;
+
+  std::size_t num_elements() const { return vectors_.size(); }
+
+  /// Mean post-preprocessing document length of the indexed elements.
+  double average_length() const { return average_length_; }
+
+ private:
+  /// Sorted (word, weight) sparse TF-IDF vector with cached norm and raw
+  /// term frequencies (BM25 needs unweighted counts).
+  struct ElementVector {
+    std::vector<std::pair<WordId, double>> weights;
+    std::vector<std::pair<WordId, std::int32_t>> counts;
+    double norm = 0.0;
+    std::int64_t length = 0;
+  };
+
+  std::unordered_map<WordId, std::int64_t> doc_freq_;
+  std::unordered_map<ElementId, ElementVector> vectors_;
+  /// Inverted index: word -> elements containing it.
+  std::unordered_map<WordId, std::vector<ElementId>> postings_;
+  std::int64_t num_docs_ = 0;
+  double average_length_ = 0.0;
+};
+
+}  // namespace ksir
+
+#endif  // KSIR_SEARCH_TFIDF_H_

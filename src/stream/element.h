@@ -1,0 +1,35 @@
+// The social element of the paper (Section 3.1): a triple <ts, doc, ref>
+// plus the sparse topic vector p(e) attached by inference (or by the
+// synthetic generator's ground truth).
+#ifndef KSIR_STREAM_ELEMENT_H_
+#define KSIR_STREAM_ELEMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/sparse_vector.h"
+#include "common/types.h"
+#include "text/document.h"
+
+namespace ksir {
+
+/// One item of a social stream (tweet, submission, paper, ...).
+struct SocialElement {
+  /// Stream-unique identifier.
+  ElementId id = kInvalidElementId;
+  /// Posting time. Streams are fed to the engine in non-decreasing ts order.
+  Timestamp ts = 0;
+  /// Bag-of-words content (already preprocessed).
+  Document doc;
+  /// Elements this one refers to (retweet/comment/citation targets). Each
+  /// target's ts is strictly smaller than `ts`.
+  std::vector<ElementId> refs;
+  /// Sparse topic distribution p_i(e) (sums to 1 over its support).
+  SparseVector topics;
+  /// Optional original text, kept only for display in examples.
+  std::string raw_text;
+};
+
+}  // namespace ksir
+
+#endif  // KSIR_STREAM_ELEMENT_H_

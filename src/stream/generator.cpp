@@ -1,0 +1,283 @@
+#include "stream/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <memory>
+
+#include "common/rng.h"
+
+namespace ksir {
+
+StreamProfile AMinerSimProfile(double scale) {
+  StreamProfile p;
+  p.name = "AMinerSim";
+  p.num_elements = static_cast<std::size_t>(16000 * scale);
+  p.vocab_size = 12000;
+  p.num_topics = 50;
+  p.avg_length = 49.2;       // Table 3: post-preprocessing average length
+  p.avg_references = 3.68;   // Table 3: average references (citations)
+  p.duration = 4 * 24 * 3600;
+  p.doc_topic_concentration = 0.4;  // papers are topically focused
+  p.ref_horizon = 30 * 3600; // citations reach further back
+  p.ref_recency_tau = 12 * 3600.0;
+  p.ref_popularity_weight = 0.8;  // citation counts are heavy-tailed
+  p.seed = 1001;
+  return p;
+}
+
+StreamProfile RedditSimProfile(double scale) {
+  StreamProfile p;
+  p.name = "RedditSim";
+  p.num_elements = static_cast<std::size_t>(24000 * scale);
+  p.vocab_size = 16000;
+  p.num_topics = 50;
+  p.avg_length = 8.6;       // Table 3
+  p.avg_references = 0.85;  // Table 3 (comment edges)
+  p.duration = 4 * 24 * 3600;
+  p.doc_topic_concentration = 0.55;
+  p.ref_horizon = 12 * 3600;  // comments answer fresh submissions
+  p.ref_recency_tau = 2 * 3600.0;
+  p.ref_popularity_weight = 0.4;
+  p.seed = 1002;
+  return p;
+}
+
+StreamProfile TwitterSimProfile(double scale) {
+  StreamProfile p;
+  p.name = "TwitterSim";
+  p.num_elements = static_cast<std::size_t>(24000 * scale);
+  p.vocab_size = 14000;
+  p.num_topics = 50;
+  p.avg_length = 5.1;       // Table 3
+  p.avg_references = 0.62;  // Table 3 (hashtag/retweet propagation)
+  p.duration = 4 * 24 * 3600;
+  p.doc_topic_concentration = 0.45;
+  p.ref_horizon = 8 * 3600;  // retweets die quickly
+  p.ref_recency_tau = 1.5 * 3600.0;
+  p.ref_popularity_weight = 0.6;  // viral cascades
+  p.seed = 1003;
+  return p;
+}
+
+namespace {
+
+// Builds the ground-truth topic-word matrix: each topic owns a Zipf-weighted
+// core block of the vocabulary plus `background_mass` spread Zipf-wise over
+// the whole vocabulary (shared words across topics).
+std::vector<std::vector<double>> BuildTopicWordMatrix(
+    const StreamProfile& p, Rng* rng) {
+  const auto z = static_cast<std::size_t>(p.num_topics);
+  const std::size_t m = p.vocab_size;
+  const std::size_t block =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   p.core_block_factor *
+                                   static_cast<double>(m) /
+                                   static_cast<double>(z)));
+
+  // Background Zipf weights over a random permutation of the vocabulary so
+  // that frequent background words are not correlated with word ids.
+  std::vector<std::size_t> perm(m);
+  for (std::size_t i = 0; i < m; ++i) perm[i] = i;
+  for (std::size_t i = m - 1; i > 0; --i) {
+    std::swap(perm[i], perm[rng->NextUint64(i + 1)]);
+  }
+  std::vector<double> background(m, 0.0);
+  double bg_total = 0.0;
+  for (std::size_t r = 0; r < m; ++r) {
+    const double w = 1.0 / std::pow(static_cast<double>(r + 1), p.word_zipf_s);
+    background[perm[r]] = w;
+    bg_total += w;
+  }
+  for (auto& w : background) w /= bg_total;
+
+  std::vector<std::vector<double>> matrix(z, std::vector<double>(m, 0.0));
+  for (std::size_t i = 0; i < z; ++i) {
+    auto& row = matrix[i];
+    // Core block: contiguous in permuted space so blocks of different topics
+    // share little support (words are topic-specific, as in real corpora).
+    const std::size_t start = (i * block) % m;
+    double core_total = 0.0;
+    std::vector<double> core(block);
+    for (std::size_t r = 0; r < block; ++r) {
+      core[r] = 1.0 / std::pow(static_cast<double>(r + 1), p.word_zipf_s);
+      core_total += core[r];
+    }
+    for (std::size_t r = 0; r < block; ++r) {
+      row[perm[(start + r) % m]] +=
+          (1.0 - p.background_mass) * core[r] / core_total;
+    }
+    for (std::size_t w = 0; w < m; ++w) {
+      row[w] += p.background_mass * background[w];
+    }
+  }
+  return matrix;
+}
+
+// Candidate reference target tracked during generation.
+struct RefCandidate {
+  ElementId id;
+  Timestamp ts;
+  SparseVector topics;
+  std::int32_t in_degree = 0;
+};
+
+}  // namespace
+
+StatusOr<GeneratedStream> GenerateStream(const StreamProfile& profile) {
+  if (profile.num_elements == 0) {
+    return Status::InvalidArgument("num_elements must be positive");
+  }
+  if (profile.vocab_size == 0) {
+    return Status::InvalidArgument("vocab_size must be positive");
+  }
+  if (profile.num_topics <= 0) {
+    return Status::InvalidArgument("num_topics must be positive");
+  }
+  if (profile.duration <= 0) {
+    return Status::InvalidArgument("duration must be positive");
+  }
+  if (profile.avg_length <= 0.0) {
+    return Status::InvalidArgument("avg_length must be positive");
+  }
+  if (profile.avg_references < 0.0) {
+    return Status::InvalidArgument("avg_references must be nonnegative");
+  }
+  if (profile.doc_topic_concentration <= 0.0) {
+    return Status::InvalidArgument("doc_topic_concentration must be positive");
+  }
+
+  Rng rng(profile.seed);
+  const auto z = static_cast<std::size_t>(profile.num_topics);
+
+  // --- Ground-truth model -------------------------------------------------
+  auto matrix = BuildTopicWordMatrix(profile, &rng);
+  // Zipfian topic popularity (a few trending topics dominate).
+  std::vector<double> topic_prior(z);
+  for (std::size_t i = 0; i < z; ++i) {
+    topic_prior[i] =
+        1.0 / std::pow(static_cast<double>(i + 1), profile.topic_zipf_s);
+  }
+  KSIR_ASSIGN_OR_RETURN(
+      TopicModel model,
+      TopicModel::FromMatrix(std::move(matrix), topic_prior));
+
+  // Per-topic word samplers.
+  std::vector<std::unique_ptr<AliasTable>> word_samplers;
+  word_samplers.reserve(z);
+  for (std::size_t i = 0; i < z; ++i) {
+    word_samplers.push_back(
+        std::make_unique<AliasTable>(model.TopicRow(static_cast<TopicId>(i))));
+  }
+
+  GeneratedStream out{profile, Vocabulary(), std::move(model), {}};
+  for (std::size_t w = 0; w < profile.vocab_size; ++w) {
+    out.vocab.GetOrAdd("w" + std::to_string(w));
+  }
+
+  // Asymmetric Dirichlet: alpha_i proportional to topic popularity, with
+  // sum(alpha) = doc_topic_concentration so mixtures stay sparse.
+  std::vector<double> alpha(z);
+  {
+    double prior_total = 0.0;
+    for (double v : topic_prior) prior_total += v;
+    for (std::size_t i = 0; i < z; ++i) {
+      alpha[i] =
+          profile.doc_topic_concentration * topic_prior[i] / prior_total;
+    }
+  }
+
+  // --- Arrivals: exponential inter-arrival gaps, rescaled to `duration` ---
+  std::vector<double> raw_arrivals(profile.num_elements);
+  double clock = 0.0;
+  for (auto& t : raw_arrivals) {
+    double u = rng.NextDouble();
+    while (u <= 1e-15) u = rng.NextDouble();
+    clock += -std::log(u);
+    t = clock;
+  }
+  const double time_scale =
+      static_cast<double>(profile.duration) / raw_arrivals.back();
+
+  // --- Elements ------------------------------------------------------------
+  std::deque<RefCandidate> recent;  // reference candidates within horizon
+  out.elements.reserve(profile.num_elements);
+
+  std::vector<double> ref_weights;
+  std::vector<std::size_t> ref_pool;
+  for (std::size_t n = 0; n < profile.num_elements; ++n) {
+    SocialElement e;
+    e.id = static_cast<ElementId>(n);
+    e.ts = std::max<Timestamp>(
+        1, static_cast<Timestamp>(std::llround(raw_arrivals[n] * time_scale)));
+
+    // Topic mixture (sparse Dirichlet) and the sparse ground-truth vector.
+    const std::vector<double> theta = rng.NextDirichlet(alpha);
+    e.topics = SparseVector::TruncateAndNormalize(theta, 0.05);
+
+    // Words: token topic ~ theta, word ~ phi_topic.
+    const auto len = static_cast<std::size_t>(
+        std::max<std::int64_t>(1, rng.NextPoisson(profile.avg_length)));
+    std::vector<WordId> word_ids;
+    word_ids.reserve(len);
+    for (std::size_t j = 0; j < len; ++j) {
+      const std::size_t topic = rng.NextCategorical(theta);
+      const auto word =
+          static_cast<WordId>(word_samplers[topic]->Sample(&rng));
+      word_ids.push_back(word);
+      out.vocab.AddOccurrences(word);
+    }
+    e.doc = Document::FromWordIds(word_ids);
+
+    // References: drop expired candidates, then sample targets by
+    // topic affinity x recency x popularity.
+    while (!recent.empty() && recent.front().ts < e.ts - profile.ref_horizon) {
+      recent.pop_front();
+    }
+    const auto want = static_cast<std::size_t>(std::min<std::int64_t>(
+        profile.max_references, rng.NextPoisson(profile.avg_references)));
+    if (want > 0 && !recent.empty()) {
+      // Bounded candidate pool: the most recent `ref_candidate_pool`
+      // elements (older targets are reachable through the recency decay of
+      // earlier draws, and real reference locality is strongly recent).
+      const std::size_t pool_size =
+          std::min(recent.size(), profile.ref_candidate_pool);
+      ref_weights.clear();
+      ref_pool.clear();
+      for (std::size_t r = recent.size() - pool_size; r < recent.size(); ++r) {
+        const RefCandidate& cand = recent[r];
+        if (cand.ts >= e.ts) continue;  // refs must point strictly earlier
+        const double affinity = SparseVector::Dot(e.topics, cand.topics);
+        const double recency = std::exp(
+            -static_cast<double>(e.ts - cand.ts) / profile.ref_recency_tau);
+        const double popularity =
+            1.0 + profile.ref_popularity_weight *
+                      static_cast<double>(cand.in_degree);
+        const double weight = (0.05 + affinity) * recency * popularity;
+        if (weight <= 0.0) continue;
+        ref_weights.push_back(weight);
+        ref_pool.push_back(r);
+      }
+      std::size_t drawn = 0;
+      while (drawn < want && !ref_weights.empty()) {
+        const std::size_t pick = rng.NextCategorical(ref_weights);
+        const std::size_t r = ref_pool[pick];
+        e.refs.push_back(recent[r].id);
+        ++recent[r].in_degree;
+        // Remove to avoid duplicate targets.
+        ref_weights[pick] = ref_weights.back();
+        ref_weights.pop_back();
+        ref_pool[pick] = ref_pool.back();
+        ref_pool.pop_back();
+        ++drawn;
+      }
+      std::sort(e.refs.begin(), e.refs.end());
+    }
+
+    recent.push_back(RefCandidate{e.id, e.ts, e.topics, 0});
+    out.elements.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace ksir

@@ -1,0 +1,33 @@
+#include "text/corpus.h"
+
+#include "common/check.h"
+
+namespace ksir {
+
+Corpus::Corpus(const Vocabulary* vocab) : vocab_(vocab) {
+  KSIR_CHECK(vocab != nullptr);
+}
+
+void Corpus::Add(Document doc) {
+  for (const auto& [word, count] : doc.word_counts()) {
+    const auto idx = static_cast<std::size_t>(word);
+    if (idx >= doc_freq_.size()) doc_freq_.resize(idx + 1, 0);
+    ++doc_freq_[idx];
+  }
+  total_tokens_ += doc.num_tokens();
+  documents_.push_back(std::move(doc));
+}
+
+std::int64_t Corpus::DocumentFrequency(WordId word) const {
+  KSIR_CHECK(word >= 0);
+  const auto idx = static_cast<std::size_t>(word);
+  return idx < doc_freq_.size() ? doc_freq_[idx] : 0;
+}
+
+double Corpus::AverageLength() const {
+  if (documents_.empty()) return 0.0;
+  return static_cast<double>(total_tokens_) /
+         static_cast<double>(documents_.size());
+}
+
+}  // namespace ksir

@@ -1,0 +1,47 @@
+// Document collection with the aggregate statistics used for topic model
+// training and TF-IDF weighting.
+#ifndef KSIR_TEXT_CORPUS_H_
+#define KSIR_TEXT_CORPUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "text/document.h"
+#include "text/vocabulary.h"
+
+namespace ksir {
+
+/// A corpus owns its documents and tracks per-word document frequencies.
+/// The vocabulary is owned by the caller (it usually outlives the corpus and
+/// is shared with the streaming engine).
+class Corpus {
+ public:
+  explicit Corpus(const Vocabulary* vocab);
+
+  /// Appends a document and updates document-frequency statistics.
+  void Add(Document doc);
+
+  const std::vector<Document>& documents() const { return documents_; }
+  std::size_t size() const { return documents_.size(); }
+
+  /// Number of documents containing `word` at least once.
+  std::int64_t DocumentFrequency(WordId word) const;
+
+  /// Total number of tokens over all documents.
+  std::int64_t total_tokens() const { return total_tokens_; }
+
+  /// Average document length (0 when empty).
+  double AverageLength() const;
+
+  const Vocabulary& vocabulary() const { return *vocab_; }
+
+ private:
+  const Vocabulary* vocab_;
+  std::vector<Document> documents_;
+  std::vector<std::int64_t> doc_freq_;
+  std::int64_t total_tokens_ = 0;
+};
+
+}  // namespace ksir
+
+#endif  // KSIR_TEXT_CORPUS_H_

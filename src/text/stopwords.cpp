@@ -1,0 +1,53 @@
+#include "text/stopwords.h"
+
+namespace ksir {
+
+namespace {
+
+// Compact SMART-derived English stop word list, lowercased. Social noise
+// tokens frequent in tweets ("rt", "via", "amp") are appended at the end.
+constexpr std::string_view kEnglishStopWords[] = {
+    "a", "about", "above", "after", "again", "against", "all", "also", "am",
+    "an", "and", "any", "are", "aren't", "as", "at", "be", "because", "been",
+    "before", "being", "below", "between", "both", "but", "by", "can",
+    "can't", "cannot", "could", "couldn't", "did", "didn't", "do", "does",
+    "doesn't", "doing", "don't", "down", "during", "each", "else", "ever",
+    "few", "for", "from", "further", "get", "got", "had", "hadn't", "has",
+    "hasn't", "have", "haven't", "having", "he", "he'd", "he'll", "he's",
+    "her", "here", "here's", "hers", "herself", "him", "himself", "his",
+    "how", "how's", "i", "i'd", "i'll", "i'm", "i've", "if", "in", "into",
+    "is", "isn't", "it", "it's", "its", "itself", "just", "let's", "like",
+    "me", "more", "most", "mustn't", "my", "myself", "no", "nor", "not",
+    "now", "of", "off", "on", "once", "only", "or", "other", "ought", "our",
+    "ours", "ourselves", "out", "over", "own", "same", "shan't", "she",
+    "she'd", "she'll", "she's", "should", "shouldn't", "so", "some", "such",
+    "than", "that", "that's", "the", "their", "theirs", "them", "themselves",
+    "then", "there", "there's", "these", "they", "they'd", "they'll",
+    "they're", "they've", "this", "those", "through", "to", "too", "under",
+    "until", "up", "very", "was", "wasn't", "we", "we'd", "we'll", "we're",
+    "we've", "were", "weren't", "what", "what's", "when", "when's", "where",
+    "where's", "which", "while", "who", "who's", "whom", "why", "why's",
+    "will", "with", "won't", "would", "wouldn't", "you", "you'd", "you'll",
+    "you're", "you've", "your", "yours", "yourself", "yourselves",
+    // Social-media noise tokens.
+    "rt", "via", "amp", "http", "https", "co", "www",
+};
+
+}  // namespace
+
+const StopWordSet& StopWordSet::English() {
+  static const StopWordSet* const kSet = [] {
+    auto* set = new StopWordSet();
+    for (std::string_view w : kEnglishStopWords) set->Add(w);
+    return set;
+  }();
+  return *kSet;
+}
+
+void StopWordSet::Add(std::string_view word) { words_.emplace(word); }
+
+bool StopWordSet::Contains(std::string_view word) const {
+  return words_.find(word) != words_.end();
+}
+
+}  // namespace ksir

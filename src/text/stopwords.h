@@ -1,0 +1,40 @@
+// Embedded English stop-word list (the paper removes stop words and noise
+// words in preprocessing; Table 3 reports vocabulary size before/after).
+#ifndef KSIR_TEXT_STOPWORDS_H_
+#define KSIR_TEXT_STOPWORDS_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+namespace ksir {
+
+/// Immutable set of English stop words (SMART-style list, lowercased).
+class StopWordSet {
+ public:
+  /// Returns the process-wide default English list.
+  static const StopWordSet& English();
+
+  /// Builds an empty set (useful for tests / non-English corpora).
+  StopWordSet() = default;
+
+  /// Adds a word (expects lowercase).
+  void Add(std::string_view word);
+
+  bool Contains(std::string_view word) const;
+  std::size_t size() const { return words_.size(); }
+
+ private:
+  struct SvHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view sv) const {
+      return std::hash<std::string_view>{}(sv);
+    }
+  };
+  std::unordered_set<std::string, SvHash, std::equal_to<>> words_;
+};
+
+}  // namespace ksir
+
+#endif  // KSIR_TEXT_STOPWORDS_H_

@@ -1,0 +1,87 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace ksir {
+
+namespace {
+
+bool IsTokenChar(unsigned char c) {
+  // Word characters: letters, digits, and intra-word connectors that occur
+  // in social handles ("kian_lee", "semi-final"). '#'/'@' handled separately.
+  return std::isalnum(c) != 0 || c == '_' || c == '-' || c == '\'';
+}
+
+bool IsAllDigits(std::string_view token) {
+  if (token.empty()) return false;
+  for (unsigned char c : token) {
+    if (std::isdigit(c) == 0 && c != '-' && c != '\'') return false;
+  }
+  return true;
+}
+
+bool StartsWithUrlScheme(std::string_view token) {
+  return token.starts_with("http://") || token.starts_with("https://") ||
+         token.starts_with("www.");
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    const auto c = static_cast<unsigned char>(text[i]);
+    if (!IsTokenChar(c) && c != '#' && c != '@') {
+      ++i;
+      continue;
+    }
+    char sigil = '\0';
+    if (c == '#' || c == '@') {
+      sigil = static_cast<char>(c);
+      ++i;
+      if (i >= n || !IsTokenChar(static_cast<unsigned char>(text[i]))) {
+        continue;  // lone '#'/'@' acts as a separator
+      }
+    }
+    std::size_t start = i;
+    while (i < n && IsTokenChar(static_cast<unsigned char>(text[i]))) ++i;
+    std::string token(text.substr(start, i - start));
+
+    if (options_.lowercase) {
+      for (auto& ch : token) {
+        ch = static_cast<char>(std::tolower(static_cast<unsigned char>(ch)));
+      }
+    }
+    // URL detection must look at the raw run: a scheme token is followed by
+    // ':' and a bare host by '.', so peek ahead and swallow the whole URL.
+    const bool url_head =
+        sigil == '\0' && i < n &&
+        (((token == "http" || token == "https") && text[i] == ':') ||
+         (token == "www" && text[i] == '.'));
+    if (options_.strip_urls && url_head) {
+      while (i < n && std::isspace(static_cast<unsigned char>(text[i])) == 0) {
+        ++i;
+      }
+      continue;
+    }
+    if (options_.strip_urls && StartsWithUrlScheme(token)) continue;
+    if (options_.drop_numbers && IsAllDigits(token)) continue;
+    // Trim leading/trailing connectors left over from punctuation runs.
+    while (!token.empty() && (token.front() == '-' || token.front() == '\'')) {
+      token.erase(token.begin());
+    }
+    while (!token.empty() && (token.back() == '-' || token.back() == '\'')) {
+      token.pop_back();
+    }
+    if (token.size() < options_.min_token_length) continue;
+    if (sigil != '\0' && options_.keep_sigils) {
+      token.insert(token.begin(), sigil);
+    }
+    tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+}  // namespace ksir

@@ -1,0 +1,45 @@
+// Social-text tokenizer: lowercases, strips URLs and punctuation, and keeps
+// hashtags / @-mentions as single tokens (the paper models hashtag and
+// mention propagation, so "#NBAPlayoffs" and "@LFC" must survive as words).
+#ifndef KSIR_TEXT_TOKENIZER_H_
+#define KSIR_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ksir {
+
+/// Tokenization options; the defaults match the paper's preprocessing
+/// (lowercase, drop URLs, keep social markers, drop 1-character noise).
+struct TokenizerOptions {
+  /// Lowercase all tokens.
+  bool lowercase = true;
+  /// Keep the leading '#' / '@' of hashtags and mentions as part of the
+  /// token; when false the sigil is stripped but the token kept.
+  bool keep_sigils = false;
+  /// Drop tokens shorter than this many characters (after sigil stripping).
+  std::size_t min_token_length = 2;
+  /// Drop tokens that start with "http://", "https://" or "www.".
+  bool strip_urls = true;
+  /// Drop tokens that are purely numeric ("128", "110").
+  bool drop_numbers = true;
+};
+
+/// Splits raw social text into normalized word tokens.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {}) : options_(options) {}
+
+  /// Tokenizes `text`; never fails (unknown bytes act as separators).
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  TokenizerOptions options_;
+};
+
+}  // namespace ksir
+
+#endif  // KSIR_TEXT_TOKENIZER_H_

@@ -1,0 +1,37 @@
+#include "text/vocabulary.h"
+
+#include "common/check.h"
+
+namespace ksir {
+
+WordId Vocabulary::GetOrAdd(std::string_view word) {
+  const auto it = index_.find(word);
+  if (it != index_.end()) return it->second;
+  const auto id = static_cast<WordId>(words_.size());
+  words_.emplace_back(word);
+  counts_.push_back(0);
+  index_.emplace(words_.back(), id);
+  return id;
+}
+
+WordId Vocabulary::Lookup(std::string_view word) const {
+  const auto it = index_.find(word);
+  return it == index_.end() ? kInvalidWordId : it->second;
+}
+
+const std::string& Vocabulary::WordOf(WordId id) const {
+  KSIR_CHECK(id >= 0 && static_cast<std::size_t>(id) < words_.size());
+  return words_[static_cast<std::size_t>(id)];
+}
+
+void Vocabulary::AddOccurrences(WordId id, std::int64_t delta) {
+  KSIR_CHECK(id >= 0 && static_cast<std::size_t>(id) < counts_.size());
+  counts_[static_cast<std::size_t>(id)] += delta;
+}
+
+std::int64_t Vocabulary::OccurrenceCount(WordId id) const {
+  KSIR_CHECK(id >= 0 && static_cast<std::size_t>(id) < counts_.size());
+  return counts_[static_cast<std::size_t>(id)];
+}
+
+}  // namespace ksir

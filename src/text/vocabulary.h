@@ -1,0 +1,60 @@
+// Word <-> dense WordId interning with corpus frequency statistics. The
+// vocabulary V of the paper (Section 3.1) indexed {0, ..., m-1}.
+#ifndef KSIR_TEXT_VOCABULARY_H_
+#define KSIR_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace ksir {
+
+/// Mutable interning dictionary. Thread-compatible (external synchronization
+/// required for concurrent mutation, as with standard containers).
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Returns the id of `word`, interning it on first sight.
+  WordId GetOrAdd(std::string_view word);
+
+  /// Returns the id of `word` or kInvalidWordId when unknown.
+  WordId Lookup(std::string_view word) const;
+
+  /// Returns the word for a valid id.
+  const std::string& WordOf(WordId id) const;
+
+  /// Increments the corpus occurrence count of `id` by `delta`.
+  void AddOccurrences(WordId id, std::int64_t delta = 1);
+
+  /// Total corpus occurrences recorded for `id`.
+  std::int64_t OccurrenceCount(WordId id) const;
+
+  /// Number of distinct words (m = |V|).
+  std::size_t size() const { return words_.size(); }
+
+  /// All interned words, indexed by WordId.
+  const std::vector<std::string>& words() const { return words_; }
+
+ private:
+  struct SvHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view sv) const {
+      return std::hash<std::string_view>{}(sv);
+    }
+  };
+
+  std::vector<std::string> words_;
+  std::vector<std::int64_t> counts_;
+  std::unordered_map<std::string, WordId, SvHash, std::equal_to<>> index_;
+};
+
+}  // namespace ksir
+
+#endif  // KSIR_TEXT_VOCABULARY_H_

@@ -1,0 +1,141 @@
+#include "topic/btm.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ksir {
+
+std::vector<std::pair<WordId, WordId>> ExtractBiterms(
+    const std::vector<WordId>& tokens, std::int32_t window) {
+  KSIR_CHECK(window >= 1);
+  std::vector<std::pair<WordId, WordId>> biterms;
+  const std::size_t n = tokens.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t limit =
+        std::min(n, i + 1 + static_cast<std::size_t>(window));
+    for (std::size_t j = i + 1; j < limit; ++j) {
+      WordId a = tokens[i];
+      WordId b = tokens[j];
+      if (a == b) continue;  // self-pairs carry no co-occurrence signal
+      if (a > b) std::swap(a, b);
+      biterms.emplace_back(a, b);
+    }
+  }
+  return biterms;
+}
+
+BtmTrainer::BtmTrainer(BtmOptions options) : options_(options) {}
+
+StatusOr<TopicModel> BtmTrainer::Train(const Corpus& corpus) const {
+  const auto z = static_cast<std::size_t>(options_.num_topics);
+  if (options_.num_topics <= 0) {
+    return Status::InvalidArgument("num_topics must be positive");
+  }
+  if (corpus.size() == 0) {
+    return Status::InvalidArgument("cannot train BTM on an empty corpus");
+  }
+  if (options_.iterations <= 0 || options_.burn_in < 0 ||
+      options_.burn_in >= options_.iterations) {
+    return Status::InvalidArgument("need 0 <= burn_in < iterations");
+  }
+  if (options_.beta <= 0.0) {
+    return Status::InvalidArgument("beta must be positive");
+  }
+  const std::size_t m = corpus.vocabulary().size();
+  if (m == 0) return Status::InvalidArgument("empty vocabulary");
+
+  const double alpha = options_.alpha > 0.0
+                           ? options_.alpha
+                           : 50.0 / static_cast<double>(z);
+  const double beta = options_.beta;
+
+  // Collect the corpus biterm multiset.
+  std::vector<std::pair<WordId, WordId>> biterms;
+  for (const Document& doc : corpus.documents()) {
+    const auto doc_biterms =
+        ExtractBiterms(doc.ToTokenList(), options_.biterm_window);
+    biterms.insert(biterms.end(), doc_biterms.begin(), doc_biterms.end());
+  }
+  if (biterms.empty()) {
+    return Status::InvalidArgument(
+        "corpus yields no biterms (documents too short?)");
+  }
+
+  std::vector<std::int64_t> topic_biterm_count(z, 0);
+  std::vector<std::int64_t> topic_word_count(z * m, 0);
+  std::vector<std::int32_t> assignment(biterms.size());
+
+  Rng rng(options_.seed);
+  for (std::size_t b = 0; b < biterms.size(); ++b) {
+    const auto topic = static_cast<std::size_t>(rng.NextUint64(z));
+    assignment[b] = static_cast<std::int32_t>(topic);
+    ++topic_biterm_count[topic];
+    ++topic_word_count[topic * m + static_cast<std::size_t>(biterms[b].first)];
+    ++topic_word_count[topic * m +
+                       static_cast<std::size_t>(biterms[b].second)];
+  }
+
+  std::vector<double> phi_sum(z * m, 0.0);
+  std::vector<double> prior_sum(z, 0.0);
+  std::int32_t samples = 0;
+
+  std::vector<double> weights(z);
+  const double v_beta = static_cast<double>(m) * beta;
+  for (std::int32_t iter = 0; iter < options_.iterations; ++iter) {
+    for (std::size_t b = 0; b < biterms.size(); ++b) {
+      const auto w1 = static_cast<std::size_t>(biterms[b].first);
+      const auto w2 = static_cast<std::size_t>(biterms[b].second);
+      const auto old_topic = static_cast<std::size_t>(assignment[b]);
+      --topic_biterm_count[old_topic];
+      --topic_word_count[old_topic * m + w1];
+      --topic_word_count[old_topic * m + w2];
+
+      for (std::size_t i = 0; i < z; ++i) {
+        const double nb = static_cast<double>(topic_biterm_count[i]);
+        const double nw = static_cast<double>(topic_biterm_count[i]) * 2.0;
+        weights[i] =
+            (nb + alpha) *
+            (static_cast<double>(topic_word_count[i * m + w1]) + beta) /
+            (nw + v_beta) *
+            (static_cast<double>(topic_word_count[i * m + w2]) + beta) /
+            (nw + v_beta + 1.0);
+      }
+      const std::size_t new_topic = rng.NextCategorical(weights);
+      assignment[b] = static_cast<std::int32_t>(new_topic);
+      ++topic_biterm_count[new_topic];
+      ++topic_word_count[new_topic * m + w1];
+      ++topic_word_count[new_topic * m + w2];
+    }
+    if (iter >= options_.burn_in) {
+      ++samples;
+      for (std::size_t i = 0; i < z; ++i) {
+        const double denom =
+            static_cast<double>(topic_biterm_count[i]) * 2.0 + v_beta;
+        for (std::size_t w = 0; w < m; ++w) {
+          phi_sum[i * m + w] +=
+              (static_cast<double>(topic_word_count[i * m + w]) + beta) /
+              denom;
+        }
+        prior_sum[i] +=
+            (static_cast<double>(topic_biterm_count[i]) + alpha) /
+            (static_cast<double>(biterms.size()) +
+             static_cast<double>(z) * alpha);
+      }
+    }
+  }
+  KSIR_CHECK(samples > 0);
+
+  std::vector<std::vector<double>> phi(z, std::vector<double>(m));
+  std::vector<double> prior(z);
+  for (std::size_t i = 0; i < z; ++i) {
+    for (std::size_t w = 0; w < m; ++w) {
+      phi[i][w] = phi_sum[i * m + w] / static_cast<double>(samples);
+    }
+    prior[i] = prior_sum[i] / static_cast<double>(samples);
+  }
+  return TopicModel::FromMatrix(std::move(phi), std::move(prior));
+}
+
+}  // namespace ksir

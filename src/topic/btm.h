@@ -1,0 +1,56 @@
+// Biterm Topic Model (Yan et al., WWW 2013) trained by collapsed Gibbs
+// sampling. BTM models word co-occurrence pairs (biterms) drawn from a
+// corpus-level topic mixture, which sidesteps the data sparsity of per-
+// document mixtures on very short texts — the paper uses it for Twitter.
+#ifndef KSIR_TOPIC_BTM_H_
+#define KSIR_TOPIC_BTM_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "text/corpus.h"
+#include "topic/topic_model.h"
+
+namespace ksir {
+
+/// BTM training configuration. The paper sets alpha = 50/z, beta = 0.01.
+struct BtmOptions {
+  std::int32_t num_topics = 50;
+  /// Symmetric corpus-topic prior; <= 0 means "use 50/z".
+  double alpha = -1.0;
+  /// Symmetric topic-word prior.
+  double beta = 0.01;
+  std::int32_t iterations = 100;
+  std::int32_t burn_in = 50;
+  /// Max distance between the two words of a biterm inside a document's
+  /// token list; short texts typically use "all pairs" (a large window).
+  std::int32_t biterm_window = 15;
+  std::uint64_t seed = 7;
+};
+
+/// Extracts the biterms of a token list under a co-occurrence window.
+/// Exposed for testing; order within a pair is normalized (first <= second).
+std::vector<std::pair<WordId, WordId>> ExtractBiterms(
+    const std::vector<WordId>& tokens, std::int32_t window);
+
+/// Collapsed Gibbs sampler for BTM. Produces a TopicModel whose topic prior
+/// is the learned corpus-level biterm-topic mixture (required by the biterm
+/// inference rule p(z|d) = sum_b p(z|b) p(b|d)).
+class BtmTrainer {
+ public:
+  explicit BtmTrainer(BtmOptions options = {});
+
+  StatusOr<TopicModel> Train(const Corpus& corpus) const;
+
+  const BtmOptions& options() const { return options_; }
+
+ private:
+  BtmOptions options_;
+};
+
+}  // namespace ksir
+
+#endif  // KSIR_TOPIC_BTM_H_

@@ -1,0 +1,59 @@
+#include "topic/drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ksir {
+
+ConceptDriftMonitor::ConceptDriftMonitor(const TopicModel* model,
+                                         Options options)
+    : model_(model), options_(options) {
+  KSIR_CHECK(model != nullptr);
+  KSIR_CHECK(options_.window_size > 0);
+  KSIR_CHECK(options_.drift_threshold >= 0.0 &&
+             options_.drift_threshold <= 1.0);
+  mass_.assign(model->num_topics(), 0.0);
+}
+
+void ConceptDriftMonitor::Observe(const SparseVector& topics) {
+  for (const auto& [topic, prob] : topics.entries()) {
+    if (topic >= 0 && static_cast<std::size_t>(topic) < mass_.size()) {
+      mass_[static_cast<std::size_t>(topic)] += prob;
+    }
+  }
+  recent_.push_back(topics);
+  ++total_observed_;
+  if (recent_.size() > options_.window_size) {
+    for (const auto& [topic, prob] : recent_.front().entries()) {
+      if (topic >= 0 && static_cast<std::size_t>(topic) < mass_.size()) {
+        mass_[static_cast<std::size_t>(topic)] -= prob;
+      }
+    }
+    recent_.pop_front();
+  }
+}
+
+double ConceptDriftMonitor::CurrentDrift() const {
+  if (recent_.empty()) return 0.0;
+  double total = 0.0;
+  for (double m : mass_) total += std::max(0.0, m);
+  if (total <= 0.0) return 0.0;
+
+  // Hellinger distance H(p, q) = sqrt(1 - sum_i sqrt(p_i q_i)).
+  const std::vector<double>& prior = model_->topic_prior();
+  double bc = 0.0;  // Bhattacharyya coefficient
+  for (std::size_t i = 0; i < mass_.size(); ++i) {
+    const double q = std::max(0.0, mass_[i]) / total;
+    bc += std::sqrt(prior[i] * q);
+  }
+  return std::sqrt(std::max(0.0, 1.0 - bc));
+}
+
+bool ConceptDriftMonitor::RetrainRecommended() const {
+  if (total_observed_ < options_.min_observations) return false;
+  return CurrentDrift() > options_.drift_threshold;
+}
+
+}  // namespace ksir

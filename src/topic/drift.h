@@ -1,0 +1,64 @@
+// Concept-drift monitoring (paper Section 3.1: "We need to retrain the
+// topic model from recent elements when it is outdated due to concept
+// drift"; the conclusion lists incremental topic-model updates as future
+// work). The monitor compares the model's corpus-level topic prior with the
+// empirical topic usage of the most recent elements and recommends
+// retraining when the Hellinger distance exceeds a threshold.
+#ifndef KSIR_TOPIC_DRIFT_H_
+#define KSIR_TOPIC_DRIFT_H_
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "common/sparse_vector.h"
+#include "topic/topic_model.h"
+
+namespace ksir {
+
+/// Drift-detector configuration.
+struct ConceptDriftOptions {
+  /// Number of most recent elements contributing to the empirical
+  /// distribution.
+  std::size_t window_size = 2000;
+  /// Hellinger distance (in [0, 1]) above which retraining is advised.
+  double drift_threshold = 0.25;
+  /// No recommendation before this many observations (warm-up).
+  std::size_t min_observations = 200;
+};
+
+/// Sliding-window drift detector over inferred topic vectors.
+/// Thread-compatible; callers ingesting from one thread need no locking.
+class ConceptDriftMonitor {
+ public:
+  using Options = ConceptDriftOptions;
+
+  /// `model` must outlive the monitor.
+  explicit ConceptDriftMonitor(const TopicModel* model, Options options = {});
+
+  /// Records one element's (sparse, normalized) topic vector.
+  void Observe(const SparseVector& topics);
+
+  /// Hellinger distance between the model's topic prior and the empirical
+  /// topic usage of the tracked window; 0 while warming up.
+  double CurrentDrift() const;
+
+  /// True when drift exceeds the threshold after warm-up.
+  bool RetrainRecommended() const;
+
+  std::size_t num_observations() const { return total_observed_; }
+  const Options& options() const { return options_; }
+
+ private:
+  const TopicModel* model_;
+  Options options_;
+  /// Per-topic accumulated mass of the ring buffer.
+  std::vector<double> mass_;
+  /// Ring buffer of observed sparse vectors (to subtract on eviction).
+  std::deque<SparseVector> recent_;
+  std::size_t total_observed_ = 0;
+};
+
+}  // namespace ksir
+
+#endif  // KSIR_TOPIC_DRIFT_H_

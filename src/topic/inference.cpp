@@ -1,0 +1,141 @@
+#include "topic/inference.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/math.h"
+#include "topic/btm.h"
+
+namespace ksir {
+
+TopicInferencer::TopicInferencer(const TopicModel* model,
+                                 InferenceOptions options)
+    : model_(model), options_(options) {
+  KSIR_CHECK(model != nullptr);
+  KSIR_CHECK(options_.iterations > 0);
+  KSIR_CHECK(options_.burn_in >= 0 && options_.burn_in < options_.iterations);
+}
+
+std::vector<double> TopicInferencer::InferDense(const Document& doc,
+                                                std::uint64_t salt) const {
+  // Degenerate documents fall back to the corpus prior.
+  bool any_known_word = false;
+  for (const auto& [word, count] : doc.word_counts()) {
+    if (static_cast<std::size_t>(word) < model_->vocab_size()) {
+      any_known_word = true;
+      break;
+    }
+  }
+  if (doc.empty() || !any_known_word) return model_->topic_prior();
+
+  std::vector<double> theta;
+  if (options_.method == InferenceMethod::kBiterm) {
+    theta = InferBiterm(doc);
+    // Single-word documents yield no biterms; fall through to Gibbs.
+    if (theta.empty()) {
+      Rng rng(options_.seed ^ (salt * 0x9e3779b97f4a7c15ULL + 1));
+      theta = InferGibbs(doc, &rng);
+    }
+  } else {
+    Rng rng(options_.seed ^ (salt * 0x9e3779b97f4a7c15ULL + 1));
+    theta = InferGibbs(doc, &rng);
+  }
+  KSIR_DCHECK(theta.size() == model_->num_topics());
+  NormalizeInPlace(&theta);
+  return theta;
+}
+
+SparseVector TopicInferencer::InferSparse(const Document& doc,
+                                          std::uint64_t salt) const {
+  return SparseVector::TruncateAndNormalize(InferDense(doc, salt),
+                                            options_.sparsity_threshold);
+}
+
+std::vector<double> TopicInferencer::InferGibbs(const Document& doc,
+                                                Rng* rng) const {
+  const std::size_t z = model_->num_topics();
+  const double alpha = options_.alpha > 0.0 ? options_.alpha : 0.1;
+
+  // Tokens restricted to the model vocabulary.
+  std::vector<WordId> tokens;
+  for (const auto& [word, count] : doc.word_counts()) {
+    if (static_cast<std::size_t>(word) >= model_->vocab_size()) continue;
+    for (std::int32_t i = 0; i < count; ++i) tokens.push_back(word);
+  }
+  KSIR_CHECK(!tokens.empty());
+
+  std::vector<std::int32_t> topic_count(z, 0);
+  std::vector<std::int32_t> assignment(tokens.size());
+  std::vector<double> weights(z);
+
+  // Initialize assignments proportional to phi * prior.
+  for (std::size_t j = 0; j < tokens.size(); ++j) {
+    for (std::size_t i = 0; i < z; ++i) {
+      weights[i] = model_->WordProb(static_cast<TopicId>(i), tokens[j]) *
+                       model_->topic_prior()[i] +
+                   1e-12;
+    }
+    const std::size_t topic = rng->NextCategorical(weights);
+    assignment[j] = static_cast<std::int32_t>(topic);
+    ++topic_count[topic];
+  }
+
+  std::vector<double> theta_sum(z, 0.0);
+  std::int32_t samples = 0;
+  for (std::int32_t iter = 0; iter < options_.iterations; ++iter) {
+    for (std::size_t j = 0; j < tokens.size(); ++j) {
+      const auto old_topic = static_cast<std::size_t>(assignment[j]);
+      --topic_count[old_topic];
+      for (std::size_t i = 0; i < z; ++i) {
+        weights[i] =
+            (static_cast<double>(topic_count[i]) + alpha) *
+                model_->WordProb(static_cast<TopicId>(i), tokens[j]) +
+            1e-15;
+      }
+      const std::size_t new_topic = rng->NextCategorical(weights);
+      assignment[j] = static_cast<std::int32_t>(new_topic);
+      ++topic_count[new_topic];
+    }
+    if (iter >= options_.burn_in) {
+      ++samples;
+      const double denom = static_cast<double>(tokens.size()) +
+                           static_cast<double>(z) * alpha;
+      for (std::size_t i = 0; i < z; ++i) {
+        theta_sum[i] += (static_cast<double>(topic_count[i]) + alpha) / denom;
+      }
+    }
+  }
+  KSIR_CHECK(samples > 0);
+  for (auto& v : theta_sum) v /= static_cast<double>(samples);
+  return theta_sum;
+}
+
+std::vector<double> TopicInferencer::InferBiterm(const Document& doc) const {
+  const std::size_t z = model_->num_topics();
+  std::vector<WordId> tokens;
+  for (const auto& [word, count] : doc.word_counts()) {
+    if (static_cast<std::size_t>(word) >= model_->vocab_size()) continue;
+    for (std::int32_t i = 0; i < count; ++i) tokens.push_back(word);
+  }
+  const auto biterms = ExtractBiterms(tokens, options_.biterm_window);
+  if (biterms.empty()) return {};
+
+  // p(z|d) = sum_b p(b|d) p(z|b), p(z|b) ∝ p(z) p(w1|z) p(w2|z).
+  std::vector<double> theta(z, 0.0);
+  std::vector<double> pzb(z);
+  const double pbd = 1.0 / static_cast<double>(biterms.size());
+  for (const auto& [w1, w2] : biterms) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < z; ++i) {
+      pzb[i] = model_->topic_prior()[i] *
+               model_->WordProb(static_cast<TopicId>(i), w1) *
+               model_->WordProb(static_cast<TopicId>(i), w2);
+      total += pzb[i];
+    }
+    if (total <= 0.0) continue;
+    for (std::size_t i = 0; i < z; ++i) theta[i] += pbd * pzb[i] / total;
+  }
+  return theta;
+}
+
+}  // namespace ksir

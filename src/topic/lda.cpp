@@ -1,0 +1,142 @@
+#include "topic/lda.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ksir {
+
+LdaTrainer::LdaTrainer(LdaOptions options) : options_(options) {}
+
+StatusOr<LdaResult> LdaTrainer::Train(const Corpus& corpus) const {
+  const auto z = static_cast<std::size_t>(options_.num_topics);
+  if (options_.num_topics <= 0) {
+    return Status::InvalidArgument("num_topics must be positive");
+  }
+  if (corpus.size() == 0) {
+    return Status::InvalidArgument("cannot train LDA on an empty corpus");
+  }
+  if (options_.iterations <= 0 || options_.burn_in < 0 ||
+      options_.burn_in >= options_.iterations) {
+    return Status::InvalidArgument("need 0 <= burn_in < iterations");
+  }
+  const std::size_t m = corpus.vocabulary().size();
+  if (m == 0) return Status::InvalidArgument("empty vocabulary");
+
+  const double alpha = options_.alpha > 0.0
+                           ? options_.alpha
+                           : 50.0 / static_cast<double>(z);
+  const double beta = options_.beta;
+  if (beta <= 0.0) return Status::InvalidArgument("beta must be positive");
+
+  // Flatten documents into token arrays.
+  const std::size_t num_docs = corpus.size();
+  std::vector<std::vector<WordId>> tokens(num_docs);
+  for (std::size_t d = 0; d < num_docs; ++d) {
+    tokens[d] = corpus.documents()[d].ToTokenList();
+  }
+
+  // Count matrices of the collapsed sampler.
+  std::vector<std::vector<std::int32_t>> doc_topic_count(
+      num_docs, std::vector<std::int32_t>(z, 0));
+  std::vector<std::int64_t> topic_word_count(z * m, 0);
+  std::vector<std::int64_t> topic_total(z, 0);
+  std::vector<std::vector<std::int32_t>> assignment(num_docs);
+
+  Rng rng(options_.seed);
+  for (std::size_t d = 0; d < num_docs; ++d) {
+    assignment[d].resize(tokens[d].size());
+    for (std::size_t j = 0; j < tokens[d].size(); ++j) {
+      const auto topic = static_cast<std::int32_t>(rng.NextUint64(z));
+      assignment[d][j] = topic;
+      ++doc_topic_count[d][static_cast<std::size_t>(topic)];
+      ++topic_word_count[static_cast<std::size_t>(topic) * m +
+                         static_cast<std::size_t>(tokens[d][j])];
+      ++topic_total[static_cast<std::size_t>(topic)];
+    }
+  }
+
+  // Accumulators for the post-burn-in phi / theta estimates.
+  std::vector<double> phi_sum(z * m, 0.0);
+  std::vector<std::vector<double>> theta_sum(num_docs,
+                                             std::vector<double>(z, 0.0));
+  std::int32_t samples = 0;
+
+  std::vector<double> weights(z);
+  const double v_beta = static_cast<double>(m) * beta;
+  for (std::int32_t iter = 0; iter < options_.iterations; ++iter) {
+    for (std::size_t d = 0; d < num_docs; ++d) {
+      auto& dt = doc_topic_count[d];
+      for (std::size_t j = 0; j < tokens[d].size(); ++j) {
+        const auto w = static_cast<std::size_t>(tokens[d][j]);
+        const auto old_topic = static_cast<std::size_t>(assignment[d][j]);
+        --dt[old_topic];
+        --topic_word_count[old_topic * m + w];
+        --topic_total[old_topic];
+
+        for (std::size_t i = 0; i < z; ++i) {
+          weights[i] =
+              (static_cast<double>(dt[i]) + alpha) *
+              (static_cast<double>(topic_word_count[i * m + w]) + beta) /
+              (static_cast<double>(topic_total[i]) + v_beta);
+        }
+        const std::size_t new_topic = rng.NextCategorical(weights);
+        assignment[d][j] = static_cast<std::int32_t>(new_topic);
+        ++dt[new_topic];
+        ++topic_word_count[new_topic * m + w];
+        ++topic_total[new_topic];
+      }
+    }
+    if (iter >= options_.burn_in) {
+      ++samples;
+      for (std::size_t i = 0; i < z; ++i) {
+        const double denom = static_cast<double>(topic_total[i]) + v_beta;
+        for (std::size_t w = 0; w < m; ++w) {
+          phi_sum[i * m + w] +=
+              (static_cast<double>(topic_word_count[i * m + w]) + beta) /
+              denom;
+        }
+      }
+      for (std::size_t d = 0; d < num_docs; ++d) {
+        const double len = static_cast<double>(tokens[d].size());
+        const double denom = len + static_cast<double>(z) * alpha;
+        for (std::size_t i = 0; i < z; ++i) {
+          theta_sum[d][i] +=
+              (static_cast<double>(doc_topic_count[d][i]) + alpha) / denom;
+        }
+      }
+    }
+  }
+  KSIR_CHECK(samples > 0);
+
+  std::vector<std::vector<double>> phi(z, std::vector<double>(m));
+  for (std::size_t i = 0; i < z; ++i) {
+    for (std::size_t w = 0; w < m; ++w) {
+      phi[i][w] = phi_sum[i * m + w] / static_cast<double>(samples);
+    }
+  }
+  // Corpus-level topic prior from aggregate assignments.
+  std::vector<double> prior(z, 0.0);
+  std::int64_t grand_total = 0;
+  for (std::size_t i = 0; i < z; ++i) grand_total += topic_total[i];
+  for (std::size_t i = 0; i < z; ++i) {
+    prior[i] = grand_total > 0 ? static_cast<double>(topic_total[i]) /
+                                     static_cast<double>(grand_total)
+                               : 1.0 / static_cast<double>(z);
+  }
+
+  KSIR_ASSIGN_OR_RETURN(
+      TopicModel model, TopicModel::FromMatrix(std::move(phi), std::move(prior)));
+  LdaResult result{std::move(model), {}};
+  result.doc_topic.resize(num_docs);
+  for (std::size_t d = 0; d < num_docs; ++d) {
+    result.doc_topic[d].resize(z);
+    for (std::size_t i = 0; i < z; ++i) {
+      result.doc_topic[d][i] = theta_sum[d][i] / static_cast<double>(samples);
+    }
+  }
+  return result;
+}
+
+}  // namespace ksir

@@ -1,0 +1,52 @@
+// Latent Dirichlet Allocation trained by collapsed Gibbs sampling
+// (Griffiths & Steyvers). The single-box equivalent of PLDA, which the paper
+// uses for the AMiner and Reddit corpora.
+#ifndef KSIR_TOPIC_LDA_H_
+#define KSIR_TOPIC_LDA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "text/corpus.h"
+#include "topic/topic_model.h"
+
+namespace ksir {
+
+/// LDA training configuration. The paper sets alpha = 50/z, beta = 0.01.
+struct LdaOptions {
+  std::int32_t num_topics = 50;
+  /// Symmetric document-topic prior; <= 0 means "use 50/z".
+  double alpha = -1.0;
+  /// Symmetric topic-word prior.
+  double beta = 0.01;
+  std::int32_t iterations = 100;
+  /// Iterations discarded before accumulating the phi estimate.
+  std::int32_t burn_in = 50;
+  std::uint64_t seed = 7;
+};
+
+/// Result of training: the model plus the per-document topic mixtures
+/// (theta) estimated from the final sampler state.
+struct LdaResult {
+  TopicModel model;
+  std::vector<std::vector<double>> doc_topic;
+};
+
+/// Collapsed Gibbs sampler for LDA.
+class LdaTrainer {
+ public:
+  explicit LdaTrainer(LdaOptions options = {});
+
+  /// Trains on `corpus`; fails on an empty corpus or invalid options.
+  StatusOr<LdaResult> Train(const Corpus& corpus) const;
+
+  const LdaOptions& options() const { return options_; }
+
+ private:
+  LdaOptions options_;
+};
+
+}  // namespace ksir
+
+#endif  // KSIR_TOPIC_LDA_H_

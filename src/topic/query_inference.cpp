@@ -1,0 +1,43 @@
+#include "topic/query_inference.h"
+
+#include "common/check.h"
+
+namespace ksir {
+
+QueryVectorBuilder::QueryVectorBuilder(const TopicInferencer* inferencer,
+                                       const Vocabulary* vocab)
+    : inferencer_(inferencer), vocab_(vocab) {
+  KSIR_CHECK(inferencer != nullptr);
+  KSIR_CHECK(vocab != nullptr);
+}
+
+StatusOr<SparseVector> QueryVectorBuilder::FromKeywords(
+    const std::vector<std::string>& keywords, std::uint64_t salt) const {
+  if (keywords.empty()) {
+    return Status::InvalidArgument("query needs at least one keyword");
+  }
+  std::vector<WordId> ids;
+  for (const std::string& kw : keywords) {
+    const WordId id = vocab_->Lookup(kw);
+    if (id != kInvalidWordId) ids.push_back(id);
+  }
+  if (ids.empty()) {
+    return Status::NotFound("no query keyword is in the vocabulary");
+  }
+  return FromDocument(Document::FromWordIds(ids), salt);
+}
+
+StatusOr<SparseVector> QueryVectorBuilder::FromDocument(
+    const Document& doc, std::uint64_t salt) const {
+  if (doc.empty()) {
+    return Status::InvalidArgument("query document is empty");
+  }
+  SparseVector x = inferencer_->InferSparse(doc, salt);
+  if (x.empty()) {
+    return Status::Internal("query inference produced an empty vector");
+  }
+  x.NormalizeL1();
+  return x;
+}
+
+}  // namespace ksir

@@ -1,0 +1,43 @@
+// Query-vector construction (paper Section 3.2): the user's keywords are
+// treated as a pseudo-document whose topic distribution, inferred from the
+// model, becomes the sparse query vector x. The query-by-document paradigm
+// is supported by inferring directly from a full document.
+#ifndef KSIR_TOPIC_QUERY_INFERENCE_H_
+#define KSIR_TOPIC_QUERY_INFERENCE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/sparse_vector.h"
+#include "common/status.h"
+#include "text/document.h"
+#include "text/vocabulary.h"
+#include "topic/inference.h"
+
+namespace ksir {
+
+/// Builds normalized sparse query vectors from keywords or documents.
+class QueryVectorBuilder {
+ public:
+  /// `inferencer` and `vocab` must outlive the builder.
+  QueryVectorBuilder(const TopicInferencer* inferencer,
+                     const Vocabulary* vocab);
+
+  /// Query-by-keyword: unknown keywords are ignored; fails when no keyword
+  /// is in the vocabulary.
+  StatusOr<SparseVector> FromKeywords(
+      const std::vector<std::string>& keywords, std::uint64_t salt = 0) const;
+
+  /// Query-by-document (e.g., "find elements representative of this post").
+  StatusOr<SparseVector> FromDocument(const Document& doc,
+                                      std::uint64_t salt = 0) const;
+
+ private:
+  const TopicInferencer* inferencer_;
+  const Vocabulary* vocab_;
+};
+
+}  // namespace ksir
+
+#endif  // KSIR_TOPIC_QUERY_INFERENCE_H_

@@ -1,0 +1,107 @@
+#include "topic/topic_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <numeric>
+#include <ostream>
+
+#include "common/math.h"
+
+namespace ksir {
+
+StatusOr<TopicModel> TopicModel::FromMatrix(
+    std::vector<std::vector<double>> topic_word,
+    std::vector<double> topic_prior) {
+  if (topic_word.empty()) {
+    return Status::InvalidArgument("topic model needs at least one topic");
+  }
+  const std::size_t m = topic_word.front().size();
+  if (m == 0) {
+    return Status::InvalidArgument("topic model needs a nonempty vocabulary");
+  }
+  for (auto& row : topic_word) {
+    if (row.size() != m) {
+      return Status::InvalidArgument("ragged topic-word matrix");
+    }
+    for (double p : row) {
+      if (p < 0.0 || std::isnan(p)) {
+        return Status::InvalidArgument("negative or NaN word probability");
+      }
+    }
+    NormalizeInPlace(&row);
+  }
+  if (topic_prior.empty()) {
+    topic_prior.assign(topic_word.size(),
+                       1.0 / static_cast<double>(topic_word.size()));
+  } else if (topic_prior.size() != topic_word.size()) {
+    return Status::InvalidArgument("topic prior size mismatch");
+  } else {
+    NormalizeInPlace(&topic_prior);
+  }
+
+  TopicModel model;
+  model.topic_word_ = std::move(topic_word);
+  model.topic_prior_ = std::move(topic_prior);
+  model.vocab_size_ = m;
+  return model;
+}
+
+std::vector<WordId> TopicModel::TopWords(TopicId topic, std::size_t n) const {
+  const auto& row = TopicRow(topic);
+  std::vector<WordId> ids(row.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  const std::size_t take = std::min(n, ids.size());
+  std::partial_sort(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(take),
+                    ids.end(), [&row](WordId a, WordId b) {
+                      const double pa = row[static_cast<std::size_t>(a)];
+                      const double pb = row[static_cast<std::size_t>(b)];
+                      if (pa != pb) return pa > pb;
+                      return a < b;
+                    });
+  ids.resize(take);
+  return ids;
+}
+
+Status TopicModel::Save(std::ostream* out) const {
+  KSIR_CHECK(out != nullptr);
+  (*out) << "ksir-topic-model 1\n"
+         << num_topics() << ' ' << vocab_size_ << '\n';
+  out->precision(17);
+  for (double p : topic_prior_) (*out) << p << ' ';
+  (*out) << '\n';
+  for (const auto& row : topic_word_) {
+    for (double p : row) (*out) << p << ' ';
+    (*out) << '\n';
+  }
+  if (!out->good()) return Status::IOError("failed writing topic model");
+  return Status::OK();
+}
+
+StatusOr<TopicModel> TopicModel::Load(std::istream* in) {
+  KSIR_CHECK(in != nullptr);
+  std::string magic;
+  int version = 0;
+  if (!((*in) >> magic >> version) || magic != "ksir-topic-model" ||
+      version != 1) {
+    return Status::IOError("bad topic model header");
+  }
+  std::size_t z = 0;
+  std::size_t m = 0;
+  if (!((*in) >> z >> m) || z == 0 || m == 0) {
+    return Status::IOError("bad topic model dimensions");
+  }
+  std::vector<double> prior(z);
+  for (auto& p : prior) {
+    if (!((*in) >> p)) return Status::IOError("truncated topic prior");
+  }
+  std::vector<std::vector<double>> matrix(z, std::vector<double>(m));
+  for (auto& row : matrix) {
+    for (auto& p : row) {
+      if (!((*in) >> p)) return Status::IOError("truncated topic matrix");
+    }
+  }
+  return FromMatrix(std::move(matrix), std::move(prior));
+}
+
+}  // namespace ksir

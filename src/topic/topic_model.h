@@ -1,0 +1,70 @@
+// Probabilistic topic model Theta = {theta_1, ..., theta_z}: each topic is a
+// multinomial over the vocabulary (sum_w p_i(w) = 1). The paper treats the
+// model as a black-box oracle providing p_i(w) and p_i(e); this class is that
+// oracle. Models are produced by LdaTrainer / BtmTrainer, loaded from disk,
+// or built directly from a matrix (synthetic ground truth).
+#ifndef KSIR_TOPIC_TOPIC_MODEL_H_
+#define KSIR_TOPIC_TOPIC_MODEL_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace ksir {
+
+/// Immutable topic-word distribution matrix plus a corpus-level topic prior.
+class TopicModel {
+ public:
+  /// Builds from a topic-major matrix `topic_word[z][m]`; every row must be
+  /// a distribution (nonnegative, summing to 1 within tolerance — rows are
+  /// renormalized defensively). `topic_prior` (p(z), used by BTM inference
+  /// and as the Dirichlet mean for Gibbs inference) defaults to uniform.
+  static StatusOr<TopicModel> FromMatrix(
+      std::vector<std::vector<double>> topic_word,
+      std::vector<double> topic_prior = {});
+
+  std::size_t num_topics() const { return topic_word_.size(); }
+  std::size_t vocab_size() const { return vocab_size_; }
+
+  /// p_i(w): probability of word `w` under topic `i`. Words outside the
+  /// training vocabulary have probability 0.
+  double WordProb(TopicId topic, WordId word) const {
+    KSIR_DCHECK(topic >= 0 &&
+                static_cast<std::size_t>(topic) < topic_word_.size());
+    const auto& row = topic_word_[static_cast<std::size_t>(topic)];
+    if (word < 0 || static_cast<std::size_t>(word) >= row.size()) return 0.0;
+    return row[static_cast<std::size_t>(word)];
+  }
+
+  /// Full distribution of topic `i` over words.
+  const std::vector<double>& TopicRow(TopicId topic) const {
+    KSIR_DCHECK(topic >= 0 &&
+                static_cast<std::size_t>(topic) < topic_word_.size());
+    return topic_word_[static_cast<std::size_t>(topic)];
+  }
+
+  /// Corpus-level topic prior p(z) (sums to 1).
+  const std::vector<double>& topic_prior() const { return topic_prior_; }
+
+  /// Top `n` most probable words of a topic (ids, descending probability).
+  std::vector<WordId> TopWords(TopicId topic, std::size_t n) const;
+
+  /// Serializes to a stream in a stable text format.
+  Status Save(std::ostream* out) const;
+  /// Deserializes a model previously written by Save().
+  static StatusOr<TopicModel> Load(std::istream* in);
+
+ private:
+  TopicModel() = default;
+
+  std::vector<std::vector<double>> topic_word_;
+  std::vector<double> topic_prior_;
+  std::size_t vocab_size_ = 0;
+};
+
+}  // namespace ksir
+
+#endif  // KSIR_TOPIC_TOPIC_MODEL_H_

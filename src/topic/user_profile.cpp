@@ -1,0 +1,64 @@
+#include "topic/user_profile.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ksir {
+
+UserProfile::UserProfile(const TopicInferencer* inferencer,
+                         UserProfileOptions options)
+    : inferencer_(inferencer), options_(options) {
+  KSIR_CHECK(inferencer != nullptr);
+  KSIR_CHECK(options_.decay_half_life > 0);
+  KSIR_CHECK(options_.max_posts > 0);
+}
+
+Status UserProfile::AddPost(const Document& doc, Timestamp ts) {
+  if (ts < last_ts_) {
+    return Status::InvalidArgument("post timestamps must be non-decreasing");
+  }
+  if (doc.empty()) {
+    return Status::InvalidArgument("post document is empty");
+  }
+  last_ts_ = ts;
+  posts_.push_back(Post{
+      inferencer_->InferSparse(doc, static_cast<std::uint64_t>(ts)), ts});
+  if (posts_.size() > options_.max_posts) posts_.pop_front();
+  return Status::OK();
+}
+
+StatusOr<SparseVector> UserProfile::InterestVector(Timestamp now) const {
+  if (posts_.empty()) {
+    return Status::FailedPrecondition("profile has no posts");
+  }
+  const double ln2 = std::log(2.0);
+  std::vector<SparseVector::Entry> entries;
+  for (const Post& post : posts_) {
+    const double age = static_cast<double>(
+        now > post.ts ? now - post.ts : 0);
+    const double weight = std::exp(
+        -ln2 * age / static_cast<double>(options_.decay_half_life));
+    for (const auto& [topic, prob] : post.topics.entries()) {
+      entries.emplace_back(topic, weight * prob);
+    }
+  }
+  SparseVector blended = SparseVector::FromEntries(std::move(entries));
+  if (blended.empty()) {
+    return Status::Internal("interest blend collapsed to zero");
+  }
+  blended.NormalizeL1();
+  // Truncate like element/query vectors so downstream list traversal stays
+  // narrow, then renormalize.
+  std::vector<SparseVector::Entry> kept;
+  for (const auto& [topic, prob] : blended.entries()) {
+    if (prob >= options_.sparsity_threshold) kept.emplace_back(topic, prob);
+  }
+  if (kept.empty()) return blended;  // everything below threshold: keep all
+  SparseVector out = SparseVector::FromEntries(std::move(kept));
+  out.NormalizeL1();
+  return out;
+}
+
+}  // namespace ksir

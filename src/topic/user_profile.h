@@ -1,0 +1,61 @@
+// Personalized query vectors (paper Section 3.2: "the personalized search
+// [19] where the query vector is inferred from a user's recent posts").
+//
+// A UserProfile accumulates a user's posts and produces an interest vector:
+// the exponentially time-decayed blend of the posts' topic distributions,
+// truncated and renormalized like any other query vector.
+#ifndef KSIR_TOPIC_USER_PROFILE_H_
+#define KSIR_TOPIC_USER_PROFILE_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "common/sparse_vector.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "text/document.h"
+#include "topic/inference.h"
+
+namespace ksir {
+
+/// Profile configuration.
+struct UserProfileOptions {
+  /// Half-life of a post's contribution, in stream time units.
+  Timestamp decay_half_life = 24 * 3600;
+  /// Oldest posts beyond this cap are dropped.
+  std::size_t max_posts = 128;
+  /// Interest-vector truncation threshold (as for element topic vectors).
+  double sparsity_threshold = 0.05;
+};
+
+/// Per-user rolling interest model. Thread-compatible.
+class UserProfile {
+ public:
+  /// `inferencer` must outlive the profile.
+  explicit UserProfile(const TopicInferencer* inferencer,
+                       UserProfileOptions options = {});
+
+  /// Records a post; timestamps must be non-decreasing.
+  Status AddPost(const Document& doc, Timestamp ts);
+
+  /// The decay-weighted interest vector at time `now` (normalized).
+  /// Fails when the profile has no usable posts yet.
+  StatusOr<SparseVector> InterestVector(Timestamp now) const;
+
+  std::size_t num_posts() const { return posts_.size(); }
+
+ private:
+  struct Post {
+    SparseVector topics;
+    Timestamp ts;
+  };
+
+  const TopicInferencer* inferencer_;
+  UserProfileOptions options_;
+  std::deque<Post> posts_;
+  Timestamp last_ts_ = kMinTimestamp;
+};
+
+}  // namespace ksir
+
+#endif  // KSIR_TOPIC_USER_PROFILE_H_

@@ -1,0 +1,224 @@
+#include "window/active_window.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace ksir {
+
+const std::deque<Referrer> ActiveWindow::kNoReferrers = {};
+
+ActiveWindow::ActiveWindow(Timestamp window_length,
+                           Timestamp archive_retention)
+    : window_length_(window_length),
+      archive_retention_(archive_retention > 0 ? archive_retention
+                                               : window_length) {
+  KSIR_CHECK(window_length > 0);
+}
+
+StatusOr<ActiveWindow::UpdateResult> ActiveWindow::Advance(
+    Timestamp now, std::vector<SocialElement> bucket) {
+  if (now < now_) {
+    return Status::InvalidArgument("time must not move backwards");
+  }
+  UpdateResult result;
+  std::unordered_set<ElementId> gained;
+  std::unordered_set<ElementId> lost;
+  std::unordered_set<ElementId> resurrected;
+
+  // --- Phase 1: insert the bucket and register its references. ---
+  Timestamp prev_ts = now_;
+  for (SocialElement& e : bucket) {
+    if (e.ts <= now_) {
+      return Status::InvalidArgument(
+          "element ts " + std::to_string(e.ts) +
+          " is not newer than the previous window time " +
+          std::to_string(now_));
+    }
+    if (e.ts > now) {
+      return Status::InvalidArgument("element ts beyond bucket end time");
+    }
+    if (e.ts < prev_ts) {
+      return Status::InvalidArgument("bucket must be sorted by ts");
+    }
+    prev_ts = e.ts;
+    if (entries_.contains(e.id)) {
+      return Status::AlreadyExists("duplicate element id " +
+                                   std::to_string(e.id));
+    }
+    const ElementId id = e.id;
+    const Timestamp ts = e.ts;
+    // Normalize the reference list: duplicate targets would double-count
+    // influence edges (Eq. 4 is defined over the *set* e.ref), and a
+    // self-reference is meaningless.
+    std::sort(e.refs.begin(), e.refs.end());
+    e.refs.erase(std::unique(e.refs.begin(), e.refs.end()), e.refs.end());
+    std::erase(e.refs, id);
+    // Register references; archived targets are resurrected.
+    for (ElementId target : e.refs) {
+      auto it = entries_.find(target);
+      if (it == entries_.end()) {
+        ++result.dangling_refs;
+        continue;
+      }
+      Entry& entry = it->second;
+      entry.referrers.push_back(Referrer{id, ts});
+      entry.last_ref_time = ts;
+      if (entry.active) {
+        gained.insert(target);
+      } else {
+        entry.active = true;
+        entry.deactivated_at = kMinTimestamp;
+        ++num_active_;
+        resurrected.insert(target);
+      }
+    }
+    Entry entry{std::move(e), {}, ts, true, kMinTimestamp};
+    entries_.emplace(id, std::move(entry));
+    ++num_active_;
+    window_order_.push_back(id);
+    result.inserted.push_back(id);
+  }
+  now_ = now;
+
+  // --- Phase 2: expiry. Elements whose ts left W_t stop being referrers;
+  // then every element that is out of window and referrer-free leaves A_t.
+  const Timestamp cutoff = now_ - window_length_;  // in window iff ts > cutoff
+  std::vector<ElementId> leavers;
+  while (!window_order_.empty()) {
+    const ElementId id = window_order_.front();
+    const auto it = entries_.find(id);
+    KSIR_CHECK(it != entries_.end());
+    if (it->second.element.ts > cutoff) break;
+    window_order_.pop_front();
+    leavers.push_back(id);
+  }
+  for (ElementId id : leavers) {
+    const auto it = entries_.find(id);
+    KSIR_CHECK(it != entries_.end());
+    // The leaver no longer influences its reference targets.
+    for (ElementId target : it->second.element.refs) {
+      auto target_it = entries_.find(target);
+      if (target_it == entries_.end() || !target_it->second.active) continue;
+      auto& referrers = target_it->second.referrers;
+      const std::size_t before = referrers.size();
+      while (!referrers.empty() && referrers.front().ts <= cutoff) {
+        referrers.pop_front();
+      }
+      if (referrers.size() != before) lost.insert(target);
+    }
+  }
+  for (ElementId id : leavers) MaybeDeactivate(id, &result);
+  const std::vector<ElementId> lost_snapshot(lost.begin(), lost.end());
+  for (ElementId id : lost_snapshot) MaybeDeactivate(id, &result);
+
+  // Deactivated ids appear only in `expired`.
+  for (ElementId id : result.expired) {
+    gained.erase(id);
+    lost.erase(id);
+    resurrected.erase(id);
+  }
+
+  // --- Phase 3: garbage-collect the archive. ---
+  while (!archive_queue_.empty() &&
+         archive_queue_.front().second + archive_retention_ <= now_) {
+    const auto [id, deactivated_at] = archive_queue_.front();
+    archive_queue_.pop_front();
+    const auto it = entries_.find(id);
+    if (it == entries_.end()) continue;
+    // Skip stale queue entries of elements that were resurrected (and
+    // possibly re-deactivated, which re-enqueued them).
+    if (it->second.active || it->second.deactivated_at != deactivated_at) {
+      continue;
+    }
+    entries_.erase(it);
+  }
+
+  const std::unordered_set<ElementId> inserted_set(result.inserted.begin(),
+                                                   result.inserted.end());
+  for (ElementId id : resurrected) result.resurrected.push_back(id);
+  for (ElementId id : gained) {
+    if (inserted_set.contains(id) || resurrected.contains(id)) continue;
+    result.gained_referrer.push_back(id);
+  }
+  for (ElementId id : lost) {
+    if (inserted_set.contains(id) || resurrected.contains(id) ||
+        gained.contains(id)) {
+      continue;  // a net gain/resurrection already triggers a recompute
+    }
+    result.lost_referrer.push_back(id);
+  }
+  std::sort(result.resurrected.begin(), result.resurrected.end());
+  std::sort(result.gained_referrer.begin(), result.gained_referrer.end());
+  std::sort(result.lost_referrer.begin(), result.lost_referrer.end());
+  std::sort(result.expired.begin(), result.expired.end());
+  return result;
+}
+
+void ActiveWindow::MaybeDeactivate(ElementId id, UpdateResult* result) {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  Entry& entry = it->second;
+  if (!entry.active) return;
+  if (entry.element.ts > now_ - window_length_) return;  // still in W_t
+  if (!entry.referrers.empty()) return;                  // still referenced
+  entry.active = false;
+  entry.deactivated_at = now_;
+  --num_active_;
+  archive_queue_.emplace_back(id, now_);
+  result->expired.push_back(id);
+}
+
+const SocialElement* ActiveWindow::Find(ElementId id) const {
+  const auto it = entries_.find(id);
+  if (it == entries_.end() || !it->second.active) return nullptr;
+  return &it->second.element;
+}
+
+bool ActiveWindow::IsActive(ElementId id) const {
+  const auto it = entries_.find(id);
+  return it != entries_.end() && it->second.active;
+}
+
+bool ActiveWindow::IsInWindow(ElementId id) const {
+  const auto it = entries_.find(id);
+  if (it == entries_.end() || !it->second.active) return false;
+  return it->second.element.ts > now_ - window_length_;
+}
+
+bool ActiveWindow::IsArchived(ElementId id) const {
+  const auto it = entries_.find(id);
+  return it != entries_.end() && !it->second.active;
+}
+
+const std::deque<Referrer>& ActiveWindow::ReferrersOf(ElementId id) const {
+  const auto it = entries_.find(id);
+  if (it == entries_.end() || !it->second.active) return kNoReferrers;
+  return it->second.referrers;
+}
+
+Timestamp ActiveWindow::LastReferredAt(ElementId id) const {
+  const auto it = entries_.find(id);
+  KSIR_CHECK(it != entries_.end() && it->second.active);
+  return std::max(it->second.element.ts, it->second.last_ref_time);
+}
+
+void ActiveWindow::ForEachActive(
+    const std::function<void(const SocialElement&)>& fn) const {
+  for (const auto& [id, entry] : entries_) {
+    if (entry.active) fn(entry.element);
+  }
+}
+
+std::vector<ElementId> ActiveWindow::ActiveIds() const {
+  std::vector<ElementId> ids;
+  ids.reserve(num_active_);
+  for (const auto& [id, entry] : entries_) {
+    if (entry.active) ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace ksir

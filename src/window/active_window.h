@@ -1,0 +1,146 @@
+// Sliding-window store of active elements (paper Section 3.1).
+//
+// Given window length T and current time t:
+//   W_t = { e : e.ts in (t - T, t] }                      (integer timestamps,
+//                                                          i.e. [t-T+1, t])
+//   A_t = W_t  ∪  { e' : e in W_t and e' in e.ref }
+//
+// An element becomes INACTIVE when it is outside W_t AND no in-window
+// element refers to it anymore ("never referred to by any element after time
+// t - T + 1", Algorithm 1 lines 12-13). A_t is defined declaratively over
+// the whole stream, so a *future* element may reference a currently inactive
+// one and pull it back into A_t (in Table 1, e2 is unreferenced and outside
+// the window at t = 6 yet belongs to A_8 via e7/e8). To honor that, inactive
+// elements are retained in an archive for `archive_retention` time units and
+// are resurrected when referenced again; references to elements older than
+// the retention horizon are counted as dangling and ignored (DESIGN.md §3).
+//
+// For each active element e the store keeps I_t(e): the in-window elements
+// referring to e, which is exactly the influenced set of the influence score
+// (Eq. 4).
+#ifndef KSIR_WINDOW_ACTIVE_WINDOW_H_
+#define KSIR_WINDOW_ACTIVE_WINDOW_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "stream/element.h"
+
+namespace ksir {
+
+/// One in-window referrer of an element: (referrer id, referral time).
+struct Referrer {
+  ElementId id;
+  Timestamp ts;
+
+  bool operator==(const Referrer&) const = default;
+};
+
+/// Mutable sliding-window element store. Thread-compatible; the engine
+/// serializes Advance() against queries with a shared_mutex.
+class ActiveWindow {
+ public:
+  /// Changes produced by one Advance() call, consumed by the ranked-list
+  /// maintainer (Algorithm 1). The vectors are disjoint: an id appears in at
+  /// most one of them per call.
+  struct UpdateResult {
+    /// Newly inserted elements (in arrival order).
+    std::vector<ElementId> inserted;
+    /// Archived elements pulled back into A_t by a new reference. Index
+    /// maintenance treats them like insertions.
+    std::vector<ElementId> resurrected;
+    /// Active elements that gained at least one referrer.
+    std::vector<ElementId> gained_referrer;
+    /// Active elements that lost at least one referrer to expiry but remain
+    /// active (their influence score shrank).
+    std::vector<ElementId> lost_referrer;
+    /// Elements that left A_t (deactivated; removed from the ranked lists).
+    std::vector<ElementId> expired;
+    /// References whose target was neither active nor archived.
+    std::int64_t dangling_refs = 0;
+  };
+
+  /// `window_length` is T (> 0). `archive_retention` is how long inactive
+  /// elements stay resurrectable; <= 0 means "same as T".
+  explicit ActiveWindow(Timestamp window_length,
+                        Timestamp archive_retention = 0);
+
+  /// Advances time to `now` and ingests `bucket` (elements with
+  /// ts in (previous now, now], sorted by ts, unique ids). Insertions are
+  /// processed before expiry, so an element referred to by this bucket
+  /// survives even if its own timestamp just left the window.
+  StatusOr<UpdateResult> Advance(Timestamp now,
+                                 std::vector<SocialElement> bucket);
+
+  /// Active-element lookup; nullptr when the id is inactive or unknown.
+  const SocialElement* Find(ElementId id) const;
+
+  /// True when the element belongs to A_t.
+  bool IsActive(ElementId id) const;
+
+  /// True when the element is active AND inside W_t (not merely referenced).
+  bool IsInWindow(ElementId id) const;
+
+  /// True when the element is retained in the archive (inactive but
+  /// resurrectable). Exposed for tests.
+  bool IsArchived(ElementId id) const;
+
+  /// I_t(e): in-window referrers of `id` in referral-time order.
+  /// Empty for unknown or inactive ids.
+  const std::deque<Referrer>& ReferrersOf(ElementId id) const;
+
+  /// Last time `id` was referred to, or its own ts when never referred
+  /// (the t_e of the paper's ranked-list tuples). `id` must be active.
+  Timestamp LastReferredAt(ElementId id) const;
+
+  /// Invokes `fn` for every active element (A_t), unspecified order.
+  void ForEachActive(
+      const std::function<void(const SocialElement&)>& fn) const;
+
+  /// Snapshot of active element ids, unspecified order.
+  std::vector<ElementId> ActiveIds() const;
+
+  /// n_t = |A_t|.
+  std::size_t num_active() const { return num_active_; }
+
+  /// Number of elements currently in W_t.
+  std::size_t num_in_window() const { return window_order_.size(); }
+
+  Timestamp now() const { return now_; }
+  Timestamp window_length() const { return window_length_; }
+  Timestamp archive_retention() const { return archive_retention_; }
+
+ private:
+  struct Entry {
+    SocialElement element;
+    std::deque<Referrer> referrers;  // in-window, sorted by ts
+    Timestamp last_ref_time;         // max referral ts ever seen (or own ts)
+    bool active = true;
+    /// Time of the most recent deactivation (archive GC key).
+    Timestamp deactivated_at = kMinTimestamp;
+  };
+
+  /// Marks `id` inactive if it no longer satisfies the A_t predicate.
+  void MaybeDeactivate(ElementId id, UpdateResult* result);
+
+  Timestamp window_length_;
+  Timestamp archive_retention_;
+  Timestamp now_ = 0;
+  std::unordered_map<ElementId, Entry> entries_;
+  std::size_t num_active_ = 0;
+  /// Ids of elements in W_t, ordered by ts (front = oldest).
+  std::deque<ElementId> window_order_;
+  /// Inactive elements by deactivation time (front = oldest) for GC.
+  std::deque<std::pair<ElementId, Timestamp>> archive_queue_;
+
+  static const std::deque<Referrer> kNoReferrers;
+};
+
+}  // namespace ksir
+
+#endif  // KSIR_WINDOW_ACTIVE_WINDOW_H_

@@ -1,0 +1,422 @@
+// Unit tests for the common substrate: Status/StatusOr, RNG and samplers,
+// math helpers, SparseVector.
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/math.h"
+#include "common/rng.h"
+#include "common/sparse_vector.h"
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace ksir {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, FactoryCodesAreDistinct) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value_or(7), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("missing");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(v.value_or(7), 7);
+}
+
+TEST(StatusOrTest, MoveOnlyValueWorks) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(5);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> owned = std::move(v).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, BoundedUintRespectsBound) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextUint64(13), 13u);
+  }
+}
+
+TEST(RngTest, BoundedUintCoversAllResidues) {
+  Rng rng(11);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[rng.NextUint64(8)];
+  for (int c : counts) EXPECT_GT(c, 700);  // roughly uniform
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyStandard) {
+  Rng rng(17);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, GammaMeanMatchesShape) {
+  Rng rng(19);
+  for (const double shape : {0.3, 1.0, 2.5, 10.0}) {
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += rng.NextGamma(shape);
+    EXPECT_NEAR(sum / n, shape, shape * 0.05) << "shape " << shape;
+  }
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(23);
+  for (const double mean : {0.5, 3.0, 50.0}) {
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+      sum += static_cast<double>(rng.NextPoisson(mean));
+    }
+    EXPECT_NEAR(sum / n, mean, std::max(0.05, mean * 0.05)) << mean;
+  }
+}
+
+TEST(RngTest, PoissonZeroMeanIsZero) {
+  Rng rng(29);
+  EXPECT_EQ(rng.NextPoisson(0.0), 0);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(31);
+  const std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextCategorical(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(RngTest, CategoricalIgnoresZeroWeights) {
+  Rng rng(37);
+  const std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.NextCategorical(weights), 1u);
+  }
+}
+
+TEST(RngTest, DirichletSumsToOne) {
+  Rng rng(41);
+  for (int i = 0; i < 50; ++i) {
+    const auto v = rng.NextDirichlet(0.1, 10);
+    EXPECT_NEAR(std::accumulate(v.begin(), v.end(), 0.0), 1.0, 1e-9);
+    for (double p : v) EXPECT_GE(p, 0.0);
+  }
+}
+
+TEST(RngTest, SparseDirichletConcentratesMass) {
+  // Small total concentration puts most mass on very few coordinates.
+  Rng rng(43);
+  double top_mass = 0.0;
+  double significant = 0.0;  // coordinates carrying >= 5% mass
+  const int trials = 200;
+  for (int i = 0; i < trials; ++i) {
+    auto v = rng.NextDirichlet(0.01, 50);  // total concentration 0.5
+    top_mass += *std::max_element(v.begin(), v.end());
+    for (double p : v) {
+      if (p >= 0.05) significant += 1.0;
+    }
+  }
+  EXPECT_GT(top_mass / trials, 0.7);
+  EXPECT_LT(significant / trials, 2.5);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(47);
+  Rng fork = a.Fork();
+  // Forked stream differs from parent continuation.
+  EXPECT_NE(a.NextUint64(), fork.NextUint64());
+}
+
+TEST(ZipfSamplerTest, RanksWithinDomain) {
+  Rng rng(53);
+  ZipfSampler zipf(100, 1.1);
+  for (int i = 0; i < 10000; ++i) {
+    const std::size_t r = zipf.Sample(&rng);
+    EXPECT_GE(r, 1u);
+    EXPECT_LE(r, 100u);
+  }
+}
+
+TEST(ZipfSamplerTest, LowRanksDominate) {
+  Rng rng(59);
+  ZipfSampler zipf(1000, 1.2);
+  int low = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Sample(&rng) <= 10) ++low;
+  }
+  // With s=1.2 the top-10 ranks carry well over a third of the mass.
+  EXPECT_GT(low, n / 3);
+}
+
+TEST(ZipfSamplerTest, SingleElementDomain) {
+  Rng rng(61);
+  ZipfSampler zipf(1, 1.0);
+  EXPECT_EQ(zipf.Sample(&rng), 1u);
+}
+
+TEST(ZipfSamplerTest, ExponentOneIsHandled) {
+  Rng rng(67);
+  ZipfSampler zipf(50, 1.0);
+  for (int i = 0; i < 1000; ++i) {
+    const std::size_t r = zipf.Sample(&rng);
+    EXPECT_GE(r, 1u);
+    EXPECT_LE(r, 50u);
+  }
+}
+
+TEST(AliasTableTest, MatchesWeights) {
+  Rng rng(71);
+  const std::vector<double> weights = {5.0, 1.0, 0.0, 4.0};
+  AliasTable table(weights);
+  std::vector<int> counts(4, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[table.Sample(&rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.5, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.4, 0.02);
+}
+
+TEST(AliasTableTest, UniformWeights) {
+  Rng rng(73);
+  AliasTable table(std::vector<double>(7, 1.0));
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 14000; ++i) ++counts[table.Sample(&rng)];
+  for (int c : counts) EXPECT_NEAR(c, 2000, 300);
+}
+
+// ------------------------------------------------------------------ Math --
+
+TEST(MathTest, EntropyWeightZeroAtBounds) {
+  EXPECT_DOUBLE_EQ(EntropyWeight(0.0), 0.0);
+  EXPECT_NEAR(EntropyWeight(1.0), 0.0, 1e-12);
+}
+
+TEST(MathTest, EntropyWeightMatchesPaperExample31) {
+  // sigma_2(w4, e2): p = p_2(w4) * p_2(e2) = 0.09 * 0.74 -> 0.18 (paper).
+  EXPECT_NEAR(EntropyWeight(0.09 * 0.74), 0.18, 0.005);
+  // sigma_2(w9, e2): 0.07 * 0.74 -> 0.15.
+  EXPECT_NEAR(EntropyWeight(0.07 * 0.74), 0.15, 0.005);
+  // sigma_2(w11, e2): 0.11 * 0.74 -> 0.20.
+  EXPECT_NEAR(EntropyWeight(0.11 * 0.74), 0.20, 0.005);
+  // sigma_2(w4, e7): 0.09 * 0.67 -> 0.17 and sigma_2(w11, e7) -> 0.19.
+  EXPECT_NEAR(EntropyWeight(0.09 * 0.67), 0.17, 0.005);
+  EXPECT_NEAR(EntropyWeight(0.11 * 0.67), 0.19, 0.005);
+}
+
+TEST(MathTest, EntropyWeightPeaksAtInverseE) {
+  const double peak = EntropyWeight(1.0 / std::numbers::e);
+  EXPECT_GT(peak, EntropyWeight(0.2));
+  EXPECT_GT(peak, EntropyWeight(0.5));
+  EXPECT_NEAR(peak, 1.0 / std::numbers::e, 1e-12);
+}
+
+TEST(MathTest, NormalizeInPlaceSumsToOne) {
+  std::vector<double> v = {1.0, 2.0, 7.0};
+  NormalizeInPlace(&v);
+  EXPECT_NEAR(v[0], 0.1, 1e-12);
+  EXPECT_NEAR(v[1], 0.2, 1e-12);
+  EXPECT_NEAR(v[2], 0.7, 1e-12);
+}
+
+TEST(MathTest, NormalizeZeroVectorBecomesUniform) {
+  std::vector<double> v = {0.0, 0.0};
+  NormalizeInPlace(&v);
+  EXPECT_DOUBLE_EQ(v[0], 0.5);
+  EXPECT_DOUBLE_EQ(v[1], 0.5);
+}
+
+TEST(MathTest, CosineSimilarityBasics) {
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {0, 1}), 0.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity({1, 1}, {2, 2}), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({0, 0}, {1, 1}), 0.0);
+}
+
+// ---------------------------------------------------------- SparseVector --
+
+TEST(SparseVectorTest, FromEntriesSortsAndMerges) {
+  const auto v = SparseVector::FromEntries({{3, 0.2}, {1, 0.5}, {3, 0.1}});
+  ASSERT_EQ(v.nnz(), 2u);
+  EXPECT_EQ(v.entries()[0].first, 1);
+  EXPECT_NEAR(v.entries()[0].second, 0.5, 1e-12);
+  EXPECT_EQ(v.entries()[1].first, 3);
+  EXPECT_NEAR(v.entries()[1].second, 0.3, 1e-12);
+}
+
+TEST(SparseVectorTest, FromEntriesDropsNonPositive) {
+  const auto v = SparseVector::FromEntries({{0, 0.0}, {1, -0.5}, {2, 0.7}});
+  ASSERT_EQ(v.nnz(), 1u);
+  EXPECT_EQ(v.entries()[0].first, 2);
+}
+
+TEST(SparseVectorTest, GetReturnsZeroForMissing) {
+  const auto v = SparseVector::FromEntries({{2, 0.4}});
+  EXPECT_DOUBLE_EQ(v.Get(2), 0.4);
+  EXPECT_DOUBLE_EQ(v.Get(0), 0.0);
+  EXPECT_DOUBLE_EQ(v.Get(5), 0.0);
+}
+
+TEST(SparseVectorTest, FromDenseRespectsThreshold) {
+  const auto v = SparseVector::FromDense({0.0, 0.3, 0.05, 0.65}, 0.1);
+  ASSERT_EQ(v.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(v.Get(1), 0.3);
+  EXPECT_DOUBLE_EQ(v.Get(3), 0.65);
+}
+
+TEST(SparseVectorTest, TruncateAndNormalizeRenormalizes) {
+  const auto v = SparseVector::TruncateAndNormalize({0.6, 0.36, 0.04}, 0.05);
+  ASSERT_EQ(v.nnz(), 2u);
+  EXPECT_NEAR(v.Get(0), 0.625, 1e-12);
+  EXPECT_NEAR(v.Get(1), 0.375, 1e-12);
+  EXPECT_NEAR(v.Sum(), 1.0, 1e-12);
+}
+
+TEST(SparseVectorTest, TruncateKeepsArgmaxWhenAllBelowThreshold) {
+  const auto v = SparseVector::TruncateAndNormalize({0.02, 0.03, 0.01}, 0.05);
+  ASSERT_EQ(v.nnz(), 1u);
+  EXPECT_NEAR(v.Get(1), 1.0, 1e-12);
+}
+
+TEST(SparseVectorTest, DotAndCosine) {
+  const auto a = SparseVector::FromEntries({{0, 1.0}, {2, 2.0}});
+  const auto b = SparseVector::FromEntries({{2, 3.0}, {5, 1.0}});
+  EXPECT_NEAR(SparseVector::Dot(a, b), 6.0, 1e-12);
+  const double expected =
+      6.0 / (std::sqrt(5.0) * std::sqrt(10.0));
+  EXPECT_NEAR(SparseVector::Cosine(a, b), expected, 1e-12);
+}
+
+TEST(SparseVectorTest, CosineOfDisjointSupportsIsZero) {
+  const auto a = SparseVector::FromEntries({{0, 1.0}});
+  const auto b = SparseVector::FromEntries({{1, 1.0}});
+  EXPECT_DOUBLE_EQ(SparseVector::Cosine(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(SparseVector::Cosine(a, SparseVector()), 0.0);
+}
+
+TEST(SparseVectorTest, ToDenseRoundTrips) {
+  const auto v = SparseVector::FromEntries({{1, 0.25}, {3, 0.75}});
+  const auto dense = v.ToDense(5);
+  ASSERT_EQ(dense.size(), 5u);
+  EXPECT_DOUBLE_EQ(dense[1], 0.25);
+  EXPECT_DOUBLE_EQ(dense[3], 0.75);
+  EXPECT_DOUBLE_EQ(dense[0] + dense[2] + dense[4], 0.0);
+}
+
+TEST(SparseVectorTest, NormalizeL1) {
+  auto v = SparseVector::FromEntries({{0, 2.0}, {1, 6.0}});
+  v.NormalizeL1();
+  EXPECT_NEAR(v.Get(0), 0.25, 1e-12);
+  EXPECT_NEAR(v.Get(1), 0.75, 1e-12);
+}
+
+TEST(SparseVectorTest, DimensionBound) {
+  EXPECT_EQ(SparseVector().DimensionBound(), 0);
+  EXPECT_EQ(SparseVector::FromEntries({{4, 1.0}}).DimensionBound(), 5);
+}
+
+// ----------------------------------------------------------------- Timer --
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + std::sqrt(i);
+  EXPECT_GE(timer.ElapsedMillis(), 0.0);
+  EXPECT_GE(timer.ElapsedMicros(), timer.ElapsedMillis());
+}
+
+}  // namespace
+}  // namespace ksir

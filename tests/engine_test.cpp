@@ -1,0 +1,350 @@
+// Tests of the KsirEngine facade: bucketing, validation, statistics, and
+// concurrent query safety.
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/standing_query.h"
+#include "paper_fixture.h"
+#include "stream/generator.h"
+
+namespace ksir {
+namespace {
+
+using ::ksir::testing::BalancedQueryVector;
+using ::ksir::testing::PaperElements;
+using ::ksir::testing::PaperEngineConfig;
+using ::ksir::testing::PaperTopicModel;
+
+TEST(EngineTest, AppendSplitsIntoBuckets) {
+  auto model = PaperTopicModel();
+  EngineConfig config = PaperEngineConfig();
+  config.bucket_length = 3;
+  KsirEngine engine(config, &model);
+  ASSERT_TRUE(engine.Append(PaperElements()).ok());
+  // Buckets end at multiples of 3 (3, 6); the final open bucket advances
+  // only to the last element's timestamp (8) so later appends can extend it.
+  EXPECT_EQ(engine.maintenance_stats().buckets_processed, 3);
+  EXPECT_EQ(engine.maintenance_stats().elements_ingested, 8);
+  EXPECT_EQ(engine.now(), 8);
+}
+
+TEST(EngineTest, AppendRejectsStaleElements) {
+  auto model = PaperTopicModel();
+  KsirEngine engine(PaperEngineConfig(), &model);
+  ASSERT_TRUE(engine.Append(PaperElements()).ok());
+  auto stale = PaperElements();
+  stale[0].id = 100;  // fresh id, stale ts
+  EXPECT_FALSE(engine.Append({stale[0]}).ok());
+}
+
+TEST(EngineTest, AppendEmptyIsNoop) {
+  auto model = PaperTopicModel();
+  KsirEngine engine(PaperEngineConfig(), &model);
+  EXPECT_TRUE(engine.Append({}).ok());
+  EXPECT_EQ(engine.now(), 0);
+}
+
+TEST(EngineTest, AdvanceToRejectsDuplicateIds) {
+  auto model = PaperTopicModel();
+  KsirEngine engine(PaperEngineConfig(), &model);
+  auto elements = PaperElements();
+  ASSERT_TRUE(engine.AdvanceTo(1, {elements[0]}).ok());
+  auto duplicate = elements[0];
+  duplicate.ts = 2;
+  EXPECT_FALSE(engine.AdvanceTo(2, {duplicate}).ok());
+}
+
+TEST(EngineTest, MaintenanceStatsAccumulate) {
+  auto model = PaperTopicModel();
+  KsirEngine engine(PaperEngineConfig(), &model);
+  ASSERT_TRUE(engine.Append(PaperElements()).ok());
+  const MaintenanceStats stats = engine.maintenance_stats();
+  EXPECT_EQ(stats.elements_ingested, 8);
+  EXPECT_GE(stats.buckets_processed, 8);  // L = 1
+  EXPECT_GE(stats.elements_expired, 1);   // e4 (and possibly e2's archive trip)
+  EXPECT_GE(stats.total_update_ms, 0.0);
+  EXPECT_EQ(stats.dangling_refs, 0);
+}
+
+TEST(EngineTest, WindowLengthShorterThanBucketRejected) {
+  auto model = PaperTopicModel();
+  EngineConfig config = PaperEngineConfig();
+  config.window_length = 1;
+  config.bucket_length = 4;
+  EXPECT_DEATH(KsirEngine(config, &model), "window_length");
+}
+
+TEST(EngineTest, ConcurrentQueriesAreConsistent) {
+  auto model = PaperTopicModel();
+  KsirEngine engine(PaperEngineConfig(), &model);
+  ASSERT_TRUE(engine.Append(PaperElements()).ok());
+
+  KsirQuery query;
+  query.k = 2;
+  query.x = BalancedQueryVector();
+  query.epsilon = 0.3;
+  query.algorithm = Algorithm::kMttd;
+  const QueryResult expected = *engine.Query(query);
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < 50; ++i) {
+        auto result = engine.Query(query);
+        if (!result.ok() || result->element_ids != expected.element_ids) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(EngineTest, QueriesInterleavedWithAdvances) {
+  // Queries under a shared lock must never observe a torn index while a
+  // writer thread advances the window.
+  StreamProfile profile = TwitterSimProfile();
+  profile.num_elements = 3000;
+  profile.num_topics = 8;
+  profile.vocab_size = 500;
+  auto stream = GenerateStream(profile);
+  ASSERT_TRUE(stream.ok());
+
+  EngineConfig config;
+  config.scoring.eta = 20.0;
+  config.window_length = 24 * 3600;
+  config.bucket_length = 15 * 60;
+  KsirEngine engine(config, &stream->model);
+
+  const SparseVector x = SparseVector::FromEntries({{0, 0.6}, {1, 0.4}});
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  std::thread reader([&]() {
+    KsirQuery query;
+    query.k = 5;
+    query.x = x;
+    query.algorithm = Algorithm::kMttd;
+    while (!done.load()) {
+      auto result = engine.Query(query);
+      if (!result.ok()) ++failures;
+    }
+  });
+
+  // Writer: feed the stream in bucket batches.
+  std::size_t begin = 0;
+  Timestamp bucket_end = 0;
+  while (begin < stream->elements.size()) {
+    bucket_end += config.bucket_length;
+    std::vector<SocialElement> bucket;
+    while (begin < stream->elements.size() &&
+           stream->elements[begin].ts <= bucket_end) {
+      bucket.push_back(stream->elements[begin]);
+      ++begin;
+    }
+    ASSERT_TRUE(engine.AdvanceTo(bucket_end, std::move(bucket)).ok());
+  }
+  done.store(true);
+  reader.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(engine.window().num_active(), 0u);
+}
+
+TEST(EngineTest, ResurrectedElementIsQueryable) {
+  // e2's Table 1 lifecycle: deactivated at t=6, resurrected by e7 at t=7.
+  // The skewed query of Example 3.4 must be able to return it afterwards.
+  auto model = PaperTopicModel();
+  KsirEngine engine(PaperEngineConfig(), &model);
+  auto elements = PaperElements();
+  std::vector<SocialElement> first(elements.begin(), elements.begin() + 6);
+  std::vector<SocialElement> rest(elements.begin() + 6, elements.end());
+  ASSERT_TRUE(engine.Append(std::move(first)).ok());
+  EXPECT_FALSE(engine.window().IsActive(2));  // deactivated at t=6
+  EXPECT_FALSE(engine.index().Contains(2));
+  ASSERT_TRUE(engine.Append(std::move(rest)).ok());
+  EXPECT_TRUE(engine.window().IsActive(2));
+  EXPECT_TRUE(engine.index().Contains(2));
+
+  KsirQuery query;
+  query.k = 2;
+  query.x = ksir::testing::SkewedQueryVector();
+  query.epsilon = 0.3;
+  query.algorithm = Algorithm::kMttd;
+  auto result = engine.Query(query);
+  ASSERT_TRUE(result.ok());
+  std::vector<ElementId> ids = result->element_ids;
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<ElementId>{1, 2}));
+}
+
+TEST(EngineTest, QueryOnEmptyTopicsReturnsEmpty) {
+  auto model = PaperTopicModel();
+  KsirEngine engine(PaperEngineConfig(), &model);
+  ASSERT_TRUE(engine.Append(PaperElements()).ok());
+  // A query concentrated on a topic id beyond every element's support.
+  KsirQuery query;
+  query.k = 3;
+  query.x = SparseVector::FromEntries({{1, 0.0}, {0, 0.0}});
+  EXPECT_FALSE(engine.Query(query).ok());  // empty vector after pruning
+
+  // Valid vector but the engine holds nothing yet.
+  KsirEngine empty_engine(PaperEngineConfig(), &model);
+  query.x = BalancedQueryVector();
+  for (const Algorithm algorithm :
+       {Algorithm::kMtts, Algorithm::kMttd, Algorithm::kCelf,
+        Algorithm::kSieveStreaming, Algorithm::kTopkRepresentative}) {
+    query.algorithm = algorithm;
+    auto result = empty_engine.Query(query);
+    ASSERT_TRUE(result.ok()) << AlgorithmName(algorithm);
+    EXPECT_TRUE(result->element_ids.empty()) << AlgorithmName(algorithm);
+    EXPECT_DOUBLE_EQ(result->score, 0.0) << AlgorithmName(algorithm);
+  }
+}
+
+TEST(EngineTest, ToleratesDanglingReferencesBeyondRetention) {
+  // AMinerSim's citation horizon (30 h) exceeds T = 24 h: references to
+  // long-expired papers must be counted as dangling, never crash.
+  StreamProfile profile = AMinerSimProfile();
+  profile.num_elements = 4000;
+  profile.num_topics = 8;
+  profile.vocab_size = 800;
+  auto stream = GenerateStream(profile);
+  ASSERT_TRUE(stream.ok());
+  EngineConfig config;
+  config.scoring.eta = 20.0;
+  config.window_length = 6 * 3600;  // much shorter than the 30 h horizon
+  config.bucket_length = 15 * 60;
+  KsirEngine engine(config, &stream->model);
+  ASSERT_TRUE(engine.Append(stream->elements).ok());
+  EXPECT_GT(engine.maintenance_stats().dangling_refs, 0);
+  EXPECT_GT(engine.window().num_active(), 0u);
+  EXPECT_EQ(engine.index().num_elements(), engine.window().num_active());
+}
+
+TEST(StandingQueryTest, FirstEvaluationReportsChanged) {
+  auto model = PaperTopicModel();
+  KsirEngine engine(PaperEngineConfig(), &model);
+  ASSERT_TRUE(engine.Append(PaperElements()).ok());
+  StandingQueryManager manager(&engine);
+
+  KsirQuery query;
+  query.k = 2;
+  query.x = BalancedQueryVector();
+  query.epsilon = 0.3;
+  int calls = 0;
+  bool last_changed = false;
+  QueryResult last_result;
+  manager.Register(query, [&](std::int64_t, const QueryResult& result,
+                              bool changed) {
+    ++calls;
+    last_changed = changed;
+    last_result = result;
+  });
+  EXPECT_EQ(manager.size(), 1u);
+  ASSERT_TRUE(manager.EvaluateAll().ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(last_changed);
+  std::vector<ElementId> ids = last_result.element_ids;
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<ElementId>{1, 3}));
+
+  // Unchanged window -> unchanged result, changed = false.
+  ASSERT_TRUE(manager.EvaluateAll().ok());
+  EXPECT_EQ(calls, 2);
+  EXPECT_FALSE(last_changed);
+}
+
+TEST(StandingQueryTest, DetectsResultDriftAcrossWindowSlides) {
+  auto model = PaperTopicModel();
+  KsirEngine engine(PaperEngineConfig(), &model);
+  auto elements = PaperElements();
+  std::vector<SocialElement> first(elements.begin(), elements.begin() + 5);
+  std::vector<SocialElement> rest(elements.begin() + 5, elements.end());
+  ASSERT_TRUE(engine.Append(std::move(first)).ok());
+
+  StandingQueryManager manager(&engine);
+  KsirQuery query;
+  // k = 4: at t = 5 the result must include e4, which expires by t = 8,
+  // so the window slide necessarily changes the result set.
+  query.k = 4;
+  query.x = BalancedQueryVector();
+  query.epsilon = 0.3;
+  std::vector<bool> changes;
+  std::vector<std::vector<ElementId>> results;
+  manager.Register(query,
+                   [&](std::int64_t, const QueryResult& result, bool changed) {
+                     changes.push_back(changed);
+                     auto ids = result.element_ids;
+                     std::sort(ids.begin(), ids.end());
+                     results.push_back(std::move(ids));
+                   });
+  ASSERT_TRUE(manager.EvaluateAll().ok());
+  ASSERT_TRUE(engine.Append(std::move(rest)).ok());
+  ASSERT_TRUE(manager.EvaluateAll().ok());
+  ASSERT_EQ(changes.size(), 2u);
+  EXPECT_TRUE(changes[0]);
+  EXPECT_TRUE(changes[1]);  // the window moved from t=5 to t=8
+  EXPECT_NE(results[0], results[1]);
+  // e4 was active at t=5 but cannot appear at t=8.
+  EXPECT_FALSE(std::binary_search(results[1].begin(), results[1].end(),
+                                  ElementId{4}));
+}
+
+TEST(StandingQueryTest, UnregisterStopsCallbacks) {
+  auto model = PaperTopicModel();
+  KsirEngine engine(PaperEngineConfig(), &model);
+  ASSERT_TRUE(engine.Append(PaperElements()).ok());
+  StandingQueryManager manager(&engine);
+  KsirQuery query;
+  query.k = 2;
+  query.x = BalancedQueryVector();
+  int calls = 0;
+  const std::int64_t id = manager.Register(
+      query, [&](std::int64_t, const QueryResult&, bool) { ++calls; });
+  EXPECT_TRUE(manager.Unregister(id));
+  EXPECT_FALSE(manager.Unregister(id));
+  ASSERT_TRUE(manager.EvaluateAll().ok());
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(manager.size(), 0u);
+}
+
+TEST(StandingQueryTest, InvalidStandingQueryReportsError) {
+  auto model = PaperTopicModel();
+  KsirEngine engine(PaperEngineConfig(), &model);
+  ASSERT_TRUE(engine.Append(PaperElements()).ok());
+  StandingQueryManager manager(&engine);
+  KsirQuery bad;
+  bad.k = 0;  // invalid
+  bad.x = BalancedQueryVector();
+  manager.Register(bad, [](std::int64_t, const QueryResult&, bool) {});
+  KsirQuery good;
+  good.k = 2;
+  good.x = BalancedQueryVector();
+  int good_calls = 0;
+  manager.Register(good, [&](std::int64_t, const QueryResult&, bool) {
+    ++good_calls;
+  });
+  const Status status = manager.EvaluateAll();
+  EXPECT_FALSE(status.ok());   // the bad query's error is surfaced
+  EXPECT_EQ(good_calls, 1);    // but the good query still ran
+}
+
+TEST(EngineTest, ArchiveRetentionConfigurable) {
+  auto model = PaperTopicModel();
+  EngineConfig config = PaperEngineConfig();
+  config.archive_retention = 50;
+  KsirEngine engine(config, &model);
+  EXPECT_EQ(engine.window().archive_retention(), 50);
+  EngineConfig default_config = PaperEngineConfig();
+  KsirEngine engine2(default_config, &model);
+  EXPECT_EQ(engine2.window().archive_retention(),
+            default_config.window_length);
+}
+
+}  // namespace
+}  // namespace ksir

@@ -1,0 +1,229 @@
+// Unit tests for the evaluation substrate: coverage / influence metrics,
+// Cohen's weighted kappa, and the proxy user study protocol.
+#include <gtest/gtest.h>
+
+#include "eval/kappa.h"
+#include "eval/metrics.h"
+#include "eval/user_study.h"
+#include "paper_fixture.h"
+
+namespace ksir {
+namespace {
+
+using ::ksir::testing::BalancedQueryVector;
+using ::ksir::testing::MakePaperEngineAtT8;
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fixture_ = MakePaperEngineAtT8(); }
+  const ActiveWindow& window() const { return fixture_.engine->window(); }
+  ksir::testing::PaperEngine fixture_;
+};
+
+// ---------------------------------------------------------------- Coverage --
+
+TEST_F(MetricsTest, CoverageZeroForEmptySet) {
+  EXPECT_DOUBLE_EQ(CoverageScore(window(), {}, BalancedQueryVector()), 0.0);
+}
+
+TEST_F(MetricsTest, CoverageGrowsWithBroaderSets) {
+  const SparseVector x = BalancedQueryVector();
+  const double one = CoverageScore(window(), {3}, x);
+  const double two = CoverageScore(window(), {3, 1}, x);
+  EXPECT_GT(one, 0.0);
+  EXPECT_GT(two, one);  // adding a theta_2 element covers the other side
+}
+
+TEST_F(MetricsTest, CoverageIgnoresUnknownIds) {
+  const SparseVector x = BalancedQueryVector();
+  EXPECT_DOUBLE_EQ(CoverageScore(window(), {999}, x), 0.0);
+  EXPECT_NEAR(CoverageScore(window(), {3, 999}, x),
+              CoverageScore(window(), {3}, x), 1e-12);
+}
+
+TEST_F(MetricsTest, CoverageOfFullActiveSetCountsNothingTwice) {
+  // When S = A_t, the sum over A_t \ S is empty.
+  const SparseVector x = BalancedQueryVector();
+  EXPECT_DOUBLE_EQ(
+      CoverageScore(window(), {1, 2, 3, 5, 6, 7, 8}, x), 0.0);
+}
+
+// --------------------------------------------------------------- Influence --
+
+TEST_F(MetricsTest, InfluenceCountsDistinctReferrers) {
+  // I_8(e2) = {e7, e8}, I_8(e3) = {e6, e8}: union of referrers = 3 distinct.
+  EXPECT_EQ(InfluenceCount(window(), {2}), 2);
+  EXPECT_EQ(InfluenceCount(window(), {3}), 2);
+  EXPECT_EQ(InfluenceCount(window(), {2, 3}), 3);
+}
+
+TEST_F(MetricsTest, InfluenceZeroForUnreferencedSet) {
+  EXPECT_EQ(InfluenceCount(window(), {5, 7, 8}), 0);
+}
+
+TEST_F(MetricsTest, TopkInfluentialNormalizer) {
+  // Referrer counts at t=8: e1:1, e2:2, e3:2, e6:1, others 0.
+  EXPECT_EQ(TopkInfluentialCount(window(), 1), 2);
+  EXPECT_EQ(TopkInfluentialCount(window(), 2), 4);
+  EXPECT_EQ(TopkInfluentialCount(window(), 3), 5);
+  EXPECT_EQ(TopkInfluentialCount(window(), 100), 6);
+}
+
+TEST_F(MetricsTest, NormalizedInfluenceInUnitRange) {
+  const double norm = NormalizedInfluence(window(), {2, 3}, 2);
+  EXPECT_NEAR(norm, 3.0 / 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(NormalizedInfluence(window(), {}, 2), 0.0);
+}
+
+// ------------------------------------------------------------------- Kappa --
+
+TEST(KappaTest, PerfectAgreementIsOne) {
+  const std::vector<std::int32_t> a = {1, 2, 3, 4, 5, 3};
+  auto kappa = CohenLinearWeightedKappa(a, a, 5);
+  ASSERT_TRUE(kappa.ok());
+  EXPECT_NEAR(*kappa, 1.0, 1e-12);
+}
+
+TEST(KappaTest, IndependentRatingsNearZero) {
+  // A large synthetic sample of independent uniform ratings.
+  std::vector<std::int32_t> a;
+  std::vector<std::int32_t> b;
+  std::uint64_t state = 1234;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<std::int32_t>((state >> 33) % 5) + 1;
+  };
+  for (int i = 0; i < 20000; ++i) {
+    a.push_back(next());
+    b.push_back(next());
+  }
+  auto kappa = CohenLinearWeightedKappa(a, b, 5);
+  ASSERT_TRUE(kappa.ok());
+  EXPECT_NEAR(*kappa, 0.0, 0.03);
+}
+
+TEST(KappaTest, LinearWeightsPenalizeNearMissesLess) {
+  // Rater B is always one category off vs. two categories off.
+  const std::vector<std::int32_t> truth = {1, 2, 3, 4, 1, 2, 3, 4};
+  std::vector<std::int32_t> near = truth;
+  std::vector<std::int32_t> far = truth;
+  for (auto& v : near) v = std::min(5, v + 1);
+  for (auto& v : far) v = std::min(5, v + 2);
+  auto kappa_near = CohenLinearWeightedKappa(truth, near, 5);
+  auto kappa_far = CohenLinearWeightedKappa(truth, far, 5);
+  ASSERT_TRUE(kappa_near.ok());
+  ASSERT_TRUE(kappa_far.ok());
+  EXPECT_GT(*kappa_near, *kappa_far);
+}
+
+TEST(KappaTest, ValidatesInput) {
+  EXPECT_FALSE(CohenLinearWeightedKappa({}, {}, 5).ok());
+  EXPECT_FALSE(CohenLinearWeightedKappa({1, 2}, {1}, 5).ok());
+  EXPECT_FALSE(CohenLinearWeightedKappa({0}, {1}, 5).ok());
+  EXPECT_FALSE(CohenLinearWeightedKappa({6}, {1}, 5).ok());
+  EXPECT_FALSE(CohenLinearWeightedKappa({1}, {1}, 1).ok());
+}
+
+TEST(KappaTest, ConstantIdenticalRatersPerfect) {
+  const std::vector<std::int32_t> a = {3, 3, 3};
+  auto kappa = CohenLinearWeightedKappa(a, a, 5);
+  ASSERT_TRUE(kappa.ok());
+  EXPECT_DOUBLE_EQ(*kappa, 1.0);
+}
+
+// -------------------------------------------------------------- User study --
+
+TEST_F(MetricsTest, ProxyStudyRanksBetterSetsHigher) {
+  // Pure theta_1 query. Method A: the theta_1 optimum {e3, e6} (relevant,
+  // covering, referenced); Method B: theta_2-heavy {e1, e5} (irrelevant to
+  // the query and weakly referenced).
+  const SparseVector x = SparseVector::FromEntries({{0, 1.0}});
+  std::vector<std::vector<StudyEntry>> queries;
+  std::vector<SparseVector> vectors;
+  for (int q = 0; q < 8; ++q) {
+    queries.push_back({StudyEntry{"ksir", {3, 6}},
+                       StudyEntry{"weak", {1, 5}}});
+    vectors.push_back(x);
+  }
+  UserStudyOptions options;
+  options.rater_noise = 0.1;
+  auto study = RunProxyUserStudy(window(), queries, vectors, options);
+  ASSERT_TRUE(study.ok());
+  ASSERT_EQ(study->ratings.size(), 2u);
+  EXPECT_GT(study->ratings[0].representativeness,
+            study->ratings[1].representativeness);
+  EXPECT_GT(study->ratings[0].impact, study->ratings[1].impact);
+}
+
+TEST_F(MetricsTest, ProxyStudyZeroNoiseGivesPerfectKappa) {
+  std::vector<std::vector<StudyEntry>> queries = {
+      {StudyEntry{"a", {1, 3}}, StudyEntry{"b", {5, 7}},
+       StudyEntry{"c", {2, 6}}}};
+  std::vector<SparseVector> vectors = {BalancedQueryVector()};
+  UserStudyOptions options;
+  options.rater_noise = 0.0;
+  auto study = RunProxyUserStudy(window(), queries, vectors, options);
+  ASSERT_TRUE(study.ok());
+  EXPECT_DOUBLE_EQ(study->kappa_representativeness, 1.0);
+  EXPECT_DOUBLE_EQ(study->kappa_impact, 1.0);
+}
+
+TEST_F(MetricsTest, ProxyStudyNoiseReducesAgreement) {
+  std::vector<std::vector<StudyEntry>> queries;
+  std::vector<SparseVector> vectors;
+  for (int q = 0; q < 12; ++q) {
+    queries.push_back({StudyEntry{"a", {1, 3}}, StudyEntry{"b", {5, 7}},
+                       StudyEntry{"c", {2, 6}}, StudyEntry{"d", {8}}});
+    vectors.push_back(BalancedQueryVector());
+  }
+  UserStudyOptions low;
+  low.rater_noise = 0.05;
+  UserStudyOptions high;
+  high.rater_noise = 2.0;
+  auto study_low = RunProxyUserStudy(window(), queries, vectors, low);
+  auto study_high = RunProxyUserStudy(window(), queries, vectors, high);
+  ASSERT_TRUE(study_low.ok());
+  ASSERT_TRUE(study_high.ok());
+  EXPECT_GT(study_low->kappa_representativeness,
+            study_high->kappa_representativeness);
+}
+
+TEST_F(MetricsTest, ProxyStudyValidatesShape) {
+  std::vector<SparseVector> vectors = {BalancedQueryVector()};
+  EXPECT_FALSE(RunProxyUserStudy(window(), {}, {}, {}).ok());
+  // Mismatched method lists across queries.
+  std::vector<std::vector<StudyEntry>> bad = {
+      {StudyEntry{"a", {1}}, StudyEntry{"b", {2}}},
+      {StudyEntry{"a", {1}}, StudyEntry{"c", {2}}}};
+  std::vector<SparseVector> two = {BalancedQueryVector(),
+                                   BalancedQueryVector()};
+  EXPECT_FALSE(RunProxyUserStudy(window(), bad, two, {}).ok());
+  // Single method.
+  std::vector<std::vector<StudyEntry>> single = {{StudyEntry{"a", {1}}}};
+  EXPECT_FALSE(RunProxyUserStudy(window(), single, vectors, {}).ok());
+  // Too few raters.
+  std::vector<std::vector<StudyEntry>> ok_queries = {
+      {StudyEntry{"a", {1}}, StudyEntry{"b", {2}}}};
+  UserStudyOptions options;
+  options.raters_per_query = 1;
+  EXPECT_FALSE(RunProxyUserStudy(window(), ok_queries, vectors, options).ok());
+}
+
+TEST_F(MetricsTest, ProxyStudyRatingsWithinScale) {
+  std::vector<std::vector<StudyEntry>> queries = {
+      {StudyEntry{"a", {1, 3}}, StudyEntry{"b", {5, 7}},
+       StudyEntry{"c", {2, 6}}, StudyEntry{"d", {8}},
+       StudyEntry{"e", {5}}}};
+  std::vector<SparseVector> vectors = {BalancedQueryVector()};
+  auto study = RunProxyUserStudy(window(), queries, vectors, {});
+  ASSERT_TRUE(study.ok());
+  for (const MethodRating& rating : study->ratings) {
+    EXPECT_GE(rating.representativeness, 1.0);
+    EXPECT_LE(rating.representativeness, 5.0);
+    EXPECT_GE(rating.impact, 1.0);
+    EXPECT_LE(rating.impact, 5.0);
+  }
+}
+
+}  // namespace
+}  // namespace ksir

@@ -1,0 +1,121 @@
+// Shared golden fixture: the worked example of the paper (Table 1,
+// Examples 3.1-4.3, Figures 5-6). Sixteen words, two topics, eight tweets,
+// lambda = 0.5, eta = 2, window length T = 4, bucket length L = 1.
+#ifndef KSIR_TESTS_PAPER_FIXTURE_H_
+#define KSIR_TESTS_PAPER_FIXTURE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sparse_vector.h"
+#include "core/engine.h"
+#include "stream/element.h"
+#include "text/vocabulary.h"
+#include "topic/topic_model.h"
+
+namespace ksir::testing {
+
+/// Word ids follow Table 1: w1 -> id 0, ..., w16 -> id 15.
+inline const std::vector<std::string>& PaperWords() {
+  static const std::vector<std::string>* const kWords =
+      new std::vector<std::string>{
+          "asroma", "assist", "cavs",   "champion",    "defeat",   "final",
+          "lebron", "lfc",    "manutd", "nbaplayoffs", "pl",       "point",
+          "raptors", "realmadrid", "schedule", "ucl"};
+  return *kWords;
+}
+
+/// Topic-word matrix of Tables 1(b) and 1(c); rows sum to 1.
+inline TopicModel PaperTopicModel() {
+  const std::vector<std::vector<double>> matrix = {
+      // theta_1
+      {0.00, 0.06, 0.09, 0.10, 0.05, 0.11, 0.12, 0.00, 0.00, 0.11, 0.00,
+       0.15, 0.08, 0.00, 0.13, 0.00},
+      // theta_2
+      {0.03, 0.04, 0.00, 0.09, 0.04, 0.12, 0.00, 0.06, 0.07, 0.00, 0.11,
+       0.14, 0.00, 0.07, 0.12, 0.11},
+  };
+  auto model = TopicModel::FromMatrix(matrix);
+  return std::move(model).value();
+}
+
+/// The eight elements of Table 1(a); ids are 1-based to match the paper
+/// (element e1 has id 1).
+inline std::vector<SocialElement> PaperElements() {
+  struct Spec {
+    Timestamp ts;
+    std::vector<WordId> words;  // 0-based ids
+    double p1;
+    double p2;
+    std::vector<ElementId> refs;
+  };
+  const std::vector<Spec> specs = {
+      {1, {0, 5, 7, 13, 15}, 0.20, 0.80, {}},        // e1
+      {2, {3, 8, 10}, 0.26, 0.74, {}},               // e2
+      {3, {2, 4, 9, 12}, 0.89, 0.11, {}},            // e3
+      {4, {6, 9}, 1.00, 0.00, {3}},                  // e4 -> e3
+      {5, {5, 7, 15}, 0.29, 0.71, {1}},              // e5 -> e1
+      {6, {1, 6, 9, 11}, 0.70, 0.30, {3}},           // e6 -> e3
+      {7, {3, 10}, 0.33, 0.67, {2}},                 // e7 -> e2
+      {8, {9, 10, 14}, 0.51, 0.49, {2, 3, 6}},       // e8 -> e2, e3, e6
+  };
+  std::vector<SocialElement> elements;
+  ElementId id = 1;
+  for (const Spec& spec : specs) {
+    SocialElement e;
+    e.id = id++;
+    e.ts = spec.ts;
+    e.doc = Document::FromWordIds(spec.words);
+    e.refs = spec.refs;
+    std::vector<SparseVector::Entry> entries;
+    if (spec.p1 > 0.0) entries.emplace_back(0, spec.p1);
+    if (spec.p2 > 0.0) entries.emplace_back(1, spec.p2);
+    e.topics = SparseVector::FromEntries(std::move(entries));
+    elements.push_back(std::move(e));
+  }
+  return elements;
+}
+
+/// Engine config of the worked example: lambda = 0.5, eta = 2, T = 4, L = 1.
+inline EngineConfig PaperEngineConfig(
+    RefreshMode mode = RefreshMode::kExact) {
+  EngineConfig config;
+  config.scoring.lambda = 0.5;
+  config.scoring.eta = 2.0;
+  config.window_length = 4;
+  config.bucket_length = 1;
+  config.refresh_mode = mode;
+  return config;
+}
+
+/// Engine owning its model, fed with the eight elements up to t = 8.
+struct PaperEngine {
+  std::unique_ptr<TopicModel> model;
+  std::unique_ptr<KsirEngine> engine;
+};
+
+inline PaperEngine MakePaperEngineAtT8(
+    RefreshMode mode = RefreshMode::kExact) {
+  PaperEngine out;
+  out.model = std::make_unique<TopicModel>(PaperTopicModel());
+  out.engine =
+      std::make_unique<KsirEngine>(PaperEngineConfig(mode), out.model.get());
+  auto status = out.engine->Append(PaperElements());
+  KSIR_CHECK(status.ok());
+  return out;
+}
+
+/// x = (0.5, 0.5) of Example 3.4 / 4.1 / 4.3.
+inline SparseVector BalancedQueryVector() {
+  return SparseVector::FromEntries({{0, 0.5}, {1, 0.5}});
+}
+
+/// x = (0.1, 0.9) of Example 3.4.
+inline SparseVector SkewedQueryVector() {
+  return SparseVector::FromEntries({{0, 0.1}, {1, 0.9}});
+}
+
+}  // namespace ksir::testing
+
+#endif  // KSIR_TESTS_PAPER_FIXTURE_H_

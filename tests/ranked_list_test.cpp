@@ -1,0 +1,297 @@
+// Unit tests for the per-topic ranked lists, Algorithm 1 maintenance
+// (including the Figure 5 golden state) and the traversal cursor.
+#include <gtest/gtest.h>
+
+#include "core/ranked_list.h"
+#include "core/traversal.h"
+#include "paper_fixture.h"
+
+namespace ksir {
+namespace {
+
+using ::ksir::testing::BalancedQueryVector;
+using ::ksir::testing::MakePaperEngineAtT8;
+
+// ------------------------------------------------------------ RankedList --
+
+TEST(RankedListTest, InsertKeepsDescendingOrder) {
+  RankedList list;
+  list.Insert(1, 0.3, 10);
+  list.Insert(2, 0.9, 11);
+  list.Insert(3, 0.5, 12);
+  std::vector<ElementId> order;
+  for (const auto& key : list) order.push_back(key.id);
+  EXPECT_EQ(order, (std::vector<ElementId>{2, 3, 1}));
+}
+
+TEST(RankedListTest, TiesBreakById) {
+  RankedList list;
+  list.Insert(7, 0.5, 1);
+  list.Insert(3, 0.5, 1);
+  std::vector<ElementId> order;
+  for (const auto& key : list) order.push_back(key.id);
+  EXPECT_EQ(order, (std::vector<ElementId>{3, 7}));
+}
+
+TEST(RankedListTest, UpdateRepositions) {
+  RankedList list;
+  list.Insert(1, 0.3, 10);
+  list.Insert(2, 0.9, 11);
+  list.Update(1, 1.5, 13);
+  EXPECT_EQ(list.begin()->id, 1);
+  const auto tuple = list.Get(1);
+  EXPECT_DOUBLE_EQ(tuple.score, 1.5);
+  EXPECT_EQ(tuple.te, 13);
+  EXPECT_EQ(list.TimeOf(1), 13);
+}
+
+TEST(RankedListTest, EraseRemoves) {
+  RankedList list;
+  list.Insert(1, 0.3, 10);
+  list.Insert(2, 0.9, 11);
+  list.Erase(2);
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_FALSE(list.Contains(2));
+  EXPECT_TRUE(list.Contains(1));
+}
+
+TEST(RankedListTest, EqualScoresDistinctElementsCoexist) {
+  RankedList list;
+  list.Insert(1, 0.5, 1);
+  list.Insert(2, 0.5, 2);
+  list.Erase(1);
+  EXPECT_TRUE(list.Contains(2));
+  EXPECT_DOUBLE_EQ(list.Get(2).score, 0.5);
+}
+
+// ------------------------------------------------------- RankedListIndex --
+
+TEST(RankedListIndexTest, InsertSpansTopics) {
+  RankedListIndex index(3);
+  index.Insert(1, {{0, 0.9}, {2, 0.1}}, 5);
+  EXPECT_TRUE(index.Contains(1));
+  EXPECT_TRUE(index.list(0).Contains(1));
+  EXPECT_FALSE(index.list(1).Contains(1));
+  EXPECT_TRUE(index.list(2).Contains(1));
+  EXPECT_EQ(index.total_entries(), 2u);
+  EXPECT_EQ(index.num_elements(), 1u);
+}
+
+TEST(RankedListIndexTest, EraseClearsAllLists) {
+  RankedListIndex index(3);
+  index.Insert(1, {{0, 0.9}, {1, 0.5}}, 5);
+  index.Erase(1);
+  EXPECT_FALSE(index.Contains(1));
+  EXPECT_EQ(index.total_entries(), 0u);
+  EXPECT_TRUE(index.list(0).empty());
+}
+
+TEST(RankedListIndexTest, UpdateRepositionsAcrossLists) {
+  RankedListIndex index(2);
+  index.Insert(1, {{0, 0.9}, {1, 0.1}}, 5);
+  index.Insert(2, {{0, 0.5}, {1, 0.5}}, 6);
+  index.Update(1, {{0, 0.2}, {1, 0.8}}, 7);
+  EXPECT_EQ(index.list(0).begin()->id, 2);
+  EXPECT_EQ(index.list(1).begin()->id, 1);
+}
+
+// --------------------------------------------- Figure 5 golden list state --
+
+class Figure5Test : public ::testing::Test {
+ protected:
+  void SetUp() override { fixture_ = MakePaperEngineAtT8(); }
+  ksir::testing::PaperEngine fixture_;
+};
+
+TEST_F(Figure5Test, RankedList1MatchesPaper) {
+  // Figure 5 RL_1 (score, t_e); e1/e7 are a near-tie at 0.0565 vs 0.0563 —
+  // exact arithmetic orders e1 first, and the figure's tuple *values*
+  // <0.06,5>, <0.06,7> match (e1: t_e=5, e7: t_e=7); only the paper's row
+  // labels are swapped.
+  const RankedList& list = fixture_.engine->index().list(0);
+  struct Row {
+    ElementId id;
+    double score;
+    Timestamp te;
+  };
+  const std::vector<Row> expected = {
+      {3, 0.65, 8}, {6, 0.48, 8}, {8, 0.17, 8}, {2, 0.10, 8},
+      {1, 0.06, 5}, {7, 0.06, 7}, {5, 0.05, 5},
+  };
+  ASSERT_EQ(list.size(), expected.size());
+  std::size_t i = 0;
+  for (const auto& key : list) {
+    EXPECT_EQ(key.id, expected[i].id) << "position " << i;
+    EXPECT_NEAR(key.score, expected[i].score, 0.005) << "position " << i;
+    EXPECT_EQ(list.TimeOf(key.id), expected[i].te) << "position " << i;
+    ++i;
+  }
+}
+
+TEST_F(Figure5Test, RankedList2MatchesPaper) {
+  const RankedList& list = fixture_.engine->index().list(1);
+  struct Row {
+    ElementId id;
+    double score;
+    Timestamp te;
+  };
+  const std::vector<Row> expected = {
+      {1, 0.56, 5}, {2, 0.48, 8}, {5, 0.27, 5}, {7, 0.18, 7},
+      {8, 0.16, 8}, {6, 0.13, 8}, {3, 0.03, 8},
+  };
+  ASSERT_EQ(list.size(), expected.size());
+  std::size_t i = 0;
+  for (const auto& key : list) {
+    EXPECT_EQ(key.id, expected[i].id) << "position " << i;
+    EXPECT_NEAR(key.score, expected[i].score, 0.005) << "position " << i;
+    EXPECT_EQ(list.TimeOf(key.id), expected[i].te) << "position " << i;
+    ++i;
+  }
+}
+
+TEST_F(Figure5Test, ExpiredElementAbsentFromLists) {
+  EXPECT_FALSE(fixture_.engine->index().Contains(4));
+  EXPECT_EQ(fixture_.engine->index().num_elements(), 7u);
+}
+
+TEST_F(Figure5Test, ScoresNonIncreasingInEveryList) {
+  for (TopicId t = 0; t < 2; ++t) {
+    const RankedList& list = fixture_.engine->index().list(t);
+    double prev = std::numeric_limits<double>::infinity();
+    for (const auto& key : list) {
+      EXPECT_LE(key.score, prev);
+      prev = key.score;
+    }
+  }
+}
+
+// ------------------------------------------------------ RankedListCursor --
+
+TEST_F(Figure5Test, CursorPopsInWeightedScoreOrder) {
+  const SparseVector x = BalancedQueryVector();
+  RankedListCursor cursor(&fixture_.engine->index(), &x);
+  // Initial UB(x) = 0.5 * 0.647 + 0.5 * 0.560 = 0.604 (paper: 0.61).
+  EXPECT_NEAR(cursor.UpperBound(), 0.604, 0.005);
+  // Pop order: e3 (0.324), e1 (0.280), e2 (0.240), e6 (0.239), ...
+  EXPECT_EQ(cursor.PopNext(), std::optional<ElementId>(3));
+  EXPECT_EQ(cursor.PopNext(), std::optional<ElementId>(1));
+  EXPECT_EQ(cursor.PopNext(), std::optional<ElementId>(2));
+  EXPECT_EQ(cursor.PopNext(), std::optional<ElementId>(6));
+  EXPECT_EQ(cursor.num_retrieved(), 4u);
+  // After popping the strong elements the bound collapses to ~0.22.
+  EXPECT_NEAR(cursor.UpperBound(), 0.221, 0.005);
+}
+
+TEST_F(Figure5Test, CursorVisitsEachElementOnce) {
+  const SparseVector x = BalancedQueryVector();
+  RankedListCursor cursor(&fixture_.engine->index(), &x);
+  std::vector<ElementId> popped;
+  while (auto id = cursor.PopNext()) popped.push_back(*id);
+  std::vector<ElementId> sorted = popped;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<ElementId>{1, 2, 3, 5, 6, 7, 8}));
+  EXPECT_TRUE(cursor.Exhausted());
+  EXPECT_DOUBLE_EQ(cursor.UpperBound(), 0.0);
+  EXPECT_EQ(cursor.PopNext(), std::nullopt);
+}
+
+TEST_F(Figure5Test, CursorUpperBoundMonotoneNonIncreasing) {
+  const SparseVector x = BalancedQueryVector();
+  RankedListCursor cursor(&fixture_.engine->index(), &x);
+  double prev = cursor.UpperBound();
+  while (auto id = cursor.PopNext()) {
+    const double ub = cursor.UpperBound();
+    EXPECT_LE(ub, prev + 1e-12);
+    prev = ub;
+  }
+}
+
+TEST_F(Figure5Test, CursorUpperBoundDominatesUnpopped) {
+  // Soundness: UB(x) >= delta(e, x) for every not-yet-popped element.
+  const SparseVector x = BalancedQueryVector();
+  RankedListCursor cursor(&fixture_.engine->index(), &x);
+  std::vector<ElementId> remaining = {1, 2, 3, 5, 6, 7, 8};
+  while (!remaining.empty()) {
+    const double ub = cursor.UpperBound();
+    for (ElementId id : remaining) {
+      const SocialElement* e = fixture_.engine->window().Find(id);
+      ASSERT_NE(e, nullptr);
+      EXPECT_GE(ub + 1e-12, fixture_.engine->scoring().ElementScore(*e, x));
+    }
+    const auto popped = cursor.PopNext();
+    ASSERT_TRUE(popped.has_value());
+    std::erase(remaining, *popped);
+  }
+}
+
+TEST_F(Figure5Test, SingleTopicQueryWalksOneList) {
+  const SparseVector x = SparseVector::FromEntries({{0, 1.0}});
+  RankedListCursor cursor(&fixture_.engine->index(), &x);
+  EXPECT_EQ(cursor.PopNext(), std::optional<ElementId>(3));
+  EXPECT_EQ(cursor.PopNext(), std::optional<ElementId>(6));
+  EXPECT_EQ(cursor.PopNext(), std::optional<ElementId>(8));
+}
+
+TEST(CursorEdgeTest, EmptyIndexIsExhausted) {
+  RankedListIndex index(2);
+  const SparseVector x = SparseVector::FromEntries({{0, 0.7}, {1, 0.3}});
+  RankedListCursor cursor(&index, &x);
+  EXPECT_TRUE(cursor.Exhausted());
+  EXPECT_DOUBLE_EQ(cursor.UpperBound(), 0.0);
+  EXPECT_EQ(cursor.PopNext(), std::nullopt);
+}
+
+TEST(CursorEdgeTest, QueryTopicBeyondIndexIsIgnored) {
+  RankedListIndex index(2);
+  index.Insert(1, {{0, 0.5}}, 1);
+  const SparseVector x = SparseVector::FromEntries({{0, 0.5}, {9, 0.5}});
+  RankedListCursor cursor(&index, &x);
+  EXPECT_EQ(cursor.PopNext(), std::optional<ElementId>(1));
+  EXPECT_TRUE(cursor.Exhausted());
+}
+
+// --------------------------------------------------- Refresh mode (paper) --
+
+TEST(RefreshModeTest, PaperModeKeepsStaleUpperBound) {
+  // Build a stream where an element loses a referrer with no gain in the
+  // same bucket: with kPaper the list score stays stale-high; with kExact
+  // it drops to the true value.
+  auto model = TopicModel::FromMatrix({{0.5, 0.5}});
+  ASSERT_TRUE(model.ok());
+  for (const RefreshMode mode : {RefreshMode::kExact, RefreshMode::kPaper}) {
+    EngineConfig config;
+    config.scoring.lambda = 0.5;
+    config.scoring.eta = 2.0;
+    config.window_length = 4;
+    config.bucket_length = 1;
+    config.refresh_mode = mode;
+    KsirEngine engine(config, &*model);
+
+    auto mk = [](ElementId id, Timestamp ts, std::vector<ElementId> refs) {
+      SocialElement e;
+      e.id = id;
+      e.ts = ts;
+      e.doc = Document::FromWordIds({0});
+      e.refs = std::move(refs);
+      e.topics = SparseVector::FromEntries({{0, 1.0}});
+      return e;
+    };
+    ASSERT_TRUE(engine.AdvanceTo(1, {mk(1, 1, {})}).ok());
+    ASSERT_TRUE(engine.AdvanceTo(2, {mk(2, 2, {1})}).ok());
+    ASSERT_TRUE(engine.AdvanceTo(5, {mk(3, 5, {1})}).ok());
+    // t=6: e2 (ts 2) leaves the window; e1 loses its referral, e3 remains.
+    ASSERT_TRUE(engine.AdvanceTo(6, {}).ok());
+    const double listed = engine.index().list(0).Get(1).score;
+    const SocialElement* e1 = engine.window().Find(1);
+    ASSERT_NE(e1, nullptr);
+    const double exact = engine.scoring().TopicScore(0, *e1);
+    if (mode == RefreshMode::kExact) {
+      EXPECT_NEAR(listed, exact, 1e-12);
+    } else {
+      EXPECT_GT(listed, exact);  // stale but still a sound upper bound
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ksir

@@ -1,0 +1,304 @@
+// Unit tests for the effectiveness baselines: TF-IDF, DIV, REL, LexRank,
+// and the Sumblr-style summarizer.
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "paper_fixture.h"
+#include "search/div.h"
+#include "search/lexrank.h"
+#include "search/pagerank.h"
+#include "search/rel.h"
+#include "search/sumblr.h"
+#include "search/tfidf.h"
+
+namespace ksir {
+namespace {
+
+using ::ksir::testing::MakePaperEngineAtT8;
+
+class SearchBaselineTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fixture_ = MakePaperEngineAtT8(); }
+  const ActiveWindow& window() const { return fixture_.engine->window(); }
+  ksir::testing::PaperEngine fixture_;
+};
+
+// ----------------------------------------------------------------- TF-IDF --
+
+TEST_F(SearchBaselineTest, TfIdfIndexCountsActiveElements) {
+  const TfIdfIndex index = TfIdfIndex::Build(window());
+  EXPECT_EQ(index.num_elements(), 7u);  // A_8 \ {e4}
+}
+
+TEST_F(SearchBaselineTest, TfIdfExactKeywordMatchRanksFirst) {
+  const TfIdfIndex index = TfIdfIndex::Build(window());
+  // w9 ("manutd", id 8) appears only in e2.
+  const auto top = index.TopK({8}, 3);
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top[0], 2);
+  EXPECT_EQ(top.size(), 1u);  // nobody else contains the term
+}
+
+TEST_F(SearchBaselineTest, TfIdfMultiKeywordPrefersBothTerms) {
+  const TfIdfIndex index = TfIdfIndex::Build(window());
+  // "champion" (id 3) + "pl" (id 10): e2 and e7 contain both; e8 only pl.
+  const auto top = index.TopK({3, 10}, 3);
+  ASSERT_GE(top.size(), 2u);
+  EXPECT_TRUE(top[0] == 2 || top[0] == 7);
+  EXPECT_TRUE(std::find(top.begin(), top.end(), 8) == top.end() ||
+              top.back() == 8);
+}
+
+TEST_F(SearchBaselineTest, TfIdfSimilarityZeroForUnknownKeyword) {
+  const TfIdfIndex index = TfIdfIndex::Build(window());
+  EXPECT_DOUBLE_EQ(index.Similarity(2, {999}), 0.0);
+  EXPECT_TRUE(index.TopK({999}, 5).empty());
+}
+
+TEST_F(SearchBaselineTest, TfIdfElementSimilaritySymmetricAndBounded) {
+  const TfIdfIndex index = TfIdfIndex::Build(window());
+  for (ElementId a : {1, 2, 3, 5}) {
+    for (ElementId b : {6, 7, 8}) {
+      const double ab = index.ElementSimilarity(a, b);
+      EXPECT_NEAR(ab, index.ElementSimilarity(b, a), 1e-12);
+      EXPECT_GE(ab, 0.0);
+      EXPECT_LE(ab, 1.0 + 1e-12);
+    }
+  }
+  // e2 and e7 share 2 of 2/3 words -> clearly similar.
+  EXPECT_GT(index.ElementSimilarity(2, 7), 0.3);
+}
+
+TEST_F(SearchBaselineTest, TfIdfIdfDampensCommonWords) {
+  const TfIdfIndex index = TfIdfIndex::Build(window());
+  // w10 ("nbaplayoffs", id 9) appears in e3, e6, e8; w9 only in e2.
+  EXPECT_GT(index.Idf(8), index.Idf(9));
+}
+
+// -------------------------------------------------------------------- DIV --
+
+TEST_F(SearchBaselineTest, DivReturnsRequestedSize) {
+  const TfIdfIndex index = TfIdfIndex::Build(window());
+  const auto result = DivTopK(index, {9, 10}, 3);  // nbaplayoffs, pl
+  EXPECT_EQ(result.size(), 3u);
+  auto sorted = result;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+              sorted.end());
+}
+
+TEST_F(SearchBaselineTest, DivPrefersDiverseResults) {
+  const TfIdfIndex index = TfIdfIndex::Build(window());
+  // Query for "champion pl": candidates e2, e7 (near-duplicates), e8.
+  DivOptions options;
+  options.lambda = 0.1;  // diversity-heavy
+  const auto result = DivTopK(index, {3, 10}, 2, options);
+  ASSERT_EQ(result.size(), 2u);
+  // With strong diversity weighting the near-duplicate pair (e2, e7) should
+  // not be chosen together.
+  EXPECT_FALSE((result[0] == 2 && result[1] == 7) ||
+               (result[0] == 7 && result[1] == 2));
+}
+
+TEST_F(SearchBaselineTest, DivEmptyWhenNoCandidates) {
+  const TfIdfIndex index = TfIdfIndex::Build(window());
+  EXPECT_TRUE(DivTopK(index, {999}, 3).empty());
+  EXPECT_TRUE(DivTopK(index, {9}, 0).empty());
+}
+
+// -------------------------------------------------------------------- REL --
+
+TEST_F(SearchBaselineTest, RelevanceTopKRanksByCosine) {
+  // Query fully on theta_1: e4 is gone; e3 (0.89, 0.11) has the highest
+  // cosine to (1, 0) among actives... e6 is (0.7, 0.3).
+  const SparseVector x = SparseVector::FromEntries({{0, 1.0}});
+  const auto result = RelevanceTopK(window(), x, 2);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0], 3);
+  EXPECT_EQ(result[1], 6);
+}
+
+TEST_F(SearchBaselineTest, RelevanceTopKHandlesOversizedK) {
+  const SparseVector x = SparseVector::FromEntries({{0, 0.5}, {1, 0.5}});
+  const auto result = RelevanceTopK(window(), x, 50);
+  EXPECT_EQ(result.size(), 7u);
+}
+
+TEST_F(SearchBaselineTest, RelevanceIgnoresInfluenceEntirely) {
+  // e6 has a referrer and e3's topic vector is extreme; REL only sees the
+  // cosine, so a pure theta_2 query ranks e1 (0.2, 0.8) first.
+  const SparseVector x = SparseVector::FromEntries({{1, 1.0}});
+  const auto result = RelevanceTopK(window(), x, 1);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], 1);
+}
+
+// ---------------------------------------------------------------- LexRank --
+
+TEST(LexRankTest, UniformGraphGivesUniformRanks) {
+  const std::vector<std::vector<double>> sim = {
+      {0.0, 0.5, 0.5}, {0.5, 0.0, 0.5}, {0.5, 0.5, 0.0}};
+  const auto ranks = LexRank(sim);
+  ASSERT_EQ(ranks.size(), 3u);
+  EXPECT_NEAR(ranks[0], 1.0 / 3, 1e-9);
+  EXPECT_NEAR(ranks[1], 1.0 / 3, 1e-9);
+  EXPECT_NEAR(std::accumulate(ranks.begin(), ranks.end(), 0.0), 1.0, 1e-9);
+}
+
+TEST(LexRankTest, CentralNodeWins) {
+  // Star: node 0 connected to all, leaves only to 0.
+  const std::vector<std::vector<double>> sim = {
+      {0.0, 0.9, 0.9, 0.9},
+      {0.9, 0.0, 0.0, 0.0},
+      {0.9, 0.0, 0.0, 0.0},
+      {0.9, 0.0, 0.0, 0.0}};
+  const auto ranks = LexRank(sim);
+  EXPECT_GT(ranks[0], ranks[1]);
+  EXPECT_GT(ranks[0], ranks[2]);
+  EXPECT_GT(ranks[0], ranks[3]);
+}
+
+TEST(LexRankTest, ThresholdDropsWeakEdges) {
+  LexRankOptions options;
+  options.threshold = 0.5;
+  const std::vector<std::vector<double>> sim = {
+      {0.0, 0.4}, {0.4, 0.0}};  // below threshold: isolated nodes
+  const auto ranks = LexRank(sim, options);
+  EXPECT_NEAR(ranks[0], 0.5, 1e-9);
+  EXPECT_NEAR(ranks[1], 0.5, 1e-9);
+}
+
+TEST(LexRankTest, EmptyInput) { EXPECT_TRUE(LexRank({}).empty()); }
+
+TEST(LexRankTest, RanksSumToOne) {
+  const std::vector<std::vector<double>> sim = {
+      {0.0, 0.8, 0.1}, {0.8, 0.0, 0.7}, {0.1, 0.7, 0.0}};
+  const auto ranks = LexRank(sim);
+  EXPECT_NEAR(std::accumulate(ranks.begin(), ranks.end(), 0.0), 1.0, 1e-9);
+}
+
+// ------------------------------------------------------------------- BM25 --
+
+TEST_F(SearchBaselineTest, Bm25ScoresExactMatches) {
+  const TfIdfIndex index = TfIdfIndex::Build(window());
+  // w9 ("manutd", id 8) only occurs in e2.
+  EXPECT_GT(index.Bm25Score(2, {8}), 0.0);
+  EXPECT_DOUBLE_EQ(index.Bm25Score(1, {8}), 0.0);
+  EXPECT_DOUBLE_EQ(index.Bm25Score(2, {999}), 0.0);
+  EXPECT_DOUBLE_EQ(index.Bm25Score(999, {8}), 0.0);
+}
+
+TEST_F(SearchBaselineTest, Bm25RareTermsOutweighCommonOnes) {
+  const TfIdfIndex index = TfIdfIndex::Build(window());
+  // "manutd" (df 1) must contribute more than "nbaplayoffs" (df 3) when
+  // both appear in documents of comparable length.
+  const double rare = index.Bm25Score(2, {8});       // e2 contains manutd
+  const double common = index.Bm25Score(8, {9});     // e8 contains w10
+  EXPECT_GT(rare, common);
+}
+
+TEST_F(SearchBaselineTest, Bm25TopKMatchesManualRanking) {
+  const TfIdfIndex index = TfIdfIndex::Build(window());
+  const std::vector<WordId> query = {3, 10};  // champion, pl
+  const auto top = index.TopKBm25(query, 5);
+  ASSERT_GE(top.size(), 2u);
+  // Every returned element scores at least the next one.
+  for (std::size_t i = 0; i + 1 < top.size(); ++i) {
+    EXPECT_GE(index.Bm25Score(top[i], query),
+              index.Bm25Score(top[i + 1], query) - 1e-12);
+  }
+  EXPECT_TRUE(index.TopKBm25({999}, 5).empty());
+}
+
+TEST_F(SearchBaselineTest, Bm25LengthNormalizationPenalizesLongDocs) {
+  const TfIdfIndex index = TfIdfIndex::Build(window());
+  // w10 ("nbaplayoffs", id 9) appears once in e3 (4 words), e6 (4 words),
+  // e8 (3 words): the shortest document scores highest at b = 0.75.
+  const double score_e8 = index.Bm25Score(8, {9});
+  const double score_e3 = index.Bm25Score(3, {9});
+  EXPECT_GT(score_e8, score_e3);
+  // With b = 0 the length penalty disappears and the scores tie.
+  EXPECT_NEAR(index.Bm25Score(8, {9}, 1.2, 0.0),
+              index.Bm25Score(3, {9}, 1.2, 0.0), 1e-12);
+}
+
+TEST_F(SearchBaselineTest, AverageLengthReflectsWindow) {
+  const TfIdfIndex index = TfIdfIndex::Build(window());
+  // Lengths of e1,e2,e3,e5,e6,e7,e8: 5+3+4+3+4+2+3 = 24 over 7 docs.
+  EXPECT_NEAR(index.average_length(), 24.0 / 7.0, 1e-12);
+}
+
+// --------------------------------------------------------------- PageRank --
+
+TEST_F(SearchBaselineTest, PageRankSumsToOne) {
+  const auto ranks = ComputePageRank(window());
+  ASSERT_EQ(ranks.size(), 7u);
+  double total = 0.0;
+  for (const auto& [id, rank] : ranks) total += rank;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_F(SearchBaselineTest, PageRankFavorsCitedElements) {
+  // e2 and e3 each have two in-window referrers; e5/e7 have none.
+  const auto ranks = ComputePageRank(window());
+  EXPECT_GT(ranks.at(2), ranks.at(5));
+  EXPECT_GT(ranks.at(3), ranks.at(7));
+}
+
+TEST_F(SearchBaselineTest, PageRankChainAccumulates) {
+  // e8 -> e6 -> e3: rank must flow down the chain, so e3 outranks e6.
+  const auto ranks = ComputePageRank(window());
+  EXPECT_GT(ranks.at(3), ranks.at(6));
+}
+
+TEST(PageRankTest, EmptyWindow) {
+  ActiveWindow window(10);
+  EXPECT_TRUE(ComputePageRank(window).empty());
+}
+
+// ----------------------------------------------------------------- Sumblr --
+
+TEST_F(SearchBaselineTest, SumblrFiltersByKeyword) {
+  const TfIdfIndex index = TfIdfIndex::Build(window());
+  // Keyword w10 ("nbaplayoffs" id 9) matches e3, e6, e8 only.
+  const auto result = SumblrSummarize(window(), index, {9}, 2, 2);
+  ASSERT_LE(result.size(), 2u);
+  for (ElementId id : result) {
+    EXPECT_TRUE(id == 3 || id == 6 || id == 8) << id;
+  }
+}
+
+TEST_F(SearchBaselineTest, SumblrEmptyWithoutMatches) {
+  const TfIdfIndex index = TfIdfIndex::Build(window());
+  EXPECT_TRUE(SumblrSummarize(window(), index, {999}, 3, 2).empty());
+  EXPECT_TRUE(SumblrSummarize(window(), index, {9}, 0, 2).empty());
+}
+
+TEST_F(SearchBaselineTest, SumblrFillsUpToKWhenFewerClusters) {
+  const TfIdfIndex index = TfIdfIndex::Build(window());
+  const auto result = SumblrSummarize(window(), index, {9}, 3, 2);
+  EXPECT_EQ(result.size(), 3u);  // all three matching candidates returned
+}
+
+TEST_F(SearchBaselineTest, SumblrDeterministicForSeed) {
+  const TfIdfIndex index = TfIdfIndex::Build(window());
+  const auto a = SumblrSummarize(window(), index, {9, 10}, 3, 2);
+  const auto b = SumblrSummarize(window(), index, {9, 10}, 3, 2);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(SearchBaselineTest, SumblrInfluenceBoostPrefersReferencedElements) {
+  const TfIdfIndex index = TfIdfIndex::Build(window());
+  // Candidates for w10 ("pl", id 10): e2, e7, e8. e2 has two in-window
+  // referrers; with a strong influence boost it must be selected.
+  SumblrOptions options;
+  options.influence_boost = 3.0;
+  const auto result = SumblrSummarize(window(), index, {10}, 1, 2, options);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], 2);
+}
+
+}  // namespace
+}  // namespace ksir

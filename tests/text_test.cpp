@@ -1,0 +1,203 @@
+// Unit tests for the text substrate: tokenizer, stop words, vocabulary,
+// documents, corpus.
+#include <gtest/gtest.h>
+
+#include "text/corpus.h"
+#include "text/document.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace ksir {
+namespace {
+
+// -------------------------------------------------------------- Tokenizer --
+
+TEST(TokenizerTest, LowercasesAndSplitsOnPunctuation) {
+  Tokenizer tok;
+  const auto tokens = tok.Tokenize("LeBron is GREAT! #NBAPlayoffs");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"lebron", "is", "great",
+                                              "nbaplayoffs"}));
+}
+
+TEST(TokenizerTest, HashtagsAndMentionsSurvive) {
+  Tokenizer tok;
+  const auto tokens =
+      tok.Tokenize("@asroma win but it's @LFC joining @realmadrid in #UCL");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"asroma", "win", "but", "it's",
+                                              "lfc", "joining", "realmadrid",
+                                              "in", "ucl"}));
+}
+
+TEST(TokenizerTest, KeepSigilsOptionPreservesMarkers) {
+  TokenizerOptions options;
+  options.keep_sigils = true;
+  Tokenizer tok(options);
+  const auto tokens = tok.Tokenize("@LFC wins #UCL");
+  EXPECT_EQ(tokens,
+            (std::vector<std::string>{"@lfc", "wins", "#ucl"}));
+}
+
+TEST(TokenizerTest, StripsUrls) {
+  Tokenizer tok;
+  const auto tokens =
+      tok.Tokenize("read this https://t.co/abc123 now www.example.com");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"read", "this", "now"}));
+}
+
+TEST(TokenizerTest, DropsPureNumbersButKeepsAlphanumerics) {
+  Tokenizer tok;
+  const auto tokens = tok.Tokenize("Cavs defeat Raptors 128-110 in game7");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"cavs", "defeat", "raptors",
+                                              "in", "game7"}));
+}
+
+TEST(TokenizerTest, MinLengthFiltersShortTokens) {
+  Tokenizer tok;  // min length 2
+  const auto tokens = tok.Tokenize("a b cd");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"cd"}));
+}
+
+TEST(TokenizerTest, EmptyAndSeparatorOnlyInput) {
+  Tokenizer tok;
+  EXPECT_TRUE(tok.Tokenize("").empty());
+  EXPECT_TRUE(tok.Tokenize("  ... !!! @ #").empty());
+}
+
+TEST(TokenizerTest, HyphenatedAndUnderscoreTokens) {
+  Tokenizer tok;
+  const auto tokens = tok.Tokenize("semi-final kian_lee -edge-");
+  EXPECT_EQ(tokens,
+            (std::vector<std::string>{"semi-final", "kian_lee", "edge"}));
+}
+
+// -------------------------------------------------------------- StopWords --
+
+TEST(StopWordsTest, EnglishListContainsCommonWords) {
+  const StopWordSet& sw = StopWordSet::English();
+  EXPECT_TRUE(sw.Contains("the"));
+  EXPECT_TRUE(sw.Contains("is"));
+  EXPECT_TRUE(sw.Contains("and"));
+  EXPECT_TRUE(sw.Contains("rt"));
+  EXPECT_FALSE(sw.Contains("lebron"));
+  EXPECT_FALSE(sw.Contains("champion"));
+}
+
+TEST(StopWordsTest, CustomSet) {
+  StopWordSet sw;
+  EXPECT_EQ(sw.size(), 0u);
+  sw.Add("foo");
+  EXPECT_TRUE(sw.Contains("foo"));
+  EXPECT_FALSE(sw.Contains("bar"));
+}
+
+// ------------------------------------------------------------- Vocabulary --
+
+TEST(VocabularyTest, InterningAssignsDenseIds) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.GetOrAdd("alpha"), 0);
+  EXPECT_EQ(vocab.GetOrAdd("beta"), 1);
+  EXPECT_EQ(vocab.GetOrAdd("alpha"), 0);
+  EXPECT_EQ(vocab.size(), 2u);
+  EXPECT_EQ(vocab.WordOf(0), "alpha");
+  EXPECT_EQ(vocab.WordOf(1), "beta");
+}
+
+TEST(VocabularyTest, LookupMissingReturnsInvalid) {
+  Vocabulary vocab;
+  vocab.GetOrAdd("alpha");
+  EXPECT_EQ(vocab.Lookup("alpha"), 0);
+  EXPECT_EQ(vocab.Lookup("gamma"), kInvalidWordId);
+}
+
+TEST(VocabularyTest, OccurrenceCounting) {
+  Vocabulary vocab;
+  const WordId id = vocab.GetOrAdd("alpha");
+  EXPECT_EQ(vocab.OccurrenceCount(id), 0);
+  vocab.AddOccurrences(id);
+  vocab.AddOccurrences(id, 4);
+  EXPECT_EQ(vocab.OccurrenceCount(id), 5);
+}
+
+// --------------------------------------------------------------- Document --
+
+TEST(DocumentTest, FromWordIdsCountsFrequencies) {
+  const Document doc = Document::FromWordIds({3, 1, 3, 3, 2});
+  EXPECT_EQ(doc.num_tokens(), 5);
+  EXPECT_EQ(doc.num_distinct_words(), 3u);
+  EXPECT_EQ(doc.FrequencyOf(3), 3);
+  EXPECT_EQ(doc.FrequencyOf(1), 1);
+  EXPECT_EQ(doc.FrequencyOf(2), 1);
+  EXPECT_EQ(doc.FrequencyOf(9), 0);
+}
+
+TEST(DocumentTest, WordCountsSortedByWordId) {
+  const Document doc = Document::FromWordIds({5, 0, 2});
+  ASSERT_EQ(doc.word_counts().size(), 3u);
+  EXPECT_EQ(doc.word_counts()[0].first, 0);
+  EXPECT_EQ(doc.word_counts()[1].first, 2);
+  EXPECT_EQ(doc.word_counts()[2].first, 5);
+}
+
+TEST(DocumentTest, EmptyDocument) {
+  const Document doc = Document::FromWordIds({});
+  EXPECT_TRUE(doc.empty());
+  EXPECT_EQ(doc.num_tokens(), 0);
+}
+
+TEST(DocumentTest, ToTokenListExpandsFrequencies) {
+  const Document doc = Document::FromWordIds({2, 2, 7});
+  EXPECT_EQ(doc.ToTokenList(), (std::vector<WordId>{2, 2, 7}));
+}
+
+TEST(DocumentTest, FromTextRemovesStopWordsAndInterns) {
+  Vocabulary vocab;
+  Tokenizer tok;
+  const Document doc = Document::FromText(
+      "LeBron is the 1st player with 40+ points", tok,
+      StopWordSet::English(), &vocab);
+  // "is", "the", "with" are stop words; "1st" keeps (alphanumeric);
+  // "40" is a pure number and dropped.
+  EXPECT_NE(vocab.Lookup("lebron"), kInvalidWordId);
+  EXPECT_EQ(vocab.Lookup("the"), kInvalidWordId);
+  EXPECT_NE(vocab.Lookup("player"), kInvalidWordId);
+  EXPECT_NE(vocab.Lookup("points"), kInvalidWordId);
+  EXPECT_EQ(doc.FrequencyOf(vocab.Lookup("lebron")), 1);
+  EXPECT_GT(vocab.OccurrenceCount(vocab.Lookup("lebron")), 0);
+}
+
+TEST(DocumentTest, FromTextCountsRepeats) {
+  Vocabulary vocab;
+  Tokenizer tok;
+  const Document doc = Document::FromText("goal goal goal", tok,
+                                          StopWordSet::English(), &vocab);
+  EXPECT_EQ(doc.FrequencyOf(vocab.Lookup("goal")), 3);
+  EXPECT_EQ(doc.num_tokens(), 3);
+}
+
+// ----------------------------------------------------------------- Corpus --
+
+TEST(CorpusTest, TracksDocumentFrequency) {
+  Vocabulary vocab;
+  Corpus corpus(&vocab);
+  corpus.Add(Document::FromWordIds({0, 1, 1}));
+  corpus.Add(Document::FromWordIds({1, 2}));
+  EXPECT_EQ(corpus.size(), 2u);
+  EXPECT_EQ(corpus.DocumentFrequency(0), 1);
+  EXPECT_EQ(corpus.DocumentFrequency(1), 2);  // df counts documents, not tokens
+  EXPECT_EQ(corpus.DocumentFrequency(2), 1);
+  EXPECT_EQ(corpus.DocumentFrequency(7), 0);
+}
+
+TEST(CorpusTest, AverageLength) {
+  Vocabulary vocab;
+  Corpus corpus(&vocab);
+  EXPECT_DOUBLE_EQ(corpus.AverageLength(), 0.0);
+  corpus.Add(Document::FromWordIds({0, 1}));
+  corpus.Add(Document::FromWordIds({0, 1, 2, 3}));
+  EXPECT_DOUBLE_EQ(corpus.AverageLength(), 3.0);
+  EXPECT_EQ(corpus.total_tokens(), 6);
+}
+
+}  // namespace
+}  // namespace ksir
