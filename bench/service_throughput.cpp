@@ -1,0 +1,117 @@
+// Sharded-service query throughput vs. a single engine.
+//
+// The serving claim behind src/service/: repeated trending queries between
+// bucket boundaries are answered from the epoch-keyed result cache, and
+// cache misses fan out to N shards whose per-shard work is a fraction of
+// one big engine's. This harness feeds the same RedditSim stream to a
+// single engine, a cold-cache sharded service (capacity 1 forces the
+// planner path) and a warm-cache service, then replays a rotating workload
+// of ad-hoc queries against each.
+//
+//   $ ./service_throughput
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "core/engine.h"
+#include "service/service.h"
+
+namespace {
+
+using namespace ksir;         // NOLINT(build/namespaces) - bench brevity
+using namespace ksir::bench;  // NOLINT(build/namespaces)
+
+/// Replays the workload round-robin `rounds` times; returns queries/sec.
+template <typename QueryFn>
+double MeasureQps(const std::vector<QuerySpec>& workload, std::size_t rounds,
+                  Algorithm algorithm, std::int32_t k, const QueryFn& run) {
+  std::size_t answered = 0;
+  WallTimer timer;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (const QuerySpec& spec : workload) {
+      KsirQuery query;
+      query.k = k;
+      query.x = spec.x;
+      query.epsilon = 0.1;
+      query.algorithm = algorithm;
+      if (run(query)) ++answered;
+    }
+  }
+  const double seconds = timer.ElapsedMillis() / 1000.0;
+  return seconds > 0.0 ? static_cast<double>(answered) / seconds : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("Sharded service query throughput",
+              "service layer (beyond the paper): fan-out/merge + result cache");
+
+  const Dataset dataset = MakeDataset(1);  // RedditSim
+  const EngineConfig config = MakeConfig(dataset);
+  const std::size_t num_shards = 4;
+  const std::int32_t k = 10;
+  const std::size_t rounds = GetScale() == Scale::kSmoke ? 2 : 8;
+  const auto workload = MakeWorkload(dataset, 32);
+
+  std::printf("dataset=%s elements=%zu shards=%zu k=%d workload=%zu "
+              "rounds=%zu\n\n",
+              dataset.name.c_str(), dataset.stream.elements.size(),
+              num_shards, k, workload.size(), rounds);
+
+  // Single engine.
+  std::unique_ptr<KsirEngine> engine = BuildAndFeed(dataset, config);
+
+  // Sharded service, cold: capacity 1 + 32 rotating queries => every query
+  // takes the planner path.
+  ServiceConfig cold_config;
+  cold_config.engine = config;
+  cold_config.num_shards = num_shards;
+  cold_config.cache_capacity = 1;
+  auto cold = KsirService::Create(cold_config, &dataset.stream.model);
+  KSIR_CHECK(cold.ok());
+  KSIR_CHECK((*cold)->Append(dataset.stream.elements).ok());
+
+  // Sharded service, warm: default capacity; one priming pass per epoch.
+  ServiceConfig warm_config = cold_config;
+  warm_config.cache_capacity = 4096;
+  auto warm = KsirService::Create(warm_config, &dataset.stream.model);
+  KSIR_CHECK(warm.ok());
+  KSIR_CHECK((*warm)->Append(dataset.stream.elements).ok());
+
+  PrintHeaderRow("algo", {"engine q/s", "cold q/s", "warm q/s", "warm/engine"});
+  for (const Algorithm algorithm : {Algorithm::kMttd, Algorithm::kCelf}) {
+    const double engine_qps =
+        MeasureQps(workload, rounds, algorithm, k, [&](const KsirQuery& q) {
+          return engine->Query(q).ok();
+        });
+    const double cold_qps =
+        MeasureQps(workload, rounds, algorithm, k, [&](const KsirQuery& q) {
+          return (*cold)->Query(q).ok();
+        });
+    // Prime, then measure.
+    MeasureQps(workload, 1, algorithm, k, [&](const KsirQuery& q) {
+      return (*warm)->Query(q).ok();
+    });
+    const double warm_qps =
+        MeasureQps(workload, rounds, algorithm, k, [&](const KsirQuery& q) {
+          return (*warm)->Query(q).ok();
+        });
+    PrintRow(std::string(AlgorithmName(algorithm)),
+             {engine_qps, cold_qps, warm_qps,
+              engine_qps > 0.0 ? warm_qps / engine_qps : 0.0});
+  }
+
+  const auto stats = (*warm)->stats();
+  std::printf("\nwarm service: epoch=%llu cache hits=%lld misses=%lld "
+              "plans=%lld merge_wins=%lld cross_shard_refs=%lld\n",
+              static_cast<unsigned long long>(stats.epoch),
+              static_cast<long long>(stats.cache.hits),
+              static_cast<long long>(stats.cache.misses),
+              static_cast<long long>(stats.planner.plans),
+              static_cast<long long>(stats.planner.merge_wins),
+              static_cast<long long>(stats.ingestion.cross_shard_refs));
+  return 0;
+}

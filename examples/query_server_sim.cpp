@@ -2,10 +2,13 @@
 // of users can submit ad-hoc k-SIR queries that must each be answered in
 // real time while the stream keeps flowing.
 //
-// One writer thread ingests a RedditSim stream bucket by bucket; several
-// reader threads fire random keyword queries concurrently (shared-lock
-// queries vs. exclusive-lock ingestion). Reports query throughput and
-// latency percentiles per algorithm.
+// This example runs the claim through the sharded service (src/service/):
+// one writer thread ingests a RedditSim stream bucket by bucket through the
+// ShardedIngestor (partitioned across 4 shard engines); several reader
+// threads fire random keyword queries that the QueryPlanner fans out and
+// merges, with repeated queries between bucket boundaries served from the
+// epoch-keyed ResultCache. Reports query throughput, latency percentiles
+// per algorithm, and the service counters.
 //
 //   $ ./query_server_sim
 #include <algorithm>
@@ -18,7 +21,7 @@
 
 #include "common/rng.h"
 #include "common/timer.h"
-#include "core/engine.h"
+#include "service/service.h"
 #include "stream/generator.h"
 #include "topic/inference.h"
 
@@ -37,7 +40,8 @@ double Percentile(std::vector<double> values, double p) {
 }  // namespace
 
 int main() {
-  std::printf("Query-server simulation: concurrent ad-hoc k-SIR queries\n");
+  std::printf("Query-server simulation: sharded service, concurrent k-SIR "
+              "queries\n");
   std::printf("=========================================================\n");
 
   StreamProfile profile = RedditSimProfile();
@@ -46,14 +50,19 @@ int main() {
   KSIR_CHECK(generated.ok());
   const GeneratedStream& stream = *generated;
 
-  EngineConfig config;
-  config.scoring.eta = 20.0;
-  config.window_length = 24 * 3600;
-  config.bucket_length = 15 * 60;
-  KsirEngine engine(config, &stream.model);
+  ServiceConfig config;
+  config.engine.scoring.eta = 20.0;
+  config.engine.window_length = 24 * 3600;
+  config.engine.bucket_length = 15 * 60;
+  config.num_shards = 4;
+  auto created = KsirService::Create(config, &stream.model);
+  KSIR_CHECK(created.ok());
+  KsirService& service = **created;
 
   // Pre-infer a pool of random keyword query vectors (frequency-weighted
-  // keyword draws, 1-5 keywords each, as in Section 5.1).
+  // keyword draws, 1-5 keywords each, as in Section 5.1). A pool of 64
+  // against thousands of queries is exactly the trending-query pattern the
+  // result cache exists for.
   TopicInferencer inferencer(&stream.model);
   std::vector<double> word_weights(stream.vocab.size());
   for (std::size_t w = 0; w < stream.vocab.size(); ++w) {
@@ -85,9 +94,8 @@ int main() {
   std::atomic<bool> done{false};
   std::atomic<std::int64_t> total_queries{0};
 
-  // Leave a core for the writer; pthread rwlocks prefer readers, so a
-  // short think-time between queries keeps the ingestion thread from
-  // starving on small machines.
+  // Leave a core for the writer; a short think-time between queries keeps
+  // the ingestion thread from starving on small machines.
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   const unsigned num_readers = std::clamp(hw - 1, 1u, 4u);
   std::vector<std::thread> readers;
@@ -101,38 +109,42 @@ int main() {
         query.epsilon = 0.1;
         query.algorithm = algo->algorithm;
         query.x = query_pool[thread_rng.NextUint64(query_pool.size())];
-        const auto result = engine.Query(query);
+        WallTimer latency;
+        const auto result = service.Query(query);
         if (result.ok()) {
+          const double elapsed_ms = latency.ElapsedMillis();
           total_queries.fetch_add(1, std::memory_order_relaxed);
           std::lock_guard lock(algo->mutex);
-          algo->latencies_ms.push_back(result->stats.elapsed_ms);
+          algo->latencies_ms.push_back(elapsed_ms);
         }
         std::this_thread::sleep_for(std::chrono::microseconds(500));
       }
     });
   }
 
-  // Writer: feed the whole stream.
+  // Writer: feed the whole stream through the sharded ingestor.
   WallTimer wall;
   std::size_t begin = 0;
   Timestamp bucket_end = 0;
   while (begin < stream.elements.size()) {
-    bucket_end += config.bucket_length;
+    bucket_end += config.engine.bucket_length;
     std::vector<SocialElement> bucket;
     while (begin < stream.elements.size() &&
            stream.elements[begin].ts <= bucket_end) {
       bucket.push_back(stream.elements[begin]);
       ++begin;
     }
-    KSIR_CHECK(engine.AdvanceTo(bucket_end, std::move(bucket)).ok());
+    KSIR_CHECK(service.AdvanceTo(bucket_end, std::move(bucket)).ok());
   }
   done.store(true);
   for (auto& reader : readers) reader.join();
   const double elapsed_s = wall.ElapsedMillis() / 1000.0;
 
-  std::printf("\n%u reader threads, 1 writer; %lld queries answered while "
-              "ingesting %zu elements in %.1f s (%.0f queries/s).\n",
-              num_readers, static_cast<long long>(total_queries.load()),
+  std::printf("\n%u reader threads, 1 writer, %zu shards; %lld queries "
+              "answered while ingesting %zu elements in %.1f s "
+              "(%.0f queries/s).\n",
+              num_readers, service.num_shards(),
+              static_cast<long long>(total_queries.load()),
               stream.elements.size(), elapsed_s,
               static_cast<double>(total_queries.load()) / elapsed_s);
 
@@ -147,9 +159,26 @@ int main() {
                 Percentile(algo->latencies_ms, 0.99));
   }
 
-  const auto stats = engine.maintenance_stats();
-  std::printf("\nMaintenance: %.3f ms/element with concurrent readers.\n",
-              stats.total_update_ms /
-                  static_cast<double>(stats.elements_ingested));
+  const ServiceStats stats = service.stats();
+  std::printf("\nService: epoch=%llu, %.3f ms/element ingestion with "
+              "concurrent readers.\n",
+              static_cast<unsigned long long>(stats.epoch),
+              stats.ingestion.total_update_ms /
+                  static_cast<double>(stats.ingestion.elements_ingested));
+  std::printf("Cache: %lld hits / %lld misses (%.0f%% hit rate), "
+              "%lld invalidated across epochs.\n",
+              static_cast<long long>(stats.cache.hits),
+              static_cast<long long>(stats.cache.misses),
+              100.0 * static_cast<double>(stats.cache.hits) /
+                  static_cast<double>(
+                      std::max<std::int64_t>(1, stats.cache.hits +
+                                                    stats.cache.misses)),
+              static_cast<long long>(stats.cache.invalidated));
+  std::printf("Planner: %lld plans, %lld merge wins, %lld epoch retries; "
+              "%lld cross-shard refs dropped at ingest.\n",
+              static_cast<long long>(stats.planner.plans),
+              static_cast<long long>(stats.planner.merge_wins),
+              static_cast<long long>(stats.planner.epoch_retries),
+              static_cast<long long>(stats.ingestion.cross_shard_refs));
   return 0;
 }

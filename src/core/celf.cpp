@@ -27,22 +27,31 @@ struct HeapEntry {
   }
 };
 
-}  // namespace
-
-QueryResult RunCelf(const ScoringContext& ctx, const ActiveWindow& window,
-                    const KsirQuery& query) {
+/// Shared lazy-greedy body; `candidates` restricts the ground set when
+/// non-null, otherwise every active element competes.
+QueryResult RunCelfImpl(const ScoringContext& ctx, const ActiveWindow& window,
+                        const KsirQuery& query,
+                        const std::vector<ElementId>* candidates) {
   KSIR_CHECK(query.k >= 1);
   WallTimer timer;
   QueryResult result;
   CandidateState candidate(&ctx, &query.x);
 
-  // First pass: singleton scores of all active elements.
+  // First pass: singleton scores of the ground set.
   std::priority_queue<HeapEntry> heap;
-  window.ForEachActive([&](const SocialElement& e) {
+  const auto seed = [&](const SocialElement& e) {
     const double score = ctx.ElementScore(e, query.x);
     ++result.stats.num_evaluated;
     if (score > 0.0) heap.push(HeapEntry{score, e.id, 0});
-  });
+  };
+  if (candidates == nullptr) {
+    window.ForEachActive(seed);
+  } else {
+    for (const ElementId id : *candidates) {
+      const SocialElement* e = window.Find(id);
+      if (e != nullptr) seed(*e);
+    }
+  }
 
   while (!heap.empty() &&
          candidate.size() < static_cast<std::size_t>(query.k)) {
@@ -66,6 +75,19 @@ QueryResult RunCelf(const ScoringContext& ctx, const ActiveWindow& window,
   result.score = candidate.score();
   result.stats.elapsed_ms = timer.ElapsedMillis();
   return result;
+}
+
+}  // namespace
+
+QueryResult RunCelf(const ScoringContext& ctx, const ActiveWindow& window,
+                    const KsirQuery& query) {
+  return RunCelfImpl(ctx, window, query, nullptr);
+}
+
+QueryResult RunCelfOverCandidates(
+    const ScoringContext& ctx, const ActiveWindow& window,
+    const KsirQuery& query, const std::vector<ElementId>& candidate_ids) {
+  return RunCelfImpl(ctx, window, query, &candidate_ids);
 }
 
 QueryResult RunGreedy(const ScoringContext& ctx, const ActiveWindow& window,

@@ -5,6 +5,8 @@
 #ifndef KSIR_CORE_CELF_H_
 #define KSIR_CORE_CELF_H_
 
+#include <vector>
+
 #include "core/query.h"
 #include "core/scoring.h"
 #include "window/active_window.h"
@@ -15,6 +17,14 @@ namespace ksir {
 /// cached gains as upper bounds.
 QueryResult RunCelf(const ScoringContext& ctx, const ActiveWindow& window,
                     const KsirQuery& query);
+
+/// RunCelf restricted to `candidate_ids` (ids not active in `window` are
+/// skipped). Used by the sharded service's merge step over the union of
+/// per-shard candidates.
+QueryResult RunCelfOverCandidates(const ScoringContext& ctx,
+                                  const ActiveWindow& window,
+                                  const KsirQuery& query,
+                                  const std::vector<ElementId>& candidate_ids);
 
 /// Plain greedy: k passes of full marginal-gain recomputation. O(k * n)
 /// evaluations; used as a test oracle for CELF equivalence.

@@ -34,6 +34,23 @@ std::string_view AlgorithmName(Algorithm algorithm) {
   return "Unknown";
 }
 
+Status ValidateEngineConfig(const EngineConfig& config) {
+  if (config.bucket_length <= 0) {
+    return Status::InvalidArgument("bucket_length must be positive");
+  }
+  if (config.window_length < config.bucket_length) {
+    return Status::InvalidArgument(
+        "window_length must cover at least one bucket");
+  }
+  if (config.scoring.eta <= 0.0) {
+    return Status::InvalidArgument("scoring.eta must be positive");
+  }
+  if (config.scoring.lambda < 0.0 || config.scoring.lambda > 1.0) {
+    return Status::InvalidArgument("scoring.lambda must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
 KsirEngine::KsirEngine(EngineConfig config, const TopicModel* model)
     : config_(config),
       window_(config.window_length, config.archive_retention),
@@ -44,9 +61,28 @@ KsirEngine::KsirEngine(EngineConfig config, const TopicModel* model)
   KSIR_CHECK(config.window_length >= config.bucket_length);
 }
 
+StatusOr<std::unique_ptr<KsirEngine>> KsirEngine::Create(
+    EngineConfig config, const TopicModel* model) {
+  KSIR_RETURN_NOT_OK(ValidateEngineConfig(config));
+  if (model == nullptr) {
+    return Status::InvalidArgument("topic model must not be null");
+  }
+  return std::make_unique<KsirEngine>(config, model);
+}
+
 Status KsirEngine::AdvanceTo(Timestamp bucket_end,
                              std::vector<SocialElement> bucket) {
   std::unique_lock lock(mutex_);
+  if (bucket_end < window_.now()) {
+    return Status::InvalidArgument(
+        "out-of-order bucket: bucket_end " + std::to_string(bucket_end) +
+        " precedes engine time " + std::to_string(window_.now()));
+  }
+  if (bucket_end == window_.now() && bucket.empty()) {
+    return Status::FailedPrecondition(
+        "no-op bucket: empty bucket at the current engine time " +
+        std::to_string(bucket_end));
+  }
   WallTimer timer;
   const std::size_t n = bucket.size();
   KSIR_ASSIGN_OR_RETURN(ActiveWindow::UpdateResult update,
@@ -57,12 +93,17 @@ Status KsirEngine::AdvanceTo(Timestamp bucket_end,
   stats_.elements_expired += static_cast<std::int64_t>(update.expired.size());
   stats_.dangling_refs += update.dangling_refs;
   stats_.total_update_ms += timer.ElapsedMillis();
+  ++bucket_epoch_;
   return Status::OK();
 }
 
-Status KsirEngine::Append(std::vector<SocialElement> elements) {
+Status AppendInBuckets(
+    std::vector<SocialElement> elements, Timestamp bucket_length,
+    const std::function<Timestamp()>& now,
+    const std::function<Status(Timestamp, std::vector<SocialElement>)>&
+        advance) {
   if (elements.empty()) return Status::OK();
-  const Timestamp l = config_.bucket_length;
+  const Timestamp l = bucket_length;
   std::size_t begin = 0;
   while (begin < elements.size()) {
     // Bucket end: the smallest multiple of L at/after the first element
@@ -71,7 +112,7 @@ Status KsirEngine::Append(std::vector<SocialElement> elements) {
     if (first_ts <= now()) {
       return Status::InvalidArgument(
           "element ts " + std::to_string(first_ts) +
-          " not newer than engine time " + std::to_string(now()));
+          " not newer than stream time " + std::to_string(now()));
     }
     Timestamp bucket_end = ((first_ts + l - 1) / l) * l;
     if (bucket_end <= now()) bucket_end += l;
@@ -85,10 +126,18 @@ Status KsirEngine::Append(std::vector<SocialElement> elements) {
                                 static_cast<std::ptrdiff_t>(begin)),
         std::make_move_iterator(elements.begin() +
                                 static_cast<std::ptrdiff_t>(end)));
-    KSIR_RETURN_NOT_OK(AdvanceTo(bucket_end, std::move(bucket)));
+    KSIR_RETURN_NOT_OK(advance(bucket_end, std::move(bucket)));
     begin = end;
   }
   return Status::OK();
+}
+
+Status KsirEngine::Append(std::vector<SocialElement> elements) {
+  return AppendInBuckets(
+      std::move(elements), config_.bucket_length, [this]() { return now(); },
+      [this](Timestamp bucket_end, std::vector<SocialElement> bucket) {
+        return AdvanceTo(bucket_end, std::move(bucket));
+      });
 }
 
 StatusOr<QueryResult> KsirEngine::Query(const KsirQuery& query) const {
@@ -125,6 +174,30 @@ StatusOr<QueryResult> KsirEngine::Query(const KsirQuery& query) const {
 Timestamp KsirEngine::now() const {
   std::shared_lock lock(mutex_);
   return window_.now();
+}
+
+std::uint64_t KsirEngine::bucket_epoch() const {
+  std::shared_lock lock(mutex_);
+  return bucket_epoch_;
+}
+
+std::vector<ElementSnapshot> KsirEngine::ExportSnapshots(
+    const std::vector<ElementId>& ids) const {
+  std::shared_lock lock(mutex_);
+  std::vector<ElementSnapshot> snapshots;
+  snapshots.reserve(ids.size());
+  for (const ElementId id : ids) {
+    const SocialElement* element = window_.Find(id);
+    if (element == nullptr) continue;
+    ElementSnapshot snapshot;
+    snapshot.element = *element;
+    for (const Referrer& referrer : window_.ReferrersOf(id)) {
+      const SocialElement* r = window_.Find(referrer.id);
+      if (r != nullptr) snapshot.referrers.push_back(*r);
+    }
+    snapshots.push_back(std::move(snapshot));
+  }
+  return snapshots;
 }
 
 MaintenanceStats KsirEngine::maintenance_stats() const {

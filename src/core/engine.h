@@ -7,6 +7,7 @@
 #ifndef KSIR_CORE_ENGINE_H_
 #define KSIR_CORE_ENGINE_H_
 
+#include <functional>
 #include <memory>
 #include <shared_mutex>
 #include <vector>
@@ -47,6 +48,30 @@ struct MaintenanceStats {
   double total_update_ms = 0.0;
 };
 
+/// Splits `elements` (sorted by ts) into buckets ending at multiples of
+/// `bucket_length` (the final open chunk ends at its last element's ts) and
+/// feeds each through `advance`. The bucket-splitting rule shared by
+/// KsirEngine::Append and the sharded service's Append.
+Status AppendInBuckets(
+    std::vector<SocialElement> elements, Timestamp bucket_length,
+    const std::function<Timestamp()>& now,
+    const std::function<Status(Timestamp, std::vector<SocialElement>)>&
+        advance);
+
+/// Validates an EngineConfig (positive bucket length, window covering at
+/// least one bucket). Returned as Status so services can reject bad configs
+/// without dying; the KsirEngine constructor still CHECK-fails on them.
+Status ValidateEngineConfig(const EngineConfig& config);
+
+/// Self-contained export of one active element: the element itself plus its
+/// current in-window referrers (the influenced set I_t(e)). Everything a
+/// remote merge step needs to re-evaluate delta(e, x) without access to this
+/// engine's window.
+struct ElementSnapshot {
+  SocialElement element;
+  std::vector<SocialElement> referrers;
+};
+
 /// Streaming k-SIR query engine.
 class KsirEngine {
  public:
@@ -55,8 +80,14 @@ class KsirEngine {
   /// generator's ground truth).
   KsirEngine(EngineConfig config, const TopicModel* model);
 
+  /// Validating factory for long-running callers that must not abort.
+  static StatusOr<std::unique_ptr<KsirEngine>> Create(EngineConfig config,
+                                                      const TopicModel* model);
+
   /// Advances the clock to `bucket_end` and ingests `bucket` (elements with
   /// ts in (previous time, bucket_end], sorted by ts). Thread-exclusive.
+  /// Rejects out-of-order bucket ends (InvalidArgument) and no-op calls that
+  /// would neither move the clock nor ingest anything (FailedPrecondition).
   Status AdvanceTo(Timestamp bucket_end, std::vector<SocialElement> bucket);
 
   /// Convenience: splits `elements` (sorted by ts) into buckets of
@@ -70,6 +101,19 @@ class KsirEngine {
 
   /// Current engine clock.
   Timestamp now() const;
+
+  /// Monotone counter of successful AdvanceTo calls. Two equal epochs
+  /// bracket a quiescent window: any query answered between them would see
+  /// identical state, which is what makes epoch-keyed result caching sound.
+  std::uint64_t bucket_epoch() const;
+
+  /// Const-safe bulk export under the query (shared) lock: snapshots of the
+  /// requested elements with their in-window referrer sets. Ids that are not
+  /// active at call time are silently skipped, so callers racing AdvanceTo
+  /// should verify bucket_epoch() did not move across the Query + Export
+  /// pair and retry when it did.
+  std::vector<ElementSnapshot> ExportSnapshots(
+      const std::vector<ElementId>& ids) const;
 
   /// Read access for tests / benches (not thread-safe against AdvanceTo).
   const ActiveWindow& window() const { return window_; }
@@ -85,6 +129,7 @@ class KsirEngine {
   ScoringContext scoring_;
   IndexMaintainer maintainer_;
   MaintenanceStats stats_;
+  std::uint64_t bucket_epoch_ = 0;
   mutable std::shared_mutex mutex_;
 };
 

@@ -1,13 +1,20 @@
 #include "core/standing_query.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.h"
 
 namespace ksir {
 
+StandingQueryManager::StandingQueryManager(Evaluator evaluator)
+    : evaluator_(std::move(evaluator)) {
+  KSIR_CHECK(evaluator_ != nullptr);
+}
+
 StandingQueryManager::StandingQueryManager(const KsirEngine* engine)
-    : engine_(engine) {
+    : StandingQueryManager(Evaluator(
+          [engine](const KsirQuery& query) { return engine->Query(query); })) {
   KSIR_CHECK(engine != nullptr);
 }
 
@@ -26,7 +33,7 @@ bool StandingQueryManager::Unregister(std::int64_t standing_id) {
 Status StandingQueryManager::EvaluateAll() {
   Status first_error;
   for (auto& [id, entry] : entries_) {
-    auto result = engine_->Query(entry.query);
+    auto result = evaluator_(entry.query);
     if (!result.ok()) {
       if (first_error.ok()) first_error = result.status();
       continue;

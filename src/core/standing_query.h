@@ -1,8 +1,14 @@
 // Standing (continuous) k-SIR queries: the deployment pattern of the
 // paper's introduction — users keep an interest registered and the system
-// refreshes their representative set as the window slides. This manager
-// re-evaluates registered queries on demand (typically once per bucket) and
-// reports whether each result set changed.
+// refreshes their representative set as the window slides. The manager
+// re-evaluates registered queries on demand (typically once per bucket),
+// diffs each result against the previous one and reports whether it
+// changed.
+//
+// The manager is evaluator-agnostic: evaluation runs through a
+// caller-supplied function — a single engine's Query (the convenience
+// constructor) or the sharded service's planner + cache path (see
+// service/sharded_standing_query.h).
 #ifndef KSIR_CORE_STANDING_QUERY_H_
 #define KSIR_CORE_STANDING_QUERY_H_
 
@@ -16,9 +22,9 @@
 
 namespace ksir {
 
-/// Registry of standing queries over one engine.
+/// Registry of standing queries over one evaluation backend.
 /// Thread-compatible; call EvaluateAll from the ingestion thread after
-/// AdvanceTo (queries themselves take the engine's shared lock).
+/// AdvanceTo (the evaluator is responsible for its own locking).
 class StandingQueryManager {
  public:
   /// Invoked per standing query per evaluation. `changed` is true when the
@@ -27,7 +33,14 @@ class StandingQueryManager {
                                       const QueryResult& result,
                                       bool changed)>;
 
-  /// `engine` must outlive the manager.
+  /// Answers one k-SIR query against the current stream state.
+  using Evaluator = std::function<StatusOr<QueryResult>(const KsirQuery&)>;
+
+  /// Evaluates through `evaluator` (must be non-null).
+  explicit StandingQueryManager(Evaluator evaluator);
+
+  /// Convenience: evaluates through `engine->Query`. `engine` must outlive
+  /// the manager.
   explicit StandingQueryManager(const KsirEngine* engine);
 
   /// Registers a query; returns its standing id.
@@ -36,7 +49,7 @@ class StandingQueryManager {
   /// Removes a standing query; false when the id is unknown.
   bool Unregister(std::int64_t standing_id);
 
-  /// Re-evaluates every standing query against the engine's current state.
+  /// Re-evaluates every standing query against the current stream state.
   /// Returns the first query error encountered (remaining queries still
   /// run).
   Status EvaluateAll();
@@ -51,7 +64,7 @@ class StandingQueryManager {
     bool evaluated_once = false;
   };
 
-  const KsirEngine* engine_;
+  Evaluator evaluator_;
   std::map<std::int64_t, Entry> entries_;
   std::int64_t next_id_ = 1;
 };

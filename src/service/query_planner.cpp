@@ -1,0 +1,172 @@
+#include "service/query_planner.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "core/celf.h"
+#include "core/scoring.h"
+#include "window/active_window.h"
+
+namespace ksir {
+
+namespace {
+
+/// One shard's contribution to a plan.
+struct ShardAnswer {
+  Status status;
+  QueryResult result;
+  std::vector<ElementSnapshot> snapshots;
+};
+
+/// Runs the Query + ExportSnapshots pair against `shard`, retrying when a
+/// bucket advance tears the pair apart (detected via the bucket epoch).
+ShardAnswer AskShard(const KsirEngine& shard, const KsirQuery& query,
+                     std::int64_t* retries) {
+  static constexpr int kMaxAttempts = 3;
+  ShardAnswer answer;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    const std::uint64_t epoch_before = shard.bucket_epoch();
+    auto result = shard.Query(query);
+    if (!result.ok()) {
+      answer.status = result.status();
+      return answer;
+    }
+    answer.result = *std::move(result);
+    answer.snapshots = shard.ExportSnapshots(answer.result.element_ids);
+    const bool torn =
+        shard.bucket_epoch() != epoch_before ||
+        answer.snapshots.size() != answer.result.element_ids.size();
+    if (!torn) break;
+    if (attempt + 1 < kMaxAttempts) ++*retries;
+    // After the last attempt the (possibly partial) snapshots are used as
+    // is: a missing candidate just expired, so dropping it is consistent
+    // with the state the merge window represents.
+  }
+  answer.status = Status::OK();
+  return answer;
+}
+
+}  // namespace
+
+QueryPlanner::QueryPlanner(std::vector<KsirEngine*> shards,
+                           const TopicModel* model, WorkerPool* pool)
+    : shards_(std::move(shards)), model_(model), pool_(pool) {
+  KSIR_CHECK(!shards_.empty());
+  KSIR_CHECK(model_ != nullptr && pool_ != nullptr);
+}
+
+StatusOr<QueryResult> QueryPlanner::Plan(const KsirQuery& query) const {
+  WallTimer timer;
+  plans_.fetch_add(1, std::memory_order_relaxed);
+
+  // --- Step 1: fan the query out to every shard in parallel. ---
+  std::vector<ShardAnswer> answers(shards_.size());
+  std::vector<std::int64_t> retries(shards_.size(), 0);
+  {
+    TaskGroup group(pool_);
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      group.Submit([this, i, &query, &answers, &retries]() {
+        answers[i] = AskShard(*shards_[i], query, &retries[i]);
+      });
+    }
+    group.Wait();
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    KSIR_RETURN_NOT_OK(answers[i].status);
+    epoch_retries_.fetch_add(retries[i], std::memory_order_relaxed);
+  }
+
+  // Best single-shard answer: the guard result the merge has to beat.
+  std::size_t best_shard = 0;
+  for (std::size_t i = 1; i < shards_.size(); ++i) {
+    if (answers[i].result.score > answers[best_shard].result.score) {
+      best_shard = i;
+    }
+  }
+
+  // --- Step 2: replay the candidate snapshots into a merge window. ---
+  // Every candidate element is inserted with a rebuilt reference list that
+  // contains exactly the edges referrer -> candidate of its exported
+  // influence set, so the merge window reproduces each shard's I_t(e)
+  // precisely (re-ingesting the raw refs would instead re-register edges
+  // whose referrers already slid out of the shard windows).
+  std::unordered_map<ElementId, SocialElement> merge_elements;
+  std::vector<ElementId> candidate_ids;
+  for (const ShardAnswer& answer : answers) {
+    for (const ElementSnapshot& snapshot : answer.snapshots) {
+      candidate_ids.push_back(snapshot.element.id);
+      auto [it, inserted] =
+          merge_elements.try_emplace(snapshot.element.id, snapshot.element);
+      if (inserted) it->second.refs.clear();
+      for (const SocialElement& referrer : snapshot.referrers) {
+        auto [rit, r_inserted] =
+            merge_elements.try_emplace(referrer.id, referrer);
+        if (r_inserted) rit->second.refs.clear();
+        rit->second.refs.push_back(snapshot.element.id);
+      }
+    }
+  }
+
+  QueryResult merged;
+  if (!merge_elements.empty()) {
+    std::vector<SocialElement> replay;
+    replay.reserve(merge_elements.size());
+    Timestamp max_ts = 0;
+    for (auto& [id, element] : merge_elements) {
+      max_ts = std::max(max_ts, element.ts);
+      replay.push_back(std::move(element));
+    }
+    std::sort(replay.begin(), replay.end(),
+              [](const SocialElement& a, const SocialElement& b) {
+                return a.ts != b.ts ? a.ts < b.ts : a.id < b.id;
+              });
+    // A window as long as the whole replayed history: nothing expires, so
+    // every candidate keeps its full exported influence set.
+    ActiveWindow merge_window(max_ts);
+    auto update = merge_window.Advance(max_ts, std::move(replay));
+    KSIR_RETURN_NOT_OK(update.status());
+    const ScoringContext merge_ctx(model_, &merge_window,
+                                   shards_.front()->config().scoring);
+    std::sort(candidate_ids.begin(), candidate_ids.end());
+    merged =
+        RunCelfOverCandidates(merge_ctx, merge_window, query, candidate_ids);
+  }
+
+  // --- Step 3: never return less than the best single shard. ---
+  QueryResult final_result;
+  if (merged.score > answers[best_shard].result.score + 1e-12) {
+    merge_wins_.fetch_add(1, std::memory_order_relaxed);
+    final_result = std::move(merged);
+  } else {
+    final_result = std::move(answers[best_shard].result);
+    final_result.stats.num_evaluated += merged.stats.num_evaluated;
+    final_result.stats.num_gain_evaluations +=
+        merged.stats.num_gain_evaluations;
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (i == best_shard && merged.score <= answers[best_shard].result.score +
+                                              1e-12) {
+      continue;  // already counted via final_result
+    }
+    final_result.stats.num_evaluated += answers[i].result.stats.num_evaluated;
+    final_result.stats.num_retrieved +=
+        answers[i].result.stats.num_retrieved;
+    final_result.stats.num_gain_evaluations +=
+        answers[i].result.stats.num_gain_evaluations;
+  }
+  final_result.stats.elapsed_ms = timer.ElapsedMillis();
+  return final_result;
+}
+
+PlannerStats QueryPlanner::stats() const {
+  PlannerStats stats;
+  stats.plans = plans_.load(std::memory_order_relaxed);
+  stats.epoch_retries = epoch_retries_.load(std::memory_order_relaxed);
+  stats.merge_wins = merge_wins_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace ksir

@@ -1,0 +1,72 @@
+// Fan-out/merge query planning over N shard engines.
+//
+// An ad-hoc k-SIR query is answered in three steps (the two-round scheme of
+// distributed submodular maximization, à la GreeDi):
+//   1. Fan-out: the query runs on every shard in parallel (each shard sees
+//      only its partition, so per-shard work is ~1/N of a single engine's);
+//      each shard returns its k-element result plus self-contained
+//      snapshots (element + in-window referrer set) of those elements.
+//   2. Merge: the <= N*k candidate snapshots are replayed into a small
+//      in-memory window that reproduces each candidate's exact influence
+//      set, and a lazy greedy (CELF) runs over just those candidates.
+//   3. Guard: the merged set is only returned when it beats the best
+//      single-shard result; otherwise that shard's result is returned
+//      verbatim. This keeps the classic guarantee: the answer is never
+//      worse than the best partition's (1 - 1/e)-approximate answer, and
+//      with one shard it is exactly the single-engine answer.
+//
+// Shards keep ingesting while queries run: the per-shard Query + snapshot
+// export pair is validated against the shard's bucket epoch and retried
+// when a bucket lands in between.
+#ifndef KSIR_SERVICE_QUERY_PLANNER_H_
+#define KSIR_SERVICE_QUERY_PLANNER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "core/query.h"
+#include "service/worker_pool.h"
+#include "topic/topic_model.h"
+
+namespace ksir {
+
+/// Counters of the planning layer.
+struct PlannerStats {
+  std::int64_t plans = 0;
+  /// Query/export pairs re-run because a bucket landed in between.
+  std::int64_t epoch_retries = 0;
+  /// Plans where the merged set beat every single-shard result.
+  std::int64_t merge_wins = 0;
+};
+
+/// Stateless-per-query planner. Thread-safe: any number of threads may call
+/// Plan concurrently with each other and with shard ingestion.
+class QueryPlanner {
+ public:
+  /// `shards`, `model` and `pool` must outlive the planner; `shards` must
+  /// be non-empty and share the model and scoring parameters.
+  QueryPlanner(std::vector<KsirEngine*> shards, const TopicModel* model,
+               WorkerPool* pool);
+
+  /// Answers `query` at the shards' current time.
+  StatusOr<QueryResult> Plan(const KsirQuery& query) const;
+
+  PlannerStats stats() const;
+
+  std::size_t num_shards() const { return shards_.size(); }
+
+ private:
+  std::vector<KsirEngine*> shards_;
+  const TopicModel* model_;
+  WorkerPool* pool_;
+  mutable std::atomic<std::int64_t> plans_{0};
+  mutable std::atomic<std::int64_t> epoch_retries_{0};
+  mutable std::atomic<std::int64_t> merge_wins_{0};
+};
+
+}  // namespace ksir
+
+#endif  // KSIR_SERVICE_QUERY_PLANNER_H_

@@ -1,0 +1,113 @@
+#include "service/result_cache.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ksir {
+
+namespace {
+
+inline std::uint64_t MixHash(std::uint64_t h, std::uint64_t v) {
+  // 64-bit FNV-1a style combine with a splitmix64 finisher per step.
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+std::size_t ResultCache::KeyHash::operator()(
+    const ResultCacheKey& key) const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = MixHash(h, key.epoch);
+  h = MixHash(h, static_cast<std::uint64_t>(key.k));
+  h = MixHash(h, static_cast<std::uint64_t>(key.algorithm));
+  h = MixHash(h, static_cast<std::uint64_t>(key.epsilon_q));
+  for (const auto& [topic, weight] : key.x_q) {
+    h = MixHash(h, static_cast<std::uint64_t>(topic));
+    h = MixHash(h, static_cast<std::uint64_t>(weight));
+  }
+  return static_cast<std::size_t>(h);
+}
+
+ResultCache::ResultCache(std::size_t capacity, double quantum)
+    : capacity_(capacity), quantum_(quantum) {
+  KSIR_CHECK(capacity >= 1);
+  KSIR_CHECK(quantum > 0.0);
+}
+
+ResultCacheKey ResultCache::MakeKey(const KsirQuery& query,
+                                    std::uint64_t epoch) const {
+  ResultCacheKey key;
+  key.epoch = epoch;
+  key.k = query.k;
+  key.algorithm = query.algorithm;
+  key.epsilon_q = std::llround(query.epsilon / quantum_);
+  key.x_q.reserve(query.x.nnz());
+  for (const auto& [topic, weight] : query.x.entries()) {
+    key.x_q.emplace_back(topic, std::llround(weight / quantum_));
+  }
+  return key;
+}
+
+std::optional<QueryResult> ResultCache::Lookup(const ResultCacheKey& key) {
+  std::lock_guard lock(mutex_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  return it->second->second;
+}
+
+void ResultCache::Insert(const ResultCacheKey& key,
+                         const QueryResult& result) {
+  std::lock_guard lock(mutex_);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->second = result;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, result);
+  map_.emplace(key, lru_.begin());
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void ResultCache::InvalidateBefore(std::uint64_t epoch) {
+  std::lock_guard lock(mutex_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->first.epoch < epoch) {
+      map_.erase(it->first);
+      it = lru_.erase(it);
+      ++stats_.invalidated;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ResultCache::Clear() {
+  std::lock_guard lock(mutex_);
+  stats_.invalidated += static_cast<std::int64_t>(map_.size());
+  map_.clear();
+  lru_.clear();
+}
+
+ResultCacheStats ResultCache::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard lock(mutex_);
+  return map_.size();
+}
+
+}  // namespace ksir

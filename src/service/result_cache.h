@@ -1,0 +1,91 @@
+// Epoch-keyed k-SIR result cache.
+//
+// Between two bucket boundaries the engine state is immutable, so two
+// queries with the same (k, algorithm, epsilon, query vector) issued in the
+// same epoch must return the same result — the dominant trending-query
+// pattern (many users asking about the same breaking topic) is served
+// without touching the shards. Keys embed the service's bucket epoch, so a
+// window slide implicitly misses every old entry; InvalidateBefore() then
+// reclaims the memory eagerly. Query vectors are quantized onto a small
+// grid before keying, so vectors that differ only by inference noise share
+// an entry.
+#ifndef KSIR_SERVICE_RESULT_CACHE_H_
+#define KSIR_SERVICE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/query.h"
+
+namespace ksir {
+
+/// Quantized cache key: epoch + query shape.
+struct ResultCacheKey {
+  std::uint64_t epoch = 0;
+  std::int32_t k = 0;
+  Algorithm algorithm = Algorithm::kMttd;
+  std::int64_t epsilon_q = 0;
+  /// (topic, quantized weight), sorted by topic.
+  std::vector<std::pair<std::int32_t, std::int64_t>> x_q;
+
+  bool operator==(const ResultCacheKey&) const = default;
+};
+
+struct ResultCacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t evictions = 0;
+  std::int64_t invalidated = 0;
+};
+
+/// Bounded LRU cache. Thread-safe (internal mutex); all operations are
+/// O(key size) expected.
+class ResultCache {
+ public:
+  /// `capacity` >= 1 entries; `quantum` > 0 is the query-vector grid step
+  /// (weights within the same quantum share a key).
+  explicit ResultCache(std::size_t capacity, double quantum = 1e-4);
+
+  /// Builds the key of `query` at `epoch`.
+  ResultCacheKey MakeKey(const KsirQuery& query, std::uint64_t epoch) const;
+
+  /// Returns the cached result and refreshes its LRU position, or nullopt.
+  std::optional<QueryResult> Lookup(const ResultCacheKey& key);
+
+  /// Inserts (or overwrites) an entry, evicting the least recently used
+  /// entry when over capacity.
+  void Insert(const ResultCacheKey& key, const QueryResult& result);
+
+  /// Drops every entry with epoch < `epoch` (called after each bucket).
+  void InvalidateBefore(std::uint64_t epoch);
+
+  /// Drops everything.
+  void Clear();
+
+  ResultCacheStats stats() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  double quantum() const { return quantum_; }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const ResultCacheKey& key) const;
+  };
+  using LruList = std::list<std::pair<ResultCacheKey, QueryResult>>;
+
+  std::size_t capacity_;
+  double quantum_;
+  mutable std::mutex mutex_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<ResultCacheKey, LruList::iterator, KeyHash> map_;
+  ResultCacheStats stats_;
+};
+
+}  // namespace ksir
+
+#endif  // KSIR_SERVICE_RESULT_CACHE_H_

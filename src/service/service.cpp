@@ -1,0 +1,121 @@
+#include "service/service.h"
+
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace ksir {
+
+Status ValidateServiceConfig(const ServiceConfig& config) {
+  KSIR_RETURN_NOT_OK(ValidateEngineConfig(config.engine));
+  if (config.num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (config.cache_capacity < 1) {
+    return Status::InvalidArgument("cache_capacity must be >= 1");
+  }
+  if (config.cache_quantum <= 0.0) {
+    return Status::InvalidArgument("cache_quantum must be positive");
+  }
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<KsirService>> KsirService::Create(
+    ServiceConfig config, const TopicModel* model) {
+  KSIR_RETURN_NOT_OK(ValidateServiceConfig(config));
+  if (model == nullptr) {
+    return Status::InvalidArgument("topic model must not be null");
+  }
+  return std::unique_ptr<KsirService>(new KsirService(config, model));
+}
+
+KsirService::KsirService(ServiceConfig config, const TopicModel* model)
+    : config_(config),
+      cache_(config.cache_capacity, config.cache_quantum) {
+  shards_.reserve(config_.num_shards);
+  std::vector<KsirEngine*> shard_ptrs;
+  for (std::size_t i = 0; i < config_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<KsirEngine>(config_.engine, model));
+    shard_ptrs.push_back(shards_.back().get());
+  }
+  const std::size_t workers =
+      config_.num_workers > 0 ? config_.num_workers : config_.num_shards;
+  pool_ = std::make_unique<WorkerPool>(workers);
+  router_ = std::make_unique<ShardRouter>(config_.num_shards);
+  ingestor_ = std::make_unique<ShardedIngestor>(shard_ptrs, router_.get(),
+                                                pool_.get());
+  planner_ =
+      std::make_unique<QueryPlanner>(shard_ptrs, model, pool_.get());
+  standing_ = std::make_unique<ShardedStandingQueryManager>(
+      [this](const KsirQuery& query) { return Query(query); });
+}
+
+Status KsirService::AdvanceTo(Timestamp bucket_end,
+                              std::vector<SocialElement> bucket) {
+  // Seqlock write side: generation is odd while shard states are mixed.
+  write_generation_.fetch_add(1, std::memory_order_acq_rel);
+  const Status ingested = ingestor_->AdvanceTo(bucket_end, std::move(bucket));
+  if (ingested.ok()) {
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  write_generation_.fetch_add(1, std::memory_order_acq_rel);
+  if (!ingested.ok()) {
+    // A partial failure may have advanced some shards without bumping the
+    // epoch; drop everything rather than serve results of the old state.
+    cache_.Clear();
+    return ingested;
+  }
+  cache_.InvalidateBefore(epoch_.load(std::memory_order_acquire));
+  if (config_.evaluate_standing_after_advance && standing_->size() > 0) {
+    if (!standing_->EvaluateAll().ok()) {
+      standing_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return Status::OK();
+}
+
+Status KsirService::Append(std::vector<SocialElement> elements) {
+  // Bucket-step through our own AdvanceTo so every bucket invalidates the
+  // cache and refreshes the standing queries exactly once.
+  return AppendInBuckets(
+      std::move(elements), config_.engine.bucket_length,
+      [this]() { return now(); },
+      [this](Timestamp bucket_end, std::vector<SocialElement> bucket) {
+        return AdvanceTo(bucket_end, std::move(bucket));
+      });
+}
+
+StatusOr<QueryResult> KsirService::Query(const KsirQuery& query) const {
+  const std::uint64_t generation =
+      write_generation_.load(std::memory_order_acquire);
+  const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  const ResultCacheKey key = cache_.MakeKey(query, epoch);
+  if (auto cached = cache_.Lookup(key); cached.has_value()) {
+    return *std::move(cached);
+  }
+  KSIR_ASSIGN_OR_RETURN(QueryResult result, planner_->Plan(query));
+  // Seqlock read side: only cache when the whole fan-out ran inside one
+  // even (quiescent) generation — otherwise the result may mix pre- and
+  // post-bucket shard states and must not be served to later readers.
+  if (generation % 2 == 0 &&
+      write_generation_.load(std::memory_order_acquire) == generation) {
+    cache_.Insert(key, result);
+  }
+  return result;
+}
+
+ServiceStats KsirService::stats() const {
+  ServiceStats stats;
+  stats.epoch = epoch();
+  stats.ingestion = ingestor_->stats();
+  stats.cache = cache_.stats();
+  stats.planner = planner_->stats();
+  stats.standing_errors = standing_errors_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    stats.num_active_total += shard->window().num_active();
+  }
+  return stats;
+}
+
+}  // namespace ksir

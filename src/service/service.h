@@ -1,0 +1,142 @@
+// KsirService: the sharded k-SIR query service.
+//
+//                      +-----------------------------+
+//      stream buckets  |       ShardedIngestor       |
+//     ---------------> |  ShardRouter -> WorkerPool  |
+//                      +--+--------+--------+--------+
+//                         |        |        |
+//                      +--v--+  +--v--+  +--v--+
+//                      |shard|  |shard|  |shard|   KsirEngine x N
+//                      +--+--+  +--+--+  +--+--+
+//                         |        |        |
+//                      +--v--------v--------v--------+
+//      ad-hoc queries  |        QueryPlanner         |
+//     ---------------> |   fan-out / CELF merge      |
+//          ^           +--------------+--------------+
+//          |                          |
+//   +------+-------+        +--------v---------+
+//   | ResultCache  | <----- | standing queries |
+//   | (epoch keyed)|        | (re-primed per   |
+//   +--------------+        |  bucket)         |
+//                           +------------------+
+//
+// One writer thread ingests buckets; any number of reader threads query.
+// This façade is the seam every scaling direction plugs into: more shards,
+// asynchronous ingestion, replicated shards, or remote shard backends all
+// stay behind AdvanceTo/Query.
+#ifndef KSIR_SERVICE_SERVICE_H_
+#define KSIR_SERVICE_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "service/query_planner.h"
+#include "service/result_cache.h"
+#include "service/shard_router.h"
+#include "service/sharded_ingestor.h"
+#include "service/sharded_standing_query.h"
+#include "service/worker_pool.h"
+#include "topic/topic_model.h"
+
+namespace ksir {
+
+/// Service configuration on top of the per-shard engine config.
+struct ServiceConfig {
+  /// Per-shard engine configuration (window/bucket lengths, scoring).
+  EngineConfig engine;
+  /// Number of shard engines (>= 1).
+  std::size_t num_shards = 4;
+  /// Worker threads shared by ingestion and query fan-out; 0 = num_shards.
+  std::size_t num_workers = 0;
+  /// Result-cache entries kept across one epoch (>= 1).
+  std::size_t cache_capacity = 4096;
+  /// Query-vector quantization step of the cache key.
+  double cache_quantum = 1e-4;
+  /// Re-evaluate standing queries right after every ingested bucket.
+  bool evaluate_standing_after_advance = true;
+};
+
+/// Validates a ServiceConfig (including the nested engine config).
+Status ValidateServiceConfig(const ServiceConfig& config);
+
+/// Point-in-time service counters.
+struct ServiceStats {
+  std::uint64_t epoch = 0;
+  IngestionStats ingestion;
+  ResultCacheStats cache;
+  PlannerStats planner;
+  /// Standing-query evaluation rounds that surfaced an error.
+  std::int64_t standing_errors = 0;
+  /// Sum of |A_t| over all shards.
+  std::size_t num_active_total = 0;
+};
+
+/// Sharded k-SIR query service. Thread model: one ingestion thread calls
+/// AdvanceTo/Append; any number of threads call Query concurrently.
+class KsirService {
+ public:
+  /// `model` must outlive the service.
+  static StatusOr<std::unique_ptr<KsirService>> Create(
+      ServiceConfig config, const TopicModel* model);
+
+  /// Ingests one bucket: partitions it across the shards, advances them in
+  /// parallel, bumps the service epoch (invalidating cached results) and —
+  /// when configured — re-evaluates the standing queries.
+  Status AdvanceTo(Timestamp bucket_end, std::vector<SocialElement> bucket);
+
+  /// Splits `elements` (sorted by ts) into buckets and ingests them all.
+  Status Append(std::vector<SocialElement> elements);
+
+  /// Answers an ad-hoc k-SIR query: epoch-keyed cache first, then the
+  /// fan-out/merge planner. Thread-safe.
+  StatusOr<QueryResult> Query(const KsirQuery& query) const;
+
+  /// Standing subscriptions (evaluated through the cached planner path).
+  ShardedStandingQueryManager& standing_queries() { return *standing_; }
+
+  /// Current stream clock (shared by all shards).
+  Timestamp now() const { return ingestor_->now(); }
+
+  /// Monotone count of ingested buckets (the cache key epoch).
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  std::size_t num_shards() const { return shards_.size(); }
+
+  /// Shard access for tests/benches (not thread-safe against AdvanceTo).
+  const KsirEngine& shard(std::size_t i) const { return *shards_[i]; }
+
+  /// Point-in-time counters. Cache/planner counters are always safe to
+  /// read; the ingestion counters and shard active-set sizes are not
+  /// synchronized against AdvanceTo, so call this from the ingestion
+  /// thread or a quiescent service for exact values.
+  ServiceStats stats() const;
+
+ private:
+  KsirService(ServiceConfig config, const TopicModel* model);
+
+  ServiceConfig config_;
+  std::vector<std::unique_ptr<KsirEngine>> shards_;
+  std::unique_ptr<WorkerPool> pool_;
+  std::unique_ptr<ShardRouter> router_;
+  std::unique_ptr<ShardedIngestor> ingestor_;
+  std::unique_ptr<QueryPlanner> planner_;
+  mutable ResultCache cache_;
+  std::unique_ptr<ShardedStandingQueryManager> standing_;
+  std::atomic<std::uint64_t> epoch_{0};
+  /// Seqlock-style ingestion generation: odd while a bucket is being
+  /// applied to the shards, even when quiescent. A query whose fan-out
+  /// overlaps an odd or changed generation may have mixed pre-/post-bucket
+  /// shard states and must not be cached.
+  std::atomic<std::uint64_t> write_generation_{0};
+  std::atomic<std::int64_t> standing_errors_{0};
+};
+
+}  // namespace ksir
+
+#endif  // KSIR_SERVICE_SERVICE_H_

@@ -1,0 +1,65 @@
+#include "service/shard_router.h"
+
+#include "common/check.h"
+
+namespace ksir {
+
+ShardRouter::ShardRouter(std::size_t num_shards) : num_shards_(num_shards) {
+  KSIR_CHECK(num_shards >= 1);
+}
+
+std::size_t ShardRouter::HashShard(ElementId id) const {
+  // splitmix64 finalizer: cheap, well-mixed, deterministic across platforms.
+  auto x = static_cast<std::uint64_t>(id) + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x = x ^ (x >> 31);
+  return static_cast<std::size_t>(x % num_shards_);
+}
+
+std::size_t ShardRouter::Route(const SocialElement& e) {
+  std::size_t shard = num_shards_;  // sentinel: undecided
+  for (const ElementId target : e.refs) {
+    const auto it = assignment_.find(target);
+    if (it == assignment_.end()) continue;
+    // The referral keeps the target routable, exactly like it keeps the
+    // target active in the shard's window.
+    if (e.ts > it->second.last_touch) {
+      it->second.last_touch = e.ts;
+      touch_queue_.emplace_back(target, e.ts);
+    }
+    if (shard == num_shards_) {
+      shard = it->second.shard;
+    } else if (it->second.shard != shard) {
+      ++cross_shard_refs_;
+    }
+  }
+  if (shard == num_shards_) shard = HashShard(e.id);
+  assignment_[e.id] =
+      Assignment{static_cast<std::uint32_t>(shard), e.ts};
+  touch_queue_.emplace_back(e.id, e.ts);
+  return shard;
+}
+
+bool ShardRouter::Knows(ElementId id) const {
+  return assignment_.contains(id);
+}
+
+void ShardRouter::Forget(const std::vector<ElementId>& ids) {
+  for (const ElementId id : ids) assignment_.erase(id);
+  // Their touch_queue_ entries become stale and are skipped by the prune.
+}
+
+void ShardRouter::PruneOlderThan(Timestamp cutoff) {
+  while (!touch_queue_.empty() && touch_queue_.front().second <= cutoff) {
+    const auto [id, touch] = touch_queue_.front();
+    touch_queue_.pop_front();
+    const auto it = assignment_.find(id);
+    if (it == assignment_.end() || it->second.last_touch != touch) {
+      continue;  // forgotten, or touched again by a later referral
+    }
+    assignment_.erase(it);
+  }
+}
+
+}  // namespace ksir

@@ -1,0 +1,85 @@
+// Element-to-shard routing for the sharded service.
+//
+// Influence scores (Eq. 4) are computed from reference edges, and every
+// shard engine only sees its own partition, so an edge whose endpoints land
+// on different shards is lost (it shows up as a dangling reference on the
+// referrer's shard). The router therefore keeps reference chains together:
+// an element that refers to an already-routed element follows it onto the
+// same shard; root elements (no known reference target) are spread by an
+// id hash. Retweet/comment/citation cascades are trees rooted at an
+// original post, so this keeps most edges intra-shard while the hash keeps
+// the shards balanced at the root level.
+//
+// Assignments are kept as long as the element can still be referenced:
+// every incoming reference "touches" the target, extending its routing
+// lifetime — mirroring the active window, where referrals keep an element
+// active indefinitely. PruneOlderThan drops assignments untouched for a
+// full window + retention horizon.
+#ifndef KSIR_SERVICE_SHARD_ROUTER_H_
+#define KSIR_SERVICE_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "stream/element.h"
+
+namespace ksir {
+
+/// Stateful partitioner. Thread-compatible: all mutations happen on the
+/// single ingestion thread.
+class ShardRouter {
+ public:
+  explicit ShardRouter(std::size_t num_shards);
+
+  /// Chooses and records the shard of `e`: the shard of the first reference
+  /// target with a known assignment, else a hash of the element id. Known
+  /// reference targets are touched (their routing lifetime restarts).
+  /// References to targets assigned to a *different* shard than the chosen
+  /// one are counted in cross_shard_refs() (they will be dangling there).
+  std::size_t Route(const SocialElement& e);
+
+  /// True when `id` has a recorded assignment.
+  bool Knows(ElementId id) const;
+
+  /// Removes the assignments of `ids` (rollback of a failed bucket's
+  /// Route calls; touches of older targets are left in place).
+  void Forget(const std::vector<ElementId>& ids);
+
+  /// Drops assignments last touched at or before `cutoff`: they are past
+  /// resurrectability (references point backward in time and anything
+  /// still referring to them would have touched them).
+  void PruneOlderThan(Timestamp cutoff);
+
+  std::size_t num_shards() const { return num_shards_; }
+
+  /// Reference edges whose target was known to live on another shard.
+  std::int64_t cross_shard_refs() const { return cross_shard_refs_; }
+
+  /// Currently tracked assignments (memory bound check).
+  std::size_t tracked() const { return assignment_.size(); }
+
+ private:
+  struct Assignment {
+    std::uint32_t shard;
+    /// Element ts at creation, then the ts of the latest referrer.
+    Timestamp last_touch;
+  };
+
+  std::size_t HashShard(ElementId id) const;
+
+  std::size_t num_shards_;
+  std::int64_t cross_shard_refs_ = 0;
+  std::unordered_map<ElementId, Assignment> assignment_;
+  /// (id, touch ts) in ts order for pruning; entries whose ts no longer
+  /// matches the assignment's last_touch are stale and skipped (same idiom
+  /// as ActiveWindow's archive queue).
+  std::deque<std::pair<ElementId, Timestamp>> touch_queue_;
+};
+
+}  // namespace ksir
+
+#endif  // KSIR_SERVICE_SHARD_ROUTER_H_

@@ -1,0 +1,110 @@
+#include "service/sharded_ingestor.h"
+
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+#include "common/check.h"
+#include "common/timer.h"
+
+namespace ksir {
+
+ShardedIngestor::ShardedIngestor(std::vector<KsirEngine*> shards,
+                                 ShardRouter* router, WorkerPool* pool)
+    : shards_(std::move(shards)), router_(router), pool_(pool) {
+  KSIR_CHECK(!shards_.empty());
+  KSIR_CHECK(router_ != nullptr && pool_ != nullptr);
+  KSIR_CHECK(router_->num_shards() == shards_.size());
+  const EngineConfig& config = shards_.front()->config();
+  bucket_length_ = config.bucket_length;
+  const Timestamp retention = config.archive_retention > 0
+                                  ? config.archive_retention
+                                  : config.window_length;
+  prune_horizon_ = config.window_length + retention;
+  for (const KsirEngine* shard : shards_) {
+    KSIR_CHECK(shard->config().bucket_length == bucket_length_);
+    KSIR_CHECK(shard->config().window_length == config.window_length);
+  }
+}
+
+Status ShardedIngestor::AdvanceTo(Timestamp bucket_end,
+                                  std::vector<SocialElement> bucket) {
+  const Timestamp previous = now();
+  if (bucket_end < previous) {
+    return Status::InvalidArgument(
+        "out-of-order bucket: bucket_end " + std::to_string(bucket_end) +
+        " precedes service time " + std::to_string(previous));
+  }
+  if (bucket_end == previous && bucket.empty()) {
+    return Status::FailedPrecondition(
+        "no-op bucket: empty bucket at the current service time " +
+        std::to_string(bucket_end));
+  }
+
+  // Validate the whole bucket before routing anything, so a rejected call
+  // leaves the router untouched. The router tracks every id inside the
+  // resurrectability horizon, which also catches cross-bucket duplicates.
+  Timestamp prev_ts = previous;
+  std::unordered_set<ElementId> bucket_ids;
+  bucket_ids.reserve(bucket.size());
+  for (const SocialElement& e : bucket) {
+    if (e.ts <= previous || e.ts > bucket_end) {
+      return Status::InvalidArgument(
+          "element ts " + std::to_string(e.ts) + " outside bucket (" +
+          std::to_string(previous) + ", " + std::to_string(bucket_end) + "]");
+    }
+    if (e.ts < prev_ts) {
+      return Status::InvalidArgument("bucket must be sorted by ts");
+    }
+    prev_ts = e.ts;
+    if (!bucket_ids.insert(e.id).second || router_->Knows(e.id)) {
+      return Status::AlreadyExists("duplicate element id " +
+                                   std::to_string(e.id));
+    }
+  }
+
+  // Route (in ts order, so reference targets are routed before referrers)
+  // and partition. Per-shard sub-buckets stay ts-sorted.
+  const std::int64_t cross_before = router_->cross_shard_refs();
+  const std::size_t ingested = bucket.size();
+  std::vector<ElementId> routed_ids;
+  routed_ids.reserve(bucket.size());
+  std::vector<std::vector<SocialElement>> parts(shards_.size());
+  for (SocialElement& e : bucket) {
+    routed_ids.push_back(e.id);
+    const std::size_t shard = router_->Route(e);
+    parts[shard].push_back(std::move(e));
+  }
+
+  // Advance all shards in parallel; empty sub-buckets still advance the
+  // shard clock (expiry must happen everywhere).
+  WallTimer timer;
+  std::vector<Status> statuses(shards_.size());
+  TaskGroup group(pool_);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    group.Submit([this, i, bucket_end, &parts, &statuses]() {
+      statuses[i] = shards_[i]->AdvanceTo(bucket_end, std::move(parts[i]));
+    });
+  }
+  group.Wait();
+  for (const Status& status : statuses) {
+    if (!status.ok()) {
+      // Roll the routing table back so the bucket's ids are not recorded
+      // as placed (shards that accepted their sub-bucket keep it, though —
+      // see the header contract).
+      router_->Forget(routed_ids);
+      return status;
+    }
+  }
+
+  stats_.total_update_ms += timer.ElapsedMillis();
+  ++stats_.buckets_processed;
+  stats_.elements_ingested += static_cast<std::int64_t>(ingested);
+  stats_.cross_shard_refs += router_->cross_shard_refs() - cross_before;
+  router_->PruneOlderThan(bucket_end - prune_horizon_);
+  return Status::OK();
+}
+
+Timestamp ShardedIngestor::now() const { return shards_.front()->now(); }
+
+}  // namespace ksir

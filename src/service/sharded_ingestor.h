@@ -1,0 +1,68 @@
+// Partitioned bucket ingestion: hash/chain-partitions every bucket across N
+// shard engines (ShardRouter) and advances all shards to the same bucket end
+// in parallel on a worker pool. All shards share one logical clock; a bucket
+// either lands on every shard or the call fails.
+#ifndef KSIR_SERVICE_SHARDED_INGESTOR_H_
+#define KSIR_SERVICE_SHARDED_INGESTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "service/shard_router.h"
+#include "service/worker_pool.h"
+
+namespace ksir {
+
+/// Cumulative ingestion statistics of the sharded path.
+struct IngestionStats {
+  std::int64_t elements_ingested = 0;
+  std::int64_t buckets_processed = 0;
+  /// Reference edges lost to partitioning (endpoints on different shards).
+  std::int64_t cross_shard_refs = 0;
+  /// Wall time of the parallel shard advances (max over shards per bucket).
+  double total_update_ms = 0.0;
+};
+
+/// Single-writer ingestion front of the sharded service. Thread-compatible:
+/// one thread calls AdvanceTo/Append; queries go straight to the shard
+/// engines (their own shared locks make that safe).
+class ShardedIngestor {
+ public:
+  /// `shards`, `router` and `pool` must outlive the ingestor. `shards` must
+  /// be non-empty, all constructed with the same config; `router` must have
+  /// the same shard count.
+  ShardedIngestor(std::vector<KsirEngine*> shards, ShardRouter* router,
+                  WorkerPool* pool);
+
+  /// Advances every shard's clock to `bucket_end`, ingesting each element
+  /// of `bucket` (sorted by ts in (now, bucket_end]) on the shard chosen by
+  /// the router. Returns the first shard error. On failure the routing
+  /// table is rolled back, but shards that already accepted their
+  /// sub-bucket keep it and shard clocks may diverge until the next
+  /// successful advance; recovery means re-sending only the elements of a
+  /// corrected bucket that no shard has accepted, with a later bucket_end.
+  Status AdvanceTo(Timestamp bucket_end, std::vector<SocialElement> bucket);
+
+  /// The shared shard clock.
+  Timestamp now() const;
+
+  const IngestionStats& stats() const { return stats_; }
+
+  std::size_t num_shards() const { return shards_.size(); }
+
+ private:
+  std::vector<KsirEngine*> shards_;
+  ShardRouter* router_;
+  WorkerPool* pool_;
+  Timestamp bucket_length_;
+  /// Elements older than now - prune_horizon_ can no longer be referenced
+  /// (past window + archive retention); their routing entries are dropped.
+  Timestamp prune_horizon_;
+  IngestionStats stats_;
+};
+
+}  // namespace ksir
+
+#endif  // KSIR_SERVICE_SHARDED_INGESTOR_H_

@@ -1,0 +1,18 @@
+// Standing k-SIR subscriptions over the sharded service: the same
+// manager/diff semantics as the single-engine deployment, but every
+// evaluation is routed through the service's planner (and hence the result
+// cache — after a bucket, the subscriptions re-prime the cache for the
+// ad-hoc queries that follow). The service constructs it with an evaluator
+// bound to KsirService::Query.
+#ifndef KSIR_SERVICE_SHARDED_STANDING_QUERY_H_
+#define KSIR_SERVICE_SHARDED_STANDING_QUERY_H_
+
+#include "core/standing_query.h"
+
+namespace ksir {
+
+using ShardedStandingQueryManager = StandingQueryManager;
+
+}  // namespace ksir
+
+#endif  // KSIR_SERVICE_SHARDED_STANDING_QUERY_H_

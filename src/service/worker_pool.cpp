@@ -1,0 +1,75 @@
+#include "service/worker_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ksir {
+
+WorkerPool::WorkerPool(std::size_t num_threads) {
+  const std::size_t n = std::max<std::size_t>(1, num_threads);
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::unique_lock lock(mutex_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void WorkerPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void WorkerPool::WaitIdle() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this]() { return queue_.empty() && in_flight_ == 0; });
+}
+
+void TaskGroup::Submit(std::function<void()> task) {
+  {
+    std::unique_lock lock(mutex_);
+    ++pending_;
+  }
+  pool_->Submit([this, task = std::move(task)]() {
+    task();
+    std::unique_lock lock(mutex_);
+    if (--pending_ == 0) done_.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock lock(mutex_);
+  done_.wait(lock, [this]() { return pending_ == 0; });
+}
+
+void WorkerPool::WorkerLoop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    work_available_.wait(lock,
+                         [this]() { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (shutdown_) return;
+      continue;
+    }
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_flight_;
+    lock.unlock();
+    task();
+    lock.lock();
+    --in_flight_;
+    if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+  }
+}
+
+}  // namespace ksir

@@ -1,0 +1,83 @@
+// Fixed-size thread pool used by the sharded service to advance shards and
+// fan queries out in parallel. Deliberately minimal: tasks are
+// std::function<void()>, results travel through captured state, and
+// WaitIdle() gives the caller a barrier. The library is exception-free, so
+// tasks must not throw.
+#ifndef KSIR_SERVICE_WORKER_POOL_H_
+#define KSIR_SERVICE_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ksir {
+
+/// Shared worker pool. Thread-safe; Submit may be called from any thread,
+/// including from inside a task (tasks must not WaitIdle, though — that
+/// would deadlock the barrier they are part of).
+class WorkerPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1; 0 is clamped to 1).
+  explicit WorkerPool(std::size_t num_threads);
+
+  /// Drains the queue, then joins all workers.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Enqueues `task` for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void WaitIdle();
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // tasks currently executing
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Completion barrier for one batch of tasks on a shared pool. Unlike
+/// WorkerPool::WaitIdle, Wait() only blocks on tasks submitted through THIS
+/// group, so concurrent queries and ingestion can share one pool without
+/// waiting on each other's work.
+class TaskGroup {
+ public:
+  /// `pool` must outlive the group.
+  explicit TaskGroup(WorkerPool* pool) : pool_(pool) {}
+
+  /// A group must be drained (Wait) before destruction.
+  ~TaskGroup() { Wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueues `task` on the pool and tracks it in this group.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted through this group has finished.
+  void Wait();
+
+ private:
+  WorkerPool* pool_;
+  std::mutex mutex_;
+  std::condition_variable done_;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace ksir
+
+#endif  // KSIR_SERVICE_WORKER_POOL_H_

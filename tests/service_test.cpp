@@ -1,0 +1,467 @@
+// Tests of the sharded query service: worker pool, routing, fan-out/merge
+// planning invariants (property-style, à la the EK-KOR2 suite), the
+// epoch-keyed result cache, and the service façade.
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "paper_fixture.h"
+#include "service/result_cache.h"
+#include "service/service.h"
+#include "service/shard_router.h"
+#include "service/worker_pool.h"
+#include "stream/generator.h"
+
+namespace ksir {
+namespace {
+
+using ::ksir::testing::BalancedQueryVector;
+using ::ksir::testing::PaperElements;
+using ::ksir::testing::PaperEngineConfig;
+using ::ksir::testing::PaperTopicModel;
+
+// ---- worker pool -----------------------------------------------------------
+
+TEST(WorkerPoolTest, RunsEverySubmittedTask) {
+  WorkerPool pool(3);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count]() { count.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(WorkerPoolTest, TaskGroupWaitsOnlyOnOwnTasks) {
+  WorkerPool pool(2);
+  std::atomic<int> group_count{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 16; ++i) {
+    group.Submit([&group_count]() { group_count.fetch_add(1); });
+  }
+  group.Wait();
+  EXPECT_EQ(group_count.load(), 16);
+}
+
+// ---- shard router ----------------------------------------------------------
+
+TEST(ShardRouterTest, ReferenceChainsStayIntraShard) {
+  ShardRouter router(4);
+  // A root and a comment cascade hanging off it must share a shard.
+  SocialElement root;
+  root.id = 100;
+  root.ts = 1;
+  const std::size_t root_shard = router.Route(root);
+  for (ElementId id = 101; id <= 120; ++id) {
+    SocialElement reply;
+    reply.id = id;
+    reply.ts = id - 99;
+    reply.refs = {id - 1};  // chain: each element refers to the previous
+    EXPECT_EQ(router.Route(reply), root_shard) << id;
+  }
+  EXPECT_EQ(router.cross_shard_refs(), 0);
+  EXPECT_EQ(router.tracked(), 21u);
+}
+
+TEST(ShardRouterTest, PruneDropsOldAssignments) {
+  ShardRouter router(2);
+  for (ElementId id = 0; id < 10; ++id) {
+    SocialElement e;
+    e.id = id;
+    e.ts = id + 1;
+    router.Route(e);
+  }
+  router.PruneOlderThan(5);  // drops ts 1..5
+  EXPECT_EQ(router.tracked(), 5u);
+  EXPECT_FALSE(router.Knows(2));
+  EXPECT_TRUE(router.Knows(7));
+}
+
+TEST(ShardRouterTest, ReferralsExtendRoutingLifetime) {
+  ShardRouter router(4);
+  SocialElement root;
+  root.id = 1;
+  root.ts = 1;
+  const std::size_t shard = router.Route(root);
+  SocialElement reply;
+  reply.id = 2;
+  reply.ts = 100;
+  reply.refs = {1};
+  EXPECT_EQ(router.Route(reply), shard);
+  // The root's own ts is long past the horizon, but the referral at t=100
+  // keeps it routable — mirroring the window, where referrals keep an
+  // element active.
+  router.PruneOlderThan(50);
+  EXPECT_TRUE(router.Knows(1));
+  SocialElement late;
+  late.id = 3;
+  late.ts = 120;
+  late.refs = {1};
+  EXPECT_EQ(router.Route(late), shard);
+  router.PruneOlderThan(130);  // nothing has touched the root since t=120
+  EXPECT_FALSE(router.Knows(1));
+}
+
+TEST(ShardRouterTest, ForgetRollsBackAssignments) {
+  ShardRouter router(2);
+  SocialElement e;
+  e.id = 5;
+  e.ts = 10;
+  router.Route(e);
+  ASSERT_TRUE(router.Knows(5));
+  router.Forget({5});
+  EXPECT_FALSE(router.Knows(5));
+  router.PruneOlderThan(100);  // stale queue entry must be skipped cleanly
+  EXPECT_EQ(router.tracked(), 0u);
+}
+
+TEST(ShardRouterTest, RootsSpreadAcrossShards) {
+  ShardRouter router(4);
+  std::vector<int> per_shard(4, 0);
+  for (ElementId id = 0; id < 400; ++id) {
+    SocialElement e;
+    e.id = id;
+    e.ts = id + 1;
+    ++per_shard[router.Route(e)];
+  }
+  for (int count : per_shard) EXPECT_GT(count, 40);  // roughly balanced
+}
+
+// ---- engine additions used by the service ---------------------------------
+
+TEST(EngineEpochTest, BucketEpochIsMonotone) {
+  auto model = PaperTopicModel();
+  KsirEngine engine(PaperEngineConfig(), &model);
+  EXPECT_EQ(engine.bucket_epoch(), 0u);
+  ASSERT_TRUE(engine.Append(PaperElements()).ok());
+  const std::uint64_t after = engine.bucket_epoch();
+  EXPECT_GE(after, 8u);  // L = 1, eight buckets
+  // A failed advance must not bump the epoch.
+  EXPECT_FALSE(engine.AdvanceTo(1, {}).ok());
+  EXPECT_EQ(engine.bucket_epoch(), after);
+}
+
+TEST(EngineEpochTest, OutOfOrderAndNoopBucketsReturnStatus) {
+  auto model = PaperTopicModel();
+  KsirEngine engine(PaperEngineConfig(), &model);
+  ASSERT_TRUE(engine.Append(PaperElements()).ok());
+  const Status out_of_order = engine.AdvanceTo(3, {});
+  EXPECT_EQ(out_of_order.code(), StatusCode::kInvalidArgument);
+  const Status noop = engine.AdvanceTo(engine.now(), {});
+  EXPECT_EQ(noop.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineEpochTest, CreateValidatesConfig) {
+  auto model = PaperTopicModel();
+  EngineConfig bad = PaperEngineConfig();
+  bad.bucket_length = 0;
+  EXPECT_FALSE(KsirEngine::Create(bad, &model).ok());
+  bad = PaperEngineConfig();
+  bad.window_length = 0;
+  EXPECT_FALSE(KsirEngine::Create(bad, &model).ok());
+  EXPECT_FALSE(KsirEngine::Create(PaperEngineConfig(), nullptr).ok());
+  auto engine = KsirEngine::Create(PaperEngineConfig(), &model);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_TRUE((*engine)->Append(PaperElements()).ok());
+}
+
+TEST(EngineEpochTest, ExportSnapshotsCarriesInfluenceSets) {
+  auto model = PaperTopicModel();
+  KsirEngine engine(PaperEngineConfig(), &model);
+  ASSERT_TRUE(engine.Append(PaperElements()).ok());
+  // At t = 8: e3 is referenced by e8 (e4/e6's referrals expired with them).
+  const auto snapshots = engine.ExportSnapshots({3, 9999});
+  ASSERT_EQ(snapshots.size(), 1u);  // unknown ids are skipped
+  EXPECT_EQ(snapshots[0].element.id, 3);
+  ASSERT_EQ(snapshots[0].referrers.size(),
+            engine.window().ReferrersOf(3).size());
+}
+
+// ---- service façade --------------------------------------------------------
+
+ServiceConfig PaperServiceConfig(std::size_t num_shards) {
+  ServiceConfig config;
+  config.engine = PaperEngineConfig();
+  config.num_shards = num_shards;
+  return config;
+}
+
+TEST(ServiceTest, CreateRejectsBadConfig) {
+  auto model = PaperTopicModel();
+  ServiceConfig config = PaperServiceConfig(0);
+  EXPECT_FALSE(KsirService::Create(config, &model).ok());
+  config = PaperServiceConfig(2);
+  config.cache_quantum = 0.0;
+  EXPECT_FALSE(KsirService::Create(config, &model).ok());
+  config = PaperServiceConfig(2);
+  config.engine.bucket_length = -5;
+  EXPECT_FALSE(KsirService::Create(config, &model).ok());
+  EXPECT_FALSE(KsirService::Create(PaperServiceConfig(2), nullptr).ok());
+}
+
+TEST(ServiceTest, SingleShardMatchesPlainEngine) {
+  auto model = PaperTopicModel();
+  KsirEngine engine(PaperEngineConfig(), &model);
+  ASSERT_TRUE(engine.Append(PaperElements()).ok());
+  auto service = KsirService::Create(PaperServiceConfig(1), &model);
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE((*service)->Append(PaperElements()).ok());
+
+  for (const Algorithm algorithm :
+       {Algorithm::kMtts, Algorithm::kMttd, Algorithm::kCelf,
+        Algorithm::kGreedy, Algorithm::kTopkRepresentative}) {
+    for (const std::int32_t k : {1, 2, 4}) {
+      KsirQuery query;
+      query.k = k;
+      query.x = BalancedQueryVector();
+      query.epsilon = 0.2;
+      query.algorithm = algorithm;
+      const auto expected = engine.Query(query);
+      const auto actual = (*service)->Query(query);
+      ASSERT_TRUE(expected.ok() && actual.ok()) << AlgorithmName(algorithm);
+      EXPECT_EQ(actual->element_ids, expected->element_ids)
+          << AlgorithmName(algorithm) << " k=" << k;
+      EXPECT_NEAR(actual->score, expected->score, 1e-9)
+          << AlgorithmName(algorithm) << " k=" << k;
+    }
+  }
+}
+
+TEST(ServiceTest, OutOfOrderBucketRejectedWithoutDying) {
+  auto model = PaperTopicModel();
+  auto service = KsirService::Create(PaperServiceConfig(2), &model);
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE((*service)->Append(PaperElements()).ok());
+  EXPECT_FALSE((*service)->AdvanceTo(2, {}).ok());
+  EXPECT_FALSE((*service)->AdvanceTo((*service)->now(), {}).ok());
+  // A re-ingested id is rejected before anything is routed.
+  SocialElement duplicate = PaperElements()[0];
+  duplicate.ts = (*service)->now() + 1;
+  const Status status =
+      (*service)->AdvanceTo(duplicate.ts, {std::move(duplicate)});
+  EXPECT_EQ(status.code(), StatusCode::kAlreadyExists);
+  // The service keeps serving afterwards.
+  KsirQuery query;
+  query.k = 2;
+  query.x = BalancedQueryVector();
+  EXPECT_TRUE((*service)->Query(query).ok());
+}
+
+// Shared fixture for the generator-workload properties: one synthetic
+// stream fed identically to a single engine and a 4-shard service.
+class PlannerPropertyTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kNumShards = 4;
+  static constexpr std::int32_t kK = 10;
+
+  void SetUp() override {
+    StreamProfile profile = RedditSimProfile();
+    profile.num_elements = 3000;
+    profile.num_topics = 8;
+    profile.vocab_size = 600;
+    auto generated = GenerateStream(profile);
+    ASSERT_TRUE(generated.ok());
+    stream_ = std::make_unique<GeneratedStream>(std::move(generated).value());
+
+    config_.scoring.eta = 20.0;
+    config_.window_length = 24 * 3600;
+    config_.bucket_length = 15 * 60;
+
+    engine_ = std::make_unique<KsirEngine>(config_, &stream_->model);
+    ASSERT_TRUE(engine_->Append(stream_->elements).ok());
+
+    ServiceConfig service_config;
+    service_config.engine = config_;
+    service_config.num_shards = kNumShards;
+    auto service = KsirService::Create(service_config, &stream_->model);
+    ASSERT_TRUE(service.ok());
+    service_ = std::move(service).value();
+    ASSERT_TRUE(service_->Append(stream_->elements).ok());
+  }
+
+  /// A deterministic pool of sparse query vectors over the topic space.
+  std::vector<SparseVector> QueryPool(std::size_t count) const {
+    std::vector<SparseVector> pool;
+    const auto z = static_cast<std::int32_t>(stream_->model.num_topics());
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto a = static_cast<std::int32_t>(i) % z;
+      const auto b = static_cast<std::int32_t>(3 * i + 1) % z;
+      if (a == b) {
+        pool.push_back(SparseVector::FromEntries({{a, 1.0}}));
+      } else {
+        pool.push_back(SparseVector::FromEntries({{a, 0.6}, {b, 0.4}}));
+      }
+    }
+    return pool;
+  }
+
+  EngineConfig config_;
+  std::unique_ptr<GeneratedStream> stream_;
+  std::unique_ptr<KsirEngine> engine_;
+  std::unique_ptr<KsirService> service_;
+};
+
+TEST_F(PlannerPropertyTest, MergeInvariantsHoldOnGeneratorWorkload) {
+  const auto pool = QueryPool(15);
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    KsirQuery query;
+    query.k = kK;
+    query.x = pool[i];
+    query.algorithm = Algorithm::kCelf;
+
+    const auto service_result = service_->Query(query);
+    ASSERT_TRUE(service_result.ok()) << "query " << i;
+
+    // |S| <= k, no duplicates.
+    EXPECT_LE(service_result->element_ids.size(),
+              static_cast<std::size_t>(kK));
+    auto ids = service_result->element_ids;
+    std::sort(ids.begin(), ids.end());
+    EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+
+    // Merged score is never below any single shard's score.
+    for (std::size_t s = 0; s < service_->num_shards(); ++s) {
+      const auto shard_result = service_->shard(s).Query(query);
+      ASSERT_TRUE(shard_result.ok());
+      EXPECT_GE(service_result->score, shard_result->score - 1e-9)
+          << "query " << i << " shard " << s;
+    }
+
+    // Acceptance bar: >= 0.95x the single-engine CELF score.
+    const auto engine_result = engine_->Query(query);
+    ASSERT_TRUE(engine_result.ok());
+    EXPECT_GE(service_result->score, 0.95 * engine_result->score)
+        << "query " << i << ": sharded " << service_result->score
+        << " vs single " << engine_result->score;
+  }
+}
+
+TEST_F(PlannerPropertyTest, ShardsPartitionTheActiveStream) {
+  // Every ingested element landed on exactly one shard, and the shard
+  // active sets are disjoint by id.
+  std::vector<ElementId> all_ids;
+  for (std::size_t s = 0; s < service_->num_shards(); ++s) {
+    const auto ids = service_->shard(s).window().ActiveIds();
+    all_ids.insert(all_ids.end(), ids.begin(), ids.end());
+  }
+  std::sort(all_ids.begin(), all_ids.end());
+  EXPECT_EQ(std::adjacent_find(all_ids.begin(), all_ids.end()),
+            all_ids.end());
+  const auto stats = service_->stats();
+  EXPECT_EQ(stats.ingestion.elements_ingested,
+            static_cast<std::int64_t>(stream_->elements.size()));
+  EXPECT_GT(stats.epoch, 0u);
+}
+
+TEST_F(PlannerPropertyTest, CacheHitEqualsCacheMissWithinEpoch) {
+  KsirQuery query;
+  query.k = kK;
+  query.x = QueryPool(1)[0];
+  query.algorithm = Algorithm::kCelf;
+
+  const auto before = service_->stats().cache;
+  const auto miss = service_->Query(query);   // computes and fills
+  const auto hit = service_->Query(query);    // must be served by the cache
+  ASSERT_TRUE(miss.ok() && hit.ok());
+  const auto after = service_->stats().cache;
+  EXPECT_GE(after.misses, before.misses + 1);
+  EXPECT_GE(after.hits, before.hits + 1);
+  EXPECT_EQ(hit->element_ids, miss->element_ids);
+  EXPECT_DOUBLE_EQ(hit->score, miss->score);
+}
+
+TEST_F(PlannerPropertyTest, AdvanceInvalidatesCachedResults) {
+  KsirQuery query;
+  query.k = kK;
+  query.x = QueryPool(2)[1];
+  query.algorithm = Algorithm::kCelf;
+  ASSERT_TRUE(service_->Query(query).ok());
+
+  const std::uint64_t epoch_before = service_->epoch();
+  const Timestamp next_bucket = service_->now() + config_.bucket_length;
+  ASSERT_TRUE(service_->AdvanceTo(next_bucket, {}).ok());
+  EXPECT_EQ(service_->epoch(), epoch_before + 1);
+  const auto stats = service_->stats();
+  EXPECT_GT(stats.cache.invalidated, 0);
+
+  // The re-computed answer reflects the slid window (and is re-cached).
+  const auto hits_before = service_->stats().cache.hits;
+  ASSERT_TRUE(service_->Query(query).ok());
+  ASSERT_TRUE(service_->Query(query).ok());
+  EXPECT_GE(service_->stats().cache.hits, hits_before + 1);
+}
+
+TEST_F(PlannerPropertyTest, StandingQueriesRunAfterEachBucket) {
+  KsirQuery query;
+  query.k = 5;
+  query.x = QueryPool(3)[2];
+  query.algorithm = Algorithm::kCelf;
+  std::vector<bool> changes;
+  service_->standing_queries().Register(
+      query, [&](std::int64_t, const QueryResult&, bool changed) {
+        changes.push_back(changed);
+      });
+
+  Timestamp next = service_->now() + config_.bucket_length;
+  ASSERT_TRUE(service_->AdvanceTo(next, {}).ok());
+  next += config_.bucket_length;
+  ASSERT_TRUE(service_->AdvanceTo(next, {}).ok());
+  ASSERT_EQ(changes.size(), 2u);
+  EXPECT_TRUE(changes[0]);  // first evaluation always reports a change
+}
+
+// ---- result cache unit behavior -------------------------------------------
+
+TEST(ResultCacheTest, QuantizesNearbyQueryVectors) {
+  ResultCache cache(8, 1e-3);
+  KsirQuery a;
+  a.k = 5;
+  a.x = SparseVector::FromEntries({{0, 0.5}, {1, 0.5}});
+  KsirQuery b = a;
+  b.x = SparseVector::FromEntries({{0, 0.5000001}, {1, 0.4999999}});
+  EXPECT_EQ(cache.MakeKey(a, 7), cache.MakeKey(b, 7));
+  KsirQuery c = a;
+  c.x = SparseVector::FromEntries({{0, 0.6}, {1, 0.4}});
+  EXPECT_FALSE(cache.MakeKey(a, 7) == cache.MakeKey(c, 7));
+  // Same query at another epoch is another key.
+  EXPECT_FALSE(cache.MakeKey(a, 7) == cache.MakeKey(a, 8));
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  KsirQuery query;
+  query.x = SparseVector::FromEntries({{0, 1.0}});
+  QueryResult result;
+  result.score = 1.0;
+  const auto k1 = cache.MakeKey(query, 1);
+  const auto k2 = cache.MakeKey(query, 2);
+  const auto k3 = cache.MakeKey(query, 3);
+  cache.Insert(k1, result);
+  cache.Insert(k2, result);
+  ASSERT_TRUE(cache.Lookup(k1).has_value());  // refresh k1; k2 becomes LRU
+  cache.Insert(k3, result);                   // evicts k2
+  EXPECT_TRUE(cache.Lookup(k1).has_value());
+  EXPECT_FALSE(cache.Lookup(k2).has_value());
+  EXPECT_TRUE(cache.Lookup(k3).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1);
+}
+
+TEST(ResultCacheTest, InvalidateBeforeDropsOldEpochs) {
+  ResultCache cache(16);
+  KsirQuery query;
+  query.x = SparseVector::FromEntries({{0, 1.0}});
+  QueryResult result;
+  for (std::uint64_t epoch = 1; epoch <= 5; ++epoch) {
+    cache.Insert(cache.MakeKey(query, epoch), result);
+  }
+  cache.InvalidateBefore(4);
+  EXPECT_EQ(cache.size(), 2u);  // epochs 4 and 5 survive
+  EXPECT_EQ(cache.stats().invalidated, 3);
+}
+
+}  // namespace
+}  // namespace ksir
