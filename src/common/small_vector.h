@@ -1,0 +1,188 @@
+// Vector with inline storage for the first N elements.
+//
+// The window keeps one referrer list per active element and the score cache
+// one topic-entry list per element; both are tiny in the common case (< 2
+// topics per element, small in-degrees) but numerous, so per-list heap nodes
+// and the extra indirection dominate. SmallVector stores up to N elements
+// inside the object and falls back to the heap beyond that, like
+// absl::InlinedVector / llvm::SmallVector in spirit.
+#ifndef KSIR_COMMON_SMALL_VECTOR_H_
+#define KSIR_COMMON_SMALL_VECTOR_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ksir {
+
+template <typename T, std::size_t N>
+class SmallVector {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() = default;
+
+  SmallVector(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) push_back(v);
+  }
+
+  SmallVector(const SmallVector& other) {
+    reserve(other.size_);
+    std::uninitialized_copy(other.begin(), other.end(), data_);
+    size_ = other.size_;
+  }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      clear();
+      reserve(other.size_);
+      std::uninitialized_copy(other.begin(), other.end(), data_);
+      size_ = other.size_;
+    }
+    return *this;
+  }
+
+  SmallVector(SmallVector&& other) noexcept { MoveFrom(std::move(other)); }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      DestroyAll();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  ~SmallVector() { DestroyAll(); }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return capacity_; }
+  bool is_inline() const { return data_ == InlineData(); }
+
+  void reserve(std::size_t n) {
+    if (n > capacity_) Grow(n);
+  }
+
+  void clear() {
+    std::destroy(begin(), end());
+    size_ = 0;
+  }
+
+  void push_back(const T& value) { emplace_back(value); }
+  void push_back(T&& value) { emplace_back(std::move(value)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) {
+      // Construct into the new buffer BEFORE releasing the old one so that
+      // arguments referencing this vector's own elements (v.push_back(
+      // v.front())) stay valid, matching std::vector's guarantee.
+      const std::size_t new_capacity = capacity_ * 2;
+      T* new_data = static_cast<T*>(::operator new(new_capacity * sizeof(T)));
+      T* slot = new_data + size_;
+      new (slot) T(std::forward<Args>(args)...);
+      std::uninitialized_move(begin(), end(), new_data);
+      std::destroy(begin(), end());
+      if (!is_inline()) ::operator delete(data_);
+      data_ = new_data;
+      capacity_ = new_capacity;
+      ++size_;
+      return *slot;
+    }
+    T* slot = data_ + size_;
+    new (slot) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    data_[--size_].~T();
+  }
+
+  /// Erases [first, last), shifting the tail left.
+  iterator erase(const_iterator first, const_iterator last) {
+    T* f = data_ + (first - data_);
+    T* l = data_ + (last - data_);
+    T* new_end = std::move(l, end(), f);
+    std::destroy(new_end, end());
+    size_ = static_cast<std::size_t>(new_end - data_);
+    return f;
+  }
+
+  iterator erase(const_iterator pos) { return erase(pos, pos + 1); }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  T* InlineData() { return reinterpret_cast<T*>(inline_storage_); }
+  const T* InlineData() const {
+    return reinterpret_cast<const T*>(inline_storage_);
+  }
+
+  void Grow(std::size_t min_capacity) {
+    const std::size_t new_capacity = std::max(min_capacity, capacity_ * 2);
+    T* new_data = static_cast<T*>(::operator new(new_capacity * sizeof(T)));
+    std::uninitialized_move(begin(), end(), new_data);
+    std::destroy(begin(), end());
+    if (!is_inline()) ::operator delete(data_);
+    data_ = new_data;
+    capacity_ = new_capacity;
+  }
+
+  void DestroyAll() {
+    std::destroy(begin(), end());
+    if (!is_inline()) ::operator delete(data_);
+    data_ = InlineData();
+    capacity_ = N;
+    size_ = 0;
+  }
+
+  void MoveFrom(SmallVector&& other) noexcept {
+    if (!other.is_inline()) {
+      // Steal the heap buffer.
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.InlineData();
+      other.capacity_ = N;
+      other.size_ = 0;
+    } else {
+      data_ = InlineData();
+      capacity_ = N;
+      std::uninitialized_move(other.begin(), other.end(), data_);
+      size_ = other.size_;
+      other.clear();
+    }
+  }
+
+  alignas(T) std::byte inline_storage_[N * sizeof(T)];
+  T* data_ = InlineData();
+  std::size_t capacity_ = N;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ksir
+
+#endif  // KSIR_COMMON_SMALL_VECTOR_H_

@@ -64,6 +64,13 @@ double CandidateState::Add(const SocialElement& e) {
     const double p_e = e.topics.Get(state.topic);
     if (p_e <= 0.0) continue;
 
+    // Pre-size from the incoming element so the insertion loops below never
+    // rehash mid-flight (and the capacity is reused across CELF/MTTS
+    // add-rounds instead of being reallocated per evaluation).
+    state.best_sigma.reserve(state.best_sigma.size() +
+                             e.doc.word_counts().size());
+    state.survive.reserve(state.survive.size() + referrers.size());
+
     double semantic_gain = 0.0;
     for (const auto& [word, count] : e.doc.word_counts()) {
       const double sigma = ctx_->Sigma(state.topic, word, count, p_e);

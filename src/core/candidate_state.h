@@ -16,10 +16,9 @@
 #ifndef KSIR_CORE_CANDIDATE_STATE_H_
 #define KSIR_CORE_CANDIDATE_STATE_H_
 
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_hash_map.h"
 #include "common/sparse_vector.h"
 #include "common/types.h"
 #include "core/scoring.h"
@@ -54,15 +53,15 @@ class CandidateState {
     TopicId topic;
     double query_weight;  // x_i
     /// Current max sigma_i(w, e) over S per covered word.
-    std::unordered_map<WordId, double> best_sigma;
+    FlatHashMap<WordId, double> best_sigma;
     /// Remaining non-coverage probability per influenced element.
-    std::unordered_map<ElementId, double> survive;
+    FlatHashMap<ElementId, double> survive;
   };
 
   const ScoringContext* ctx_;
   std::vector<TopicState> topics_;
   std::vector<ElementId> members_;
-  std::unordered_set<ElementId> member_ids_;
+  FlatHashSet<ElementId> member_ids_;
   double score_ = 0.0;
 };
 

@@ -56,7 +56,8 @@ KsirEngine::KsirEngine(EngineConfig config, const TopicModel* model)
       window_(config.window_length, config.archive_retention),
       index_(model != nullptr ? model->num_topics() : 1),
       scoring_(model, &window_, config.scoring),
-      maintainer_(&scoring_, &index_, config.refresh_mode) {
+      maintainer_(&scoring_, &index_, config.refresh_mode,
+                  config.score_maintenance) {
   KSIR_CHECK(config.bucket_length > 0);
   KSIR_CHECK(config.window_length >= config.bucket_length);
 }

@@ -36,6 +36,9 @@ struct EngineConfig {
   /// <= 0 means "same as window_length" (see ActiveWindow).
   Timestamp archive_retention = 0;
   RefreshMode refresh_mode = RefreshMode::kExact;
+  /// Reposition scoring strategy; kIncremental is the production path,
+  /// kRecompute the slow reference baseline (see IndexMaintainer).
+  ScoreMaintenance score_maintenance = ScoreMaintenance::kIncremental;
 };
 
 /// Cumulative ingestion statistics.

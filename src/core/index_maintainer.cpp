@@ -5,15 +5,80 @@
 namespace ksir {
 
 IndexMaintainer::IndexMaintainer(const ScoringContext* ctx,
-                                 RankedListIndex* index, RefreshMode mode)
-    : ctx_(ctx), index_(index), mode_(mode) {
+                                 RankedListIndex* index, RefreshMode mode,
+                                 ScoreMaintenance maintenance)
+    : ctx_(ctx),
+      index_(index),
+      mode_(mode),
+      maintenance_(maintenance),
+      cache_(ctx) {
   KSIR_CHECK(ctx != nullptr);
   KSIR_CHECK(index != nullptr);
 }
 
 void IndexMaintainer::Apply(const ActiveWindow::UpdateResult& update) {
+  if (maintenance_ == ScoreMaintenance::kIncremental) {
+    ApplyIncremental(update);
+  } else {
+    ApplyRecompute(update);
+  }
+}
+
+void IndexMaintainer::ApplyIncremental(
+    const ActiveWindow::UpdateResult& update) {
   const ActiveWindow& window = ctx_->window();
   // Expiry first: expired ids are no longer in the window store.
+  for (ElementId id : update.expired) {
+    index_->Erase(id);
+    cache_.Erase(id);
+  }
+  // Inserted and resurrected elements get the one full scan of their
+  // lifetime; the window's referrer sets already reflect this bucket, so
+  // their edge deltas are folded in here (and omitted from the edge lists).
+  for (ElementId id : update.inserted) InsertFresh(id);
+  for (ElementId id : update.resurrected) InsertFresh(id);
+  // Edge deltas keep the cached influence halves exact — in *both* refresh
+  // modes. Under kPaper the lists may stay stale-high, but the cache always
+  // holds the true I_{i,t}(e), so the next reposition lands exactly where a
+  // full recompute would. gained_edges arrive grouped by referrer (phase-1
+  // order of Advance), so the referrer lookup is memoized across each run;
+  // lost_edges interleave referrers (they are grouped by target), so for
+  // them the memo is merely opportunistic.
+  const SocialElement* referrer = nullptr;
+  ElementId referrer_id = kInvalidElementId;
+  for (const ActiveWindow::EdgeDelta& edge : update.gained_edges) {
+    if (edge.referrer != referrer_id) {
+      referrer = window.Find(edge.referrer);
+      referrer_id = edge.referrer;
+      KSIR_CHECK(referrer != nullptr);
+    }
+    cache_.AddEdge(edge.target, referrer->topics);
+  }
+  referrer = nullptr;
+  referrer_id = kInvalidElementId;
+  for (const ActiveWindow::EdgeDelta& edge : update.lost_edges) {
+    if (edge.referrer != referrer_id) {
+      // The expired referrer already left A_t; its element (and topic
+      // vector) is still retained in the archive for this very lookup.
+      referrer = window.FindIncludingArchived(edge.referrer);
+      referrer_id = edge.referrer;
+      KSIR_CHECK(referrer != nullptr);
+    }
+    cache_.RemoveEdge(edge.target, referrer->topics);
+  }
+  for (ElementId id : update.gained_referrer) {
+    RepositionFromCache(id);
+  }
+  if (mode_ == RefreshMode::kExact) {
+    for (ElementId id : update.lost_referrer) {
+      RepositionFromCache(id);
+    }
+  }
+}
+
+void IndexMaintainer::ApplyRecompute(
+    const ActiveWindow::UpdateResult& update) {
+  const ActiveWindow& window = ctx_->window();
   for (ElementId id : update.expired) {
     index_->Erase(id);
   }
@@ -30,20 +95,34 @@ void IndexMaintainer::Apply(const ActiveWindow::UpdateResult& update) {
     index_->Insert(id, ctx_->AllTopicScores(*e), window.LastReferredAt(id));
   }
   for (ElementId id : update.gained_referrer) {
-    Reposition(id);
+    RepositionRecompute(id);
   }
   if (mode_ == RefreshMode::kExact) {
     for (ElementId id : update.lost_referrer) {
-      Reposition(id);
+      RepositionRecompute(id);
     }
   }
 }
 
-void IndexMaintainer::Reposition(ElementId id) {
+void IndexMaintainer::InsertFresh(ElementId id) {
+  const SocialElement* e = ctx_->window().Find(id);
+  KSIR_CHECK(e != nullptr);
+  cache_.Insert(*e);
+  cache_.ComposeScores(id, &scratch_scores_);
+  index_->Insert(id, scratch_scores_, ctx_->window().LastReferredAt(id));
+}
+
+void IndexMaintainer::RepositionRecompute(ElementId id) {
   const SocialElement* e = ctx_->window().Find(id);
   KSIR_CHECK(e != nullptr);
   index_->Update(id, ctx_->AllTopicScores(*e),
                  ctx_->window().LastReferredAt(id));
+}
+
+void IndexMaintainer::RepositionFromCache(ElementId id) {
+  cache_.ComposeScores(id, &scratch_scores_);
+  index_->UpdateTrusted(id, scratch_scores_,
+                        ctx_->window().LastReferredAt(id));
 }
 
 }  // namespace ksir

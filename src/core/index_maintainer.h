@@ -3,7 +3,11 @@
 #ifndef KSIR_CORE_INDEX_MAINTAINER_H_
 #define KSIR_CORE_INDEX_MAINTAINER_H_
 
+#include <utility>
+#include <vector>
+
 #include "core/ranked_list.h"
+#include "core/score_cache.h"
 #include "core/scoring.h"
 #include "window/active_window.h"
 
@@ -20,26 +24,58 @@ enum class RefreshMode {
   kPaper,
 };
 
+/// How reposition scores are produced.
+enum class ScoreMaintenance {
+  /// ScoreCache decomposition: the semantic half is computed once per
+  /// element lifetime and the influence half updated per edge, making a
+  /// reposition O(|shared topics|). Default.
+  kIncremental,
+  /// Recompute delta_i(e) from scratch (full word scan per topic plus a
+  /// referrer-set scan) on every reposition. The pre-decomposition
+  /// behavior; kept as the reference baseline for equivalence tests and the
+  /// hot-path benchmark.
+  kRecompute,
+};
+
 /// Applies window updates to the ranked lists (Algorithm 1 lines 4-13).
 class IndexMaintainer {
  public:
   /// `ctx` and `index` must outlive the maintainer; `ctx`'s window must be
   /// the window whose updates are applied.
   IndexMaintainer(const ScoringContext* ctx, RankedListIndex* index,
-                  RefreshMode mode = RefreshMode::kExact);
+                  RefreshMode mode = RefreshMode::kExact,
+                  ScoreMaintenance maintenance = ScoreMaintenance::kIncremental);
 
   /// Applies one Advance() result. Must be called after every window
   /// advance, with no interleaved advances.
   void Apply(const ActiveWindow::UpdateResult& update);
 
   RefreshMode mode() const { return mode_; }
+  ScoreMaintenance maintenance() const { return maintenance_; }
+
+  /// The cache backing kIncremental maintenance (exposed for tests).
+  const ScoreCache& score_cache() const { return cache_; }
 
  private:
-  void Reposition(ElementId id);
+  void ApplyIncremental(const ActiveWindow::UpdateResult& update);
+  void ApplyRecompute(const ActiveWindow::UpdateResult& update);
+
+  /// Inserts `id` into the lists (and the cache under kIncremental).
+  void InsertFresh(ElementId id);
+
+  /// kRecompute reposition: full rescore.
+  void RepositionRecompute(ElementId id);
+
+  /// kIncremental reposition: compose from the cached halves.
+  void RepositionFromCache(ElementId id);
 
   const ScoringContext* ctx_;
   RankedListIndex* index_;
   RefreshMode mode_;
+  ScoreMaintenance maintenance_;
+  ScoreCache cache_;
+  /// Reused (topic, score) buffer; repositions are too frequent to allocate.
+  std::vector<std::pair<TopicId, double>> scratch_scores_;
 };
 
 }  // namespace ksir

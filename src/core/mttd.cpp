@@ -1,11 +1,11 @@
 #include "core/mttd.h"
 
 #include <queue>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/flat_hash_map.h"
 #include "common/timer.h"
 #include "core/candidate_state.h"
 #include "core/traversal.h"
@@ -43,7 +43,7 @@ QueryResult RunMttd(const ScoringContext& ctx, const RankedListIndex& index,
   // Buffer E': lazy max-heap plus the authoritative cached gains. Stale heap
   // entries (cached value changed or element added to S) are skipped on pop.
   std::priority_queue<BufferEntry> heap;
-  std::unordered_map<ElementId, double> cached;
+  FlatHashMap<ElementId, double> cached;
 
   // Line 3: tau starts at the upper bound over all active elements.
   double tau = cursor.UpperBound();

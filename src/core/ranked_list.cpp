@@ -1,29 +1,154 @@
 #include "core/ranked_list.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace ksir {
 
+std::size_t RankedList::FindChunk(const Key& key) const {
+  // First chunk whose last (greatest in comparator order, i.e. lowest-score)
+  // key is not ordered before `key`; keys beyond every chunk map to the
+  // final chunk.
+  const auto it = std::partition_point(
+      chunk_last_.begin(), chunk_last_.end(),
+      [&key](const Key& last) { return last < key; });
+  const std::size_t idx = static_cast<std::size_t>(it - chunk_last_.begin());
+  return idx == chunks_.size() ? idx - 1 : idx;
+}
+
+void RankedList::InsertKey(const Key& key) {
+  if (chunks_.empty()) {
+    chunks_.push_back(std::make_unique<Chunk>());
+    chunks_[0]->keys[0] = key;
+    chunks_[0]->size = 1;
+    chunk_last_.push_back(key);
+    ++size_;
+    return;
+  }
+  std::size_t idx = FindChunk(key);
+  Chunk* chunk = chunks_[idx].get();
+  if (chunk->size == kChunkCapacity) {
+    // Split into two halves, then re-aim at the half that owns `key`.
+    auto upper = std::make_unique<Chunk>();
+    constexpr std::uint32_t kHalf = kChunkCapacity / 2;
+    std::copy(chunk->keys.begin() + kHalf, chunk->keys.end(),
+              upper->keys.begin());
+    upper->size = kChunkCapacity - kHalf;
+    chunk->size = kHalf;
+    const auto offset = static_cast<std::ptrdiff_t>(idx);
+    chunks_.insert(chunks_.begin() + offset + 1, std::move(upper));
+    chunk_last_.insert(chunk_last_.begin() + offset,
+                       chunks_[idx]->keys[kHalf - 1]);
+    if (chunks_[idx + 1]->keys[0] < key) {
+      ++idx;
+    }
+    chunk = chunks_[idx].get();
+  }
+  Key* const first = chunk->keys.data();
+  Key* const last = first + chunk->size;
+  Key* const pos = std::lower_bound(first, last, key);
+  std::copy_backward(pos, last, last + 1);
+  *pos = key;
+  ++chunk->size;
+  chunk_last_[idx] = chunk->keys[chunk->size - 1];
+  ++size_;
+}
+
+void RankedList::EraseKey(const Key& key) {
+  KSIR_CHECK(!chunks_.empty());
+  const std::size_t idx = FindChunk(key);
+  Chunk* chunk = chunks_[idx].get();
+  Key* const first = chunk->keys.data();
+  Key* const last = first + chunk->size;
+  Key* const pos = std::lower_bound(first, last, key);
+  KSIR_CHECK(pos != last && *pos == key);
+  std::copy(pos + 1, last, pos);
+  --chunk->size;
+  --size_;
+  if (chunk->size == 0) {
+    const auto offset = static_cast<std::ptrdiff_t>(idx);
+    chunks_.erase(chunks_.begin() + offset);
+    chunk_last_.erase(chunk_last_.begin() + offset);
+  } else {
+    chunk_last_[idx] = chunk->keys[chunk->size - 1];
+    if (chunk->size < kChunkCapacity / 4) MaybeMerge(idx);
+  }
+}
+
+void RankedList::MoveKey(const Key& old_key, const Key& new_key) {
+  const std::size_t old_idx = FindChunk(old_key);
+  Chunk* chunk = chunks_[old_idx].get();
+  Key* const first = chunk->keys.data();
+  Key* const last = first + chunk->size;
+  Key* const old_pos = std::lower_bound(first, last, old_key);
+  KSIR_CHECK(old_pos != last && *old_pos == old_key);
+  // The new key stays in this chunk iff it sorts at or before the chunk's
+  // last key and at or after the previous chunk's last key (with the old
+  // key still counted as present, which only widens the chunk's span).
+  const bool within =
+      !(chunk->keys[chunk->size - 1] < new_key) &&
+      (old_idx == 0 || chunk_last_[old_idx - 1] < new_key);
+  if (!within) {
+    EraseKey(old_key);
+    InsertKey(new_key);
+    return;
+  }
+  Key* const new_pos = std::lower_bound(first, last, new_key);
+  if (new_pos == old_pos || new_pos == old_pos + 1) {
+    *old_pos = new_key;  // neighbors unchanged: overwrite in place
+  } else if (new_pos < old_pos) {
+    std::copy_backward(new_pos, old_pos, old_pos + 1);
+    *new_pos = new_key;
+  } else {
+    std::copy(old_pos + 1, new_pos, old_pos);
+    *(new_pos - 1) = new_key;
+  }
+  chunk_last_[old_idx] = chunk->keys[chunk->size - 1];
+}
+
+void RankedList::MaybeMerge(std::size_t idx) {
+  // Fold the sparse chunk into a neighbor when the pair stays under
+  // capacity, bounding the chunk count under sustained churn.
+  const auto merge_into = [this](std::size_t dst, std::size_t src) {
+    Chunk* a = chunks_[dst].get();
+    Chunk* b = chunks_[src].get();
+    std::copy(b->keys.begin(), b->keys.begin() + b->size,
+              a->keys.begin() + a->size);
+    a->size += b->size;
+    chunk_last_[dst] = a->keys[a->size - 1];
+    const auto offset = static_cast<std::ptrdiff_t>(src);
+    chunks_.erase(chunks_.begin() + offset);
+    chunk_last_.erase(chunk_last_.begin() + offset);
+  };
+  const std::uint32_t self = chunks_[idx]->size;
+  if (idx + 1 < chunks_.size() &&
+      self + chunks_[idx + 1]->size <= kChunkCapacity) {
+    merge_into(idx, idx + 1);
+  } else if (idx > 0 && chunks_[idx - 1]->size + self <= kChunkCapacity) {
+    merge_into(idx - 1, idx);
+  }
+}
+
 void RankedList::Insert(ElementId id, double score, Timestamp te) {
   const auto [it, inserted] = by_id_.emplace(id, std::make_pair(score, te));
   KSIR_CHECK(inserted);
-  ordered_.insert(Key{score, id});
+  InsertKey(Key{score, id});
 }
 
 void RankedList::Update(ElementId id, double score, Timestamp te) {
   const auto it = by_id_.find(id);
   KSIR_CHECK(it != by_id_.end());
-  const auto erased = ordered_.erase(Key{it->second.first, id});
-  KSIR_CHECK(erased == 1);
+  const double old_score = it->second.first;
   it->second = {score, te};
-  ordered_.insert(Key{score, id});
+  if (old_score == score) return;  // key unchanged; only t_e moved
+  MoveKey(Key{old_score, id}, Key{score, id});
 }
 
 void RankedList::Erase(ElementId id) {
   const auto it = by_id_.find(id);
   KSIR_CHECK(it != by_id_.end());
-  const auto erased = ordered_.erase(Key{it->second.first, id});
-  KSIR_CHECK(erased == 1);
+  EraseKey(Key{it->second.first, id});
   by_id_.erase(it);
 }
 
@@ -47,8 +172,9 @@ RankedListIndex::RankedListIndex(std::size_t num_topics)
 void RankedListIndex::Insert(
     ElementId id, const std::vector<std::pair<TopicId, double>>& topic_scores,
     Timestamp te) {
-  KSIR_CHECK(!membership_.contains(id));
-  auto& topics = membership_[id];
+  const auto [it, inserted] = membership_.try_emplace(id);
+  KSIR_CHECK(inserted);
+  auto& topics = it->second;
   topics.reserve(topic_scores.size());
   for (const auto& [topic, score] : topic_scores) {
     KSIR_CHECK(topic >= 0 && static_cast<std::size_t>(topic) < lists_.size());
@@ -64,6 +190,16 @@ void RankedListIndex::Update(
   const auto it = membership_.find(id);
   KSIR_CHECK(it != membership_.end());
   KSIR_CHECK(it->second.size() == topic_scores.size());
+  for (const auto& [topic, score] : topic_scores) {
+    lists_[static_cast<std::size_t>(topic)].Update(id, score, te);
+  }
+}
+
+void RankedListIndex::UpdateTrusted(
+    ElementId id, const std::vector<std::pair<TopicId, double>>& topic_scores,
+    Timestamp te) {
+  KSIR_DCHECK(membership_.contains(id));
+  KSIR_DCHECK(membership_.find(id)->second.size() == topic_scores.size());
   for (const auto& [topic, score] : topic_scores) {
     lists_[static_cast<std::size_t>(topic)].Update(id, score, te);
   }

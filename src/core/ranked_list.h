@@ -1,17 +1,27 @@
 // Per-topic ranked lists (paper Section 4.1, Algorithm 1).
 //
 // RL_i keeps one tuple <delta_i(e), t_e> per active element with p_i(e) > 0,
-// sorted by topic-wise representativeness score descending. The index
-// supports O(log n) insert / reposition / erase and ordered traversal for
-// the threshold algorithms.
+// sorted by topic-wise representativeness score descending.
+//
+// Storage is a chunked sorted array (B-tree-leaf style): an ordered vector
+// of fixed-capacity chunks, each holding a sorted run of keys. Insert and
+// reposition binary-search the chunk directory and memmove within one chunk
+// (a few cache lines), full chunks split and sparse neighbors merge, and the
+// threshold traversal of Algorithms 2-3 walks contiguous memory instead of
+// chasing red-black-tree nodes as the previous std::set backing did. The
+// id -> tuple side table is an open-addressing FlatHashMap.
 #ifndef KSIR_CORE_RANKED_LIST_H_
 #define KSIR_CORE_RANKED_LIST_H_
 
-#include <set>
-#include <unordered_map>
+#include <array>
+#include <cstdint>
+#include <iterator>
+#include <memory>
 #include <utility>
 #include <vector>
 
+#include "common/flat_hash_map.h"
+#include "common/small_vector.h"
 #include "common/types.h"
 
 namespace ksir {
@@ -28,6 +38,9 @@ class RankedList {
       if (score != other.score) return score > other.score;
       return id < other.id;
     }
+    bool operator==(const Key& other) const {
+      return score == other.score && id == other.id;
+    }
   };
 
   /// Full tuple view <delta_i(e), t_e> plus the element id.
@@ -37,7 +50,62 @@ class RankedList {
     Timestamp te;
   };
 
-  using const_iterator = std::set<Key>::const_iterator;
+  /// Keys per chunk: 64 * 16 B = 1 KiB of contiguous keys per chunk; splits
+  /// at capacity keep memmoves short while iteration stays sequential.
+  static constexpr std::size_t kChunkCapacity = 64;
+
+ private:
+  struct Chunk {
+    std::uint32_t size = 0;
+    std::array<Key, kChunkCapacity> keys;
+  };
+  using ChunkVector = std::vector<std::unique_ptr<Chunk>>;
+
+ public:
+  /// Forward iterator over the chunked storage in descending-score order.
+  /// Invalidated by any mutation, like the node iterators it replaced.
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = Key;
+    using difference_type = std::ptrdiff_t;
+    using reference = const Key&;
+    using pointer = const Key*;
+
+    const_iterator() = default;
+
+    const Key& operator*() const { return (*chunks_)[chunk_]->keys[offset_]; }
+    const Key* operator->() const {
+      return &(*chunks_)[chunk_]->keys[offset_];
+    }
+
+    const_iterator& operator++() {
+      if (++offset_ == (*chunks_)[chunk_]->size) {
+        ++chunk_;
+        offset_ = 0;
+      }
+      return *this;
+    }
+
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.chunk_ == b.chunk_ && a.offset_ == b.offset_;
+    }
+    friend bool operator!=(const const_iterator& a, const const_iterator& b) {
+      return !(a == b);
+    }
+
+   private:
+    friend class RankedList;
+    const_iterator(const ChunkVector* chunks, std::size_t chunk,
+                   std::uint32_t offset)
+        : chunks_(chunks), chunk_(chunk), offset_(offset) {}
+
+    const ChunkVector* chunks_ = nullptr;
+    std::size_t chunk_ = 0;
+    std::uint32_t offset_ = 0;
+  };
+
+  RankedList() = default;
 
   /// Inserts a new element; it must not be present.
   void Insert(ElementId id, double score, Timestamp te);
@@ -53,19 +121,39 @@ class RankedList {
   /// Tuple of a present element.
   Tuple Get(ElementId id) const;
 
-  std::size_t size() const { return ordered_.size(); }
-  bool empty() const { return ordered_.empty(); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
 
   /// Ordered traversal (descending score).
-  const_iterator begin() const { return ordered_.begin(); }
-  const_iterator end() const { return ordered_.end(); }
+  const_iterator begin() const { return const_iterator(&chunks_, 0, 0); }
+  const_iterator end() const {
+    return const_iterator(&chunks_, chunks_.size(), 0);
+  }
 
   /// t_e of a present element (stored beside the ordering key).
   Timestamp TimeOf(ElementId id) const;
 
  private:
-  std::set<Key> ordered_;
-  std::unordered_map<ElementId, std::pair<double, Timestamp>> by_id_;
+  /// Index of the chunk that does / should contain `key`. Binary search
+  /// over the contiguous last-key directory (no chunk pointer chasing).
+  std::size_t FindChunk(const Key& key) const;
+
+  void InsertKey(const Key& key);
+  void EraseKey(const Key& key);
+
+  /// Reposition combining erase + insert; stays inside one chunk (single
+  /// directory lookup, local memmoves) whenever old and new key land in the
+  /// same chunk — the common case for hub elements nudged every bucket.
+  void MoveKey(const Key& old_key, const Key& new_key);
+
+  /// Merges chunk `idx` with a neighbor when the pair fits in one chunk.
+  void MaybeMerge(std::size_t idx);
+
+  ChunkVector chunks_;
+  /// chunk_last_[i] == chunks_[i]->keys[size - 1]; the search directory.
+  std::vector<Key> chunk_last_;
+  FlatHashMap<ElementId, std::pair<double, Timestamp>> by_id_;
+  std::size_t size_ = 0;
 };
 
 /// The z ranked lists plus the per-element topic membership needed to erase
@@ -85,6 +173,15 @@ class RankedListIndex {
               const std::vector<std::pair<TopicId, double>>& topic_scores,
               Timestamp te);
 
+  /// Update without the membership probe, for callers whose `topic_scores`
+  /// provably mirror the insertion support (the ScoreCache reposition path:
+  /// its entry was built from the same topic vector the membership was).
+  /// Debug builds still verify.
+  void UpdateTrusted(
+      ElementId id,
+      const std::vector<std::pair<TopicId, double>>& topic_scores,
+      Timestamp te);
+
   /// Removes `id` from all its lists.
   void Erase(ElementId id);
 
@@ -102,7 +199,7 @@ class RankedListIndex {
 
  private:
   std::vector<RankedList> lists_;
-  std::unordered_map<ElementId, std::vector<TopicId>> membership_;
+  FlatHashMap<ElementId, SmallVector<TopicId, 4>> membership_;
   std::size_t total_entries_ = 0;
 };
 

@@ -1,0 +1,71 @@
+#include "core/score_cache.h"
+
+#include "common/check.h"
+
+namespace ksir {
+
+ScoreCache::ScoreCache(const ScoringContext* ctx) : ctx_(ctx) {
+  KSIR_CHECK(ctx != nullptr);
+}
+
+void ScoreCache::Insert(const SocialElement& e) {
+  TopicList& topics = entries_[e.id];
+  topics.clear();
+  topics.reserve(e.topics.nnz());
+  for (const auto& [topic, prob] : e.topics.entries()) {
+    topics.emplace_back(TopicHalves{
+        topic, prob, ctx_->SemanticScore(topic, e, prob),
+        ctx_->InfluenceScore(topic, e, prob)});
+  }
+}
+
+void ScoreCache::Erase(ElementId id) { entries_.erase(id); }
+
+void ScoreCache::AddEdge(ElementId target,
+                         const SparseVector& referrer_topics) {
+  ApplyEdge(target, referrer_topics, 1.0);
+}
+
+void ScoreCache::RemoveEdge(ElementId target,
+                            const SparseVector& referrer_topics) {
+  ApplyEdge(target, referrer_topics, -1.0);
+}
+
+void ScoreCache::ApplyEdge(ElementId target,
+                           const SparseVector& referrer_topics, double sign) {
+  const auto it = entries_.find(target);
+  KSIR_CHECK(it != entries_.end());
+  TopicList& topics = it->second;
+  const auto& ref_topics = referrer_topics.entries();
+  // Both sides are sorted by topic; one merge pass over the shared support.
+  std::size_t ti = 0;
+  std::size_t ri = 0;
+  while (ti < topics.size() && ri < ref_topics.size()) {
+    if (topics[ti].topic < ref_topics[ri].first) {
+      ++ti;
+    } else if (ref_topics[ri].first < topics[ti].topic) {
+      ++ri;
+    } else {
+      topics[ti].influence +=
+          sign * topics[ti].topic_prob * ref_topics[ri].second;
+      ++ti;
+      ++ri;
+    }
+  }
+}
+
+void ScoreCache::ComposeScores(
+    ElementId id, std::vector<std::pair<TopicId, double>>* out) const {
+  const auto it = entries_.find(id);
+  KSIR_CHECK(it != entries_.end());
+  const double lambda = ctx_->params().lambda;
+  const double influence_factor = ctx_->influence_factor();
+  out->clear();
+  out->reserve(it->second.size());
+  for (const TopicHalves& halves : it->second) {
+    out->emplace_back(halves.topic, lambda * halves.semantic +
+                                        influence_factor * halves.influence);
+  }
+}
+
+}  // namespace ksir

@@ -1,0 +1,84 @@
+// Per-element decomposition of delta_i(e) into its immutable and mutable
+// halves (Eq. 2):
+//
+//   delta_i(e) = lambda * R_i(e) + ((1 - lambda) / eta) * I_{i,t}(e)
+//
+// R_i(e) depends only on the element's own words and topic vector, both
+// frozen at ingestion, so it is computed exactly once per (element, topic)
+// when the element enters A_t (or re-enters it by resurrection). I_{i,t}(e)
+// changes only by whole influence edges: when referrer r arrives,
+// I_{i,t}(e) += p_i(e) * p_i(r) on every shared topic; when r expires the
+// same term is subtracted. The cache therefore turns Algorithm 1's
+// reposition step from a full O(|words| * |topics|) rescore plus an
+// O(|I_t(e)|) referrer scan into an O(|shared topics|) update.
+//
+// The cache is an implementation detail of IndexMaintainer; it trusts the
+// maintainer to feed it every window change exactly once and in order
+// (erase expired, insert inserted/resurrected, then apply edge deltas).
+#ifndef KSIR_CORE_SCORE_CACHE_H_
+#define KSIR_CORE_SCORE_CACHE_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/flat_hash_map.h"
+#include "common/small_vector.h"
+#include "common/types.h"
+#include "core/scoring.h"
+#include "stream/element.h"
+
+namespace ksir {
+
+/// Cached score halves of every indexed element.
+class ScoreCache {
+ public:
+  /// `ctx` must outlive the cache.
+  explicit ScoreCache(const ScoringContext* ctx);
+
+  /// (Re)computes both halves for every topic in e's support: R_i(e) by the
+  /// one-and-only full word scan, I_{i,t}(e) from the window's current
+  /// referrer set. Replaces any previous entry (resurrection).
+  void Insert(const SocialElement& e);
+
+  /// Drops an expired element. Missing ids are ignored (an element may
+  /// expire and be garbage-collected across refresh modes).
+  void Erase(ElementId id);
+
+  bool Contains(ElementId id) const { return entries_.contains(id); }
+
+  /// I_{i,t}(target) += p_i(target) * p_i(referrer) over shared topics.
+  /// Only the referrer's topic vector is needed; the target's per-topic
+  /// probabilities are already cached in its entry.
+  void AddEdge(ElementId target, const SparseVector& referrer_topics);
+
+  /// I_{i,t}(target) -= p_i(target) * p_i(referrer) over shared topics.
+  void RemoveEdge(ElementId target, const SparseVector& referrer_topics);
+
+  /// Composes delta_i(e) for every topic in the element's support, in topic
+  /// order (the layout RankedListIndex expects). Clears `out` first.
+  void ComposeScores(ElementId id,
+                     std::vector<std::pair<TopicId, double>>* out) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  /// One support topic of one element. `semantic` is immutable after
+  /// Insert; `influence` tracks I_{i,t}(e) incrementally.
+  struct TopicHalves {
+    TopicId topic;
+    double topic_prob;  // p_i(e), kept to avoid re-probing the element
+    double semantic;    // R_i(e)
+    double influence;   // I_{i,t}(e)
+  };
+  using TopicList = SmallVector<TopicHalves, 4>;
+
+  void ApplyEdge(ElementId target, const SparseVector& referrer_topics,
+                 double sign);
+
+  const ScoringContext* ctx_;
+  FlatHashMap<ElementId, TopicList> entries_;
+};
+
+}  // namespace ksir
+
+#endif  // KSIR_CORE_SCORE_CACHE_H_

@@ -26,42 +26,69 @@ double ScoringContext::Sigma(TopicId topic, WordId word,
 
 double ScoringContext::SemanticScore(TopicId topic,
                                      const SocialElement& e) const {
-  const double p_e = e.topics.Get(topic);
-  if (p_e <= 0.0) return 0.0;
+  return SemanticScore(topic, e, e.topics.Get(topic));
+}
+
+double ScoringContext::SemanticScore(TopicId topic, const SocialElement& e,
+                                     double topic_prob_e) const {
+  if (topic_prob_e <= 0.0) return 0.0;
   double score = 0.0;
   for (const auto& [word, count] : e.doc.word_counts()) {
-    score += Sigma(topic, word, count, p_e);
+    score += Sigma(topic, word, count, topic_prob_e);
   }
   return score;
 }
 
 double ScoringContext::InfluenceScore(TopicId topic,
                                       const SocialElement& e) const {
-  const double p_e = e.topics.Get(topic);
-  if (p_e <= 0.0) return 0.0;
+  return InfluenceScore(topic, e, e.topics.Get(topic));
+}
+
+double ScoringContext::InfluenceScore(TopicId topic, const SocialElement& e,
+                                      double topic_prob_e) const {
+  if (topic_prob_e <= 0.0) return 0.0;
   double score = 0.0;
   for (const Referrer& r : window_->ReferrersOf(e.id)) {
     const SocialElement* referrer = window_->Find(r.id);
     KSIR_DCHECK(referrer != nullptr);
     if (referrer == nullptr) continue;
-    score += p_e * referrer->topics.Get(topic);
+    score += topic_prob_e * referrer->topics.Get(topic);
   }
   return score;
 }
 
 double ScoringContext::TopicScore(TopicId topic, const SocialElement& e) const {
-  const double p_e = e.topics.Get(topic);
-  if (p_e <= 0.0) return 0.0;
-  return params_.lambda * SemanticScore(topic, e) +
-         influence_factor_ * InfluenceScore(topic, e);
+  return TopicScore(topic, e, e.topics.Get(topic));
+}
+
+double ScoringContext::TopicScore(TopicId topic, const SocialElement& e,
+                                  double topic_prob_e) const {
+  if (topic_prob_e <= 0.0) return 0.0;
+  return params_.lambda * SemanticScore(topic, e, topic_prob_e) +
+         influence_factor_ * InfluenceScore(topic, e, topic_prob_e);
 }
 
 double ScoringContext::ElementScore(const SocialElement& e,
                                     const SparseVector& x) const {
+  // Sparse-sparse merge over the query's and the element's supports: one
+  // pass, no per-topic Get probes.
   double score = 0.0;
-  for (const auto& [topic, weight] : x.entries()) {
-    if (e.topics.Get(topic) <= 0.0) continue;
-    score += weight * TopicScore(topic, e);
+  const auto& qs = x.entries();
+  const auto& es = e.topics.entries();
+  std::size_t qi = 0;
+  std::size_t ei = 0;
+  while (qi < qs.size() && ei < es.size()) {
+    if (qs[qi].first < es[ei].first) {
+      ++qi;
+    } else if (es[ei].first < qs[qi].first) {
+      ++ei;
+    } else {
+      if (es[ei].second > 0.0) {
+        score += qs[qi].second * TopicScore(qs[qi].first, e, es[ei].second);
+      }
+      ++qi;
+      ++ei;
+    }
   }
   return score;
 }
@@ -71,7 +98,7 @@ std::vector<std::pair<TopicId, double>> ScoringContext::AllTopicScores(
   std::vector<std::pair<TopicId, double>> scores;
   scores.reserve(e.topics.nnz());
   for (const auto& [topic, prob] : e.topics.entries()) {
-    scores.emplace_back(topic, TopicScore(topic, e));
+    scores.emplace_back(topic, TopicScore(topic, e, prob));
   }
   return scores;
 }

@@ -45,12 +45,25 @@ class ScoringContext {
   /// R_i(e): singleton semantic score on `topic`.
   double SemanticScore(TopicId topic, const SocialElement& e) const;
 
+  /// R_i(e) with p_i(e) already in hand (saves the sparse probe; every
+  /// caller that iterates e's topic support already holds it).
+  double SemanticScore(TopicId topic, const SocialElement& e,
+                       double topic_prob_e) const;
+
   /// I_{i,t}({e}): singleton influence score on `topic` at the window's
   /// current time.
   double InfluenceScore(TopicId topic, const SocialElement& e) const;
 
+  /// I_{i,t}({e}) with p_i(e) already in hand.
+  double InfluenceScore(TopicId topic, const SocialElement& e,
+                        double topic_prob_e) const;
+
   /// delta_i(e) = lambda * R_i(e) + (1 - lambda)/eta * I_{i,t}(e).
   double TopicScore(TopicId topic, const SocialElement& e) const;
+
+  /// delta_i(e) with p_i(e) already in hand.
+  double TopicScore(TopicId topic, const SocialElement& e,
+                    double topic_prob_e) const;
 
   /// delta(e, x) over the intersection of the query's and the element's
   /// topic supports. Cost O(l * d) per the paper's analysis.

@@ -13,9 +13,9 @@
 #define KSIR_CORE_TRAVERSAL_H_
 
 #include <optional>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_hash_map.h"
 #include "common/sparse_vector.h"
 #include "common/types.h"
 #include "core/ranked_list.h"
@@ -55,7 +55,7 @@ class RankedListCursor {
   void SkipVisited(ListPos* pos) const;
 
   std::vector<ListPos> lists_;
-  std::unordered_set<ElementId> visited_;
+  FlatHashSet<ElementId> visited_;
   std::size_t num_retrieved_ = 0;
 };
 

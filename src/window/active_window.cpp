@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <string>
-#include <unordered_set>
 
 #include "common/check.h"
+#include "common/flat_hash_map.h"
 
 namespace ksir {
 
-const std::deque<Referrer> ActiveWindow::kNoReferrers = {};
+const ReferrerList ActiveWindow::kNoReferrers = {};
 
 ActiveWindow::ActiveWindow(Timestamp window_length,
                            Timestamp archive_retention)
@@ -24,9 +24,16 @@ StatusOr<ActiveWindow::UpdateResult> ActiveWindow::Advance(
     return Status::InvalidArgument("time must not move backwards");
   }
   UpdateResult result;
-  std::unordered_set<ElementId> gained;
-  std::unordered_set<ElementId> lost;
-  std::unordered_set<ElementId> resurrected;
+  ++advance_epoch_;
+  // Deduplicated via the Entry stamps; may still contain ids that are later
+  // reclassified (inserted / resurrected / expired), filtered at the end.
+  std::vector<ElementId> gained_list;
+  std::vector<ElementId> lost_list;
+  FlatHashSet<ElementId> resurrected;
+  // Edge changes as they happen; filtered against the final element
+  // classification before being reported.
+  std::vector<EdgeDelta> gained_edges_raw;
+  std::vector<EdgeDelta> lost_edges_raw;
 
   // --- Phase 1: insert the bucket and register its references. ---
   Timestamp prev_ts = now_;
@@ -67,7 +74,11 @@ StatusOr<ActiveWindow::UpdateResult> ActiveWindow::Advance(
       entry.referrers.push_back(Referrer{id, ts});
       entry.last_ref_time = ts;
       if (entry.active) {
-        gained.insert(target);
+        if (entry.gained_stamp != advance_epoch_) {
+          entry.gained_stamp = advance_epoch_;
+          gained_list.push_back(target);
+        }
+        gained_edges_raw.push_back(EdgeDelta{target, id});
       } else {
         entry.active = true;
         entry.deactivated_at = kMinTimestamp;
@@ -103,23 +114,27 @@ StatusOr<ActiveWindow::UpdateResult> ActiveWindow::Advance(
       auto target_it = entries_.find(target);
       if (target_it == entries_.end() || !target_it->second.active) continue;
       auto& referrers = target_it->second.referrers;
-      const std::size_t before = referrers.size();
-      while (!referrers.empty() && referrers.front().ts <= cutoff) {
-        referrers.pop_front();
+      std::size_t expired_prefix = 0;
+      while (expired_prefix < referrers.size() &&
+             referrers[expired_prefix].ts <= cutoff) {
+        lost_edges_raw.push_back(
+            EdgeDelta{target, referrers[expired_prefix].id});
+        ++expired_prefix;
       }
-      if (referrers.size() != before) lost.insert(target);
+      if (expired_prefix > 0) {
+        referrers.erase(referrers.begin(),
+                        referrers.begin() +
+                            static_cast<std::ptrdiff_t>(expired_prefix));
+        Entry& target_entry = target_it->second;
+        if (target_entry.lost_stamp != advance_epoch_) {
+          target_entry.lost_stamp = advance_epoch_;
+          lost_list.push_back(target);
+        }
+      }
     }
   }
   for (ElementId id : leavers) MaybeDeactivate(id, &result);
-  const std::vector<ElementId> lost_snapshot(lost.begin(), lost.end());
-  for (ElementId id : lost_snapshot) MaybeDeactivate(id, &result);
-
-  // Deactivated ids appear only in `expired`.
-  for (ElementId id : result.expired) {
-    gained.erase(id);
-    lost.erase(id);
-    resurrected.erase(id);
-  }
+  for (ElementId id : lost_list) MaybeDeactivate(id, &result);
 
   // --- Phase 3: garbage-collect the archive. ---
   while (!archive_queue_.empty() &&
@@ -136,19 +151,64 @@ StatusOr<ActiveWindow::UpdateResult> ActiveWindow::Advance(
     entries_.erase(it);
   }
 
-  const std::unordered_set<ElementId> inserted_set(result.inserted.begin(),
-                                                   result.inserted.end());
+  FlatHashSet<ElementId> inserted_set;
+  inserted_set.reserve(result.inserted.size());
+  for (ElementId id : result.inserted) inserted_set.insert(id);
+  FlatHashSet<ElementId> expired_set;
+  expired_set.reserve(result.expired.size());
+  for (ElementId id : result.expired) expired_set.insert(id);
+  // Keep the report lists disjoint. An element that entered (or re-entered)
+  // A_t and left it within this same call was never visible to the index
+  // maintainer, so it must appear in NEITHER inserted/resurrected NOR
+  // expired — a far time jump can expire a bucket's own elements.
+  FlatHashSet<ElementId> drop_from_expired;
+  for (ElementId id : result.expired) {
+    if (resurrected.erase(id) > 0 || inserted_set.contains(id)) {
+      drop_from_expired.insert(id);
+    }
+  }
+  if (!drop_from_expired.empty()) {
+    std::erase_if(result.expired, [&](ElementId id) {
+      return drop_from_expired.contains(id);
+    });
+    std::erase_if(result.inserted, [&](ElementId id) {
+      return expired_set.contains(id);
+    });
+  }
   for (ElementId id : resurrected) result.resurrected.push_back(id);
-  for (ElementId id : gained) {
-    if (inserted_set.contains(id) || resurrected.contains(id)) continue;
+  for (ElementId id : gained_list) {
+    if (inserted_set.contains(id) || resurrected.contains(id) ||
+        expired_set.contains(id)) {
+      continue;
+    }
     result.gained_referrer.push_back(id);
   }
-  for (ElementId id : lost) {
+  for (ElementId id : lost_list) {
     if (inserted_set.contains(id) || resurrected.contains(id) ||
-        gained.contains(id)) {
-      continue;  // a net gain/resurrection already triggers a recompute
+        expired_set.contains(id)) {
+      continue;
+    }
+    const auto it = entries_.find(id);
+    if (it != entries_.end() && it->second.gained_stamp == advance_epoch_) {
+      continue;  // a net gain already triggers a reposition
     }
     result.lost_referrer.push_back(id);
+  }
+  // Report only edges of elements that survive this call as plain active
+  // repositions; inserted / resurrected / expired targets are re-scored (or
+  // dropped) wholesale by the maintainer. Recorded edge targets were active
+  // at recording time, so "still active" reduces to "not expired" — a probe
+  // of the small expired set instead of the full element table.
+  const auto keeps_edge = [&](const EdgeDelta& edge) {
+    return !inserted_set.contains(edge.target) &&
+           !resurrected.contains(edge.target) &&
+           !expired_set.contains(edge.target);
+  };
+  for (const EdgeDelta& edge : gained_edges_raw) {
+    if (keeps_edge(edge)) result.gained_edges.push_back(edge);
+  }
+  for (const EdgeDelta& edge : lost_edges_raw) {
+    if (keeps_edge(edge)) result.lost_edges.push_back(edge);
   }
   std::sort(result.resurrected.begin(), result.resurrected.end());
   std::sort(result.gained_referrer.begin(), result.gained_referrer.end());
@@ -177,6 +237,12 @@ const SocialElement* ActiveWindow::Find(ElementId id) const {
   return &it->second.element;
 }
 
+const SocialElement* ActiveWindow::FindIncludingArchived(ElementId id) const {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return nullptr;
+  return &it->second.element;
+}
+
 bool ActiveWindow::IsActive(ElementId id) const {
   const auto it = entries_.find(id);
   return it != entries_.end() && it->second.active;
@@ -193,7 +259,7 @@ bool ActiveWindow::IsArchived(ElementId id) const {
   return it != entries_.end() && !it->second.active;
 }
 
-const std::deque<Referrer>& ActiveWindow::ReferrersOf(ElementId id) const {
+const ReferrerList& ActiveWindow::ReferrersOf(ElementId id) const {
   const auto it = entries_.find(id);
   if (it == entries_.end() || !it->second.active) return kNoReferrers;
   return it->second.referrers;

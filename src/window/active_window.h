@@ -17,16 +17,19 @@
 //
 // For each active element e the store keeps I_t(e): the in-window elements
 // referring to e, which is exactly the influenced set of the influence score
-// (Eq. 4).
+// (Eq. 4). Advance() additionally reports the individual influence edges
+// gained and lost, which is what lets the ranked-list maintainer update
+// I_{i,t}(e) incrementally instead of rescanning referrer sets.
 #ifndef KSIR_WINDOW_ACTIVE_WINDOW_H_
 #define KSIR_WINDOW_ACTIVE_WINDOW_H_
 
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash_map.h"
+#include "common/small_vector.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "stream/element.h"
@@ -41,13 +44,27 @@ struct Referrer {
   bool operator==(const Referrer&) const = default;
 };
 
+/// Referrer set I_t(e), in referral-time order. Inline storage covers the
+/// typical in-degree; hubs spill to the heap.
+using ReferrerList = SmallVector<Referrer, 4>;
+
 /// Mutable sliding-window element store. Thread-compatible; the engine
 /// serializes Advance() against queries with a shared_mutex.
 class ActiveWindow {
  public:
+  /// One influence edge changed by an Advance() call.
+  struct EdgeDelta {
+    /// The referenced element whose I_t shrank or grew.
+    ElementId target;
+    /// The in-window element referring to it.
+    ElementId referrer;
+
+    bool operator==(const EdgeDelta&) const = default;
+  };
+
   /// Changes produced by one Advance() call, consumed by the ranked-list
-  /// maintainer (Algorithm 1). The vectors are disjoint: an id appears in at
-  /// most one of them per call.
+  /// maintainer (Algorithm 1). The element-id vectors are disjoint: an id
+  /// appears in at most one of them per call.
   struct UpdateResult {
     /// Newly inserted elements (in arrival order).
     std::vector<ElementId> inserted;
@@ -61,6 +78,14 @@ class ActiveWindow {
     std::vector<ElementId> lost_referrer;
     /// Elements that left A_t (deactivated; removed from the ranked lists).
     std::vector<ElementId> expired;
+    /// Influence edges gained / lost by elements that stay active across
+    /// this call and were neither inserted nor resurrected by it (those are
+    /// re-scored from scratch, so their edges are intentionally omitted).
+    /// Targets of gained_edges appear in gained_referrer; targets of
+    /// lost_edges appear in lost_referrer or gained_referrer (an element
+    /// with both changes is classified as gained).
+    std::vector<EdgeDelta> gained_edges;
+    std::vector<EdgeDelta> lost_edges;
     /// References whose target was neither active nor archived.
     std::int64_t dangling_refs = 0;
   };
@@ -80,6 +105,12 @@ class ActiveWindow {
   /// Active-element lookup; nullptr when the id is inactive or unknown.
   const SocialElement* Find(ElementId id) const;
 
+  /// Lookup that also reaches archived (inactive but retained) elements.
+  /// Lost-edge consumers need the expired referrer's topic vector after the
+  /// referrer itself left A_t; within the Advance() that reported the loss
+  /// the referrer is always still archived.
+  const SocialElement* FindIncludingArchived(ElementId id) const;
+
   /// True when the element belongs to A_t.
   bool IsActive(ElementId id) const;
 
@@ -92,7 +123,7 @@ class ActiveWindow {
 
   /// I_t(e): in-window referrers of `id` in referral-time order.
   /// Empty for unknown or inactive ids.
-  const std::deque<Referrer>& ReferrersOf(ElementId id) const;
+  const ReferrerList& ReferrersOf(ElementId id) const;
 
   /// Last time `id` was referred to, or its own ts when never referred
   /// (the t_e of the paper's ranked-list tuples). `id` must be active.
@@ -118,11 +149,16 @@ class ActiveWindow {
  private:
   struct Entry {
     SocialElement element;
-    std::deque<Referrer> referrers;  // in-window, sorted by ts
-    Timestamp last_ref_time;         // max referral ts ever seen (or own ts)
+    ReferrerList referrers;   // in-window, sorted by ts
+    Timestamp last_ref_time;  // max referral ts ever seen (or own ts)
     bool active = true;
     /// Time of the most recent deactivation (archive GC key).
     Timestamp deactivated_at = kMinTimestamp;
+    /// Advance-epoch stamps deduplicating the gained/lost report lists
+    /// without per-edge hash-set inserts (the entry is already in hand when
+    /// an edge is registered).
+    std::uint64_t gained_stamp = 0;
+    std::uint64_t lost_stamp = 0;
   };
 
   /// Marks `id` inactive if it no longer satisfies the A_t predicate.
@@ -131,14 +167,16 @@ class ActiveWindow {
   Timestamp window_length_;
   Timestamp archive_retention_;
   Timestamp now_ = 0;
-  std::unordered_map<ElementId, Entry> entries_;
+  /// Monotone Advance() counter backing the Entry dedup stamps.
+  std::uint64_t advance_epoch_ = 0;
+  FlatHashMap<ElementId, Entry> entries_;
   std::size_t num_active_ = 0;
   /// Ids of elements in W_t, ordered by ts (front = oldest).
   std::deque<ElementId> window_order_;
   /// Inactive elements by deactivation time (front = oldest) for GC.
   std::deque<std::pair<ElementId, Timestamp>> archive_queue_;
 
-  static const std::deque<Referrer> kNoReferrers;
+  static const ReferrerList kNoReferrers;
 };
 
 }  // namespace ksir

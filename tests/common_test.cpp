@@ -1,13 +1,20 @@
 // Unit tests for the common substrate: Status/StatusOr, RNG and samplers,
 // math helpers, SparseVector.
 #include <cmath>
+#include <cstdint>
 #include <numeric>
 #include <sstream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/flat_hash_map.h"
 #include "common/math.h"
 #include "common/rng.h"
+#include "common/small_vector.h"
 #include "common/sparse_vector.h"
 #include "common/status.h"
 #include "common/timer.h"
@@ -416,6 +423,138 @@ TEST(TimerTest, MeasuresElapsedTime) {
   for (int i = 0; i < 100000; ++i) sink = sink + std::sqrt(i);
   EXPECT_GE(timer.ElapsedMillis(), 0.0);
   EXPECT_GE(timer.ElapsedMicros(), timer.ElapsedMillis());
+}
+
+// ----------------------------------------------------------- FlatHashMap --
+
+TEST(FlatHashMapTest, EmplaceFindContains) {
+  FlatHashMap<std::int64_t, double> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_FALSE(map.contains(1));
+  EXPECT_EQ(map.find(1), map.end());
+
+  auto [it, inserted] = map.emplace(1, 0.5);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(it->first, 1);
+  EXPECT_DOUBLE_EQ(it->second, 0.5);
+  EXPECT_TRUE(map.contains(1));
+  EXPECT_EQ(map.size(), 1u);
+
+  auto [it2, inserted2] = map.emplace(1, 9.0);
+  EXPECT_FALSE(inserted2);
+  EXPECT_DOUBLE_EQ(it2->second, 0.5);  // existing value untouched
+}
+
+TEST(FlatHashMapTest, TryEmplaceAndSubscript) {
+  FlatHashMap<std::int32_t, std::vector<int>> map;
+  map.try_emplace(3).first->second.push_back(7);
+  map[3].push_back(8);
+  map[4];  // default-constructs
+  EXPECT_EQ(map[3], (std::vector<int>{7, 8}));
+  EXPECT_TRUE(map[4].empty());
+  EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(FlatHashMapTest, EraseByKeyAndIterator) {
+  FlatHashMap<std::int64_t, int> map;
+  for (int i = 0; i < 10; ++i) map.emplace(i, i * i);
+  EXPECT_EQ(map.erase(3), 1u);
+  EXPECT_EQ(map.erase(3), 0u);
+  map.erase(map.find(5));
+  EXPECT_EQ(map.size(), 8u);
+  EXPECT_FALSE(map.contains(3));
+  EXPECT_FALSE(map.contains(5));
+  EXPECT_TRUE(map.contains(9));
+}
+
+TEST(FlatHashMapTest, SurvivesRehashChurn) {
+  FlatHashMap<std::int64_t, std::int64_t> map;
+  std::unordered_map<std::int64_t, std::int64_t> reference;
+  Rng rng(7);
+  for (int round = 0; round < 5000; ++round) {
+    const std::int64_t key = static_cast<std::int64_t>(rng.NextUint64(800));
+    if (rng.NextDouble() < 0.6) {
+      map[key] = round;
+      reference[key] = round;
+    } else {
+      EXPECT_EQ(map.erase(key), reference.erase(key)) << "round " << round;
+    }
+  }
+  EXPECT_EQ(map.size(), reference.size());
+  std::size_t seen = 0;
+  for (const auto& [key, value] : map) {
+    const auto it = reference.find(key);
+    ASSERT_NE(it, reference.end()) << "key " << key;
+    EXPECT_EQ(value, it->second);
+    ++seen;
+  }
+  EXPECT_EQ(seen, reference.size());
+}
+
+TEST(FlatHashMapTest, ReserveAvoidsRehashInvalidation) {
+  FlatHashMap<std::int64_t, int> map;
+  map.reserve(100);
+  map.emplace(1, 10);
+  const auto it = map.find(1);
+  for (std::int64_t i = 2; i <= 100; ++i) map.emplace(i, 0);
+  EXPECT_EQ(it->second, 10);  // no rehash below the reserved size
+  EXPECT_EQ(map.size(), 100u);
+}
+
+TEST(FlatHashMapTest, MoveTransfersContents) {
+  FlatHashMap<std::int64_t, std::string> map;
+  map.emplace(1, std::string("one"));
+  map.emplace(2, std::string("two"));
+  FlatHashMap<std::int64_t, std::string> moved = std::move(map);
+  EXPECT_EQ(moved.size(), 2u);
+  EXPECT_EQ(moved.find(1)->second, "one");
+  EXPECT_TRUE(map.empty());  // NOLINT(bugprone-use-after-move)
+}
+
+// ----------------------------------------------------------- SmallVector --
+
+TEST(SmallVectorTest, StaysInlineUpToN) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_TRUE(v.is_inline());
+  v.push_back(4);
+  EXPECT_FALSE(v.is_inline());
+  EXPECT_EQ(v.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVectorTest, EraseShiftsTail) {
+  SmallVector<int, 2> v{1, 2, 3, 4, 5};
+  v.erase(v.begin(), v.begin() + 2);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.front(), 3);
+  v.erase(v.begin() + 1);
+  EXPECT_EQ(v, (SmallVector<int, 2>{3, 5}));
+}
+
+TEST(SmallVectorTest, MoveStealsHeapKeepsInline) {
+  SmallVector<std::string, 2> inline_v{"a", "b"};
+  SmallVector<std::string, 2> from_inline = std::move(inline_v);
+  EXPECT_EQ(from_inline.size(), 2u);
+  EXPECT_EQ(from_inline[0], "a");
+
+  SmallVector<std::string, 2> heap_v{"a", "b", "c", "d"};
+  const std::string* data = heap_v.begin();
+  SmallVector<std::string, 2> from_heap = std::move(heap_v);
+  EXPECT_EQ(from_heap.begin(), data);  // buffer stolen, not copied
+  EXPECT_EQ(from_heap.size(), 4u);
+  EXPECT_TRUE(heap_v.empty());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(SmallVectorTest, CopyAndClearReuse) {
+  SmallVector<int, 2> v{1, 2, 3};
+  SmallVector<int, 2> copy = v;
+  EXPECT_EQ(copy, v);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(copy.size(), 3u);
+  v.push_back(9);
+  EXPECT_EQ(v[0], 9);
 }
 
 }  // namespace

@@ -1,5 +1,9 @@
 // Unit tests for the per-topic ranked lists, Algorithm 1 maintenance
 // (including the Figure 5 golden state) and the traversal cursor.
+#include <map>
+#include <random>
+#include <set>
+
 #include <gtest/gtest.h>
 
 #include "core/ranked_list.h"
@@ -248,6 +252,91 @@ TEST(CursorEdgeTest, QueryTopicBeyondIndexIsIgnored) {
   RankedListCursor cursor(&index, &x);
   EXPECT_EQ(cursor.PopNext(), std::optional<ElementId>(1));
   EXPECT_TRUE(cursor.Exhausted());
+}
+
+// ------------------------------------------- Chunked storage under churn --
+
+TEST(RankedListChurnTest, MatchesOrderedReferenceAcrossSplitsAndMerges) {
+  // Drive the chunked backing store through thousands of inserts, updates
+  // and erases (far beyond one chunk's capacity) and require iteration to
+  // match an std::set reference at every checkpoint.
+  RankedList list;
+  std::set<RankedList::Key> reference;
+  std::map<ElementId, double> score_of;
+  std::mt19937_64 rng(2024);
+  std::uniform_real_distribution<double> score_dist(0.0, 1.0);
+
+  const auto verify = [&]() {
+    ASSERT_EQ(list.size(), reference.size());
+    auto ref_it = reference.begin();
+    for (const auto& key : list) {
+      ASSERT_NE(ref_it, reference.end());
+      EXPECT_EQ(key.id, ref_it->id);
+      EXPECT_DOUBLE_EQ(key.score, ref_it->score);
+      ++ref_it;
+    }
+    EXPECT_EQ(ref_it, reference.end());
+  };
+
+  ElementId next_id = 0;
+  for (int round = 0; round < 6000; ++round) {
+    const double action = score_dist(rng);
+    if (action < 0.5 || score_of.empty()) {
+      const ElementId id = next_id++;
+      const double score = score_dist(rng);
+      list.Insert(id, score, round);
+      reference.insert(RankedList::Key{score, id});
+      score_of[id] = score;
+    } else if (action < 0.8) {
+      auto it = score_of.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(
+                           rng() % score_of.size()));
+      const double score = score_dist(rng);
+      reference.erase(RankedList::Key{it->second, it->first});
+      reference.insert(RankedList::Key{score, it->first});
+      list.Update(it->first, score, round);
+      it->second = score;
+    } else {
+      auto it = score_of.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(
+                           rng() % score_of.size()));
+      list.Erase(it->first);
+      reference.erase(RankedList::Key{it->second, it->first});
+      score_of.erase(it);
+    }
+    if (round % 500 == 499) verify();
+  }
+  verify();
+  // Drain to empty through the erase/merge path.
+  while (!score_of.empty()) {
+    const auto it = score_of.begin();
+    list.Erase(it->first);
+    reference.erase(RankedList::Key{it->second, it->first});
+    score_of.erase(it);
+  }
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.begin(), list.end());
+}
+
+TEST(RankedListChurnTest, GetAndTimeOfSurviveRepositioning) {
+  RankedList list;
+  for (ElementId id = 0; id < 300; ++id) {
+    list.Insert(id, static_cast<double>(id % 7), id);
+  }
+  for (ElementId id = 0; id < 300; id += 3) {
+    list.Update(id, static_cast<double>(id % 11) + 0.5, 1000 + id);
+  }
+  for (ElementId id = 0; id < 300; ++id) {
+    const auto tuple = list.Get(id);
+    EXPECT_EQ(tuple.id, id);
+    if (id % 3 == 0) {
+      EXPECT_DOUBLE_EQ(tuple.score, static_cast<double>(id % 11) + 0.5);
+      EXPECT_EQ(tuple.te, 1000 + id);
+    } else {
+      EXPECT_DOUBLE_EQ(tuple.score, static_cast<double>(id % 7));
+      EXPECT_EQ(tuple.te, id);
+    }
+  }
 }
 
 // --------------------------------------------------- Refresh mode (paper) --

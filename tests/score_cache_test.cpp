@@ -1,0 +1,307 @@
+// ScoreCache equivalence and staleness-direction tests.
+//
+// The incremental maintenance path (ScoreMaintenance::kIncremental) must be
+// observationally identical to the full-recompute baseline
+// (ScoreMaintenance::kRecompute) after arbitrary Advance sequences —
+// insertions, referrer gains, referrer expiry, element expiry and
+// resurrection, under both RefreshModes — and under RefreshMode::kPaper the
+// listed scores may only ever be stale-HIGH (sound upper bounds), never
+// stale-low.
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/engine.h"
+#include "stream/element.h"
+#include "topic/topic_model.h"
+
+namespace ksir {
+namespace {
+
+constexpr int kNumTopics = 4;
+constexpr int kVocabSize = 24;
+constexpr double kTol = 1e-9;
+
+TopicModel MakeModel(Rng* rng) {
+  std::vector<std::vector<double>> matrix(kNumTopics,
+                                          std::vector<double>(kVocabSize));
+  for (auto& row : matrix) {
+    for (auto& p : row) p = rng->NextDouble() + 0.02;
+  }
+  return std::move(TopicModel::FromMatrix(std::move(matrix))).value();
+}
+
+SocialElement RandomElement(Rng* rng, ElementId id, Timestamp ts,
+                            const std::vector<ElementId>& history,
+                            std::size_t ref_reach) {
+  SocialElement e;
+  e.id = id;
+  e.ts = ts;
+  std::vector<WordId> words;
+  const int len = 2 + static_cast<int>(rng->NextUint64(5));
+  for (int j = 0; j < len; ++j) {
+    words.push_back(static_cast<WordId>(rng->NextUint64(kVocabSize)));
+  }
+  e.doc = Document::FromWordIds(words);
+  e.topics =
+      SparseVector::TruncateAndNormalize(rng->NextDirichlet(0.4, kNumTopics),
+                                         0.15);
+  // References reach far enough back to hit archived (resurrection) and
+  // garbage-collected (dangling) targets, not just in-window ones.
+  const int num_refs = static_cast<int>(rng->NextUint64(3));
+  for (int r = 0; r < num_refs && !history.empty(); ++r) {
+    const std::size_t back =
+        rng->NextUint64(std::min(ref_reach, history.size()));
+    const ElementId target = history[history.size() - 1 - back];
+    if (!std::count(e.refs.begin(), e.refs.end(), target)) {
+      e.refs.push_back(target);
+    }
+  }
+  std::sort(e.refs.begin(), e.refs.end());
+  return e;
+}
+
+/// Feeds the same random stream to an incremental and a recompute engine
+/// bucket by bucket, checking list-state equality after every advance.
+void RunEquivalenceStream(std::uint64_t seed, RefreshMode mode) {
+  Rng rng(seed);
+  TopicModel model = MakeModel(&rng);
+
+  EngineConfig base;
+  base.scoring.lambda = 0.4;
+  base.scoring.eta = 2.0;
+  base.window_length = 6;
+  base.bucket_length = 2;
+  base.archive_retention = 10;  // > T: keeps targets resurrectable
+  base.refresh_mode = mode;
+
+  EngineConfig incremental_config = base;
+  incremental_config.score_maintenance = ScoreMaintenance::kIncremental;
+  EngineConfig recompute_config = base;
+  recompute_config.score_maintenance = ScoreMaintenance::kRecompute;
+
+  KsirEngine incremental(incremental_config, &model);
+  KsirEngine recompute(recompute_config, &model);
+
+  ElementId next_id = 1;
+  std::vector<ElementId> history;
+  for (Timestamp bucket_end = 2; bucket_end <= 40; bucket_end += 2) {
+    std::vector<SocialElement> bucket;
+    const int count = static_cast<int>(rng.NextUint64(4));
+    for (int i = 0; i < count; ++i) {
+      const Timestamp ts =
+          bucket_end - 1 + static_cast<Timestamp>(rng.NextUint64(2));
+      bucket.push_back(
+          RandomElement(&rng, next_id++, ts, history, /*ref_reach=*/12));
+      history.push_back(bucket.back().id);
+    }
+    std::sort(bucket.begin(), bucket.end(),
+              [](const SocialElement& a, const SocialElement& b) {
+                return a.ts < b.ts;
+              });
+    ASSERT_TRUE(incremental.AdvanceTo(bucket_end, bucket).ok());
+    ASSERT_TRUE(recompute.AdvanceTo(bucket_end, std::move(bucket)).ok());
+
+    // Same active set, same index membership, same tuples.
+    const auto& iw = incremental.window();
+    const auto& rw = recompute.window();
+    ASSERT_EQ(iw.num_active(), rw.num_active()) << "t=" << bucket_end;
+    ASSERT_EQ(incremental.index().num_elements(),
+              recompute.index().num_elements());
+    ASSERT_EQ(incremental.index().total_entries(),
+              recompute.index().total_entries());
+    for (ElementId id : iw.ActiveIds()) {
+      const SocialElement* e = iw.Find(id);
+      ASSERT_NE(e, nullptr);
+      for (const auto& [topic, prob] : e->topics.entries()) {
+        ASSERT_TRUE(incremental.index().list(topic).Contains(id))
+            << "t=" << bucket_end << " e=" << id;
+        ASSERT_TRUE(recompute.index().list(topic).Contains(id));
+        const auto lhs = incremental.index().list(topic).Get(id);
+        const auto rhs = recompute.index().list(topic).Get(id);
+        EXPECT_NEAR(lhs.score, rhs.score, kTol)
+            << "t=" << bucket_end << " e=" << id << " topic=" << topic;
+        EXPECT_EQ(lhs.te, rhs.te);
+        if (mode == RefreshMode::kExact) {
+          // Both paths must equal a from-scratch delta_i(e).
+          EXPECT_NEAR(lhs.score,
+                      incremental.scoring().TopicScore(topic, *e, prob), kTol);
+        }
+      }
+    }
+  }
+
+  // Query results must be identical down to the reported ids.
+  KsirQuery query;
+  query.k = 4;
+  query.epsilon = 0.2;
+  query.x = SparseVector::TruncateAndNormalize(
+      rng.NextDirichlet(0.5, kNumTopics), 0.1);
+  for (const Algorithm algorithm :
+       {Algorithm::kMtts, Algorithm::kMttd, Algorithm::kCelf,
+        Algorithm::kTopkRepresentative}) {
+    query.algorithm = algorithm;
+    const auto lhs = incremental.Query(query);
+    const auto rhs = recompute.Query(query);
+    ASSERT_TRUE(lhs.ok());
+    ASSERT_TRUE(rhs.ok());
+    EXPECT_EQ(lhs->element_ids, rhs->element_ids)
+        << AlgorithmName(algorithm);
+    EXPECT_NEAR(lhs->score, rhs->score, kTol) << AlgorithmName(algorithm);
+  }
+}
+
+class ScoreCacheEquivalenceTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScoreCacheEquivalenceTest, ExactModeMatchesRecompute) {
+  RunEquivalenceStream(GetParam(), RefreshMode::kExact);
+}
+
+TEST_P(ScoreCacheEquivalenceTest, PaperModeMatchesRecompute) {
+  RunEquivalenceStream(GetParam(), RefreshMode::kPaper);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScoreCacheEquivalenceTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// ------------------------------------------ kPaper staleness direction ----
+
+TEST(ScoreCachePaperModeTest, ListedScoresNeverStaleLow) {
+  // Under kPaper with incremental maintenance, every listed score must stay
+  // an upper bound on the true delta_i(e) across a long random stream (the
+  // stale-high invariant that keeps threshold pruning sound).
+  Rng rng(77);
+  TopicModel model = MakeModel(&rng);
+  EngineConfig config;
+  config.scoring.eta = 2.0;
+  config.window_length = 6;
+  config.bucket_length = 2;
+  config.archive_retention = 10;
+  config.refresh_mode = RefreshMode::kPaper;
+  config.score_maintenance = ScoreMaintenance::kIncremental;
+  KsirEngine engine(config, &model);
+
+  ElementId next_id = 1;
+  std::vector<ElementId> history;
+  bool saw_stale = false;
+  for (Timestamp bucket_end = 2; bucket_end <= 60; bucket_end += 2) {
+    std::vector<SocialElement> bucket;
+    const int count = static_cast<int>(rng.NextUint64(4));
+    for (int i = 0; i < count; ++i) {
+      const Timestamp ts =
+          bucket_end - 1 + static_cast<Timestamp>(rng.NextUint64(2));
+      bucket.push_back(
+          RandomElement(&rng, next_id++, ts, history, /*ref_reach=*/12));
+      history.push_back(bucket.back().id);
+    }
+    std::sort(bucket.begin(), bucket.end(),
+              [](const SocialElement& a, const SocialElement& b) {
+                return a.ts < b.ts;
+              });
+    ASSERT_TRUE(engine.AdvanceTo(bucket_end, std::move(bucket)).ok());
+    for (ElementId id : engine.window().ActiveIds()) {
+      const SocialElement* e = engine.window().Find(id);
+      for (const auto& [topic, prob] : e->topics.entries()) {
+        const double listed = engine.index().list(topic).Get(id).score;
+        const double exact = engine.scoring().TopicScore(topic, *e, prob);
+        EXPECT_GE(listed, exact - kTol)
+            << "stale-LOW bound at t=" << bucket_end << " e=" << id;
+        if (listed > exact + kTol) saw_stale = true;
+      }
+    }
+  }
+  // The stream is long enough that staleness actually occurred; otherwise
+  // this test would vacuously pass.
+  EXPECT_TRUE(saw_stale);
+}
+
+TEST(SameCallLifetimeTest, FarJumpInsertAndExpireDoesNotBreakMaintenance) {
+  // Engine-level regression for the disjointness contract: a bucket whose
+  // element is already outside the window at the bucket's end must not make
+  // the maintainer erase a never-indexed element (abort) in either mode.
+  Rng rng(5);
+  TopicModel model = MakeModel(&rng);
+  for (const ScoreMaintenance maintenance :
+       {ScoreMaintenance::kIncremental, ScoreMaintenance::kRecompute}) {
+    EngineConfig config;
+    config.scoring.eta = 2.0;
+    config.window_length = 4;
+    config.bucket_length = 1;
+    config.score_maintenance = maintenance;
+    KsirEngine engine(config, &model);
+    std::vector<ElementId> history;
+    ASSERT_TRUE(
+        engine
+            .AdvanceTo(1, {RandomElement(&rng, 1, 1, history, /*ref_reach=*/4)})
+            .ok());
+    // Jump to t=100 with an element at ts=95: it leaves W_t immediately.
+    ASSERT_TRUE(
+        engine
+            .AdvanceTo(100,
+                       {RandomElement(&rng, 2, 95, history, /*ref_reach=*/4)})
+            .ok());
+    EXPECT_EQ(engine.index().num_elements(), 0u);
+    EXPECT_EQ(engine.window().num_active(), 0u);
+    // The archived element is resurrectable and re-enters the index.
+    SocialElement e3;
+    e3.id = 3;
+    e3.ts = 101;
+    e3.doc = Document::FromWordIds({0});
+    e3.topics = SparseVector::FromEntries({{0, 1.0}});
+    e3.refs = {2};
+    ASSERT_TRUE(engine.AdvanceTo(101, {e3}).ok());
+    EXPECT_TRUE(engine.window().IsActive(2));
+    EXPECT_EQ(engine.index().num_elements(), 2u);
+  }
+}
+
+TEST(ScoreCachePaperModeTest, NextGainRepositionsToExactScore) {
+  // Regression: under kPaper the cache must keep absorbing lost edges even
+  // though the lists are not repositioned, so the *next* gained edge lands
+  // the listed score exactly on the true delta_i(e) — not on a value that
+  // still contains the expired referrer.
+  auto model = TopicModel::FromMatrix({{0.5, 0.5}});
+  ASSERT_TRUE(model.ok());
+  EngineConfig config;
+  config.scoring.lambda = 0.5;
+  config.scoring.eta = 2.0;
+  config.window_length = 4;
+  config.bucket_length = 1;
+  config.refresh_mode = RefreshMode::kPaper;
+  config.score_maintenance = ScoreMaintenance::kIncremental;
+  KsirEngine engine(config, &*model);
+
+  auto mk = [](ElementId id, Timestamp ts, std::vector<ElementId> refs) {
+    SocialElement e;
+    e.id = id;
+    e.ts = ts;
+    e.doc = Document::FromWordIds({0});
+    e.refs = std::move(refs);
+    e.topics = SparseVector::FromEntries({{0, 1.0}});
+    return e;
+  };
+  ASSERT_TRUE(engine.AdvanceTo(1, {mk(1, 1, {})}).ok());
+  ASSERT_TRUE(engine.AdvanceTo(2, {mk(2, 2, {1})}).ok());
+  ASSERT_TRUE(engine.AdvanceTo(5, {mk(3, 5, {1})}).ok());
+  // t=6: e2 expires out of the window; e1 loses that referral but keeps e3.
+  ASSERT_TRUE(engine.AdvanceTo(6, {}).ok());
+  const SocialElement* e1 = engine.window().Find(1);
+  ASSERT_NE(e1, nullptr);
+  EXPECT_GT(engine.index().list(0).Get(1).score,
+            engine.scoring().TopicScore(0, *e1));  // stale-high, by design
+  // t=7: e4 refers to e1 -> gained edge -> reposition. The listed score
+  // must now equal the exact recomputation (loss of e2 plus gain of e4).
+  ASSERT_TRUE(engine.AdvanceTo(7, {mk(4, 7, {1})}).ok());
+  e1 = engine.window().Find(1);
+  ASSERT_NE(e1, nullptr);
+  EXPECT_NEAR(engine.index().list(0).Get(1).score,
+              engine.scoring().TopicScore(0, *e1), 1e-12);
+}
+
+}  // namespace
+}  // namespace ksir

@@ -263,6 +263,21 @@ TEST(ActiveWindowTest, ForEachActiveAndActiveIds) {
   EXPECT_EQ(ids, (std::vector<ElementId>{1, 2, 3}));
 }
 
+TEST(ActiveWindowTest, SameCallInsertAndExpireReportedInNeitherList) {
+  // A far time jump can expire a bucket's own elements (ts <= now - T at
+  // the bucket's end). Such an element was never visible between Advance
+  // calls, so it must be reported in NEITHER inserted nor expired — the
+  // report lists stay disjoint for the index maintainer.
+  ActiveWindow window(4);
+  ASSERT_TRUE(window.Advance(1, {El(1, 1)}).ok());
+  auto update = window.Advance(100, {El(2, 95)});
+  ASSERT_TRUE(update.ok());
+  EXPECT_EQ(update->inserted, std::vector<ElementId>{});
+  EXPECT_EQ(update->expired, std::vector<ElementId>{1});  // e1 still expires
+  EXPECT_FALSE(window.IsActive(2));
+  EXPECT_TRUE(window.IsArchived(2));
+}
+
 TEST(ActiveWindowTest, EmptyBucketAdvancesTime) {
   ActiveWindow window(5);
   ASSERT_TRUE(window.Advance(1, {El(1, 1)}).ok());
