@@ -57,7 +57,7 @@ KsirEngine::KsirEngine(EngineConfig config, const TopicModel* model)
       index_(model != nullptr ? model->num_topics() : 1),
       scoring_(model, &window_, config.scoring),
       maintainer_(&scoring_, &index_, config.refresh_mode,
-                  config.score_maintenance) {
+                  config.score_maintenance, config.reposition_batch_min) {
   KSIR_CHECK(config.bucket_length > 0);
   KSIR_CHECK(config.window_length >= config.bucket_length);
 }

@@ -39,6 +39,11 @@ struct EngineConfig {
   /// Reposition scoring strategy; kIncremental is the production path,
   /// kRecompute the slow reference baseline (see IndexMaintainer).
   ScoreMaintenance score_maintenance = ScoreMaintenance::kIncremental;
+  /// Minimum pending repositions per ranked list (per bucket) before the
+  /// incremental maintainer applies them as one merge sweep instead of
+  /// per-element updates. 0 disables batching (the single-reposition
+  /// reference path, kept for equivalence testing and benchmarking).
+  std::size_t reposition_batch_min = kDefaultRepositionBatchMin;
 };
 
 /// Cumulative ingestion statistics.

@@ -1,19 +1,24 @@
 #include "core/index_maintainer.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace ksir {
 
 IndexMaintainer::IndexMaintainer(const ScoringContext* ctx,
                                  RankedListIndex* index, RefreshMode mode,
-                                 ScoreMaintenance maintenance)
+                                 ScoreMaintenance maintenance,
+                                 std::size_t reposition_batch_min)
     : ctx_(ctx),
       index_(index),
       mode_(mode),
       maintenance_(maintenance),
+      batch_min_(reposition_batch_min),
       cache_(ctx) {
   KSIR_CHECK(ctx != nullptr);
   KSIR_CHECK(index != nullptr);
+  topic_counts_.resize(index->num_topics(), 0);
 }
 
 void IndexMaintainer::Apply(const ActiveWindow::UpdateResult& update) {
@@ -66,14 +71,33 @@ void IndexMaintainer::ApplyIncremental(
     }
     cache_.RemoveEdge(edge.target, referrer->topics);
   }
-  for (ElementId id : update.gained_referrer) {
-    RepositionFromCache(id);
-  }
-  if (mode_ == RefreshMode::kExact) {
-    for (ElementId id : update.lost_referrer) {
+  // All edge deltas are applied before any reposition, so the cached
+  // influence halves are final for this bucket — queue order does not
+  // affect the composed scores, and the batched and single-reposition
+  // paths land every element on the identical tuple.
+  if (batch_min_ == 0) {
+    for (ElementId id : update.gained_referrer) {
       RepositionFromCache(id);
     }
+    if (mode_ == RefreshMode::kExact) {
+      for (ElementId id : update.lost_referrer) {
+        RepositionFromCache(id);
+      }
+    }
+    return;
   }
+  for (ElementId id : update.gained_referrer) {
+    QueueReposition(id, /*te_changed=*/true);
+  }
+  if (mode_ == RefreshMode::kExact) {
+    // A lost referral never moves t_e (it is a running max), so lists whose
+    // composed score is unchanged — the expired referrer shared none of
+    // those topics — need no touch at all.
+    for (ElementId id : update.lost_referrer) {
+      QueueReposition(id, /*te_changed=*/false);
+    }
+  }
+  FlushRepositions();
 }
 
 void IndexMaintainer::ApplyRecompute(
@@ -123,6 +147,67 @@ void IndexMaintainer::RepositionFromCache(ElementId id) {
   cache_.ComposeScores(id, &scratch_scores_);
   index_->UpdateTrusted(id, scratch_scores_,
                         ctx_->window().LastReferredAt(id));
+}
+
+void IndexMaintainer::QueueReposition(ElementId id, bool te_changed) {
+  // Compose straight into the pending runs — no intermediate score vector.
+  ScoreCache::TopicList& halves = cache_.MutableHalves(id);
+  const double lambda = ctx_->params().lambda;
+  const double influence_factor = ctx_->influence_factor();
+  Timestamp te = kMinTimestamp;
+  bool te_loaded = false;
+  for (ScoreCache::TopicHalves& half : halves) {
+    const double score =
+        lambda * half.semantic + influence_factor * half.influence;
+    // Elide tuples the batch would not move: same listed score, same t_e.
+    if (!te_changed && score == half.listed) continue;
+    half.listed = score;
+    if (!te_loaded) {
+      te = ctx_->window().LastReferredAt(id);
+      te_loaded = true;
+    }
+    const auto t = static_cast<std::size_t>(half.topic);
+    if (topic_counts_[t]++ == 0) touched_.push_back(half.topic);
+    pending_.push_back({half.topic, RankedList::Tuple{id, score, te}});
+  }
+}
+
+void IndexMaintainer::FlushRepositions() {
+  if (pending_.empty()) return;
+  // Scatter the queued (topic, tuple) pairs into contiguous per-topic runs.
+  // Processing list by list (instead of element by element across all of
+  // its lists) keeps each chunk directory hot, and lists with enough
+  // pending work take the one-pass merge sweep. Topic order is sorted only
+  // for determinism of the arena layout; the runs are independent.
+  run_arena_.Reset();
+  auto* runs = run_arena_.AllocateArray<RankedList::Tuple>(pending_.size());
+  std::sort(touched_.begin(), touched_.end());
+  // offsets[t] = start of topic t's run; reuses topic_counts_ as cursor.
+  auto* offsets = run_arena_.AllocateArray<std::uint32_t>(touched_.size());
+  std::uint32_t offset = 0;
+  for (std::size_t i = 0; i < touched_.size(); ++i) {
+    offsets[i] = offset;
+    const auto t = static_cast<std::size_t>(touched_[i]);
+    const std::uint32_t count = topic_counts_[t];
+    // Repurpose topic_counts_ as the scatter cursor (start index).
+    topic_counts_[t] = offset;
+    offset += count;
+  }
+  for (const PendingReposition& pending : pending_) {
+    runs[topic_counts_[static_cast<std::size_t>(pending.topic)]++] =
+        pending.tuple;
+  }
+  for (std::size_t i = 0; i < touched_.size(); ++i) {
+    const TopicId topic = touched_[i];
+    const std::uint32_t begin = offsets[i];
+    const std::uint32_t end = topic_counts_[static_cast<std::size_t>(topic)];
+    const std::size_t count = end - begin;
+    index_->BatchReposition(topic, runs + begin, count,
+                            /*merge=*/count >= batch_min_, &batch_scratch_);
+    topic_counts_[static_cast<std::size_t>(topic)] = 0;
+  }
+  touched_.clear();
+  pending_.clear();
 }
 
 }  // namespace ksir

@@ -3,9 +3,11 @@
 #ifndef KSIR_CORE_INDEX_MAINTAINER_H_
 #define KSIR_CORE_INDEX_MAINTAINER_H_
 
+#include <cstdint>
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "core/ranked_list.h"
 #include "core/score_cache.h"
 #include "core/scoring.h"
@@ -37,14 +39,31 @@ enum class ScoreMaintenance {
   kRecompute,
 };
 
+/// Default IndexMaintainer batching threshold: lists with at least this
+/// many pending repositions in a bucket are updated by one ApplyBatch merge
+/// sweep; sparser lists keep the single-reposition fast path. Chosen from
+/// the hotpath bench's batch-size sweep (see BENCH_hotpath.json).
+inline constexpr std::size_t kDefaultRepositionBatchMin = 2;
+
 /// Applies window updates to the ranked lists (Algorithm 1 lines 4-13).
+///
+/// Under kIncremental maintenance the repositions of a bucket are batched:
+/// the (topic, score) pairs of every repositioned element are collected
+/// into per-topic runs (arena-backed, reset each bucket) and each touched
+/// list is updated in one pass, instead of element-by-element across all of
+/// its lists. All batching state is owned by this maintainer — one engine's
+/// maintainer never shares mutable state with another's, which is what lets
+/// the sharded service advance shards in parallel.
 class IndexMaintainer {
  public:
   /// `ctx` and `index` must outlive the maintainer; `ctx`'s window must be
-  /// the window whose updates are applied.
+  /// the window whose updates are applied. `reposition_batch_min` is the
+  /// per-list batching threshold; 0 disables batching entirely (the
+  /// single-reposition reference path).
   IndexMaintainer(const ScoringContext* ctx, RankedListIndex* index,
                   RefreshMode mode = RefreshMode::kExact,
-                  ScoreMaintenance maintenance = ScoreMaintenance::kIncremental);
+                  ScoreMaintenance maintenance = ScoreMaintenance::kIncremental,
+                  std::size_t reposition_batch_min = kDefaultRepositionBatchMin);
 
   /// Applies one Advance() result. Must be called after every window
   /// advance, with no interleaved advances.
@@ -52,6 +71,7 @@ class IndexMaintainer {
 
   RefreshMode mode() const { return mode_; }
   ScoreMaintenance maintenance() const { return maintenance_; }
+  std::size_t reposition_batch_min() const { return batch_min_; }
 
   /// The cache backing kIncremental maintenance (exposed for tests).
   const ScoreCache& score_cache() const { return cache_; }
@@ -69,13 +89,38 @@ class IndexMaintainer {
   /// kIncremental reposition: compose from the cached halves.
   void RepositionFromCache(ElementId id);
 
+  /// Batched kIncremental reposition: queues (topic, score) pairs into the
+  /// per-topic pending runs instead of updating the lists immediately.
+  /// When `te_changed` is false (referrer loss — t_e is a running max),
+  /// tuples whose composed score equals the listed score are elided.
+  void QueueReposition(ElementId id, bool te_changed);
+
+  /// Scatters the queued repositions into arena-backed per-topic runs and
+  /// applies each touched list's run in one BatchReposition call.
+  void FlushRepositions();
+
   const ScoringContext* ctx_;
   RankedListIndex* index_;
   RefreshMode mode_;
   ScoreMaintenance maintenance_;
+  std::size_t batch_min_;
   ScoreCache cache_;
   /// Reused (topic, score) buffer; repositions are too frequent to allocate.
   std::vector<std::pair<TopicId, double>> scratch_scores_;
+
+  /// ---- per-bucket batching state (live only within one Apply call) ----
+  /// One (topic, tuple) pair per ranked-list reposition, in queue order.
+  struct PendingReposition {
+    TopicId topic;
+    RankedList::Tuple tuple;
+  };
+  std::vector<PendingReposition> pending_;
+  /// Pending tuples per topic this bucket; zeroed lazily via `touched_`.
+  std::vector<std::uint32_t> topic_counts_;
+  std::vector<TopicId> touched_;
+  /// Backs the scattered per-topic runs; reset every flush.
+  Arena run_arena_;
+  RankedList::BatchScratch batch_scratch_;
 };
 
 }  // namespace ksir

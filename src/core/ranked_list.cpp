@@ -1,6 +1,7 @@
 #include "core/ranked_list.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
 
@@ -131,18 +132,179 @@ void RankedList::MaybeMerge(std::size_t idx) {
 }
 
 void RankedList::Insert(ElementId id, double score, Timestamp te) {
+  // A NaN key would violate Key's strict weak ordering and silently corrupt
+  // chunk order; reject it at the boundary instead.
+  KSIR_CHECK(!std::isnan(score));
   const auto [it, inserted] = by_id_.emplace(id, std::make_pair(score, te));
   KSIR_CHECK(inserted);
   InsertKey(Key{score, id});
 }
 
 void RankedList::Update(ElementId id, double score, Timestamp te) {
+  KSIR_CHECK(!std::isnan(score));
   const auto it = by_id_.find(id);
   KSIR_CHECK(it != by_id_.end());
   const double old_score = it->second.first;
   it->second = {score, te};
   if (old_score == score) return;  // key unchanged; only t_e moved
   MoveKey(Key{old_score, id}, Key{score, id});
+}
+
+void RankedList::ApplyBatch(const Tuple* updates, std::size_t n,
+                            BatchScratch* scratch) {
+  auto& removals = scratch->removals;
+  auto& insertions = scratch->insertions;
+  auto& deferred_removals = scratch->deferred_removals;
+  auto& deferred_insertions = scratch->deferred_insertions;
+  removals.clear();
+  insertions.clear();
+  deferred_removals.clear();
+  deferred_insertions.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Tuple& update = updates[i];
+    KSIR_CHECK(!std::isnan(update.score));
+    const auto it = by_id_.find(update.id);
+    KSIR_CHECK(it != by_id_.end());
+    const double old_score = it->second.first;
+    it->second = {update.score, update.te};
+    if (old_score == update.score) continue;  // key unchanged; only t_e moved
+    removals.push_back(Key{old_score, update.id});
+    insertions.push_back(Key{update.score, update.id});
+  }
+  if (removals.empty()) return;
+  std::sort(removals.begin(), removals.end());
+  std::sort(insertions.begin(), insertions.end());
+
+  // One sweep over the chunk directory: the sorted removal/insertion runs
+  // are partitioned by the (original) chunk boundaries and each touched
+  // chunk is rewritten by ONE in-place three-way merge — no allocation, no
+  // directory search per key, untouched chunks never inspected. Keys are
+  // unique across all three streams (ids are unique per list; a
+  // repositioned id's old and new key differ), so the merge needs no
+  // tie-breaking. A chunk the batch would grow past capacity defers its
+  // ops to the per-element path below (rare: needs >capacity keys landing
+  // in one chunk's span).
+  std::size_t ri = 0;
+  std::size_t ii = 0;
+  bool any_small = false;
+  for (std::size_t c = 0;
+       c < chunks_.size() && (ri < removals.size() || ii < insertions.size());
+       ++c) {
+    Chunk* chunk = chunks_[c].get();
+    const Key last = chunk_last_[c];
+    const bool last_chunk = c + 1 == chunks_.size();
+    std::size_t r_end = ri;
+    std::size_t i_end = ii;
+    if (last_chunk) {
+      r_end = removals.size();  // removals are always present keys
+      i_end = insertions.size();
+    } else {
+      while (r_end < removals.size() && !(last < removals[r_end])) ++r_end;
+      while (i_end < insertions.size() && !(last < insertions[i_end])) {
+        ++i_end;
+      }
+    }
+    if (r_end == ri && i_end == ii) continue;
+    const std::size_t new_size = chunk->size - (r_end - ri) + (i_end - ii);
+    if (new_size > kChunkCapacity) {
+      deferred_removals.insert(deferred_removals.end(),
+                               removals.begin() + static_cast<std::ptrdiff_t>(ri),
+                               removals.begin() + static_cast<std::ptrdiff_t>(r_end));
+      deferred_insertions.insert(
+          deferred_insertions.end(),
+          insertions.begin() + static_cast<std::ptrdiff_t>(ii),
+          insertions.begin() + static_cast<std::ptrdiff_t>(i_end));
+      ri = r_end;
+      ii = i_end;
+      continue;
+    }
+    // Merge only the affected span [s, e): from the first event key to one
+    // past the last. Repositions are typically small nudges clustered near
+    // the top of the list, so the span is a fraction of the chunk.
+    Key* const keys = chunk->keys.data();
+    const std::uint32_t old_size = chunk->size;
+    const Key lo = ri < r_end && (ii == i_end || removals[ri] < insertions[ii])
+                       ? removals[ri]
+                       : insertions[ii];
+    const Key hi =
+        r_end > ri &&
+                (i_end == ii || insertions[i_end - 1] < removals[r_end - 1])
+            ? removals[r_end - 1]
+            : insertions[i_end - 1];
+    const auto s = static_cast<std::uint32_t>(
+        std::lower_bound(keys, keys + old_size, lo) - keys);
+    const auto e = static_cast<std::uint32_t>(
+        std::upper_bound(keys, keys + old_size, hi) - keys);
+    const std::uint32_t old_span = e - s;
+    const auto new_span = static_cast<std::uint32_t>(
+        old_span - (r_end - ri) + (i_end - ii));
+    std::array<Key, kChunkCapacity> tmp;
+    std::copy(keys + s, keys + e, tmp.begin());
+    if (new_span != old_span) {  // shift the untouched suffix once
+      if (new_span < old_span) {
+        std::copy(keys + e, keys + old_size, keys + s + new_span);
+      } else {
+        std::copy_backward(keys + e, keys + old_size,
+                           keys + old_size + (new_span - old_span));
+      }
+    }
+    std::uint32_t src = 0;
+    std::uint32_t dst = s;
+    const std::uint32_t dst_end = s + new_span;
+    while (src < old_span || ii < i_end) {
+      if (src < old_span && ri < r_end && removals[ri] == tmp[src]) {
+        ++ri;
+        ++src;
+        continue;
+      }
+      if (ii < i_end && (src >= old_span || insertions[ii] < tmp[src])) {
+        keys[dst++] = insertions[ii++];
+      } else {
+        keys[dst++] = tmp[src++];
+      }
+    }
+    KSIR_CHECK(ri == r_end && dst == dst_end);
+    chunk->size = static_cast<std::uint32_t>(new_size);
+    if (new_size > 0) chunk_last_[c] = keys[new_size - 1];
+    if (new_size < kChunkCapacity / 4) any_small = true;
+  }
+  KSIR_CHECK(ri == removals.size() && ii == insertions.size());
+
+  if (any_small) {
+    // Compaction pass mirroring the erase-path merge policy: drop emptied
+    // chunks and fold runs of sparse neighbors together, bounding the
+    // chunk count under sustained batched churn.
+    std::size_t write = 0;
+    for (std::size_t c = 0; c < chunks_.size(); ++c) {
+      if (chunks_[c]->size == 0) continue;
+      if (write > 0 &&
+          chunks_[write - 1]->size < kChunkCapacity / 4 &&
+          chunks_[write - 1]->size + chunks_[c]->size <= kChunkCapacity) {
+        Chunk* dst = chunks_[write - 1].get();
+        Chunk* src = chunks_[c].get();
+        std::copy(src->keys.begin(), src->keys.begin() + src->size,
+                  dst->keys.begin() + dst->size);
+        dst->size += src->size;
+        chunk_last_[write - 1] = dst->keys[dst->size - 1];
+        continue;
+      }
+      if (write != c) {
+        chunks_[write] = std::move(chunks_[c]);
+        chunk_last_[write] = chunk_last_[c];
+      }
+      ++write;
+    }
+    chunks_.resize(write);
+    chunk_last_.resize(write);
+  }
+  // A reposition batch never changes the element count, but the deferred
+  // per-element ops below bump size_ (+1 per InsertKey, -1 per EraseKey)
+  // while their in-place counterparts did not; pre-compensate so the two
+  // halves cancel.
+  size_ += deferred_removals.size();
+  size_ -= deferred_insertions.size();
+  for (const Key& key : deferred_removals) EraseKey(key);
+  for (const Key& key : deferred_insertions) InsertKey(key);
 }
 
 void RankedList::Erase(ElementId id) {
@@ -202,6 +364,26 @@ void RankedListIndex::UpdateTrusted(
   KSIR_DCHECK(membership_.find(id)->second.size() == topic_scores.size());
   for (const auto& [topic, score] : topic_scores) {
     lists_[static_cast<std::size_t>(topic)].Update(id, score, te);
+  }
+}
+
+void RankedListIndex::BatchReposition(TopicId topic,
+                                      const RankedList::Tuple* updates,
+                                      std::size_t n, bool merge,
+                                      RankedList::BatchScratch* scratch) {
+  KSIR_CHECK(topic >= 0 && static_cast<std::size_t>(topic) < lists_.size());
+  RankedList& list = lists_[static_cast<std::size_t>(topic)];
+#ifndef NDEBUG
+  for (std::size_t i = 0; i < n; ++i) {
+    KSIR_DCHECK(membership_.contains(updates[i].id));
+  }
+#endif
+  if (merge) {
+    list.ApplyBatch(updates, n, scratch);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      list.Update(updates[i].id, updates[i].score, updates[i].te);
+    }
   }
 }
 

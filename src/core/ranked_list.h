@@ -105,6 +105,18 @@ class RankedList {
     std::uint32_t offset_ = 0;
   };
 
+  /// Reusable scratch of ApplyBatch (sorted removal/insertion keys). Owned
+  /// by the caller so one buffer serves every list of an index; never
+  /// shared across threads.
+  struct BatchScratch {
+    std::vector<Key> removals;
+    std::vector<Key> insertions;
+    /// Ops deferred to the per-element path (chunks the batch would
+    /// overflow past capacity); almost always empty.
+    std::vector<Key> deferred_removals;
+    std::vector<Key> deferred_insertions;
+  };
+
   RankedList() = default;
 
   /// Inserts a new element; it must not be present.
@@ -112,6 +124,14 @@ class RankedList {
 
   /// Repositions an existing element with a new score / referral time.
   void Update(ElementId id, double score, Timestamp te);
+
+  /// Repositions `n` existing elements (each present, each at most once) in
+  /// one pass: the pending keys are sorted and merged into the chunk
+  /// sequence in a single sweep of the chunk directory, instead of `n`
+  /// independent binary-search + memmove operations. Equivalent to calling
+  /// Update once per tuple — the resulting key sequence and side table are
+  /// identical; only the (unobservable) chunk boundaries may differ.
+  void ApplyBatch(const Tuple* updates, std::size_t n, BatchScratch* scratch);
 
   /// Removes an element; it must be present.
   void Erase(ElementId id);
@@ -181,6 +201,15 @@ class RankedListIndex {
       ElementId id,
       const std::vector<std::pair<TopicId, double>>& topic_scores,
       Timestamp te);
+
+  /// Applies `n` repositions destined for one topic's list, under the same
+  /// trusted contract as UpdateTrusted: every tuple's element must have
+  /// `topic` in its insertion support. `merge` selects the one-pass
+  /// RankedList::ApplyBatch sweep; false falls back to per-element Updates
+  /// (profitable for lists with only a couple of pending repositions).
+  void BatchReposition(TopicId topic, const RankedList::Tuple* updates,
+                       std::size_t n, bool merge,
+                       RankedList::BatchScratch* scratch);
 
   /// Removes `id` from all its lists.
   void Erase(ElementId id);

@@ -9,13 +9,17 @@ ScoreCache::ScoreCache(const ScoringContext* ctx) : ctx_(ctx) {
 }
 
 void ScoreCache::Insert(const SocialElement& e) {
+  const double lambda = ctx_->params().lambda;
+  const double influence_factor = ctx_->influence_factor();
   TopicList& topics = entries_[e.id];
   topics.clear();
   topics.reserve(e.topics.nnz());
   for (const auto& [topic, prob] : e.topics.entries()) {
+    const double semantic = ctx_->SemanticScore(topic, e, prob);
+    const double influence = ctx_->InfluenceScore(topic, e, prob);
     topics.emplace_back(TopicHalves{
-        topic, prob, ctx_->SemanticScore(topic, e, prob),
-        ctx_->InfluenceScore(topic, e, prob)});
+        topic, prob, semantic, influence,
+        lambda * semantic + influence_factor * influence});
   }
 }
 
@@ -52,6 +56,12 @@ void ScoreCache::ApplyEdge(ElementId target,
       ++ri;
     }
   }
+}
+
+ScoreCache::TopicList& ScoreCache::MutableHalves(ElementId id) {
+  const auto it = entries_.find(id);
+  KSIR_CHECK(it != entries_.end());
+  return it->second;
 }
 
 void ScoreCache::ComposeScores(

@@ -32,6 +32,21 @@ namespace ksir {
 /// Cached score halves of every indexed element.
 class ScoreCache {
  public:
+  /// One support topic of one element. `semantic` is immutable after
+  /// Insert; `influence` tracks I_{i,t}(e) incrementally.
+  struct TopicHalves {
+    TopicId topic;
+    double topic_prob;  // p_i(e), kept to avoid re-probing the element
+    double semantic;    // R_i(e)
+    double influence;   // I_{i,t}(e)
+    /// The composed score currently sitting in this topic's ranked list.
+    /// Maintained by Insert and the batched maintainer's queue path, which
+    /// uses it to elide repositions whose tuple would not change: an
+    /// expired referrer sharing no topics with the element moves nothing.
+    double listed;
+  };
+  using TopicList = SmallVector<TopicHalves, 4>;
+
   /// `ctx` must outlive the cache.
   explicit ScoreCache(const ScoringContext* ctx);
 
@@ -59,19 +74,14 @@ class ScoreCache {
   void ComposeScores(ElementId id,
                      std::vector<std::pair<TopicId, double>>* out) const;
 
+  /// The cached halves of a present element, for the batched maintainer:
+  /// it composes scores straight into its per-topic pending runs (skipping
+  /// the intermediate vector) and refreshes `listed` as it queues.
+  TopicList& MutableHalves(ElementId id);
+
   std::size_t size() const { return entries_.size(); }
 
  private:
-  /// One support topic of one element. `semantic` is immutable after
-  /// Insert; `influence` tracks I_{i,t}(e) incrementally.
-  struct TopicHalves {
-    TopicId topic;
-    double topic_prob;  // p_i(e), kept to avoid re-probing the element
-    double semantic;    // R_i(e)
-    double influence;   // I_{i,t}(e)
-  };
-  using TopicList = SmallVector<TopicHalves, 4>;
-
   void ApplyEdge(ElementId target, const SparseVector& referrer_topics,
                  double sign);
 

@@ -32,11 +32,19 @@ double ScoringContext::SemanticScore(TopicId topic,
 double ScoringContext::SemanticScore(TopicId topic, const SocialElement& e,
                                      double topic_prob_e) const {
   if (topic_prob_e <= 0.0) return 0.0;
-  double score = 0.0;
+  // sigma factors as -f·pw·pe·ln(pw·pe) = f·pe·(-pw·ln pw) - f·pw·pe·ln pe,
+  // so summing over words needs two dot products against per-(topic, word)
+  // tables (the -pw·ln pw half is precomputed in the model) and a single
+  // log of pe — instead of one log per word. Words with pw = 0 contribute
+  // zero to both accumulators, preserving Sigma's semantics.
+  double entropy_sum = 0.0;
+  double prob_sum = 0.0;
   for (const auto& [word, count] : e.doc.word_counts()) {
-    score += Sigma(topic, word, count, topic_prob_e);
+    entropy_sum += count * model_->WordEntropy(topic, word);
+    prob_sum += count * model_->WordProb(topic, word);
   }
-  return score;
+  return topic_prob_e * entropy_sum -
+         topic_prob_e * std::log(topic_prob_e) * prob_sum;
 }
 
 double ScoringContext::InfluenceScore(TopicId topic,

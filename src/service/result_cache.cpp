@@ -65,6 +65,13 @@ std::optional<QueryResult> ResultCache::Lookup(const ResultCacheKey& key) {
 void ResultCache::Insert(const ResultCacheKey& key,
                          const QueryResult& result) {
   std::lock_guard lock(mutex_);
+  if (key.epoch < floor_epoch_) {
+    // A concurrent InvalidateBefore already swept this epoch; the entry
+    // could never match a current-epoch lookup and would only occupy LRU
+    // capacity until eviction.
+    ++stats_.stale_inserts;
+    return;
+  }
   const auto it = map_.find(key);
   if (it != map_.end()) {
     it->second->second = result;
@@ -82,6 +89,7 @@ void ResultCache::Insert(const ResultCacheKey& key,
 
 void ResultCache::InvalidateBefore(std::uint64_t epoch) {
   std::lock_guard lock(mutex_);
+  if (epoch > floor_epoch_) floor_epoch_ = epoch;
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->first.epoch < epoch) {
       map_.erase(it->first);

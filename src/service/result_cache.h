@@ -41,6 +41,10 @@ struct ResultCacheStats {
   std::int64_t misses = 0;
   std::int64_t evictions = 0;
   std::int64_t invalidated = 0;
+  /// Inserts dropped because their epoch was below the invalidation floor
+  /// (a concurrent InvalidateBefore had already swept that epoch; admitting
+  /// the entry would waste LRU capacity on a result no lookup can match).
+  std::int64_t stale_inserts = 0;
 };
 
 /// Bounded LRU cache. Thread-safe (internal mutex); all operations are
@@ -58,10 +62,14 @@ class ResultCache {
   std::optional<QueryResult> Lookup(const ResultCacheKey& key);
 
   /// Inserts (or overwrites) an entry, evicting the least recently used
-  /// entry when over capacity.
+  /// entry when over capacity. An entry whose epoch is below the highest
+  /// InvalidateBefore() floor is dropped instead (counted in
+  /// stats().stale_inserts): a query that raced a bucket advance must not
+  /// park its dead result in the LRU until eviction.
   void Insert(const ResultCacheKey& key, const QueryResult& result);
 
-  /// Drops every entry with epoch < `epoch` (called after each bucket).
+  /// Drops every entry with epoch < `epoch` (called after each bucket) and
+  /// raises the admission floor so late Inserts below it are rejected.
   void InvalidateBefore(std::uint64_t epoch);
 
   /// Drops everything.
@@ -84,6 +92,9 @@ class ResultCache {
   LruList lru_;  // front = most recently used
   std::unordered_map<ResultCacheKey, LruList::iterator, KeyHash> map_;
   ResultCacheStats stats_;
+  /// Highest epoch ever passed to InvalidateBefore: entries below it have
+  /// been swept and must not be re-admitted.
+  std::uint64_t floor_epoch_ = 0;
 };
 
 }  // namespace ksir

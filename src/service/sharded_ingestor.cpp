@@ -64,15 +64,16 @@ Status ShardedIngestor::AdvanceTo(Timestamp bucket_end,
   }
 
   // Route (in ts order, so reference targets are routed before referrers)
-  // and partition. Per-shard sub-buckets stay ts-sorted.
+  // and partition. Per-shard sub-buckets stay ts-sorted. The routed ids are
+  // tracked per shard so a partial failure can roll back exactly the shards
+  // that rejected their sub-bucket.
   const std::int64_t cross_before = router_->cross_shard_refs();
   const std::size_t ingested = bucket.size();
-  std::vector<ElementId> routed_ids;
-  routed_ids.reserve(bucket.size());
+  std::vector<std::vector<ElementId>> shard_ids(shards_.size());
   std::vector<std::vector<SocialElement>> parts(shards_.size());
   for (SocialElement& e : bucket) {
-    routed_ids.push_back(e.id);
     const std::size_t shard = router_->Route(e);
+    shard_ids[shard].push_back(e.id);
     parts[shard].push_back(std::move(e));
   }
 
@@ -86,16 +87,32 @@ Status ShardedIngestor::AdvanceTo(Timestamp bucket_end,
       statuses[i] = shards_[i]->AdvanceTo(bucket_end, std::move(parts[i]));
     });
   }
-  group.Wait();
-  for (const Status& status : statuses) {
-    if (!status.ok()) {
-      // Roll the routing table back so the bucket's ids are not recorded
-      // as placed (shards that accepted their sub-bucket keep it, though —
-      // see the header contract).
-      router_->Forget(routed_ids);
-      return status;
+  try {
+    group.Wait();
+  } catch (...) {
+    // A shard task threw (WorkerPool now surfaces that instead of dying):
+    // its status slot still reads OK, so no per-shard status can be
+    // trusted. Roll the whole bucket out of the routing table before
+    // rethrowing — shards may retain elements (the clocks/contents can
+    // diverge, as with any partial failure), but the router must never
+    // claim ids whose placement is unknown.
+    for (const std::vector<ElementId>& ids : shard_ids) {
+      router_->Forget(ids);
     }
+    throw;
   }
+  Status first_error = Status::OK();
+  for (std::size_t i = 0; i < statuses.size(); ++i) {
+    if (statuses[i].ok()) continue;
+    // Roll back only the shards that rejected their sub-bucket: their
+    // elements were never ingested anywhere, so their routing entries must
+    // go. Shards that accepted keep their elements, and the router must
+    // keep reporting Knows() for those ids — otherwise a retried bucket
+    // would pass validation and re-ingest duplicates (see header contract).
+    router_->Forget(shard_ids[i]);
+    if (first_error.ok()) first_error = statuses[i];
+  }
+  if (!first_error.ok()) return first_error;
 
   stats_.total_update_ms += timer.ElapsedMillis();
   ++stats_.buckets_processed;

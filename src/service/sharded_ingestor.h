@@ -39,10 +39,13 @@ class ShardedIngestor {
   /// Advances every shard's clock to `bucket_end`, ingesting each element
   /// of `bucket` (sorted by ts in (now, bucket_end]) on the shard chosen by
   /// the router. Returns the first shard error. On failure the routing
-  /// table is rolled back, but shards that already accepted their
-  /// sub-bucket keep it and shard clocks may diverge until the next
-  /// successful advance; recovery means re-sending only the elements of a
-  /// corrected bucket that no shard has accepted, with a later bucket_end.
+  /// table stays consistent with shard contents: ids routed to shards that
+  /// rejected their sub-bucket are forgotten (they were ingested nowhere),
+  /// while ids on shards that accepted remain known — so a retry that
+  /// re-sends an accepted element is rejected as a duplicate up front.
+  /// Shard clocks may diverge until the next successful advance; recovery
+  /// means re-sending only the failed shards' elements of a corrected
+  /// bucket, with a later bucket_end.
   Status AdvanceTo(Timestamp bucket_end, std::vector<SocialElement> bucket);
 
   /// The shared shard clock.

@@ -33,6 +33,9 @@ void WorkerPool::Submit(std::function<void()> task) {
 void WorkerPool::WaitIdle() {
   std::unique_lock lock(mutex_);
   idle_.wait(lock, [this]() { return queue_.empty() && in_flight_ == 0; });
+  if (first_exception_) {
+    std::rethrow_exception(std::exchange(first_exception_, nullptr));
+  }
 }
 
 void TaskGroup::Submit(std::function<void()> task) {
@@ -41,16 +44,34 @@ void TaskGroup::Submit(std::function<void()> task) {
     ++pending_;
   }
   pool_->Submit([this, task = std::move(task)]() {
-    task();
+    // The pending count must come back down on every exit path, or Wait()
+    // deadlocks forever; the group's first exception travels to its waiter.
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     std::unique_lock lock(mutex_);
+    if (error && !first_exception_) first_exception_ = std::move(error);
     if (--pending_ == 0) done_.notify_all();
   });
 }
 
-void TaskGroup::Wait() {
+void TaskGroup::WaitDrained() {
   std::unique_lock lock(mutex_);
   done_.wait(lock, [this]() { return pending_ == 0; });
 }
+
+void TaskGroup::Wait() {
+  WaitDrained();
+  std::unique_lock lock(mutex_);
+  if (first_exception_) {
+    std::rethrow_exception(std::exchange(first_exception_, nullptr));
+  }
+}
+
+TaskGroup::~TaskGroup() { WaitDrained(); }
 
 void WorkerPool::WorkerLoop() {
   std::unique_lock lock(mutex_);
@@ -65,8 +86,17 @@ void WorkerPool::WorkerLoop() {
     queue_.pop_front();
     ++in_flight_;
     lock.unlock();
-    task();
+    // in_flight_ must come back down whether the task returns or throws;
+    // TaskGroup tasks never leak exceptions here (their wrapper captures
+    // into the group), so first_exception_ is the direct-Submit channel.
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     lock.lock();
+    if (error && !first_exception_) first_exception_ = std::move(error);
     --in_flight_;
     if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
   }

@@ -1,14 +1,19 @@
 // Fixed-size thread pool used by the sharded service to advance shards and
 // fan queries out in parallel. Deliberately minimal: tasks are
 // std::function<void()>, results travel through captured state, and
-// WaitIdle() gives the caller a barrier. The library is exception-free, so
-// tasks must not throw.
+// WaitIdle() gives the caller a barrier. The ksir library itself is
+// exception-free (errors travel as Status through captured state), but the
+// pool must not be: a task that throws — user callbacks, std::bad_alloc —
+// would otherwise leave the in-flight counters permanently elevated and
+// deadlock every waiter. The first exception of a batch is captured and
+// rethrown to the waiter; the counters are decremented on every exit path.
 #ifndef KSIR_SERVICE_WORKER_POOL_H_
 #define KSIR_SERVICE_WORKER_POOL_H_
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -24,16 +29,20 @@ class WorkerPool {
   /// Spawns `num_threads` workers (>= 1; 0 is clamped to 1).
   explicit WorkerPool(std::size_t num_threads);
 
-  /// Drains the queue, then joins all workers.
+  /// Drains the queue, then joins all workers. An exception captured after
+  /// the last WaitIdle is discarded.
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
 
-  /// Enqueues `task` for execution on some worker.
+  /// Enqueues `task` for execution on some worker. A throwing task does not
+  /// kill the worker: the first exception since the last WaitIdle is
+  /// captured and rethrown there.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished executing.
+  /// Blocks until every submitted task has finished executing, then
+  /// rethrows the first exception any of them raised (clearing it).
   void WaitIdle();
 
   std::size_t num_threads() const { return threads_.size(); }
@@ -46,6 +55,9 @@ class WorkerPool {
   std::condition_variable idle_;
   std::deque<std::function<void()>> queue_;
   std::size_t in_flight_ = 0;  // tasks currently executing
+  /// First exception thrown by a directly submitted task (TaskGroup tasks
+  /// capture into their group instead); rethrown by WaitIdle.
+  std::exception_ptr first_exception_;
   bool shutdown_ = false;
   std::vector<std::thread> threads_;
 };
@@ -53,29 +65,37 @@ class WorkerPool {
 /// Completion barrier for one batch of tasks on a shared pool. Unlike
 /// WorkerPool::WaitIdle, Wait() only blocks on tasks submitted through THIS
 /// group, so concurrent queries and ingestion can share one pool without
-/// waiting on each other's work.
+/// waiting on each other's work. Exceptions thrown by group tasks belong to
+/// the group: Wait() rethrows the first one, the pool never sees them.
 class TaskGroup {
  public:
   /// `pool` must outlive the group.
   explicit TaskGroup(WorkerPool* pool) : pool_(pool) {}
 
-  /// A group must be drained (Wait) before destruction.
-  ~TaskGroup() { Wait(); }
+  /// Drains the group without rethrowing (an exception never surfaced by a
+  /// Wait() call is discarded; destructors must not throw).
+  ~TaskGroup();
 
   TaskGroup(const TaskGroup&) = delete;
   TaskGroup& operator=(const TaskGroup&) = delete;
 
-  /// Enqueues `task` on the pool and tracks it in this group.
+  /// Enqueues `task` on the pool and tracks it in this group. The pending
+  /// count is decremented whether the task returns or throws.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every task submitted through this group has finished.
+  /// Blocks until every task submitted through this group has finished,
+  /// then rethrows the first exception any of them raised (clearing it).
   void Wait();
 
  private:
+  /// The barrier without the rethrow (shared by Wait and the destructor).
+  void WaitDrained();
+
   WorkerPool* pool_;
   std::mutex mutex_;
   std::condition_variable done_;
   std::size_t pending_ = 0;
+  std::exception_ptr first_exception_;
 };
 
 }  // namespace ksir

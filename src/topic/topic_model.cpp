@@ -44,6 +44,14 @@ StatusOr<TopicModel> TopicModel::FromMatrix(
   model.topic_word_ = std::move(topic_word);
   model.topic_prior_ = std::move(topic_prior);
   model.vocab_size_ = m;
+  model.word_entropy_.reserve(model.topic_word_.size());
+  for (const auto& row : model.topic_word_) {
+    std::vector<double> entropy(row.size());
+    for (std::size_t w = 0; w < row.size(); ++w) {
+      entropy[w] = row[w] > 0.0 ? -row[w] * std::log(row[w]) : 0.0;
+    }
+    model.word_entropy_.push_back(std::move(entropy));
+  }
   return model;
 }
 

@@ -46,6 +46,18 @@ class TopicModel {
     return topic_word_[static_cast<std::size_t>(topic)];
   }
 
+  /// -p_i(w) * ln p_i(w), precomputed at construction. Semantic scoring
+  /// (Eq. 1) factors sigma over this table so an element's R_i(e) costs one
+  /// log per (element, topic) instead of one per (word, topic) — see
+  /// ScoringContext::SemanticScore.
+  double WordEntropy(TopicId topic, WordId word) const {
+    KSIR_DCHECK(topic >= 0 &&
+                static_cast<std::size_t>(topic) < word_entropy_.size());
+    const auto& row = word_entropy_[static_cast<std::size_t>(topic)];
+    if (word < 0 || static_cast<std::size_t>(word) >= row.size()) return 0.0;
+    return row[static_cast<std::size_t>(word)];
+  }
+
   /// Corpus-level topic prior p(z) (sums to 1).
   const std::vector<double>& topic_prior() const { return topic_prior_; }
 
@@ -61,6 +73,8 @@ class TopicModel {
   TopicModel() = default;
 
   std::vector<std::vector<double>> topic_word_;
+  /// word_entropy_[i][w] = -p_i(w) * ln p_i(w) (0 where p_i(w) = 0).
+  std::vector<std::vector<double>> word_entropy_;
   std::vector<double> topic_prior_;
   std::size_t vocab_size_ = 0;
 };

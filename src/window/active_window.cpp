@@ -18,6 +18,10 @@ ActiveWindow::ActiveWindow(Timestamp window_length,
   KSIR_CHECK(window_length > 0);
 }
 
+ActiveWindow::~ActiveWindow() {
+  for (auto& [id, entry] : entries_) pool_.Destroy(entry);
+}
+
 StatusOr<ActiveWindow::UpdateResult> ActiveWindow::Advance(
     Timestamp now, std::vector<SocialElement> bucket) {
   if (now < now_) {
@@ -27,13 +31,19 @@ StatusOr<ActiveWindow::UpdateResult> ActiveWindow::Advance(
   ++advance_epoch_;
   // Deduplicated via the Entry stamps; may still contain ids that are later
   // reclassified (inserted / resurrected / expired), filtered at the end.
-  std::vector<ElementId> gained_list;
-  std::vector<ElementId> lost_list;
-  FlatHashSet<ElementId> resurrected;
+  // All scratch lives in members (capacity retained across buckets).
+  std::vector<ElementId>& gained_list = gained_scratch_;
+  std::vector<ElementId>& lost_list = lost_scratch_;
+  FlatHashSet<ElementId>& resurrected = resurrected_scratch_;
   // Edge changes as they happen; filtered against the final element
   // classification before being reported.
-  std::vector<EdgeDelta> gained_edges_raw;
-  std::vector<EdgeDelta> lost_edges_raw;
+  std::vector<EdgeDelta>& gained_edges_raw = gained_edges_scratch_;
+  std::vector<EdgeDelta>& lost_edges_raw = lost_edges_scratch_;
+  gained_list.clear();
+  lost_list.clear();
+  resurrected.clear();
+  gained_edges_raw.clear();
+  lost_edges_raw.clear();
 
   // --- Phase 1: insert the bucket and register its references. ---
   Timestamp prev_ts = now_;
@@ -70,7 +80,7 @@ StatusOr<ActiveWindow::UpdateResult> ActiveWindow::Advance(
         ++result.dangling_refs;
         continue;
       }
-      Entry& entry = it->second;
+      Entry& entry = *it->second;
       entry.referrers.push_back(Referrer{id, ts});
       entry.last_ref_time = ts;
       if (entry.active) {
@@ -86,8 +96,8 @@ StatusOr<ActiveWindow::UpdateResult> ActiveWindow::Advance(
         resurrected.insert(target);
       }
     }
-    Entry entry{std::move(e), {}, ts, true, kMinTimestamp};
-    entries_.emplace(id, std::move(entry));
+    Entry* entry = pool_.Create(Entry{std::move(e), {}, ts, true, kMinTimestamp});
+    entries_.emplace(id, entry);
     ++num_active_;
     window_order_.push_back(id);
     result.inserted.push_back(id);
@@ -97,12 +107,13 @@ StatusOr<ActiveWindow::UpdateResult> ActiveWindow::Advance(
   // --- Phase 2: expiry. Elements whose ts left W_t stop being referrers;
   // then every element that is out of window and referrer-free leaves A_t.
   const Timestamp cutoff = now_ - window_length_;  // in window iff ts > cutoff
-  std::vector<ElementId> leavers;
+  std::vector<ElementId>& leavers = leavers_;
+  leavers.clear();
   while (!window_order_.empty()) {
     const ElementId id = window_order_.front();
     const auto it = entries_.find(id);
     KSIR_CHECK(it != entries_.end());
-    if (it->second.element.ts > cutoff) break;
+    if (it->second->element.ts > cutoff) break;
     window_order_.pop_front();
     leavers.push_back(id);
   }
@@ -110,10 +121,10 @@ StatusOr<ActiveWindow::UpdateResult> ActiveWindow::Advance(
     const auto it = entries_.find(id);
     KSIR_CHECK(it != entries_.end());
     // The leaver no longer influences its reference targets.
-    for (ElementId target : it->second.element.refs) {
+    for (ElementId target : it->second->element.refs) {
       auto target_it = entries_.find(target);
-      if (target_it == entries_.end() || !target_it->second.active) continue;
-      auto& referrers = target_it->second.referrers;
+      if (target_it == entries_.end() || !target_it->second->active) continue;
+      auto& referrers = target_it->second->referrers;
       std::size_t expired_prefix = 0;
       while (expired_prefix < referrers.size() &&
              referrers[expired_prefix].ts <= cutoff) {
@@ -125,7 +136,7 @@ StatusOr<ActiveWindow::UpdateResult> ActiveWindow::Advance(
         referrers.erase(referrers.begin(),
                         referrers.begin() +
                             static_cast<std::ptrdiff_t>(expired_prefix));
-        Entry& target_entry = target_it->second;
+        Entry& target_entry = *target_it->second;
         if (target_entry.lost_stamp != advance_epoch_) {
           target_entry.lost_stamp = advance_epoch_;
           lost_list.push_back(target);
@@ -145,23 +156,27 @@ StatusOr<ActiveWindow::UpdateResult> ActiveWindow::Advance(
     if (it == entries_.end()) continue;
     // Skip stale queue entries of elements that were resurrected (and
     // possibly re-deactivated, which re-enqueued them).
-    if (it->second.active || it->second.deactivated_at != deactivated_at) {
+    if (it->second->active || it->second->deactivated_at != deactivated_at) {
       continue;
     }
+    pool_.Destroy(it->second);
     entries_.erase(it);
   }
 
-  FlatHashSet<ElementId> inserted_set;
+  FlatHashSet<ElementId>& inserted_set = inserted_set_;
+  inserted_set.clear();
   inserted_set.reserve(result.inserted.size());
   for (ElementId id : result.inserted) inserted_set.insert(id);
-  FlatHashSet<ElementId> expired_set;
+  FlatHashSet<ElementId>& expired_set = expired_set_;
+  expired_set.clear();
   expired_set.reserve(result.expired.size());
   for (ElementId id : result.expired) expired_set.insert(id);
   // Keep the report lists disjoint. An element that entered (or re-entered)
   // A_t and left it within this same call was never visible to the index
   // maintainer, so it must appear in NEITHER inserted/resurrected NOR
   // expired — a far time jump can expire a bucket's own elements.
-  FlatHashSet<ElementId> drop_from_expired;
+  FlatHashSet<ElementId>& drop_from_expired = drop_from_expired_;
+  drop_from_expired.clear();
   for (ElementId id : result.expired) {
     if (resurrected.erase(id) > 0 || inserted_set.contains(id)) {
       drop_from_expired.insert(id);
@@ -189,7 +204,7 @@ StatusOr<ActiveWindow::UpdateResult> ActiveWindow::Advance(
       continue;
     }
     const auto it = entries_.find(id);
-    if (it != entries_.end() && it->second.gained_stamp == advance_epoch_) {
+    if (it != entries_.end() && it->second->gained_stamp == advance_epoch_) {
       continue;  // a net gain already triggers a reposition
     }
     result.lost_referrer.push_back(id);
@@ -220,7 +235,7 @@ StatusOr<ActiveWindow::UpdateResult> ActiveWindow::Advance(
 void ActiveWindow::MaybeDeactivate(ElementId id, UpdateResult* result) {
   const auto it = entries_.find(id);
   if (it == entries_.end()) return;
-  Entry& entry = it->second;
+  Entry& entry = *it->second;
   if (!entry.active) return;
   if (entry.element.ts > now_ - window_length_) return;  // still in W_t
   if (!entry.referrers.empty()) return;                  // still referenced
@@ -233,48 +248,48 @@ void ActiveWindow::MaybeDeactivate(ElementId id, UpdateResult* result) {
 
 const SocialElement* ActiveWindow::Find(ElementId id) const {
   const auto it = entries_.find(id);
-  if (it == entries_.end() || !it->second.active) return nullptr;
-  return &it->second.element;
+  if (it == entries_.end() || !it->second->active) return nullptr;
+  return &it->second->element;
 }
 
 const SocialElement* ActiveWindow::FindIncludingArchived(ElementId id) const {
   const auto it = entries_.find(id);
   if (it == entries_.end()) return nullptr;
-  return &it->second.element;
+  return &it->second->element;
 }
 
 bool ActiveWindow::IsActive(ElementId id) const {
   const auto it = entries_.find(id);
-  return it != entries_.end() && it->second.active;
+  return it != entries_.end() && it->second->active;
 }
 
 bool ActiveWindow::IsInWindow(ElementId id) const {
   const auto it = entries_.find(id);
-  if (it == entries_.end() || !it->second.active) return false;
-  return it->second.element.ts > now_ - window_length_;
+  if (it == entries_.end() || !it->second->active) return false;
+  return it->second->element.ts > now_ - window_length_;
 }
 
 bool ActiveWindow::IsArchived(ElementId id) const {
   const auto it = entries_.find(id);
-  return it != entries_.end() && !it->second.active;
+  return it != entries_.end() && !it->second->active;
 }
 
 const ReferrerList& ActiveWindow::ReferrersOf(ElementId id) const {
   const auto it = entries_.find(id);
-  if (it == entries_.end() || !it->second.active) return kNoReferrers;
-  return it->second.referrers;
+  if (it == entries_.end() || !it->second->active) return kNoReferrers;
+  return it->second->referrers;
 }
 
 Timestamp ActiveWindow::LastReferredAt(ElementId id) const {
   const auto it = entries_.find(id);
-  KSIR_CHECK(it != entries_.end() && it->second.active);
-  return std::max(it->second.element.ts, it->second.last_ref_time);
+  KSIR_CHECK(it != entries_.end() && it->second->active);
+  return std::max(it->second->element.ts, it->second->last_ref_time);
 }
 
 void ActiveWindow::ForEachActive(
     const std::function<void(const SocialElement&)>& fn) const {
   for (const auto& [id, entry] : entries_) {
-    if (entry.active) fn(entry.element);
+    if (entry->active) fn(entry->element);
   }
 }
 
@@ -282,7 +297,7 @@ std::vector<ElementId> ActiveWindow::ActiveIds() const {
   std::vector<ElementId> ids;
   ids.reserve(num_active_);
   for (const auto& [id, entry] : entries_) {
-    if (entry.active) ids.push_back(id);
+    if (entry->active) ids.push_back(id);
   }
   return ids;
 }

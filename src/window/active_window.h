@@ -28,6 +28,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/flat_hash_map.h"
 #include "common/small_vector.h"
 #include "common/status.h"
@@ -94,6 +95,12 @@ class ActiveWindow {
   /// elements stay resurrectable; <= 0 means "same as T".
   explicit ActiveWindow(Timestamp window_length,
                         Timestamp archive_retention = 0);
+
+  /// Entries are pool-allocated; live ones are destroyed here.
+  ~ActiveWindow();
+
+  ActiveWindow(const ActiveWindow&) = delete;
+  ActiveWindow& operator=(const ActiveWindow&) = delete;
 
   /// Advances time to `now` and ingests `bucket` (elements with
   /// ts in (previous now, now], sorted by ts, unique ids). Insertions are
@@ -169,12 +176,30 @@ class ActiveWindow {
   Timestamp now_ = 0;
   /// Monotone Advance() counter backing the Entry dedup stamps.
   std::uint64_t advance_epoch_ = 0;
-  FlatHashMap<ElementId, Entry> entries_;
+  /// Entries live in a free-list pool: an insert after a GC reuses a warm
+  /// slot instead of hitting the allocator, the id table rehashes 8-byte
+  /// pointers instead of whole entries, and entry addresses are stable
+  /// across insertions (references survive rehash).
+  ObjectPool<Entry> pool_;
+  FlatHashMap<ElementId, Entry*> entries_;
   std::size_t num_active_ = 0;
   /// Ids of elements in W_t, ordered by ts (front = oldest).
   std::deque<ElementId> window_order_;
   /// Inactive elements by deactivation time (front = oldest) for GC.
   std::deque<std::pair<ElementId, Timestamp>> archive_queue_;
+
+  /// ---- per-Advance scratch, cleared at the top of every call ----
+  /// Retained across buckets so the steady-state hot path allocates
+  /// nothing: the vectors keep their capacity, the sets their slot arrays.
+  std::vector<ElementId> gained_scratch_;
+  std::vector<ElementId> lost_scratch_;
+  std::vector<ElementId> leavers_;
+  std::vector<EdgeDelta> gained_edges_scratch_;
+  std::vector<EdgeDelta> lost_edges_scratch_;
+  FlatHashSet<ElementId> resurrected_scratch_;
+  FlatHashSet<ElementId> inserted_set_;
+  FlatHashSet<ElementId> expired_set_;
+  FlatHashSet<ElementId> drop_from_expired_;
 
   static const ReferrerList kNoReferrers;
 };

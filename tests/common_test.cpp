@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/arena.h"
 #include "common/flat_hash_map.h"
 #include "common/math.h"
 #include "common/rng.h"
@@ -555,6 +556,100 @@ TEST(SmallVectorTest, CopyAndClearReuse) {
   EXPECT_EQ(copy.size(), 3u);
   v.push_back(9);
   EXPECT_EQ(v[0], 9);
+}
+
+// ----------------------------------------------------------------- Arena --
+
+TEST(ArenaTest, AllocationsAreAlignedAndDisjoint) {
+  Arena arena(64);
+  auto* a = arena.AllocateArray<std::uint64_t>(4);
+  auto* b = arena.AllocateArray<std::uint32_t>(3);
+  auto* c = arena.AllocateArray<double>(8);  // spills into a second block
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % alignof(std::uint64_t), 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % alignof(std::uint32_t), 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % alignof(double), 0u);
+  for (int i = 0; i < 4; ++i) a[i] = 11;
+  for (int i = 0; i < 3; ++i) b[i] = 22;
+  for (int i = 0; i < 8; ++i) c[i] = 3.5;
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(a[i], 11u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(b[i], 22u);
+  for (int i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ(c[i], 3.5);
+}
+
+TEST(ArenaTest, ResetReusesRetainedBlocks) {
+  Arena arena(128);
+  void* first = arena.Allocate(100, 8);
+  arena.Allocate(100, 8);  // forces a second block
+  const std::size_t reserved = arena.bytes_reserved();
+  arena.Reset();
+  // Steady state: the same storage is handed out again, nothing new grows.
+  EXPECT_EQ(arena.Allocate(100, 8), first);
+  arena.Allocate(100, 8);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+TEST(ArenaTest, OversizedAllocationGetsDedicatedBlock) {
+  Arena arena(32);
+  auto* big = arena.AllocateArray<unsigned char>(1000);
+  big[0] = 1;
+  big[999] = 2;
+  EXPECT_EQ(big[0], 1);
+  EXPECT_EQ(big[999], 2);
+  EXPECT_GE(arena.bytes_reserved(), 1000u);
+}
+
+TEST(ObjectPoolTest, DestroyedSlotsAreRecycled) {
+  struct Tracked {
+    explicit Tracked(int* counter) : counter(counter) { ++*counter; }
+    ~Tracked() { --*counter; }
+    int* counter;
+    int payload[4] = {0, 0, 0, 0};
+  };
+  int live = 0;
+  ObjectPool<Tracked> pool;
+  Tracked* a = pool.Create(&live);
+  EXPECT_EQ(live, 1);
+  EXPECT_EQ(pool.live(), 1u);
+  pool.Destroy(a);
+  EXPECT_EQ(live, 0);
+  // The freed slot is reused for the next Create.
+  Tracked* b = pool.Create(&live);
+  EXPECT_EQ(static_cast<void*>(b), static_cast<void*>(a));
+  Tracked* c = pool.Create(&live);
+  EXPECT_EQ(live, 2);
+  EXPECT_EQ(pool.live(), 2u);
+  pool.Destroy(b);
+  pool.Destroy(c);
+  EXPECT_EQ(live, 0);
+  EXPECT_EQ(pool.live(), 0u);
+}
+
+TEST(ObjectPoolTest, ManyObjectsWithNonTrivialState) {
+  ObjectPool<std::vector<int>> pool;
+  std::vector<std::vector<int>*> objects;
+  for (int i = 0; i < 300; ++i) {
+    objects.push_back(pool.Create(std::vector<int>(7, i)));
+  }
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_EQ(objects[static_cast<std::size_t>(i)]->size(), 7u);
+    EXPECT_EQ((*objects[static_cast<std::size_t>(i)])[0], i);
+  }
+  for (int i = 0; i < 300; i += 2) {
+    pool.Destroy(objects[static_cast<std::size_t>(i)]);
+  }
+  // Recycled slots interleave with fresh arena slots.
+  for (int i = 0; i < 200; ++i) {
+    auto* v = pool.Create(std::vector<int>(3, -i));
+    ASSERT_EQ(v->size(), 3u);
+    objects.push_back(v);
+  }
+  for (int i = 1; i < 300; i += 2) {
+    pool.Destroy(objects[static_cast<std::size_t>(i)]);
+  }
+  for (std::size_t i = 300; i < objects.size(); ++i) {
+    pool.Destroy(objects[i]);
+  }
+  EXPECT_EQ(pool.live(), 0u);
 }
 
 }  // namespace

@@ -1,8 +1,10 @@
 // Unit tests for the per-topic ranked lists, Algorithm 1 maintenance
 // (including the Figure 5 golden state) and the traversal cursor.
+#include <limits>
 #include <map>
 #include <random>
 #include <set>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -337,6 +339,156 @@ TEST(RankedListChurnTest, GetAndTimeOfSurviveRepositioning) {
       EXPECT_EQ(tuple.te, id);
     }
   }
+}
+
+// ----------------------------------------------------------- ApplyBatch --
+
+/// Applies `updates` to `batched` via one ApplyBatch call and to `single`
+/// via per-element Update calls, then requires identical key sequences.
+void CheckBatchMatchesSingle(RankedList* batched, RankedList* single,
+                             const std::vector<RankedList::Tuple>& updates) {
+  RankedList::BatchScratch scratch;
+  batched->ApplyBatch(updates.data(), updates.size(), &scratch);
+  for (const auto& update : updates) {
+    single->Update(update.id, update.score, update.te);
+  }
+  ASSERT_EQ(batched->size(), single->size());
+  auto single_it = single->begin();
+  for (const auto& key : *batched) {
+    EXPECT_EQ(key.id, single_it->id);
+    EXPECT_EQ(key.score, single_it->score);  // bitwise-identical doubles
+    ++single_it;
+  }
+  EXPECT_EQ(single_it, single->end());
+  for (const auto& update : updates) {
+    const auto lhs = batched->Get(update.id);
+    const auto rhs = single->Get(update.id);
+    EXPECT_EQ(lhs.score, rhs.score);
+    EXPECT_EQ(lhs.te, rhs.te);
+    EXPECT_EQ(lhs.te, update.te);
+  }
+}
+
+TEST(RankedListBatchTest, BatchEqualsSingleOnSmallList) {
+  RankedList batched;
+  RankedList single;
+  for (ElementId id = 0; id < 10; ++id) {
+    batched.Insert(id, static_cast<double>(id), id);
+    single.Insert(id, static_cast<double>(id), id);
+  }
+  // Mix of upward moves, downward moves, a no-op score (te-only change)
+  // and a tie with an untouched element.
+  CheckBatchMatchesSingle(&batched, &single,
+                          {{3, 12.0, 100},
+                           {7, 0.5, 101},
+                           {5, 5.0, 102},
+                           {1, 6.0, 103}});
+}
+
+TEST(RankedListBatchTest, BatchAcrossManyChunksMatchesReference) {
+  // Enough keys for dozens of chunks; batches repeatedly reposition random
+  // subsets and the result must match a per-element Update twin and an
+  // std::set reference at every step.
+  RankedList batched;
+  RankedList single;
+  std::set<RankedList::Key> reference;
+  std::map<ElementId, double> score_of;
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> score_dist(0.0, 1.0);
+  for (ElementId id = 0; id < 2000; ++id) {
+    const double score = score_dist(rng);
+    batched.Insert(id, score, id);
+    single.Insert(id, score, id);
+    reference.insert(RankedList::Key{score, id});
+    score_of[id] = score;
+  }
+  for (int round = 0; round < 40; ++round) {
+    // Batch sizes sweep from a couple of keys to a large fraction of the
+    // list (collisions with chunk boundaries, emptied chunks, clustered
+    // and spread targets all occur across rounds).
+    const std::size_t batch_size = 2 + (rng() % 400);
+    std::vector<RankedList::Tuple> updates;
+    std::set<ElementId> used;
+    for (std::size_t i = 0; i < batch_size; ++i) {
+      const ElementId id = static_cast<ElementId>(rng() % 2000);
+      if (!used.insert(id).second) continue;
+      // Occasionally cluster scores to exercise near-equal keys.
+      const double score = (rng() % 4 == 0)
+                               ? 0.5
+                               : score_dist(rng);
+      updates.push_back({id, score, 10000 + round});
+      reference.erase(RankedList::Key{score_of[id], id});
+      reference.insert(RankedList::Key{score, id});
+      score_of[id] = score;
+    }
+    ASSERT_NO_FATAL_FAILURE(
+        CheckBatchMatchesSingle(&batched, &single, updates));
+    ASSERT_EQ(batched.size(), reference.size());
+    auto ref_it = reference.begin();
+    for (const auto& key : batched) {
+      ASSERT_EQ(key.id, ref_it->id);
+      ASSERT_EQ(key.score, ref_it->score);
+      ++ref_it;
+    }
+  }
+}
+
+TEST(RankedListBatchTest, WholeListRepositionedInOneBatch) {
+  RankedList batched;
+  RankedList single;
+  std::vector<RankedList::Tuple> updates;
+  for (ElementId id = 0; id < 500; ++id) {
+    batched.Insert(id, static_cast<double>(id), id);
+    single.Insert(id, static_cast<double>(id), id);
+    // Reverse the entire order in one sweep.
+    updates.push_back({id, static_cast<double>(500 - id), 1000 + id});
+  }
+  CheckBatchMatchesSingle(&batched, &single, updates);
+}
+
+TEST(RankedListBatchTest, TeOnlyBatchLeavesOrderUntouched) {
+  RankedList list;
+  for (ElementId id = 0; id < 100; ++id) {
+    list.Insert(id, static_cast<double>(id), id);
+  }
+  std::vector<RankedList::Tuple> updates;
+  for (ElementId id = 0; id < 100; id += 7) {
+    updates.push_back({id, static_cast<double>(id), 5000 + id});
+  }
+  RankedList::BatchScratch scratch;
+  list.ApplyBatch(updates.data(), updates.size(), &scratch);
+  ElementId expected = 99;
+  for (const auto& key : list) {
+    EXPECT_EQ(key.id, expected--);
+  }
+  EXPECT_EQ(list.TimeOf(7), 5007);
+}
+
+// ------------------------------------------------------------- NaN guard --
+
+TEST(RankedListDeathTest, InsertRejectsNaNScore) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  RankedList list;
+  EXPECT_DEATH(list.Insert(1, nan, 0), "isnan");
+}
+
+TEST(RankedListDeathTest, UpdateRejectsNaNScore) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  RankedList list;
+  list.Insert(1, 0.5, 0);
+  EXPECT_DEATH(list.Update(1, nan, 1), "isnan");
+}
+
+TEST(RankedListDeathTest, ApplyBatchRejectsNaNScore) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  RankedList list;
+  list.Insert(1, 0.5, 0);
+  RankedList::Tuple update;
+  update.id = 1;
+  update.score = nan;
+  update.te = 1;
+  RankedList::BatchScratch scratch;
+  EXPECT_DEATH(list.ApplyBatch(&update, 1, &scratch), "isnan");
 }
 
 // --------------------------------------------------- Refresh mode (paper) --

@@ -65,8 +65,11 @@ SocialElement RandomElement(Rng* rng, ElementId id, Timestamp ts,
   return e;
 }
 
-/// Feeds the same random stream to an incremental and a recompute engine
-/// bucket by bucket, checking list-state equality after every advance.
+/// Feeds the same random stream to three engines bucket by bucket — an
+/// always-batched incremental one, a single-reposition incremental one and
+/// the recompute baseline — checking list-state equality after every
+/// advance. The two incremental engines must agree bitwise (they compose
+/// identical doubles from the same cache); recompute agrees within kTol.
 void RunEquivalenceStream(std::uint64_t seed, RefreshMode mode) {
   Rng rng(seed);
   TopicModel model = MakeModel(&rng);
@@ -81,10 +84,16 @@ void RunEquivalenceStream(std::uint64_t seed, RefreshMode mode) {
 
   EngineConfig incremental_config = base;
   incremental_config.score_maintenance = ScoreMaintenance::kIncremental;
+  // Every reposition goes through the ApplyBatch merge sweep...
+  incremental_config.reposition_batch_min = 1;
+  EngineConfig single_config = incremental_config;
+  // ...vs. none of them (the PR 2 single-reposition reference path).
+  single_config.reposition_batch_min = 0;
   EngineConfig recompute_config = base;
   recompute_config.score_maintenance = ScoreMaintenance::kRecompute;
 
   KsirEngine incremental(incremental_config, &model);
+  KsirEngine single(single_config, &model);
   KsirEngine recompute(recompute_config, &model);
 
   ElementId next_id = 1;
@@ -104,6 +113,7 @@ void RunEquivalenceStream(std::uint64_t seed, RefreshMode mode) {
                 return a.ts < b.ts;
               });
     ASSERT_TRUE(incremental.AdvanceTo(bucket_end, bucket).ok());
+    ASSERT_TRUE(single.AdvanceTo(bucket_end, bucket).ok());
     ASSERT_TRUE(recompute.AdvanceTo(bucket_end, std::move(bucket)).ok());
 
     // Same active set, same index membership, same tuples.
@@ -114,6 +124,8 @@ void RunEquivalenceStream(std::uint64_t seed, RefreshMode mode) {
               recompute.index().num_elements());
     ASSERT_EQ(incremental.index().total_entries(),
               recompute.index().total_entries());
+    ASSERT_EQ(incremental.index().total_entries(),
+              single.index().total_entries());
     for (ElementId id : iw.ActiveIds()) {
       const SocialElement* e = iw.Find(id);
       ASSERT_NE(e, nullptr);
@@ -122,15 +134,33 @@ void RunEquivalenceStream(std::uint64_t seed, RefreshMode mode) {
             << "t=" << bucket_end << " e=" << id;
         ASSERT_TRUE(recompute.index().list(topic).Contains(id));
         const auto lhs = incremental.index().list(topic).Get(id);
+        const auto mid = single.index().list(topic).Get(id);
         const auto rhs = recompute.index().list(topic).Get(id);
+        // Batched and single-reposition incremental must agree EXACTLY.
+        EXPECT_EQ(lhs.score, mid.score)
+            << "t=" << bucket_end << " e=" << id << " topic=" << topic;
+        EXPECT_EQ(lhs.te, mid.te);
         EXPECT_NEAR(lhs.score, rhs.score, kTol)
             << "t=" << bucket_end << " e=" << id << " topic=" << topic;
         EXPECT_EQ(lhs.te, rhs.te);
         if (mode == RefreshMode::kExact) {
-          // Both paths must equal a from-scratch delta_i(e).
+          // All paths must equal a from-scratch delta_i(e).
           EXPECT_NEAR(lhs.score,
                       incremental.scoring().TopicScore(topic, *e, prob), kTol);
         }
+      }
+    }
+    // The whole key sequence of every list must match between the batched
+    // and single-reposition engines (same order, bitwise-equal scores).
+    for (TopicId topic = 0; topic < kNumTopics; ++topic) {
+      const auto& blist = incremental.index().list(topic);
+      const auto& slist = single.index().list(topic);
+      ASSERT_EQ(blist.size(), slist.size());
+      auto sit = slist.begin();
+      for (const auto& key : blist) {
+        ASSERT_EQ(key.id, sit->id) << "t=" << bucket_end << " topic=" << topic;
+        ASSERT_EQ(key.score, sit->score);
+        ++sit;
       }
     }
   }
@@ -146,9 +176,13 @@ void RunEquivalenceStream(std::uint64_t seed, RefreshMode mode) {
         Algorithm::kTopkRepresentative}) {
     query.algorithm = algorithm;
     const auto lhs = incremental.Query(query);
+    const auto mid = single.Query(query);
     const auto rhs = recompute.Query(query);
     ASSERT_TRUE(lhs.ok());
+    ASSERT_TRUE(mid.ok());
     ASSERT_TRUE(rhs.ok());
+    EXPECT_EQ(lhs->element_ids, mid->element_ids) << AlgorithmName(algorithm);
+    EXPECT_EQ(lhs->score, mid->score) << AlgorithmName(algorithm);
     EXPECT_EQ(lhs->element_ids, rhs->element_ids)
         << AlgorithmName(algorithm);
     EXPECT_NEAR(lhs->score, rhs->score, kTol) << AlgorithmName(algorithm);

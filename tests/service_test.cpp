@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -13,6 +14,7 @@
 #include "service/result_cache.h"
 #include "service/service.h"
 #include "service/shard_router.h"
+#include "service/sharded_ingestor.h"
 #include "service/worker_pool.h"
 #include "stream/generator.h"
 
@@ -45,6 +47,39 @@ TEST(WorkerPoolTest, TaskGroupWaitsOnlyOnOwnTasks) {
   }
   group.Wait();
   EXPECT_EQ(group_count.load(), 16);
+}
+
+TEST(WorkerPoolTest, ThrowingTaskDoesNotDeadlockWaitIdle) {
+  // Regression: a throwing task used to skip the in_flight_ decrement,
+  // leaving WaitIdle blocked forever.
+  WorkerPool pool(2);
+  pool.Submit([]() { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(pool.WaitIdle(), std::runtime_error);
+  // The pool stays usable and the exception slot is cleared.
+  std::atomic<int> count{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&count]() { count.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(WorkerPoolTest, ThrowingGroupTaskPropagatesToGroupWaiter) {
+  // Regression: a throwing group task used to skip the pending_ decrement,
+  // leaving Wait blocked forever.
+  WorkerPool pool(2);
+  TaskGroup group(&pool);
+  std::atomic<int> ran{0};
+  group.Submit([]() { throw std::runtime_error("group boom"); });
+  for (int i = 0; i < 4; ++i) {
+    group.Submit([&ran]() { ran.fetch_add(1); });
+  }
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 4);
+  // The group's exception belongs to the group: the pool-level barrier
+  // must not see it, and a second Wait returns cleanly.
+  pool.WaitIdle();
+  group.Wait();
 }
 
 // ---- shard router ----------------------------------------------------------
@@ -129,6 +164,74 @@ TEST(ShardRouterTest, RootsSpreadAcrossShards) {
     ++per_shard[router.Route(e)];
   }
   for (int count : per_shard) EXPECT_GT(count, 40);  // roughly balanced
+}
+
+// ---- sharded ingestor partial failure --------------------------------------
+
+TEST(ShardedIngestorTest, PartialFailureRollsBackOnlyFailedShards) {
+  // Regression: the rollback used to Forget the WHOLE bucket's routing
+  // entries even though shards that accepted their sub-bucket keep the
+  // elements — so the router reported Knows() == false for resident ids
+  // and a retried bucket would re-ingest duplicates.
+  auto model = PaperTopicModel();
+  const EngineConfig config = PaperEngineConfig();
+  KsirEngine shard0(config, &model);
+  KsirEngine shard1(config, &model);
+  ShardRouter router(2);
+  WorkerPool pool(2);
+  ShardedIngestor ingestor({&shard0, &shard1}, &router, &pool);
+
+  // Find root ids that hash-route to shard 0 and to shard 1 (probe with a
+  // throwaway router so the real one stays clean).
+  ElementId id0 = -1;
+  ElementId id1 = -1;
+  {
+    ShardRouter probe(2);
+    for (ElementId id = 1; id < 64 && (id0 < 0 || id1 < 0); ++id) {
+      SocialElement e;
+      e.id = id;
+      e.ts = 1;
+      const std::size_t shard = probe.Route(e);
+      if (shard == 0 && id0 < 0) id0 = id;
+      if (shard == 1 && id1 < 0) id1 = id;
+    }
+    ASSERT_GE(id0, 0);
+    ASSERT_GE(id1, 0);
+  }
+  const auto mk = [](ElementId id, Timestamp ts) {
+    SocialElement e;
+    e.id = id;
+    e.ts = ts;
+    e.doc = Document::FromWordIds({0});
+    e.topics = SparseVector::FromEntries({{0, 1.0}});
+    return e;
+  };
+
+  // Put shard 1 ahead of the shared clock: its next sub-bucket advance is
+  // out of order and fails while shard 0 accepts its half.
+  ASSERT_TRUE(shard1.AdvanceTo(100, {}).ok());
+  const Status status = ingestor.AdvanceTo(6, {mk(id0, 5), mk(id1, 6)});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+
+  // id0 landed on shard 0 and must still be routed (it IS resident there);
+  // id1 was rejected with its shard and must be forgotten.
+  EXPECT_TRUE(router.Knows(id0));  // fails on the pre-fix code
+  EXPECT_FALSE(router.Knows(id1));
+  EXPECT_TRUE(shard0.window().IsActive(id0));
+  EXPECT_FALSE(shard1.window().IsActive(id1));
+
+  // Re-sending the accepted element is rejected up front as a duplicate
+  // (before anything is routed or any shard clock moves)...
+  const Status duplicate = ingestor.AdvanceTo(200, {mk(id0, 199)});
+  EXPECT_EQ(duplicate.code(), StatusCode::kAlreadyExists);
+
+  // ...while a corrected bucket carrying only the failed shard's element
+  // goes through once bucket_end clears every shard clock.
+  ASSERT_TRUE(ingestor.AdvanceTo(200, {mk(id1, 199)}).ok());
+  EXPECT_TRUE(router.Knows(id1));
+  EXPECT_TRUE(shard1.window().IsActive(id1));
+  EXPECT_EQ(ingestor.now(), 200);
 }
 
 // ---- engine additions used by the service ---------------------------------
@@ -461,6 +564,27 @@ TEST(ResultCacheTest, InvalidateBeforeDropsOldEpochs) {
   cache.InvalidateBefore(4);
   EXPECT_EQ(cache.size(), 2u);  // epochs 4 and 5 survive
   EXPECT_EQ(cache.stats().invalidated, 3);
+}
+
+TEST(ResultCacheTest, InsertBelowInvalidationFloorIsDropped) {
+  // Regression: a query that computed its result before a bucket advance
+  // but inserted after the sweep used to park a dead entry in the LRU.
+  ResultCache cache(16);
+  KsirQuery query;
+  query.x = SparseVector::FromEntries({{0, 1.0}});
+  QueryResult result;
+  cache.InvalidateBefore(5);
+  cache.Insert(cache.MakeKey(query, 3), result);  // raced the sweep
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup(cache.MakeKey(query, 3)).has_value());
+  EXPECT_EQ(cache.stats().stale_inserts, 1);
+  cache.Insert(cache.MakeKey(query, 5), result);  // at the floor: admitted
+  EXPECT_EQ(cache.size(), 1u);
+  // The floor is monotone: an older InvalidateBefore cannot lower it.
+  cache.InvalidateBefore(2);
+  cache.Insert(cache.MakeKey(query, 4), result);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().stale_inserts, 2);
 }
 
 }  // namespace
