@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_refresh_mode.dir/bench/ablation_refresh_mode.cpp.o"
+  "CMakeFiles/ablation_refresh_mode.dir/bench/ablation_refresh_mode.cpp.o.d"
+  "ablation_refresh_mode"
+  "ablation_refresh_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_refresh_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

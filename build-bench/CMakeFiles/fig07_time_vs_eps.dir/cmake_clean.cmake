@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_time_vs_eps.dir/bench/fig07_time_vs_eps.cpp.o"
+  "CMakeFiles/fig07_time_vs_eps.dir/bench/fig07_time_vs_eps.cpp.o.d"
+  "fig07_time_vs_eps"
+  "fig07_time_vs_eps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_time_vs_eps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_score_vs_eps.dir/bench/fig08_score_vs_eps.cpp.o"
+  "CMakeFiles/fig08_score_vs_eps.dir/bench/fig08_score_vs_eps.cpp.o.d"
+  "fig08_score_vs_eps"
+  "fig08_score_vs_eps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_score_vs_eps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

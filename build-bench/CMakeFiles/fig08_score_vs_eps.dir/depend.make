@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_score_vs_eps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_time_vs_k.dir/bench/fig09_time_vs_k.cpp.o"
+  "CMakeFiles/fig09_time_vs_k.dir/bench/fig09_time_vs_k.cpp.o.d"
+  "fig09_time_vs_k"
+  "fig09_time_vs_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_time_vs_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_eval_ratio_vs_k.dir/bench/fig10_eval_ratio_vs_k.cpp.o"
+  "CMakeFiles/fig10_eval_ratio_vs_k.dir/bench/fig10_eval_ratio_vs_k.cpp.o.d"
+  "fig10_eval_ratio_vs_k"
+  "fig10_eval_ratio_vs_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_eval_ratio_vs_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_eval_ratio_vs_k.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_score_vs_k.dir/bench/fig11_score_vs_k.cpp.o"
+  "CMakeFiles/fig11_score_vs_k.dir/bench/fig11_score_vs_k.cpp.o.d"
+  "fig11_score_vs_k"
+  "fig11_score_vs_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_score_vs_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

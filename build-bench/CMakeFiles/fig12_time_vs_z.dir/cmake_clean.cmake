@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_time_vs_z.dir/bench/fig12_time_vs_z.cpp.o"
+  "CMakeFiles/fig12_time_vs_z.dir/bench/fig12_time_vs_z.cpp.o.d"
+  "fig12_time_vs_z"
+  "fig12_time_vs_z.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_time_vs_z.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_time_vs_window.dir/bench/fig13_time_vs_window.cpp.o"
+  "CMakeFiles/fig13_time_vs_window.dir/bench/fig13_time_vs_window.cpp.o.d"
+  "fig13_time_vs_window"
+  "fig13_time_vs_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_time_vs_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_time_vs_window.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_update_time.dir/bench/fig14_update_time.cpp.o"
+  "CMakeFiles/fig14_update_time.dir/bench/fig14_update_time.cpp.o.d"
+  "fig14_update_time"
+  "fig14_update_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_update_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

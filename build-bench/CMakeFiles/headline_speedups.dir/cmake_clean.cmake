@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headline_speedups.dir/bench/headline_speedups.cpp.o"
+  "CMakeFiles/headline_speedups.dir/bench/headline_speedups.cpp.o.d"
+  "headline_speedups"
+  "headline_speedups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotpath_bench.dir/bench/hotpath_bench.cpp.o"
+  "CMakeFiles/hotpath_bench.dir/bench/hotpath_bench.cpp.o.d"
+  "hotpath_bench"
+  "hotpath_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotpath_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

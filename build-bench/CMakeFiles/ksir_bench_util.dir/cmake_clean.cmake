@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksir_bench_util.dir/bench/bench_util.cpp.o"
+  "CMakeFiles/ksir_bench_util.dir/bench/bench_util.cpp.o.d"
+  "libksir_bench_util.a"
+  "libksir_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksir_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libksir_bench_util.a"
+)

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/rng.cpp" "CMakeFiles/ksir_common.dir/src/common/rng.cpp.o" "gcc" "CMakeFiles/ksir_common.dir/src/common/rng.cpp.o.d"
+  "/root/repo/src/common/sparse_vector.cpp" "CMakeFiles/ksir_common.dir/src/common/sparse_vector.cpp.o" "gcc" "CMakeFiles/ksir_common.dir/src/common/sparse_vector.cpp.o.d"
+  "/root/repo/src/common/status.cpp" "CMakeFiles/ksir_common.dir/src/common/status.cpp.o" "gcc" "CMakeFiles/ksir_common.dir/src/common/status.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksir_common.dir/src/common/rng.cpp.o"
+  "CMakeFiles/ksir_common.dir/src/common/rng.cpp.o.d"
+  "CMakeFiles/ksir_common.dir/src/common/sparse_vector.cpp.o"
+  "CMakeFiles/ksir_common.dir/src/common/sparse_vector.cpp.o.d"
+  "CMakeFiles/ksir_common.dir/src/common/status.cpp.o"
+  "CMakeFiles/ksir_common.dir/src/common/status.cpp.o.d"
+  "libksir_common.a"
+  "libksir_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksir_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

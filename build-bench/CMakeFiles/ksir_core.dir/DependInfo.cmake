@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/brute_force.cpp" "CMakeFiles/ksir_core.dir/src/core/brute_force.cpp.o" "gcc" "CMakeFiles/ksir_core.dir/src/core/brute_force.cpp.o.d"
+  "/root/repo/src/core/candidate_state.cpp" "CMakeFiles/ksir_core.dir/src/core/candidate_state.cpp.o" "gcc" "CMakeFiles/ksir_core.dir/src/core/candidate_state.cpp.o.d"
+  "/root/repo/src/core/celf.cpp" "CMakeFiles/ksir_core.dir/src/core/celf.cpp.o" "gcc" "CMakeFiles/ksir_core.dir/src/core/celf.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "CMakeFiles/ksir_core.dir/src/core/engine.cpp.o" "gcc" "CMakeFiles/ksir_core.dir/src/core/engine.cpp.o.d"
+  "/root/repo/src/core/index_maintainer.cpp" "CMakeFiles/ksir_core.dir/src/core/index_maintainer.cpp.o" "gcc" "CMakeFiles/ksir_core.dir/src/core/index_maintainer.cpp.o.d"
+  "/root/repo/src/core/mttd.cpp" "CMakeFiles/ksir_core.dir/src/core/mttd.cpp.o" "gcc" "CMakeFiles/ksir_core.dir/src/core/mttd.cpp.o.d"
+  "/root/repo/src/core/mtts.cpp" "CMakeFiles/ksir_core.dir/src/core/mtts.cpp.o" "gcc" "CMakeFiles/ksir_core.dir/src/core/mtts.cpp.o.d"
+  "/root/repo/src/core/ranked_list.cpp" "CMakeFiles/ksir_core.dir/src/core/ranked_list.cpp.o" "gcc" "CMakeFiles/ksir_core.dir/src/core/ranked_list.cpp.o.d"
+  "/root/repo/src/core/score_cache.cpp" "CMakeFiles/ksir_core.dir/src/core/score_cache.cpp.o" "gcc" "CMakeFiles/ksir_core.dir/src/core/score_cache.cpp.o.d"
+  "/root/repo/src/core/scoring.cpp" "CMakeFiles/ksir_core.dir/src/core/scoring.cpp.o" "gcc" "CMakeFiles/ksir_core.dir/src/core/scoring.cpp.o.d"
+  "/root/repo/src/core/sieve_streaming.cpp" "CMakeFiles/ksir_core.dir/src/core/sieve_streaming.cpp.o" "gcc" "CMakeFiles/ksir_core.dir/src/core/sieve_streaming.cpp.o.d"
+  "/root/repo/src/core/standing_query.cpp" "CMakeFiles/ksir_core.dir/src/core/standing_query.cpp.o" "gcc" "CMakeFiles/ksir_core.dir/src/core/standing_query.cpp.o.d"
+  "/root/repo/src/core/topk_representative.cpp" "CMakeFiles/ksir_core.dir/src/core/topk_representative.cpp.o" "gcc" "CMakeFiles/ksir_core.dir/src/core/topk_representative.cpp.o.d"
+  "/root/repo/src/core/traversal.cpp" "CMakeFiles/ksir_core.dir/src/core/traversal.cpp.o" "gcc" "CMakeFiles/ksir_core.dir/src/core/traversal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-bench/CMakeFiles/ksir_window.dir/DependInfo.cmake"
+  "/root/repo/build-bench/CMakeFiles/ksir_topic.dir/DependInfo.cmake"
+  "/root/repo/build-bench/CMakeFiles/ksir_stream.dir/DependInfo.cmake"
+  "/root/repo/build-bench/CMakeFiles/ksir_text.dir/DependInfo.cmake"
+  "/root/repo/build-bench/CMakeFiles/ksir_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

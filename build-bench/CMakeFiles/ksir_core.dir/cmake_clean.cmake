@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksir_core.dir/src/core/brute_force.cpp.o"
+  "CMakeFiles/ksir_core.dir/src/core/brute_force.cpp.o.d"
+  "CMakeFiles/ksir_core.dir/src/core/candidate_state.cpp.o"
+  "CMakeFiles/ksir_core.dir/src/core/candidate_state.cpp.o.d"
+  "CMakeFiles/ksir_core.dir/src/core/celf.cpp.o"
+  "CMakeFiles/ksir_core.dir/src/core/celf.cpp.o.d"
+  "CMakeFiles/ksir_core.dir/src/core/engine.cpp.o"
+  "CMakeFiles/ksir_core.dir/src/core/engine.cpp.o.d"
+  "CMakeFiles/ksir_core.dir/src/core/index_maintainer.cpp.o"
+  "CMakeFiles/ksir_core.dir/src/core/index_maintainer.cpp.o.d"
+  "CMakeFiles/ksir_core.dir/src/core/mttd.cpp.o"
+  "CMakeFiles/ksir_core.dir/src/core/mttd.cpp.o.d"
+  "CMakeFiles/ksir_core.dir/src/core/mtts.cpp.o"
+  "CMakeFiles/ksir_core.dir/src/core/mtts.cpp.o.d"
+  "CMakeFiles/ksir_core.dir/src/core/ranked_list.cpp.o"
+  "CMakeFiles/ksir_core.dir/src/core/ranked_list.cpp.o.d"
+  "CMakeFiles/ksir_core.dir/src/core/score_cache.cpp.o"
+  "CMakeFiles/ksir_core.dir/src/core/score_cache.cpp.o.d"
+  "CMakeFiles/ksir_core.dir/src/core/scoring.cpp.o"
+  "CMakeFiles/ksir_core.dir/src/core/scoring.cpp.o.d"
+  "CMakeFiles/ksir_core.dir/src/core/sieve_streaming.cpp.o"
+  "CMakeFiles/ksir_core.dir/src/core/sieve_streaming.cpp.o.d"
+  "CMakeFiles/ksir_core.dir/src/core/standing_query.cpp.o"
+  "CMakeFiles/ksir_core.dir/src/core/standing_query.cpp.o.d"
+  "CMakeFiles/ksir_core.dir/src/core/topk_representative.cpp.o"
+  "CMakeFiles/ksir_core.dir/src/core/topk_representative.cpp.o.d"
+  "CMakeFiles/ksir_core.dir/src/core/traversal.cpp.o"
+  "CMakeFiles/ksir_core.dir/src/core/traversal.cpp.o.d"
+  "libksir_core.a"
+  "libksir_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksir_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksir_eval.dir/src/eval/kappa.cpp.o"
+  "CMakeFiles/ksir_eval.dir/src/eval/kappa.cpp.o.d"
+  "CMakeFiles/ksir_eval.dir/src/eval/metrics.cpp.o"
+  "CMakeFiles/ksir_eval.dir/src/eval/metrics.cpp.o.d"
+  "CMakeFiles/ksir_eval.dir/src/eval/user_study.cpp.o"
+  "CMakeFiles/ksir_eval.dir/src/eval/user_study.cpp.o.d"
+  "libksir_eval.a"
+  "libksir_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksir_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

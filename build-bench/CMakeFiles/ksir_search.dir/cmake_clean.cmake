@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksir_search.dir/src/search/div.cpp.o"
+  "CMakeFiles/ksir_search.dir/src/search/div.cpp.o.d"
+  "CMakeFiles/ksir_search.dir/src/search/lexrank.cpp.o"
+  "CMakeFiles/ksir_search.dir/src/search/lexrank.cpp.o.d"
+  "CMakeFiles/ksir_search.dir/src/search/pagerank.cpp.o"
+  "CMakeFiles/ksir_search.dir/src/search/pagerank.cpp.o.d"
+  "CMakeFiles/ksir_search.dir/src/search/rel.cpp.o"
+  "CMakeFiles/ksir_search.dir/src/search/rel.cpp.o.d"
+  "CMakeFiles/ksir_search.dir/src/search/sumblr.cpp.o"
+  "CMakeFiles/ksir_search.dir/src/search/sumblr.cpp.o.d"
+  "CMakeFiles/ksir_search.dir/src/search/tfidf.cpp.o"
+  "CMakeFiles/ksir_search.dir/src/search/tfidf.cpp.o.d"
+  "libksir_search.a"
+  "libksir_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksir_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

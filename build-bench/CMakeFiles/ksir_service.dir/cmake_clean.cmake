@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksir_service.dir/src/service/query_planner.cpp.o"
+  "CMakeFiles/ksir_service.dir/src/service/query_planner.cpp.o.d"
+  "CMakeFiles/ksir_service.dir/src/service/result_cache.cpp.o"
+  "CMakeFiles/ksir_service.dir/src/service/result_cache.cpp.o.d"
+  "CMakeFiles/ksir_service.dir/src/service/service.cpp.o"
+  "CMakeFiles/ksir_service.dir/src/service/service.cpp.o.d"
+  "CMakeFiles/ksir_service.dir/src/service/shard_router.cpp.o"
+  "CMakeFiles/ksir_service.dir/src/service/shard_router.cpp.o.d"
+  "CMakeFiles/ksir_service.dir/src/service/sharded_ingestor.cpp.o"
+  "CMakeFiles/ksir_service.dir/src/service/sharded_ingestor.cpp.o.d"
+  "CMakeFiles/ksir_service.dir/src/service/worker_pool.cpp.o"
+  "CMakeFiles/ksir_service.dir/src/service/worker_pool.cpp.o.d"
+  "libksir_service.a"
+  "libksir_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksir_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/generator.cpp" "CMakeFiles/ksir_stream.dir/src/stream/generator.cpp.o" "gcc" "CMakeFiles/ksir_stream.dir/src/stream/generator.cpp.o.d"
+  "/root/repo/src/stream/stream_io.cpp" "CMakeFiles/ksir_stream.dir/src/stream/stream_io.cpp.o" "gcc" "CMakeFiles/ksir_stream.dir/src/stream/stream_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-bench/CMakeFiles/ksir_topic.dir/DependInfo.cmake"
+  "/root/repo/build-bench/CMakeFiles/ksir_text.dir/DependInfo.cmake"
+  "/root/repo/build-bench/CMakeFiles/ksir_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

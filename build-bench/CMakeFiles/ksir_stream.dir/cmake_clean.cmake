@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksir_stream.dir/src/stream/generator.cpp.o"
+  "CMakeFiles/ksir_stream.dir/src/stream/generator.cpp.o.d"
+  "CMakeFiles/ksir_stream.dir/src/stream/stream_io.cpp.o"
+  "CMakeFiles/ksir_stream.dir/src/stream/stream_io.cpp.o.d"
+  "libksir_stream.a"
+  "libksir_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksir_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

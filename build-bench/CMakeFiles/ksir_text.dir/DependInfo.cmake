@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/corpus.cpp" "CMakeFiles/ksir_text.dir/src/text/corpus.cpp.o" "gcc" "CMakeFiles/ksir_text.dir/src/text/corpus.cpp.o.d"
+  "/root/repo/src/text/document.cpp" "CMakeFiles/ksir_text.dir/src/text/document.cpp.o" "gcc" "CMakeFiles/ksir_text.dir/src/text/document.cpp.o.d"
+  "/root/repo/src/text/stopwords.cpp" "CMakeFiles/ksir_text.dir/src/text/stopwords.cpp.o" "gcc" "CMakeFiles/ksir_text.dir/src/text/stopwords.cpp.o.d"
+  "/root/repo/src/text/tokenizer.cpp" "CMakeFiles/ksir_text.dir/src/text/tokenizer.cpp.o" "gcc" "CMakeFiles/ksir_text.dir/src/text/tokenizer.cpp.o.d"
+  "/root/repo/src/text/vocabulary.cpp" "CMakeFiles/ksir_text.dir/src/text/vocabulary.cpp.o" "gcc" "CMakeFiles/ksir_text.dir/src/text/vocabulary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-bench/CMakeFiles/ksir_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksir_text.dir/src/text/corpus.cpp.o"
+  "CMakeFiles/ksir_text.dir/src/text/corpus.cpp.o.d"
+  "CMakeFiles/ksir_text.dir/src/text/document.cpp.o"
+  "CMakeFiles/ksir_text.dir/src/text/document.cpp.o.d"
+  "CMakeFiles/ksir_text.dir/src/text/stopwords.cpp.o"
+  "CMakeFiles/ksir_text.dir/src/text/stopwords.cpp.o.d"
+  "CMakeFiles/ksir_text.dir/src/text/tokenizer.cpp.o"
+  "CMakeFiles/ksir_text.dir/src/text/tokenizer.cpp.o.d"
+  "CMakeFiles/ksir_text.dir/src/text/vocabulary.cpp.o"
+  "CMakeFiles/ksir_text.dir/src/text/vocabulary.cpp.o.d"
+  "libksir_text.a"
+  "libksir_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksir_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

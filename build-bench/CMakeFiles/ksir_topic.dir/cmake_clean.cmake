@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksir_topic.dir/src/topic/btm.cpp.o"
+  "CMakeFiles/ksir_topic.dir/src/topic/btm.cpp.o.d"
+  "CMakeFiles/ksir_topic.dir/src/topic/drift.cpp.o"
+  "CMakeFiles/ksir_topic.dir/src/topic/drift.cpp.o.d"
+  "CMakeFiles/ksir_topic.dir/src/topic/inference.cpp.o"
+  "CMakeFiles/ksir_topic.dir/src/topic/inference.cpp.o.d"
+  "CMakeFiles/ksir_topic.dir/src/topic/lda.cpp.o"
+  "CMakeFiles/ksir_topic.dir/src/topic/lda.cpp.o.d"
+  "CMakeFiles/ksir_topic.dir/src/topic/query_inference.cpp.o"
+  "CMakeFiles/ksir_topic.dir/src/topic/query_inference.cpp.o.d"
+  "CMakeFiles/ksir_topic.dir/src/topic/topic_model.cpp.o"
+  "CMakeFiles/ksir_topic.dir/src/topic/topic_model.cpp.o.d"
+  "CMakeFiles/ksir_topic.dir/src/topic/user_profile.cpp.o"
+  "CMakeFiles/ksir_topic.dir/src/topic/user_profile.cpp.o.d"
+  "libksir_topic.a"
+  "libksir_topic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksir_topic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

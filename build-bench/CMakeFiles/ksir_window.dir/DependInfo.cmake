@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/window/active_window.cpp" "CMakeFiles/ksir_window.dir/src/window/active_window.cpp.o" "gcc" "CMakeFiles/ksir_window.dir/src/window/active_window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-bench/CMakeFiles/ksir_stream.dir/DependInfo.cmake"
+  "/root/repo/build-bench/CMakeFiles/ksir_topic.dir/DependInfo.cmake"
+  "/root/repo/build-bench/CMakeFiles/ksir_text.dir/DependInfo.cmake"
+  "/root/repo/build-bench/CMakeFiles/ksir_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

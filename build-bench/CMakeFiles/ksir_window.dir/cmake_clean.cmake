@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksir_window.dir/src/window/active_window.cpp.o"
+  "CMakeFiles/ksir_window.dir/src/window/active_window.cpp.o.d"
+  "libksir_window.a"
+  "libksir_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksir_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libksir_window.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_throughput.dir/bench/service_throughput.cpp.o"
+  "CMakeFiles/service_throughput.dir/bench/service_throughput.cpp.o.d"
+  "service_throughput"
+  "service_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_dataset_stats.dir/bench/table03_dataset_stats.cpp.o"
+  "CMakeFiles/table03_dataset_stats.dir/bench/table03_dataset_stats.cpp.o.d"
+  "table03_dataset_stats"
+  "table03_dataset_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_dataset_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

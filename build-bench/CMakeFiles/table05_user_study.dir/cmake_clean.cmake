@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table05_user_study.dir/bench/table05_user_study.cpp.o"
+  "CMakeFiles/table05_user_study.dir/bench/table05_user_study.cpp.o.d"
+  "table05_user_study"
+  "table05_user_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_user_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

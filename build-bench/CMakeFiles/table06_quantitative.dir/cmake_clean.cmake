@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table06_quantitative.dir/bench/table06_quantitative.cpp.o"
+  "CMakeFiles/table06_quantitative.dir/bench/table06_quantitative.cpp.o.d"
+  "table06_quantitative"
+  "table06_quantitative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_quantitative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/div.cpp" "CMakeFiles/ksir_search.dir/src/search/div.cpp.o" "gcc" "CMakeFiles/ksir_search.dir/src/search/div.cpp.o.d"
+  "/root/repo/src/search/lexrank.cpp" "CMakeFiles/ksir_search.dir/src/search/lexrank.cpp.o" "gcc" "CMakeFiles/ksir_search.dir/src/search/lexrank.cpp.o.d"
+  "/root/repo/src/search/pagerank.cpp" "CMakeFiles/ksir_search.dir/src/search/pagerank.cpp.o" "gcc" "CMakeFiles/ksir_search.dir/src/search/pagerank.cpp.o.d"
+  "/root/repo/src/search/rel.cpp" "CMakeFiles/ksir_search.dir/src/search/rel.cpp.o" "gcc" "CMakeFiles/ksir_search.dir/src/search/rel.cpp.o.d"
+  "/root/repo/src/search/sumblr.cpp" "CMakeFiles/ksir_search.dir/src/search/sumblr.cpp.o" "gcc" "CMakeFiles/ksir_search.dir/src/search/sumblr.cpp.o.d"
+  "/root/repo/src/search/tfidf.cpp" "CMakeFiles/ksir_search.dir/src/search/tfidf.cpp.o" "gcc" "CMakeFiles/ksir_search.dir/src/search/tfidf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/ksir_window.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/ksir_stream.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/ksir_topic.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/ksir_text.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/ksir_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

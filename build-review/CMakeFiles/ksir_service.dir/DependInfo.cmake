@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/service/query_planner.cpp" "CMakeFiles/ksir_service.dir/src/service/query_planner.cpp.o" "gcc" "CMakeFiles/ksir_service.dir/src/service/query_planner.cpp.o.d"
+  "/root/repo/src/service/result_cache.cpp" "CMakeFiles/ksir_service.dir/src/service/result_cache.cpp.o" "gcc" "CMakeFiles/ksir_service.dir/src/service/result_cache.cpp.o.d"
+  "/root/repo/src/service/service.cpp" "CMakeFiles/ksir_service.dir/src/service/service.cpp.o" "gcc" "CMakeFiles/ksir_service.dir/src/service/service.cpp.o.d"
+  "/root/repo/src/service/shard_router.cpp" "CMakeFiles/ksir_service.dir/src/service/shard_router.cpp.o" "gcc" "CMakeFiles/ksir_service.dir/src/service/shard_router.cpp.o.d"
+  "/root/repo/src/service/sharded_ingestor.cpp" "CMakeFiles/ksir_service.dir/src/service/sharded_ingestor.cpp.o" "gcc" "CMakeFiles/ksir_service.dir/src/service/sharded_ingestor.cpp.o.d"
+  "/root/repo/src/service/worker_pool.cpp" "CMakeFiles/ksir_service.dir/src/service/worker_pool.cpp.o" "gcc" "CMakeFiles/ksir_service.dir/src/service/worker_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/ksir_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/ksir_window.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/ksir_stream.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/ksir_topic.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/ksir_text.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/ksir_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

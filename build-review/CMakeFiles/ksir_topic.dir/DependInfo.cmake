@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topic/btm.cpp" "CMakeFiles/ksir_topic.dir/src/topic/btm.cpp.o" "gcc" "CMakeFiles/ksir_topic.dir/src/topic/btm.cpp.o.d"
+  "/root/repo/src/topic/drift.cpp" "CMakeFiles/ksir_topic.dir/src/topic/drift.cpp.o" "gcc" "CMakeFiles/ksir_topic.dir/src/topic/drift.cpp.o.d"
+  "/root/repo/src/topic/inference.cpp" "CMakeFiles/ksir_topic.dir/src/topic/inference.cpp.o" "gcc" "CMakeFiles/ksir_topic.dir/src/topic/inference.cpp.o.d"
+  "/root/repo/src/topic/lda.cpp" "CMakeFiles/ksir_topic.dir/src/topic/lda.cpp.o" "gcc" "CMakeFiles/ksir_topic.dir/src/topic/lda.cpp.o.d"
+  "/root/repo/src/topic/query_inference.cpp" "CMakeFiles/ksir_topic.dir/src/topic/query_inference.cpp.o" "gcc" "CMakeFiles/ksir_topic.dir/src/topic/query_inference.cpp.o.d"
+  "/root/repo/src/topic/topic_model.cpp" "CMakeFiles/ksir_topic.dir/src/topic/topic_model.cpp.o" "gcc" "CMakeFiles/ksir_topic.dir/src/topic/topic_model.cpp.o.d"
+  "/root/repo/src/topic/user_profile.cpp" "CMakeFiles/ksir_topic.dir/src/topic/user_profile.cpp.o" "gcc" "CMakeFiles/ksir_topic.dir/src/topic/user_profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/CMakeFiles/ksir_text.dir/DependInfo.cmake"
+  "/root/repo/build-review/CMakeFiles/ksir_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

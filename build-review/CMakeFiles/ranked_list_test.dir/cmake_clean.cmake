@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ranked_list_test.dir/tests/ranked_list_test.cpp.o"
+  "CMakeFiles/ranked_list_test.dir/tests/ranked_list_test.cpp.o.d"
+  "ranked_list_test"
+  "ranked_list_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ranked_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

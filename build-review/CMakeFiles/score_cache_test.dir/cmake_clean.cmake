@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/score_cache_test.dir/tests/score_cache_test.cpp.o"
+  "CMakeFiles/score_cache_test.dir/tests/score_cache_test.cpp.o.d"
+  "score_cache_test"
+  "score_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/score_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scoring_test.dir/tests/scoring_test.cpp.o"
+  "CMakeFiles/scoring_test.dir/tests/scoring_test.cpp.o.d"
+  "scoring_test"
+  "scoring_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scoring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

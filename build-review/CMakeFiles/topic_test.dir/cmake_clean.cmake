@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topic_test.dir/tests/topic_test.cpp.o"
+  "CMakeFiles/topic_test.dir/tests/topic_test.cpp.o.d"
+  "topic_test"
+  "topic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

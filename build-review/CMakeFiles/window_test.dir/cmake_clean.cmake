@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_test.dir/tests/window_test.cpp.o"
+  "CMakeFiles/window_test.dir/tests/window_test.cpp.o.d"
+  "window_test"
+  "window_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig07_time_vs_eps.cpp" "CMakeFiles/fig07_time_vs_eps.dir/bench/fig07_time_vs_eps.cpp.o" "gcc" "CMakeFiles/fig07_time_vs_eps.dir/bench/fig07_time_vs_eps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/CMakeFiles/ksir_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/CMakeFiles/ksir_service.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/CMakeFiles/ksir_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/CMakeFiles/ksir_search.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/CMakeFiles/ksir_eval.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/CMakeFiles/ksir_window.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/CMakeFiles/ksir_stream.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/CMakeFiles/ksir_topic.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/CMakeFiles/ksir_text.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/CMakeFiles/ksir_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

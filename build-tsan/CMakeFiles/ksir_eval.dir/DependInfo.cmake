@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/kappa.cpp" "CMakeFiles/ksir_eval.dir/src/eval/kappa.cpp.o" "gcc" "CMakeFiles/ksir_eval.dir/src/eval/kappa.cpp.o.d"
+  "/root/repo/src/eval/metrics.cpp" "CMakeFiles/ksir_eval.dir/src/eval/metrics.cpp.o" "gcc" "CMakeFiles/ksir_eval.dir/src/eval/metrics.cpp.o.d"
+  "/root/repo/src/eval/user_study.cpp" "CMakeFiles/ksir_eval.dir/src/eval/user_study.cpp.o" "gcc" "CMakeFiles/ksir_eval.dir/src/eval/user_study.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/CMakeFiles/ksir_window.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/CMakeFiles/ksir_stream.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/CMakeFiles/ksir_topic.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/CMakeFiles/ksir_text.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/CMakeFiles/ksir_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
