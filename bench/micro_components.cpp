@@ -51,11 +51,11 @@ void BM_RankedListInsertErase(benchmark::State& state) {
   Rng rng(1);
   const auto n = static_cast<std::size_t>(state.range(0));
   for (std::size_t i = 0; i < n; ++i) {
-    list.Insert(static_cast<ElementId>(i), rng.NextDouble(), 0);
+    list.Insert(static_cast<ElementId>(i), rng.NextDouble());
   }
   ElementId next = static_cast<ElementId>(n);
   for (auto _ : state) {
-    list.Insert(next, rng.NextDouble(), 0);
+    list.Insert(next, rng.NextDouble());
     list.Erase(next - static_cast<ElementId>(n));
     ++next;
   }
@@ -68,11 +68,11 @@ void BM_RankedListUpdate(benchmark::State& state) {
   Rng rng(2);
   const auto n = static_cast<std::size_t>(state.range(0));
   for (std::size_t i = 0; i < n; ++i) {
-    list.Insert(static_cast<ElementId>(i), rng.NextDouble(), 0);
+    list.Insert(static_cast<ElementId>(i), rng.NextDouble());
   }
   for (auto _ : state) {
     const auto id = static_cast<ElementId>(rng.NextUint64(n));
-    list.Update(id, rng.NextDouble(), 1);
+    list.Update(id, rng.NextDouble());
   }
   state.SetItemsProcessed(state.iterations());
 }

@@ -66,6 +66,9 @@ class SmallVector {
   const T* begin() const { return data_; }
   const T* end() const { return data_ + size_; }
 
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+
   T& operator[](std::size_t i) { return data_[i]; }
   const T& operator[](std::size_t i) const { return data_[i]; }
 

@@ -48,16 +48,31 @@ Status ValidateEngineConfig(const EngineConfig& config) {
   if (config.scoring.lambda < 0.0 || config.scoring.lambda > 1.0) {
     return Status::InvalidArgument("scoring.lambda must be in [0, 1]");
   }
+  // Written so NaN fails both arms and is rejected here instead of dying
+  // on the router's CHECK.
+  if (!(config.max_shard_imbalance == 0.0 ||
+        config.max_shard_imbalance >= 1.0)) {
+    return Status::InvalidArgument(
+        "max_shard_imbalance must be 0 (off) or >= 1");
+  }
   return Status::OK();
+}
+
+bool UsesHandlePipeline(const EngineConfig& config) {
+  return config.carry_handles &&
+         config.score_maintenance == ScoreMaintenance::kIncremental &&
+         config.reposition_batch_min > 0;
 }
 
 KsirEngine::KsirEngine(EngineConfig config, const TopicModel* model)
     : config_(config),
       window_(config.window_length, config.archive_retention),
-      index_(model != nullptr ? model->num_topics() : 1),
+      index_(model != nullptr ? model->num_topics() : 1,
+             /*track_ids=*/!UsesHandlePipeline(config)),
       scoring_(model, &window_, config.scoring),
       maintainer_(&scoring_, &index_, config.refresh_mode,
-                  config.score_maintenance, config.reposition_batch_min) {
+                  config.score_maintenance, config.reposition_batch_min,
+                  config.carry_handles) {
   KSIR_CHECK(config.bucket_length > 0);
   KSIR_CHECK(config.window_length >= config.bucket_length);
 }
@@ -91,7 +106,8 @@ Status KsirEngine::AdvanceTo(Timestamp bucket_end,
   maintainer_.Apply(update);
   stats_.elements_ingested += static_cast<std::int64_t>(n);
   ++stats_.buckets_processed;
-  stats_.elements_expired += static_cast<std::int64_t>(update.expired.size());
+  stats_.elements_expired +=
+      static_cast<std::int64_t>(update.expired.size());
   stats_.dangling_refs += update.dangling_refs;
   stats_.total_update_ms += timer.ElapsedMillis();
   ++bucket_epoch_;

@@ -44,6 +44,24 @@ struct EngineConfig {
   /// per-element updates. 0 disables batching (the single-reposition
   /// reference path, kept for equivalence testing and benchmarking).
   std::size_t reposition_batch_min = kDefaultRepositionBatchMin;
+  /// Carry ranked-list position handles through the maintenance pipeline
+  /// (window -> score cache -> maintainer -> ranked lists), eliminating the
+  /// per-tuple id-table hash probes of the reposition hot path. false keeps
+  /// the id-keyed batched baseline (the PR 3 path) for equivalence testing
+  /// and benchmarking. Only meaningful under kIncremental with batching on.
+  bool carry_handles = true;
+  /// Balance cap of the service's chain-affinity shard router: routing an
+  /// element onto a shard whose RECENT load (placements within the
+  /// trailing window) would exceed `max_shard_imbalance * (least-loaded
+  /// shard + 1)` falls back to the least-loaded shard instead (costing
+  /// that element's chain edges). 0 disables the cap (pure chain
+  /// affinity); values >= 1 enable it. The router enforces the cap with
+  /// 10% headroom on its load proxy (floored at exact balance), so the
+  /// configured value is the bound intended to hold on the OBSERVED
+  /// active-set spread — see ShardRouter. Lives in the engine config so
+  /// every deployment seam (service, benches, tests) shares one knob next
+  /// to the window/bucket geometry.
+  double max_shard_imbalance = 0.0;
 };
 
 /// Cumulative ingestion statistics.
@@ -70,6 +88,12 @@ Status AppendInBuckets(
 /// least one bucket). Returned as Status so services can reject bad configs
 /// without dying; the KsirEngine constructor still CHECK-fails on them.
 Status ValidateEngineConfig(const EngineConfig& config);
+
+/// True when `config` drives the handle-carrying maintenance pipeline —
+/// incremental maintenance with batching and handle carrying on. The
+/// ranked lists then drop their id side tables entirely (positions flow
+/// through handles and self-locating carried keys).
+bool UsesHandlePipeline(const EngineConfig& config);
 
 /// Self-contained export of one active element: the element itself plus its
 /// current in-window referrers (the influenced set I_t(e)). Everything a

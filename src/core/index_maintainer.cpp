@@ -9,16 +9,21 @@ namespace ksir {
 IndexMaintainer::IndexMaintainer(const ScoringContext* ctx,
                                  RankedListIndex* index, RefreshMode mode,
                                  ScoreMaintenance maintenance,
-                                 std::size_t reposition_batch_min)
+                                 std::size_t reposition_batch_min,
+                                 bool carry_handles)
     : ctx_(ctx),
       index_(index),
       mode_(mode),
       maintenance_(maintenance),
       batch_min_(reposition_batch_min),
+      use_handles_(carry_handles &&
+                   maintenance == ScoreMaintenance::kIncremental &&
+                   reposition_batch_min > 0),
       cache_(ctx) {
   KSIR_CHECK(ctx != nullptr);
   KSIR_CHECK(index != nullptr);
   topic_counts_.resize(index->num_topics(), 0);
+  edge_acc_.Resize(index->num_topics());
 }
 
 void IndexMaintainer::Apply(const ActiveWindow::UpdateResult& update) {
@@ -31,156 +36,191 @@ void IndexMaintainer::Apply(const ActiveWindow::UpdateResult& update) {
 
 void IndexMaintainer::ApplyIncremental(
     const ActiveWindow::UpdateResult& update) {
-  const ActiveWindow& window = ctx_->window();
-  // Expiry first: expired ids are no longer in the window store.
-  for (ElementId id : update.expired) {
-    index_->Erase(id);
-    cache_.Erase(id);
+  // Expiry first: expired ids are no longer in the window store. With
+  // handle carrying on, the cache entry (reached through the carried user
+  // slot) already knows every list position and listed key of the dying
+  // element, so the erases resolve through the carried hints instead of
+  // per-list id probes.
+  for (const ActiveWindow::Touched& t : update.expired) {
+    if (use_handles_) {
+      // Under the handle pipeline every indexed element owns a cache
+      // entry for its whole lifetime, and the id-keyed Erase below would
+      // abort on the untracked lists anyway — so a missing entry here is
+      // a pipeline bug, not a recoverable state.
+      const ScoreCache::TopicList* halves =
+          ScoreCache::FromSlot(*t.user_slot);
+      KSIR_CHECK(halves != nullptr);
+      KSIR_DCHECK(halves == cache_.Find(t.id));
+      hint_scratch_.clear();
+      for (const ScoreCache::TopicHalves& half : *halves) {
+        hint_scratch_.push_back(
+            RankedList::ErasureHint{half.topic, half.listed, half.handle});
+      }
+      index_->EraseWithHints(t.id, hint_scratch_.data(),
+                             hint_scratch_.size());
+      cache_.Erase(t.id);
+      continue;
+    }
+    index_->Erase(t.id);
+    cache_.Erase(t.id);
   }
   // Inserted and resurrected elements get the one full scan of their
   // lifetime; the window's referrer sets already reflect this bucket, so
-  // their edge deltas are folded in here (and omitted from the edge lists).
-  for (ElementId id : update.inserted) InsertFresh(id);
-  for (ElementId id : update.resurrected) InsertFresh(id);
-  // Edge deltas keep the cached influence halves exact — in *both* refresh
-  // modes. Under kPaper the lists may stay stale-high, but the cache always
+  // their edge spans are empty by contract.
+  for (const ActiveWindow::Touched& t : update.inserted) InsertFresh(t);
+  for (const ActiveWindow::Touched& t : update.resurrected) InsertFresh(t);
+  // Each touched element applies its own carried edge spans right before it
+  // is queued — the cached influence halves stay exact in *both* refresh
+  // modes (under kPaper the lists may stay stale-high, but the cache always
   // holds the true I_{i,t}(e), so the next reposition lands exactly where a
-  // full recompute would. gained_edges arrive grouped by referrer (phase-1
-  // order of Advance), so the referrer lookup is memoized across each run;
-  // lost_edges interleave referrers (they are grouped by target), so for
-  // them the memo is merely opportunistic.
-  const SocialElement* referrer = nullptr;
-  ElementId referrer_id = kInvalidElementId;
-  for (const ActiveWindow::EdgeDelta& edge : update.gained_edges) {
-    if (edge.referrer != referrer_id) {
-      referrer = window.Find(edge.referrer);
-      referrer_id = edge.referrer;
-      KSIR_CHECK(referrer != nullptr);
-    }
-    cache_.AddEdge(edge.target, referrer->topics);
+  // full recompute would). Within one element the gained terms are applied
+  // before the lost terms, and elements do not interact, so the composed
+  // doubles are bitwise identical across the handle, batched and
+  // single-reposition paths.
+  for (const ActiveWindow::Touched& t : update.gained_referrer) {
+    ProcessTouched(t, /*reposition=*/true, /*te_changed=*/true);
   }
-  referrer = nullptr;
-  referrer_id = kInvalidElementId;
-  for (const ActiveWindow::EdgeDelta& edge : update.lost_edges) {
-    if (edge.referrer != referrer_id) {
-      // The expired referrer already left A_t; its element (and topic
-      // vector) is still retained in the archive for this very lookup.
-      referrer = window.FindIncludingArchived(edge.referrer);
-      referrer_id = edge.referrer;
-      KSIR_CHECK(referrer != nullptr);
-    }
-    cache_.RemoveEdge(edge.target, referrer->topics);
-  }
-  // All edge deltas are applied before any reposition, so the cached
-  // influence halves are final for this bucket — queue order does not
-  // affect the composed scores, and the batched and single-reposition
-  // paths land every element on the identical tuple.
-  if (batch_min_ == 0) {
-    for (ElementId id : update.gained_referrer) {
-      RepositionFromCache(id);
-    }
-    if (mode_ == RefreshMode::kExact) {
-      for (ElementId id : update.lost_referrer) {
-        RepositionFromCache(id);
-      }
-    }
-    return;
-  }
-  for (ElementId id : update.gained_referrer) {
-    QueueReposition(id, /*te_changed=*/true);
-  }
-  if (mode_ == RefreshMode::kExact) {
-    // A lost referral never moves t_e (it is a running max), so lists whose
-    // composed score is unchanged — the expired referrer shared none of
-    // those topics — need no touch at all.
-    for (ElementId id : update.lost_referrer) {
-      QueueReposition(id, /*te_changed=*/false);
-    }
+  // A lost referral never moves t_e (it is a running max). Under kExact the
+  // element is repositioned (topics the expired referrer did not share are
+  // elided); under kPaper only the cache absorbs the loss.
+  const bool reposition_losses = mode_ == RefreshMode::kExact;
+  for (const ActiveWindow::Touched& t : update.lost_referrer) {
+    ProcessTouched(t, reposition_losses, /*te_changed=*/false);
   }
   FlushRepositions();
 }
 
 void IndexMaintainer::ApplyRecompute(
     const ActiveWindow::UpdateResult& update) {
-  const ActiveWindow& window = ctx_->window();
-  for (ElementId id : update.expired) {
-    index_->Erase(id);
+  for (const ActiveWindow::Touched& t : update.expired) {
+    index_->Erase(t.id);
   }
-  for (ElementId id : update.inserted) {
-    const SocialElement* e = window.Find(id);
-    KSIR_CHECK(e != nullptr);
-    index_->Insert(id, ctx_->AllTopicScores(*e), window.LastReferredAt(id));
+  for (const ActiveWindow::Touched& t : update.inserted) {
+    index_->Insert(t.id, ctx_->AllTopicScores(*t.element), t.te);
   }
   // Resurrected elements were erased from the lists when they deactivated;
   // they re-enter with freshly computed scores.
-  for (ElementId id : update.resurrected) {
-    const SocialElement* e = window.Find(id);
-    KSIR_CHECK(e != nullptr);
-    index_->Insert(id, ctx_->AllTopicScores(*e), window.LastReferredAt(id));
+  for (const ActiveWindow::Touched& t : update.resurrected) {
+    index_->Insert(t.id, ctx_->AllTopicScores(*t.element), t.te);
   }
-  for (ElementId id : update.gained_referrer) {
-    RepositionRecompute(id);
+  for (const ActiveWindow::Touched& t : update.gained_referrer) {
+    index_->Update(t.id, ctx_->AllTopicScores(*t.element), t.te);
   }
   if (mode_ == RefreshMode::kExact) {
-    for (ElementId id : update.lost_referrer) {
-      RepositionRecompute(id);
+    for (const ActiveWindow::Touched& t : update.lost_referrer) {
+      index_->Update(t.id, ctx_->AllTopicScores(*t.element), t.te);
     }
   }
 }
 
-void IndexMaintainer::InsertFresh(ElementId id) {
-  const SocialElement* e = ctx_->window().Find(id);
-  KSIR_CHECK(e != nullptr);
-  cache_.Insert(*e);
-  cache_.ComposeScores(id, &scratch_scores_);
-  index_->Insert(id, scratch_scores_, ctx_->window().LastReferredAt(id));
+void IndexMaintainer::InsertFresh(const ActiveWindow::Touched& t) {
+  ScoreCache::TopicList& halves = cache_.Insert(*t.element);
+  if (use_handles_) *t.user_slot = &halves;  // carried to every later touch
+  scratch_scores_.clear();
+  scratch_scores_.reserve(halves.size());
+  for (const ScoreCache::TopicHalves& half : halves) {
+    scratch_scores_.emplace_back(half.topic, half.listed);
+  }
+  if (use_handles_) {
+    handle_scratch_.resize(halves.size());
+    index_->Insert(t.id, scratch_scores_, t.te, handle_scratch_.data());
+    for (std::size_t i = 0; i < halves.size(); ++i) {
+      halves[i].handle = handle_scratch_[i];
+    }
+  } else {
+    index_->Insert(t.id, scratch_scores_, t.te);
+  }
 }
 
-void IndexMaintainer::RepositionRecompute(ElementId id) {
-  const SocialElement* e = ctx_->window().Find(id);
-  KSIR_CHECK(e != nullptr);
-  index_->Update(id, ctx_->AllTopicScores(*e),
-                 ctx_->window().LastReferredAt(id));
-}
-
-void IndexMaintainer::RepositionFromCache(ElementId id) {
-  cache_.ComposeScores(id, &scratch_scores_);
-  index_->UpdateTrusted(id, scratch_scores_,
-                        ctx_->window().LastReferredAt(id));
-}
-
-void IndexMaintainer::QueueReposition(ElementId id, bool te_changed) {
-  // Compose straight into the pending runs — no intermediate score vector.
-  ScoreCache::TopicList& halves = cache_.MutableHalves(id);
+void IndexMaintainer::ProcessTouched(const ActiveWindow::Touched& t,
+                                     bool reposition, bool te_changed) {
+  // Everything this element's bucket work needs — edge topic vectors, t_e,
+  // and (through the carried user slot) the cache entry with its listed
+  // scores and list positions — arrived in the Touched record; the
+  // id-keyed reference path re-derives the entry by hashing instead.
+  ScoreCache::TopicList& halves =
+      use_handles_ ? *ScoreCache::FromSlot(*t.user_slot)
+                   : cache_.MutableHalves(t.id);
+  KSIR_DCHECK(&halves == &cache_.MutableHalves(t.id));
+  if (t.num_gained + t.num_lost > 0) {
+    // Scatter all of this element's edge deltas into a dense per-topic
+    // accumulator (epoch-stamped, never cleared), then fold them into the
+    // cached influence halves in one pass over the element's support —
+    // O(sum of referrer supports + own support) instead of one sorted
+    // merge per edge.
+    edge_acc_.Begin();
+    for (std::uint32_t i = 0; i < t.num_gained; ++i) {
+      for (const auto& [topic, prob] : t.gained_topics[i]->entries()) {
+        edge_acc_.Add(static_cast<std::size_t>(topic), prob);
+      }
+    }
+    for (std::uint32_t i = 0; i < t.num_lost; ++i) {
+      for (const auto& [topic, prob] : t.lost_topics[i]->entries()) {
+        edge_acc_.Add(static_cast<std::size_t>(topic), -prob);
+      }
+    }
+    for (ScoreCache::TopicHalves& half : halves) {
+      const auto slot = static_cast<std::size_t>(half.topic);
+      if (edge_acc_.Touched(slot)) {
+        half.influence += half.topic_prob * edge_acc_.Get(slot);
+      }
+    }
+  }
+  if (!reposition) return;
   const double lambda = ctx_->params().lambda;
   const double influence_factor = ctx_->influence_factor();
-  Timestamp te = kMinTimestamp;
-  bool te_loaded = false;
+  if (batch_min_ == 0) {
+    // Single-reposition reference path (the PR 2 baseline).
+    scratch_scores_.clear();
+    scratch_scores_.reserve(halves.size());
+    for (ScoreCache::TopicHalves& half : halves) {
+      const double score =
+          lambda * half.semantic + influence_factor * half.influence;
+      half.listed = score;
+      scratch_scores_.emplace_back(half.topic, score);
+    }
+    index_->UpdateTrusted(t.id, scratch_scores_, t.te);
+    return;
+  }
+  // t_e is per element, written once; the per-topic runs carry only score
+  // changes, so a gained referrer sharing none of a topic's support leaves
+  // that topic's list untouched.
+  if (te_changed) index_->TouchTime(t.id, t.te);
   for (ScoreCache::TopicHalves& half : halves) {
     const double score =
         lambda * half.semantic + influence_factor * half.influence;
-    // Elide tuples the batch would not move: same listed score, same t_e.
-    if (!te_changed && score == half.listed) continue;
-    half.listed = score;
-    if (!te_loaded) {
-      te = ctx_->window().LastReferredAt(id);
-      te_loaded = true;
+    if (use_handles_) {
+      // Handle path: queue only tuples whose KEY moves.
+      if (score == half.listed) continue;
+      pending_handles_.push_back(
+          {half.topic, RankedList::HandleUpdate{t.id, half.listed, score,
+                                                &half.handle}});
+    } else {
+      // Id-keyed batched baseline (PR 3 tuple volume): a gained referral
+      // queues every topic — the per-tuple id resolution then discovers
+      // the unchanged keys, exactly as the PR 3 ApplyBatch did.
+      if (!te_changed && score == half.listed) continue;
+      pending_tuples_.push_back(
+          {half.topic, RankedList::Tuple{t.id, score}});
     }
-    const auto t = static_cast<std::size_t>(half.topic);
-    if (topic_counts_[t]++ == 0) touched_.push_back(half.topic);
-    pending_.push_back({half.topic, RankedList::Tuple{id, score, te}});
+    half.listed = score;
+    const auto topic = static_cast<std::size_t>(half.topic);
+    if (topic_counts_[topic]++ == 0) touched_.push_back(half.topic);
   }
 }
 
-void IndexMaintainer::FlushRepositions() {
-  if (pending_.empty()) return;
-  // Scatter the queued (topic, tuple) pairs into contiguous per-topic runs.
-  // Processing list by list (instead of element by element across all of
-  // its lists) keeps each chunk directory hot, and lists with enough
-  // pending work take the one-pass merge sweep. Topic order is sorted only
-  // for determinism of the arena layout; the runs are independent.
+template <typename PendingT, typename ApplyFn>
+void IndexMaintainer::FlushRuns(std::vector<PendingT>* pending,
+                                ApplyFn apply) {
+  // Scatter the queued (topic, payload) pairs into contiguous per-topic
+  // runs. Processing list by list (instead of element by element across
+  // all of its lists) keeps each chunk directory hot, and lists with
+  // enough pending work take the one-pass merge sweep. Topic order is
+  // sorted only for determinism of the arena layout; the runs are
+  // independent.
+  using Payload = decltype(PendingT::payload);
   run_arena_.Reset();
-  auto* runs = run_arena_.AllocateArray<RankedList::Tuple>(pending_.size());
+  auto* runs = run_arena_.AllocateArray<Payload>(pending->size());
   std::sort(touched_.begin(), touched_.end());
   // offsets[t] = start of topic t's run; reuses topic_counts_ as cursor.
   auto* offsets = run_arena_.AllocateArray<std::uint32_t>(touched_.size());
@@ -193,21 +233,40 @@ void IndexMaintainer::FlushRepositions() {
     topic_counts_[t] = offset;
     offset += count;
   }
-  for (const PendingReposition& pending : pending_) {
-    runs[topic_counts_[static_cast<std::size_t>(pending.topic)]++] =
-        pending.tuple;
+  for (const PendingT& item : *pending) {
+    runs[topic_counts_[static_cast<std::size_t>(item.topic)]++] =
+        item.payload;
   }
   for (std::size_t i = 0; i < touched_.size(); ++i) {
     const TopicId topic = touched_[i];
     const std::uint32_t begin = offsets[i];
     const std::uint32_t end = topic_counts_[static_cast<std::size_t>(topic)];
     const std::size_t count = end - begin;
-    index_->BatchReposition(topic, runs + begin, count,
-                            /*merge=*/count >= batch_min_, &batch_scratch_);
+    apply(topic, runs + begin, count, /*merge=*/count >= batch_min_);
     topic_counts_[static_cast<std::size_t>(topic)] = 0;
   }
   touched_.clear();
-  pending_.clear();
+  pending->clear();
+}
+
+void IndexMaintainer::FlushRepositions() {
+  if (use_handles_) {
+    if (pending_handles_.empty()) return;
+    FlushRuns(&pending_handles_,
+              [this](TopicId topic, const RankedList::HandleUpdate* runs,
+                     std::size_t n, bool merge) {
+                index_->BatchRepositionHandles(topic, runs, n, merge,
+                                               &batch_scratch_);
+              });
+  } else {
+    if (pending_tuples_.empty()) return;
+    FlushRuns(&pending_tuples_,
+              [this](TopicId topic, const RankedList::Tuple* runs,
+                     std::size_t n, bool merge) {
+                index_->BatchReposition(topic, runs, n, merge,
+                                        &batch_scratch_);
+              });
+  }
 }
 
 }  // namespace ksir

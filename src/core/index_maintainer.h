@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/arena.h"
+#include "common/stamped_accumulator.h"
 #include "core/ranked_list.h"
 #include "core/score_cache.h"
 #include "core/scoring.h"
@@ -48,22 +49,29 @@ inline constexpr std::size_t kDefaultRepositionBatchMin = 2;
 /// Applies window updates to the ranked lists (Algorithm 1 lines 4-13).
 ///
 /// Under kIncremental maintenance the repositions of a bucket are batched:
-/// the (topic, score) pairs of every repositioned element are collected
-/// into per-topic runs (arena-backed, reset each bucket) and each touched
-/// list is updated in one pass, instead of element-by-element across all of
-/// its lists. All batching state is owned by this maintainer — one engine's
-/// maintainer never shares mutable state with another's, which is what lets
-/// the sharded service advance shards in parallel.
+/// the per-topic pending runs are built entirely from state already carried
+/// by the pipeline — the window report's Touched records (element pointer,
+/// final t_e, gained/lost referrer topic spans) and the ScoreCache entry
+/// (score halves, listed score, ranked-list handle). With handle carrying
+/// on (the default) a bucket's reposition work performs ONE cache probe per
+/// touched element and zero ranked-list id-table probes on the no-split
+/// fast path; `carry_handles = false` preserves the id-keyed batched
+/// baseline for equivalence testing and benchmarking. All batching state is
+/// owned by this maintainer — one engine's maintainer never shares mutable
+/// state with another's, which is what lets the sharded service advance
+/// shards in parallel.
 class IndexMaintainer {
  public:
   /// `ctx` and `index` must outlive the maintainer; `ctx`'s window must be
   /// the window whose updates are applied. `reposition_batch_min` is the
   /// per-list batching threshold; 0 disables batching entirely (the
-  /// single-reposition reference path).
+  /// single-reposition reference path, which also disables handle
+  /// carrying).
   IndexMaintainer(const ScoringContext* ctx, RankedListIndex* index,
                   RefreshMode mode = RefreshMode::kExact,
                   ScoreMaintenance maintenance = ScoreMaintenance::kIncremental,
-                  std::size_t reposition_batch_min = kDefaultRepositionBatchMin);
+                  std::size_t reposition_batch_min = kDefaultRepositionBatchMin,
+                  bool carry_handles = true);
 
   /// Applies one Advance() result. Must be called after every window
   /// advance, with no interleaved advances.
@@ -72,6 +80,7 @@ class IndexMaintainer {
   RefreshMode mode() const { return mode_; }
   ScoreMaintenance maintenance() const { return maintenance_; }
   std::size_t reposition_batch_min() const { return batch_min_; }
+  bool carries_handles() const { return use_handles_; }
 
   /// The cache backing kIncremental maintenance (exposed for tests).
   const ScoreCache& score_cache() const { return cache_; }
@@ -80,44 +89,58 @@ class IndexMaintainer {
   void ApplyIncremental(const ActiveWindow::UpdateResult& update);
   void ApplyRecompute(const ActiveWindow::UpdateResult& update);
 
-  /// Inserts `id` into the lists (and the cache under kIncremental).
-  void InsertFresh(ElementId id);
+  /// Inserts a fresh / resurrected element into the cache and the lists,
+  /// seeding the cache entry's handles when handle carrying is on.
+  void InsertFresh(const ActiveWindow::Touched& t);
 
-  /// kRecompute reposition: full rescore.
-  void RepositionRecompute(ElementId id);
-
-  /// kIncremental reposition: compose from the cached halves.
-  void RepositionFromCache(ElementId id);
-
-  /// Batched kIncremental reposition: queues (topic, score) pairs into the
-  /// per-topic pending runs instead of updating the lists immediately.
-  /// When `te_changed` is false (referrer loss — t_e is a running max),
-  /// tuples whose composed score equals the listed score are elided.
-  void QueueReposition(ElementId id, bool te_changed);
+  /// One touched element of a bucket: applies its carried edge spans to the
+  /// cached influence halves, then (when `reposition` is set) repositions
+  /// it — queueing per-topic pending runs, or updating the lists directly
+  /// on the single-reposition reference path. When `te_changed` is false
+  /// (referrer loss — t_e is a running max), tuples whose composed score
+  /// equals the listed score are elided.
+  void ProcessTouched(const ActiveWindow::Touched& t, bool reposition,
+                      bool te_changed);
 
   /// Scatters the queued repositions into arena-backed per-topic runs and
   /// applies each touched list's run in one BatchReposition call.
   void FlushRepositions();
+
+  template <typename PendingT, typename ApplyFn>
+  void FlushRuns(std::vector<PendingT>* pending, ApplyFn apply);
 
   const ScoringContext* ctx_;
   RankedListIndex* index_;
   RefreshMode mode_;
   ScoreMaintenance maintenance_;
   std::size_t batch_min_;
+  bool use_handles_;
   ScoreCache cache_;
   /// Reused (topic, score) buffer; repositions are too frequent to allocate.
   std::vector<std::pair<TopicId, double>> scratch_scores_;
+  std::vector<RankedList::Handle> handle_scratch_;
+  SmallVector<RankedList::ErasureHint, 8> hint_scratch_;
 
   /// ---- per-bucket batching state (live only within one Apply call) ----
-  /// One (topic, tuple) pair per ranked-list reposition, in queue order.
-  struct PendingReposition {
+  /// One pending ranked-list reposition per (topic, element), in queue
+  /// order; the handle flavor points back into the ScoreCache entry so the
+  /// list writes the refreshed position hint straight through.
+  struct PendingHandle {
     TopicId topic;
-    RankedList::Tuple tuple;
+    RankedList::HandleUpdate payload;
   };
-  std::vector<PendingReposition> pending_;
+  struct PendingTuple {
+    TopicId topic;
+    RankedList::Tuple payload;
+  };
+  std::vector<PendingHandle> pending_handles_;
+  std::vector<PendingTuple> pending_tuples_;
   /// Pending tuples per topic this bucket; zeroed lazily via `touched_`.
   std::vector<std::uint32_t> topic_counts_;
   std::vector<TopicId> touched_;
+  /// Dense per-topic edge accumulator (stamp-cleared per element): one
+  /// scatter per edge entry, one gather over the element's support.
+  StampedAccumulator edge_acc_;
   /// Backs the scattered per-topic runs; reset every flush.
   Arena run_arena_;
   RankedList::BatchScratch batch_scratch_;

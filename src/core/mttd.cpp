@@ -61,18 +61,20 @@ QueryResult RunMttd(const ScoringContext& ctx, const RankedListIndex& index,
 
   if (tau <= 0.0) return finish(std::move(result));
 
+  std::vector<ElementId> pulled;
   while (tau >= tau_terminate && tau > 1e-12) {
     ++rounds;
-    // Lines 13-19: retrieve every element whose score may reach tau.
-    while (!cursor.Exhausted() && cursor.UpperBound() >= tau) {
-      const auto popped = cursor.PopNext();
-      if (!popped.has_value()) break;
-      const SocialElement* e = ctx.window().Find(*popped);
+    // Lines 13-19: retrieve every element whose score may reach tau — one
+    // bulk cursor pull per round instead of a pop-and-recheck loop.
+    pulled.clear();
+    cursor.PopWhileAtLeast(tau, &pulled);
+    for (const ElementId id : pulled) {
+      const SocialElement* e = ctx.window().Find(id);
       KSIR_CHECK(e != nullptr);
       const double score = ctx.ElementScore(*e, query.x);
       ++result.stats.num_evaluated;
-      cached.emplace(*popped, score);
-      heap.push(BufferEntry{score, *popped});
+      cached.emplace(id, score);
+      heap.push(BufferEntry{score, id});
     }
 
     // Lines 6-10: add elements whose true marginal gain reaches tau.

@@ -18,29 +18,132 @@ std::size_t RankedList::FindChunk(const Key& key) const {
   return idx == chunks_.size() ? idx - 1 : idx;
 }
 
-void RankedList::InsertKey(const Key& key) {
+std::unique_ptr<RankedList::Chunk> RankedList::NewChunk() {
+  auto chunk = std::make_unique<Chunk>();
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(nullptr);
+  }
+  chunk->slot = slot;
+  chunk->gen = ++next_gen_;
+  slots_[slot] = chunk.get();
+  return chunk;
+}
+
+void RankedList::FreeChunk(Chunk* chunk) {
+  KSIR_DCHECK(slots_[chunk->slot] == chunk);
+  slots_[chunk->slot] = nullptr;
+  free_slots_.push_back(chunk->slot);
+}
+
+void RankedList::Renumber(std::size_t from) {
+  for (std::size_t i = from; i < chunks_.size(); ++i) {
+    chunks_[i]->pos = static_cast<std::uint32_t>(i);
+  }
+}
+
+RankedList::Chunk* RankedList::ResolveHandle(Handle h) const {
+  if (h.slot >= slots_.size()) return nullptr;
+  Chunk* chunk = slots_[h.slot];
+  if (chunk == nullptr || chunk->gen != h.gen) return nullptr;
+  return chunk;
+}
+
+RankedList::Chunk* RankedList::ChunkForId(ElementId id) const {
+  KSIR_CHECK(track_ids_);
+  ++probes_;
+  const auto it = chunk_of_.find(id);
+  KSIR_CHECK(it != chunk_of_.end());
+  Chunk* chunk = slots_[it->second];
+  KSIR_CHECK(chunk != nullptr);
+  return chunk;
+}
+
+std::uint32_t RankedList::OffsetOfId(const Chunk* chunk, ElementId id) {
+  for (std::uint32_t i = 0; i < chunk->size; ++i) {
+    if (chunk->keys[i].id == id) return i;
+  }
+  KSIR_CHECK(false && "element missing from its side-table chunk");
+  return 0;
+}
+
+RankedList::Chunk* RankedList::Locate(ElementId id, double old_score,
+                                      const Handle* handle,
+                                      std::uint32_t* offset) const {
+  if (handle != nullptr) {
+    Chunk* chunk = ResolveHandle(*handle);
+    if (chunk != nullptr) {
+      const Key key{old_score, id};
+      const Key* const first = chunk->keys.data();
+      const Key* const last = first + chunk->size;
+      const Key* const pos = std::lower_bound(first, last, key);
+      if (pos != last && *pos == key) {
+        *offset = static_cast<std::uint32_t>(pos - first);
+        return chunk;
+      }
+    }
+  }
+  if (!track_ids_) {
+    // Handle miss without a side table: the carried key is self-locating —
+    // one binary search of the chunk directory, then of the chunk.
+    KSIR_CHECK(handle != nullptr && !chunks_.empty());
+    const Key key{old_score, id};
+    Chunk* chunk = chunks_[FindChunk(key)].get();
+    const Key* const first = chunk->keys.data();
+    const Key* const last = first + chunk->size;
+    const Key* const pos = std::lower_bound(first, last, key);
+    KSIR_CHECK(pos != last && *pos == key);
+    *offset = static_cast<std::uint32_t>(pos - first);
+    return chunk;
+  }
+  // Handle miss (or id-keyed caller): the side table still knows the chunk;
+  // within it the id is found by one scan of <= 64 contiguous keys.
+  Chunk* chunk = ChunkForId(id);
+  *offset = OffsetOfId(chunk, id);
+  KSIR_DCHECK(handle == nullptr || chunk->keys[*offset].score == old_score);
+  return chunk;
+}
+
+RankedList::Chunk* RankedList::InsertKey(const Key& key) {
   if (chunks_.empty()) {
-    chunks_.push_back(std::make_unique<Chunk>());
-    chunks_[0]->keys[0] = key;
-    chunks_[0]->size = 1;
+    chunks_.push_back(NewChunk());
+    Chunk* chunk = chunks_[0].get();
+    chunk->keys[0] = key;
+    chunk->size = 1;
+    chunk->pos = 0;
     chunk_last_.push_back(key);
     ++size_;
-    return;
+    return chunk;
   }
   std::size_t idx = FindChunk(key);
   Chunk* chunk = chunks_[idx].get();
   if (chunk->size == kChunkCapacity) {
-    // Split into two halves, then re-aim at the half that owns `key`.
-    auto upper = std::make_unique<Chunk>();
+    // Split into two halves, then re-aim at the half that owns `key`. The
+    // lower half keeps its slot/generation (its elements' handles stay
+    // valid); the upper half's elements change chunks, so their side-table
+    // rows are rewritten here and their old handles miss harmlessly.
+    auto upper_owned = NewChunk();
+    Chunk* upper = upper_owned.get();
     constexpr std::uint32_t kHalf = kChunkCapacity / 2;
     std::copy(chunk->keys.begin() + kHalf, chunk->keys.end(),
               upper->keys.begin());
     upper->size = kChunkCapacity - kHalf;
     chunk->size = kHalf;
+    if (track_ids_) {
+      for (std::uint32_t i = 0; i < upper->size; ++i) {
+        ++probes_;
+        chunk_of_[upper->keys[i].id] = upper->slot;
+      }
+    }
     const auto offset = static_cast<std::ptrdiff_t>(idx);
-    chunks_.insert(chunks_.begin() + offset + 1, std::move(upper));
+    chunks_.insert(chunks_.begin() + offset + 1, std::move(upper_owned));
     chunk_last_.insert(chunk_last_.begin() + offset,
                        chunks_[idx]->keys[kHalf - 1]);
+    Renumber(idx + 1);
     if (chunks_[idx + 1]->keys[0] < key) {
       ++idx;
     }
@@ -54,6 +157,26 @@ void RankedList::InsertKey(const Key& key) {
   ++chunk->size;
   chunk_last_[idx] = chunk->keys[chunk->size - 1];
   ++size_;
+  return chunk;
+}
+
+void RankedList::EraseKeyAt(Chunk* chunk, std::uint32_t offset) {
+  const std::size_t idx = chunk->pos;
+  KSIR_DCHECK(chunks_[idx].get() == chunk);
+  Key* const first = chunk->keys.data();
+  std::copy(first + offset + 1, first + chunk->size, first + offset);
+  --chunk->size;
+  --size_;
+  if (chunk->size == 0) {
+    FreeChunk(chunk);
+    const auto pos = static_cast<std::ptrdiff_t>(idx);
+    chunks_.erase(chunks_.begin() + pos);
+    chunk_last_.erase(chunk_last_.begin() + pos);
+    Renumber(idx);
+  } else {
+    chunk_last_[idx] = chunk->keys[chunk->size - 1];
+    if (chunk->size < kChunkCapacity / 4) MaybeMerge(idx);
+  }
 }
 
 void RankedList::EraseKey(const Key& key) {
@@ -64,63 +187,31 @@ void RankedList::EraseKey(const Key& key) {
   Key* const last = first + chunk->size;
   Key* const pos = std::lower_bound(first, last, key);
   KSIR_CHECK(pos != last && *pos == key);
-  std::copy(pos + 1, last, pos);
-  --chunk->size;
-  --size_;
-  if (chunk->size == 0) {
-    const auto offset = static_cast<std::ptrdiff_t>(idx);
-    chunks_.erase(chunks_.begin() + offset);
-    chunk_last_.erase(chunk_last_.begin() + offset);
-  } else {
-    chunk_last_[idx] = chunk->keys[chunk->size - 1];
-    if (chunk->size < kChunkCapacity / 4) MaybeMerge(idx);
-  }
-}
-
-void RankedList::MoveKey(const Key& old_key, const Key& new_key) {
-  const std::size_t old_idx = FindChunk(old_key);
-  Chunk* chunk = chunks_[old_idx].get();
-  Key* const first = chunk->keys.data();
-  Key* const last = first + chunk->size;
-  Key* const old_pos = std::lower_bound(first, last, old_key);
-  KSIR_CHECK(old_pos != last && *old_pos == old_key);
-  // The new key stays in this chunk iff it sorts at or before the chunk's
-  // last key and at or after the previous chunk's last key (with the old
-  // key still counted as present, which only widens the chunk's span).
-  const bool within =
-      !(chunk->keys[chunk->size - 1] < new_key) &&
-      (old_idx == 0 || chunk_last_[old_idx - 1] < new_key);
-  if (!within) {
-    EraseKey(old_key);
-    InsertKey(new_key);
-    return;
-  }
-  Key* const new_pos = std::lower_bound(first, last, new_key);
-  if (new_pos == old_pos || new_pos == old_pos + 1) {
-    *old_pos = new_key;  // neighbors unchanged: overwrite in place
-  } else if (new_pos < old_pos) {
-    std::copy_backward(new_pos, old_pos, old_pos + 1);
-    *new_pos = new_key;
-  } else {
-    std::copy(old_pos + 1, new_pos, old_pos);
-    *(new_pos - 1) = new_key;
-  }
-  chunk_last_[old_idx] = chunk->keys[chunk->size - 1];
+  EraseKeyAt(chunk, static_cast<std::uint32_t>(pos - first));
 }
 
 void RankedList::MaybeMerge(std::size_t idx) {
   // Fold the sparse chunk into a neighbor when the pair stays under
-  // capacity, bounding the chunk count under sustained churn.
+  // capacity, bounding the chunk count under sustained churn. The moved
+  // elements' side-table rows follow; their handles go stale and miss.
   const auto merge_into = [this](std::size_t dst, std::size_t src) {
     Chunk* a = chunks_[dst].get();
     Chunk* b = chunks_[src].get();
     std::copy(b->keys.begin(), b->keys.begin() + b->size,
               a->keys.begin() + a->size);
+    if (track_ids_) {
+      for (std::uint32_t i = 0; i < b->size; ++i) {
+        ++probes_;
+        chunk_of_[b->keys[i].id] = a->slot;
+      }
+    }
     a->size += b->size;
     chunk_last_[dst] = a->keys[a->size - 1];
+    FreeChunk(b);
     const auto offset = static_cast<std::ptrdiff_t>(src);
     chunks_.erase(chunks_.begin() + offset);
     chunk_last_.erase(chunk_last_.begin() + offset);
+    Renumber(src);
   };
   const std::uint32_t self = chunks_[idx]->size;
   if (idx + 1 < chunks_.size() &&
@@ -131,49 +222,141 @@ void RankedList::MaybeMerge(std::size_t idx) {
   }
 }
 
-void RankedList::Insert(ElementId id, double score, Timestamp te) {
+RankedList::Handle RankedList::Insert(ElementId id, double score) {
   // A NaN key would violate Key's strict weak ordering and silently corrupt
   // chunk order; reject it at the boundary instead.
   KSIR_CHECK(!std::isnan(score));
-  const auto [it, inserted] = by_id_.emplace(id, std::make_pair(score, te));
-  KSIR_CHECK(inserted);
-  InsertKey(Key{score, id});
+  Chunk* chunk = InsertKey(Key{score, id});
+  if (track_ids_) {
+    ++probes_;
+    const auto [it, inserted] = chunk_of_.emplace(id, chunk->slot);
+    KSIR_CHECK(inserted);
+  }
+  return Handle{chunk->slot, chunk->gen};
 }
 
-void RankedList::Update(ElementId id, double score, Timestamp te) {
+RankedList::Chunk* RankedList::MoveAt(Chunk* chunk, std::uint32_t offset,
+                                      const Key& new_key) {
+  const std::size_t idx = chunk->pos;
+  // The new key stays in this chunk iff it sorts at or before the chunk's
+  // last key and at or after the previous chunk's last key (with the old
+  // key still counted as present, which only widens the chunk's span).
+  const bool within =
+      !(chunk->keys[chunk->size - 1] < new_key) &&
+      (idx == 0 || chunk_last_[idx - 1] < new_key);
+  if (!within) {
+    const std::uint32_t old_slot = chunk->slot;
+    EraseKeyAt(chunk, offset);
+    Chunk* dest = InsertKey(new_key);
+    if (track_ids_ && dest->slot != old_slot) {
+      ++probes_;
+      chunk_of_[new_key.id] = dest->slot;
+    }
+    return dest;
+  }
+  Key* const first = chunk->keys.data();
+  Key* const last = first + chunk->size;
+  Key* const old_pos = first + offset;
+  Key* const new_pos = std::lower_bound(first, last, new_key);
+  if (new_pos == old_pos || new_pos == old_pos + 1) {
+    *old_pos = new_key;  // neighbors unchanged: overwrite in place
+  } else if (new_pos < old_pos) {
+    std::copy_backward(new_pos, old_pos, old_pos + 1);
+    *new_pos = new_key;
+  } else {
+    std::copy(old_pos + 1, new_pos, old_pos);
+    *(new_pos - 1) = new_key;
+  }
+  chunk_last_[idx] = chunk->keys[chunk->size - 1];
+  return chunk;
+}
+
+void RankedList::Update(ElementId id, double score) {
   KSIR_CHECK(!std::isnan(score));
-  const auto it = by_id_.find(id);
-  KSIR_CHECK(it != by_id_.end());
-  const double old_score = it->second.first;
-  it->second = {score, te};
-  if (old_score == score) return;  // key unchanged; only t_e moved
-  MoveKey(Key{old_score, id}, Key{score, id});
+  Chunk* chunk = ChunkForId(id);
+  const std::uint32_t offset = OffsetOfId(chunk, id);
+  if (chunk->keys[offset].score == score) return;  // key unchanged
+  MoveAt(chunk, offset, Key{score, id});
+}
+
+void RankedList::UpdateHandle(const HandleUpdate& u) {
+  KSIR_CHECK(!std::isnan(u.score));
+  std::uint32_t offset = 0;
+  Chunk* chunk = Locate(u.id, u.old_score, u.handle, &offset);
+  if (chunk->keys[offset].score == u.score) {
+    *u.handle = Handle{chunk->slot, chunk->gen};
+    return;
+  }
+  Chunk* dest = MoveAt(chunk, offset, Key{u.score, u.id});
+  *u.handle = Handle{dest->slot, dest->gen};
 }
 
 void RankedList::ApplyBatch(const Tuple* updates, std::size_t n,
                             BatchScratch* scratch) {
+  scratch->removals.clear();
+  scratch->insertions.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Tuple& update = updates[i];
+    KSIR_CHECK(!std::isnan(update.score));
+    std::uint32_t offset = 0;
+    Chunk* chunk = Locate(update.id, 0.0, nullptr, &offset);
+    const Key old_key = chunk->keys[offset];
+    if (old_key.score == update.score) continue;  // key unchanged
+    scratch->removals.push_back(old_key);
+    scratch->insertions.push_back(BatchScratch::PendingInsert{
+        Key{update.score, update.id}, nullptr, chunk->slot});
+  }
+  MergeBatch(scratch);
+}
+
+void RankedList::ApplyBatchHandles(const HandleUpdate* updates, std::size_t n,
+                                   BatchScratch* scratch) {
+  scratch->removals.clear();
+  scratch->insertions.clear();
+  if (!track_ids_) {
+    // The carried listed scores ARE the old keys, so the batch needs no
+    // per-tuple resolution at all: the merge sweep removes the carried
+    // keys (its own consistency checks verify every one was present),
+    // inserts the new ones and mints the refreshed handles where they
+    // land. Score-unchanged tuples were already elided upstream.
+    for (std::size_t i = 0; i < n; ++i) {
+      const HandleUpdate& u = updates[i];
+      KSIR_CHECK(!std::isnan(u.score));
+      scratch->removals.push_back(Key{u.old_score, u.id});
+      scratch->insertions.push_back(BatchScratch::PendingInsert{
+          Key{u.score, u.id}, u.handle, Handle::kInvalidSlot});
+    }
+    MergeBatch(scratch);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const HandleUpdate& u = updates[i];
+    KSIR_CHECK(!std::isnan(u.score));
+    std::uint32_t offset = 0;
+    Chunk* chunk = Locate(u.id, u.old_score, u.handle, &offset);
+    if (chunk->keys[offset].score == u.score) {
+      *u.handle = Handle{chunk->slot, chunk->gen};
+      continue;
+    }
+    scratch->removals.push_back(chunk->keys[offset]);
+    scratch->insertions.push_back(BatchScratch::PendingInsert{
+        Key{u.score, u.id}, u.handle, chunk->slot});
+  }
+  MergeBatch(scratch);
+}
+
+void RankedList::MergeBatch(BatchScratch* scratch) {
   auto& removals = scratch->removals;
   auto& insertions = scratch->insertions;
   auto& deferred_removals = scratch->deferred_removals;
   auto& deferred_insertions = scratch->deferred_insertions;
-  removals.clear();
-  insertions.clear();
   deferred_removals.clear();
   deferred_insertions.clear();
-  for (std::size_t i = 0; i < n; ++i) {
-    const Tuple& update = updates[i];
-    KSIR_CHECK(!std::isnan(update.score));
-    const auto it = by_id_.find(update.id);
-    KSIR_CHECK(it != by_id_.end());
-    const double old_score = it->second.first;
-    it->second = {update.score, update.te};
-    if (old_score == update.score) continue;  // key unchanged; only t_e moved
-    removals.push_back(Key{old_score, update.id});
-    insertions.push_back(Key{update.score, update.id});
-  }
   if (removals.empty()) return;
   std::sort(removals.begin(), removals.end());
-  std::sort(insertions.begin(), insertions.end());
+  std::sort(insertions.begin(), insertions.end(),
+            [](const BatchScratch::PendingInsert& a,
+               const BatchScratch::PendingInsert& b) { return a.key < b.key; });
 
   // One sweep over the chunk directory: the sorted removal/insertion runs
   // are partitioned by the (original) chunk boundaries and each touched
@@ -183,7 +366,8 @@ void RankedList::ApplyBatch(const Tuple* updates, std::size_t n,
   // repositioned id's old and new key differ), so the merge needs no
   // tie-breaking. A chunk the batch would grow past capacity defers its
   // ops to the per-element path below (rare: needs >capacity keys landing
-  // in one chunk's span).
+  // in one chunk's span). Landed insertions mint their handle on the spot
+  // and rewrite the side table only when the element changed chunks.
   std::size_t ri = 0;
   std::size_t ii = 0;
   bool any_small = false;
@@ -200,16 +384,17 @@ void RankedList::ApplyBatch(const Tuple* updates, std::size_t n,
       i_end = insertions.size();
     } else {
       while (r_end < removals.size() && !(last < removals[r_end])) ++r_end;
-      while (i_end < insertions.size() && !(last < insertions[i_end])) {
+      while (i_end < insertions.size() && !(last < insertions[i_end].key)) {
         ++i_end;
       }
     }
     if (r_end == ri && i_end == ii) continue;
     const std::size_t new_size = chunk->size - (r_end - ri) + (i_end - ii);
     if (new_size > kChunkCapacity) {
-      deferred_removals.insert(deferred_removals.end(),
-                               removals.begin() + static_cast<std::ptrdiff_t>(ri),
-                               removals.begin() + static_cast<std::ptrdiff_t>(r_end));
+      deferred_removals.insert(
+          deferred_removals.end(),
+          removals.begin() + static_cast<std::ptrdiff_t>(ri),
+          removals.begin() + static_cast<std::ptrdiff_t>(r_end));
       deferred_insertions.insert(
           deferred_insertions.end(),
           insertions.begin() + static_cast<std::ptrdiff_t>(ii),
@@ -223,14 +408,15 @@ void RankedList::ApplyBatch(const Tuple* updates, std::size_t n,
     // the top of the list, so the span is a fraction of the chunk.
     Key* const keys = chunk->keys.data();
     const std::uint32_t old_size = chunk->size;
-    const Key lo = ri < r_end && (ii == i_end || removals[ri] < insertions[ii])
-                       ? removals[ri]
-                       : insertions[ii];
+    const Key lo =
+        ri < r_end && (ii == i_end || removals[ri] < insertions[ii].key)
+            ? removals[ri]
+            : insertions[ii].key;
     const Key hi =
-        r_end > ri &&
-                (i_end == ii || insertions[i_end - 1] < removals[r_end - 1])
+        r_end > ri && (i_end == ii ||
+                       insertions[i_end - 1].key < removals[r_end - 1])
             ? removals[r_end - 1]
-            : insertions[i_end - 1];
+            : insertions[i_end - 1].key;
     const auto s = static_cast<std::uint32_t>(
         std::lower_bound(keys, keys + old_size, lo) - keys);
     const auto e = static_cast<std::uint32_t>(
@@ -257,10 +443,21 @@ void RankedList::ApplyBatch(const Tuple* updates, std::size_t n,
         ++src;
         continue;
       }
-      if (ii < i_end && (src >= old_span || insertions[ii] < tmp[src])) {
-        keys[dst++] = insertions[ii++];
+      if (ii < i_end && (src >= old_span || insertions[ii].key < tmp[src])) {
+        const BatchScratch::PendingInsert& ins = insertions[ii++];
+        keys[dst] = ins.key;
+        if (ins.handle != nullptr) {
+          *ins.handle = Handle{chunk->slot, chunk->gen};
+        }
+        if (track_ids_ && ins.old_slot != chunk->slot) {
+          ++probes_;
+          chunk_of_[ins.key.id] = chunk->slot;
+        }
+        ++dst;
       } else {
-        keys[dst++] = tmp[src++];
+        keys[dst] = tmp[src];
+        ++dst;
+        ++src;
       }
     }
     KSIR_CHECK(ri == r_end && dst == dst_end);
@@ -276,7 +473,10 @@ void RankedList::ApplyBatch(const Tuple* updates, std::size_t n,
     // chunk count under sustained batched churn.
     std::size_t write = 0;
     for (std::size_t c = 0; c < chunks_.size(); ++c) {
-      if (chunks_[c]->size == 0) continue;
+      if (chunks_[c]->size == 0) {
+        FreeChunk(chunks_[c].get());
+        continue;
+      }
       if (write > 0 &&
           chunks_[write - 1]->size < kChunkCapacity / 4 &&
           chunks_[write - 1]->size + chunks_[c]->size <= kChunkCapacity) {
@@ -284,8 +484,15 @@ void RankedList::ApplyBatch(const Tuple* updates, std::size_t n,
         Chunk* src = chunks_[c].get();
         std::copy(src->keys.begin(), src->keys.begin() + src->size,
                   dst->keys.begin() + dst->size);
+        if (track_ids_) {
+          for (std::uint32_t i = 0; i < src->size; ++i) {
+            ++probes_;
+            chunk_of_[src->keys[i].id] = dst->slot;
+          }
+        }
         dst->size += src->size;
         chunk_last_[write - 1] = dst->keys[dst->size - 1];
+        FreeChunk(src);
         continue;
       }
       if (write != c) {
@@ -296,53 +503,121 @@ void RankedList::ApplyBatch(const Tuple* updates, std::size_t n,
     }
     chunks_.resize(write);
     chunk_last_.resize(write);
+    Renumber(0);
   }
   // A reposition batch never changes the element count, but the deferred
-  // per-element ops below bump size_ (+1 per InsertKey, -1 per EraseKey)
+  // per-element ops below bump size_ (+1 per InsertKey, -1 per EraseKeyAt)
   // while their in-place counterparts did not; pre-compensate so the two
   // halves cancel.
   size_ += deferred_removals.size();
   size_ -= deferred_insertions.size();
   for (const Key& key : deferred_removals) EraseKey(key);
-  for (const Key& key : deferred_insertions) InsertKey(key);
+  for (const BatchScratch::PendingInsert& ins : deferred_insertions) {
+    Chunk* dest = InsertKey(ins.key);
+    if (ins.handle != nullptr) *ins.handle = Handle{dest->slot, dest->gen};
+    if (track_ids_ && ins.old_slot != dest->slot) {
+      ++probes_;
+      chunk_of_[ins.key.id] = dest->slot;
+    }
+  }
 }
 
 void RankedList::Erase(ElementId id) {
-  const auto it = by_id_.find(id);
-  KSIR_CHECK(it != by_id_.end());
-  EraseKey(Key{it->second.first, id});
-  by_id_.erase(it);
+  Chunk* chunk = ChunkForId(id);
+  EraseKeyAt(chunk, OffsetOfId(chunk, id));
+  ++probes_;
+  chunk_of_.erase(id);
 }
 
-RankedList::Tuple RankedList::Get(ElementId id) const {
-  const auto it = by_id_.find(id);
-  KSIR_CHECK(it != by_id_.end());
-  return Tuple{id, it->second.first, it->second.second};
+void RankedList::EraseHandle(ElementId id, double score, Handle handle) {
+  std::uint32_t offset = 0;
+  Chunk* chunk = Locate(id, score, &handle, &offset);
+  EraseKeyAt(chunk, offset);
+  if (track_ids_) {
+    ++probes_;
+    chunk_of_.erase(id);
+  }
 }
 
-Timestamp RankedList::TimeOf(ElementId id) const {
-  const auto it = by_id_.find(id);
-  KSIR_CHECK(it != by_id_.end());
-  return it->second.second;
+const RankedList::Chunk* RankedList::FindChunkOfId(ElementId id) const {
+  if (track_ids_) return ChunkForId(id);
+  // Untracked diagnostic path: full scan (tests and debugging only).
+  for (const auto& chunk : chunks_) {
+    for (std::uint32_t i = 0; i < chunk->size; ++i) {
+      if (chunk->keys[i].id == id) return chunk.get();
+    }
+  }
+  return nullptr;
 }
 
-RankedListIndex::RankedListIndex(std::size_t num_topics)
-    : lists_(num_topics) {
+bool RankedList::Contains(ElementId id) const {
+  if (track_ids_) return chunk_of_.contains(id);
+  return FindChunkOfId(id) != nullptr;
+}
+
+double RankedList::Get(ElementId id) const {
+  const Chunk* chunk = FindChunkOfId(id);
+  KSIR_CHECK(chunk != nullptr);
+  return chunk->keys[OffsetOfId(chunk, id)].score;
+}
+
+std::size_t RankedList::DrainTop(const_iterator* pos, Key* out,
+                                 std::size_t n) const {
+  KSIR_DCHECK(pos->chunks_ == &chunks_);
+  std::size_t copied = 0;
+  while (copied < n && pos->chunk_ < chunks_.size()) {
+    const Chunk* chunk = chunks_[pos->chunk_].get();
+    const auto avail = static_cast<std::size_t>(chunk->size - pos->offset_);
+    const std::size_t take = std::min(avail, n - copied);
+    std::copy(chunk->keys.data() + pos->offset_,
+              chunk->keys.data() + pos->offset_ + take, out + copied);
+    copied += take;
+    pos->offset_ += static_cast<std::uint32_t>(take);
+    if (pos->offset_ == chunk->size) {
+      ++pos->chunk_;
+      pos->offset_ = 0;
+    }
+  }
+  return copied;
+}
+
+RankedList::HandleState RankedList::ProbeHandle(Handle handle, ElementId id,
+                                                double score) const {
+  const Chunk* chunk = ResolveHandle(handle);
+  if (chunk == nullptr) return HandleState::kStale;
+  const Key key{score, id};
+  const Key* const first = chunk->keys.data();
+  const Key* const last = first + chunk->size;
+  const Key* const pos = std::lower_bound(first, last, key);
+  return pos != last && *pos == key ? HandleState::kValid
+                                    : HandleState::kStale;
+}
+
+RankedListIndex::RankedListIndex(std::size_t num_topics, bool track_ids) {
   KSIR_CHECK(num_topics > 0);
+  lists_.reserve(num_topics);
+  for (std::size_t i = 0; i < num_topics; ++i) {
+    lists_.emplace_back(track_ids);
+  }
 }
 
 void RankedListIndex::Insert(
     ElementId id, const std::vector<std::pair<TopicId, double>>& topic_scores,
-    Timestamp te) {
+    Timestamp te, RankedList::Handle* handles_out) {
   const auto [it, inserted] = membership_.try_emplace(id);
   KSIR_CHECK(inserted);
-  auto& topics = it->second;
-  topics.reserve(topic_scores.size());
+  Membership& member = it->second;
+  member.te = te;
+  member.topics.reserve(topic_scores.size());
+  std::size_t i = 0;
   for (const auto& [topic, score] : topic_scores) {
     KSIR_CHECK(topic >= 0 && static_cast<std::size_t>(topic) < lists_.size());
-    lists_[static_cast<std::size_t>(topic)].Insert(id, score, te);
-    topics.push_back(topic);
+    const RankedList::Handle handle =
+        lists_[static_cast<std::size_t>(topic)].Insert(id, score);
+    if (handles_out != nullptr) handles_out[i] = handle;
+    member.topics.push_back(topic);
     ++total_entries_;
+    ++i;
   }
 }
 
@@ -351,20 +626,35 @@ void RankedListIndex::Update(
     Timestamp te) {
   const auto it = membership_.find(id);
   KSIR_CHECK(it != membership_.end());
-  KSIR_CHECK(it->second.size() == topic_scores.size());
+  KSIR_CHECK(it->second.topics.size() == topic_scores.size());
+  it->second.te = te;
   for (const auto& [topic, score] : topic_scores) {
-    lists_[static_cast<std::size_t>(topic)].Update(id, score, te);
+    lists_[static_cast<std::size_t>(topic)].Update(id, score);
   }
 }
 
 void RankedListIndex::UpdateTrusted(
     ElementId id, const std::vector<std::pair<TopicId, double>>& topic_scores,
     Timestamp te) {
-  KSIR_DCHECK(membership_.contains(id));
-  KSIR_DCHECK(membership_.find(id)->second.size() == topic_scores.size());
+  const auto it = membership_.find(id);
+  KSIR_DCHECK(it != membership_.end());
+  KSIR_DCHECK(it->second.topics.size() == topic_scores.size());
+  it->second.te = te;
   for (const auto& [topic, score] : topic_scores) {
-    lists_[static_cast<std::size_t>(topic)].Update(id, score, te);
+    lists_[static_cast<std::size_t>(topic)].Update(id, score);
   }
+}
+
+void RankedListIndex::TouchTime(ElementId id, Timestamp te) {
+  const auto it = membership_.find(id);
+  KSIR_CHECK(it != membership_.end());
+  it->second.te = te;
+}
+
+Timestamp RankedListIndex::TimeOf(ElementId id) const {
+  const auto it = membership_.find(id);
+  KSIR_CHECK(it != membership_.end());
+  return it->second.te;
 }
 
 void RankedListIndex::BatchReposition(TopicId topic,
@@ -382,7 +672,26 @@ void RankedListIndex::BatchReposition(TopicId topic,
     list.ApplyBatch(updates, n, scratch);
   } else {
     for (std::size_t i = 0; i < n; ++i) {
-      list.Update(updates[i].id, updates[i].score, updates[i].te);
+      list.Update(updates[i].id, updates[i].score);
+    }
+  }
+}
+
+void RankedListIndex::BatchRepositionHandles(
+    TopicId topic, const RankedList::HandleUpdate* updates, std::size_t n,
+    bool merge, RankedList::BatchScratch* scratch) {
+  KSIR_CHECK(topic >= 0 && static_cast<std::size_t>(topic) < lists_.size());
+  RankedList& list = lists_[static_cast<std::size_t>(topic)];
+#ifndef NDEBUG
+  for (std::size_t i = 0; i < n; ++i) {
+    KSIR_DCHECK(membership_.contains(updates[i].id));
+  }
+#endif
+  if (merge) {
+    list.ApplyBatchHandles(updates, n, scratch);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      list.UpdateHandle(updates[i]);
     }
   }
 }
@@ -390,8 +699,23 @@ void RankedListIndex::BatchReposition(TopicId topic,
 void RankedListIndex::Erase(ElementId id) {
   const auto it = membership_.find(id);
   KSIR_CHECK(it != membership_.end());
-  for (TopicId topic : it->second) {
+  for (TopicId topic : it->second.topics) {
     lists_[static_cast<std::size_t>(topic)].Erase(id);
+    --total_entries_;
+  }
+  membership_.erase(it);
+}
+
+void RankedListIndex::EraseWithHints(ElementId id,
+                                     const RankedList::ErasureHint* hints,
+                                     std::size_t n) {
+  const auto it = membership_.find(id);
+  KSIR_CHECK(it != membership_.end());
+  KSIR_CHECK(it->second.topics.size() == n);
+  for (std::size_t i = 0; i < n; ++i) {
+    KSIR_DCHECK(it->second.topics[i] == hints[i].topic);
+    lists_[static_cast<std::size_t>(hints[i].topic)].EraseHandle(
+        id, hints[i].score, hints[i].handle);
     --total_entries_;
   }
   membership_.erase(it);
@@ -400,6 +724,12 @@ void RankedListIndex::Erase(ElementId id) {
 const RankedList& RankedListIndex::list(TopicId topic) const {
   KSIR_CHECK(topic >= 0 && static_cast<std::size_t>(topic) < lists_.size());
   return lists_[static_cast<std::size_t>(topic)];
+}
+
+std::uint64_t RankedListIndex::id_table_probes() const {
+  std::uint64_t total = 0;
+  for (const RankedList& list : lists_) total += list.id_table_probes();
+  return total;
 }
 
 }  // namespace ksir

@@ -7,9 +7,26 @@
 // of fixed-capacity chunks, each holding a sorted run of keys. Insert and
 // reposition binary-search the chunk directory and memmove within one chunk
 // (a few cache lines), full chunks split and sparse neighbors merge, and the
-// threshold traversal of Algorithms 2-3 walks contiguous memory instead of
-// chasing red-black-tree nodes as the previous std::set backing did. The
-// id -> tuple side table is an open-addressing FlatHashMap.
+// threshold traversal of Algorithms 2-3 walks contiguous memory. The t_e
+// half of the paper's tuple is NOT stored here: it is identical across all
+// of an element's lists, so RankedListIndex keeps it once per element and
+// the maintenance pipeline updates it once per reposition — which lets a
+// reposition that changes no score on a topic skip that topic's list
+// entirely.
+//
+// Position state is carried through the maintenance pipeline as opaque
+// Handles (stable chunk slot + generation) minted by Insert and refreshed
+// by every mutation. A valid handle resolves an element's chunk with two
+// array reads and one in-chunk binary search — no hashing. Because every
+// pipeline operation also carries the element's exact listed score, a
+// stale handle falls back to the self-locating key: FindChunk(old key) is
+// one binary search of the contiguous chunk directory, still no hashing.
+// The id side table (id -> chunk slot) therefore only serves id-keyed
+// entry points (Update/Erase by id, Get, Contains — the reference paths
+// and diagnostics); a handle-carrying engine constructs its lists with
+// `track_ids = false`, dropping the table and ALL of its maintenance
+// (insert/erase/split/merge rewrites). A probe counter proves the
+// reposition paths perform zero id-table hash probes.
 #ifndef KSIR_CORE_RANKED_LIST_H_
 #define KSIR_CORE_RANKED_LIST_H_
 
@@ -43,11 +60,45 @@ class RankedList {
     }
   };
 
-  /// Full tuple view <delta_i(e), t_e> plus the element id.
+  /// One pending id-keyed reposition (the t_e half of the paper's tuple
+  /// lives in RankedListIndex, once per element).
   struct Tuple {
     ElementId id;
     double score;
-    Timestamp te;
+  };
+
+  /// Opaque position hint: the stable slot id of the chunk holding the
+  /// element plus that chunk's incarnation generation. A handle is a HINT,
+  /// never authority: resolution verifies the exact key is present in the
+  /// hinted chunk and falls back to the id side table otherwise, so a stale
+  /// handle (its chunk split, merged, or died) costs one extra probe, not
+  /// correctness. The default-constructed handle always misses.
+  struct Handle {
+    static constexpr std::uint32_t kInvalidSlot = 0xffffffffu;
+    std::uint32_t slot = kInvalidSlot;
+    std::uint32_t gen = 0;
+
+    bool operator==(const Handle&) const = default;
+  };
+
+  /// One reposition carried through the pipeline: the exact key currently
+  /// listed (`old_score` — the ScoreCache's `listed` half), the new score,
+  /// and the in/out handle slot the list reads the position hint from and
+  /// writes the new position into (it points into the ScoreCache entry, so
+  /// the refreshed hint is immediately durable).
+  struct HandleUpdate {
+    ElementId id;
+    double old_score;
+    double score;
+    Handle* handle;
+  };
+
+  /// Everything the handle-based erase path needs to drop one list entry
+  /// without re-deriving it: which list, the listed key, the position hint.
+  struct ErasureHint {
+    TopicId topic;
+    double score;
+    Handle handle;
   };
 
   /// Keys per chunk: 64 * 16 B = 1 KiB of contiguous keys per chunk; splits
@@ -57,6 +108,13 @@ class RankedList {
  private:
   struct Chunk {
     std::uint32_t size = 0;
+    /// Stable index into slots_ (survives directory shifts).
+    std::uint32_t slot = 0;
+    /// Incarnation of this slot; handles minted against an earlier
+    /// incarnation miss without touching the keys.
+    std::uint32_t gen = 0;
+    /// Current index in chunks_ / chunk_last_ (renumbered on split/merge).
+    std::uint32_t pos = 0;
     std::array<Key, kChunkCapacity> keys;
   };
   using ChunkVector = std::vector<std::unique_ptr<Chunk>>;
@@ -105,25 +163,48 @@ class RankedList {
     std::uint32_t offset_ = 0;
   };
 
-  /// Reusable scratch of ApplyBatch (sorted removal/insertion keys). Owned
-  /// by the caller so one buffer serves every list of an index; never
-  /// shared across threads.
+  /// Reusable scratch of the batched reposition paths (sorted removal and
+  /// insertion runs). Owned by the caller so one buffer serves every list
+  /// of an index; never shared across threads.
   struct BatchScratch {
+    /// One pending insertion: the new key, the handle slot to refresh
+    /// (nullable on the id path) and the slot the element currently
+    /// occupies (so cross-chunk landings update the side table, same-chunk
+    /// landings touch nothing).
+    struct PendingInsert {
+      Key key;
+      Handle* handle;
+      std::uint32_t old_slot;
+    };
     std::vector<Key> removals;
-    std::vector<Key> insertions;
+    std::vector<PendingInsert> insertions;
     /// Ops deferred to the per-element path (chunks the batch would
     /// overflow past capacity); almost always empty.
     std::vector<Key> deferred_removals;
-    std::vector<Key> deferred_insertions;
+    std::vector<PendingInsert> deferred_insertions;
   };
 
-  RankedList() = default;
+  /// `track_ids` maintains the id -> chunk side table behind the id-keyed
+  /// entry points. Handle-carrying engines pass false: every operation
+  /// carries its exact key, so the table (and its split/merge upkeep) is
+  /// dead weight; Get/Contains then fall back to a full scan (diagnostic
+  /// and test use only) and the id-keyed mutators are forbidden.
+  explicit RankedList(bool track_ids = true) : track_ids_(track_ids) {}
 
-  /// Inserts a new element; it must not be present.
-  void Insert(ElementId id, double score, Timestamp te);
+  /// Inserts a new element; it must not be present. Returns the minted
+  /// position handle.
+  Handle Insert(ElementId id, double score);
 
-  /// Repositions an existing element with a new score / referral time.
-  void Update(ElementId id, double score, Timestamp te);
+  /// Repositions an existing element with a new score, resolving the
+  /// position by id (side-table probe). The reference path; the pipeline
+  /// uses UpdateHandle / the batch entry points. Requires track_ids.
+  void Update(ElementId id, double score);
+
+  /// Repositions one element through its carried handle and listed score;
+  /// writes the refreshed handle back into *u.handle. The no-split
+  /// common case (new key stays in the hinted chunk) performs zero
+  /// id-table probes and zero directory searches.
+  void UpdateHandle(const HandleUpdate& u);
 
   /// Repositions `n` existing elements (each present, each at most once) in
   /// one pass: the pending keys are sorted and merged into the chunk
@@ -131,15 +212,28 @@ class RankedList {
   /// independent binary-search + memmove operations. Equivalent to calling
   /// Update once per tuple — the resulting key sequence and side table are
   /// identical; only the (unobservable) chunk boundaries may differ.
+  /// Resolves every tuple by id (the PR 3 baseline path).
   void ApplyBatch(const Tuple* updates, std::size_t n, BatchScratch* scratch);
 
-  /// Removes an element; it must be present.
+  /// ApplyBatch over handle-carrying updates: old keys come from the
+  /// carried listed scores, positions from the handles, and every moved
+  /// element's refreshed handle is written back through its HandleUpdate.
+  void ApplyBatchHandles(const HandleUpdate* updates, std::size_t n,
+                         BatchScratch* scratch);
+
+  /// Removes an element; it must be present. Id-keyed reference path;
+  /// requires track_ids.
   void Erase(ElementId id);
 
-  bool Contains(ElementId id) const { return by_id_.contains(id); }
+  /// Removes an element through its carried handle + listed score.
+  void EraseHandle(ElementId id, double score, Handle handle);
 
-  /// Tuple of a present element.
-  Tuple Get(ElementId id) const;
+  bool Contains(ElementId id) const;
+
+  /// Current score of a present element.
+  double Get(ElementId id) const;
+
+  bool tracks_ids() const { return track_ids_; }
 
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
@@ -150,42 +244,103 @@ class RankedList {
     return const_iterator(&chunks_, chunks_.size(), 0);
   }
 
-  /// t_e of a present element (stored beside the ordering key).
-  Timestamp TimeOf(ElementId id) const;
+  /// Bulk read for cursor pulls: copies up to `n` keys starting at *pos
+  /// into `out` (chunk-sized contiguous spans, no per-key iterator
+  /// bookkeeping), advances *pos past them and returns how many were
+  /// copied. 0 iff *pos is end().
+  std::size_t DrainTop(const_iterator* pos, Key* out, std::size_t n) const;
+
+  /// Cumulative id-side-table hash operations (find/insert/erase). The
+  /// no-split handle reposition fast path performs none; asserting this
+  /// counter flat across such a batch is the zero-probe contract's test.
+  std::uint64_t id_table_probes() const { return probes_; }
+
+  /// Diagnostic handle resolution (tests): kValid when the hinted chunk is
+  /// alive, same incarnation, and contains exactly Key{score, id}.
+  enum class HandleState { kValid, kStale };
+  HandleState ProbeHandle(Handle handle, ElementId id, double score) const;
 
  private:
   /// Index of the chunk that does / should contain `key`. Binary search
   /// over the contiguous last-key directory (no chunk pointer chasing).
   std::size_t FindChunk(const Key& key) const;
 
-  void InsertKey(const Key& key);
+  std::unique_ptr<Chunk> NewChunk();
+  void FreeChunk(Chunk* chunk);
+  /// Reassigns Chunk::pos for chunks_[from..] after a directory shift.
+  void Renumber(std::size_t from);
+
+  /// slots_[h.slot] when alive and same incarnation, else nullptr.
+  Chunk* ResolveHandle(Handle h) const;
+  /// Chunk currently holding `id`, via the side table (counts one probe).
+  Chunk* ChunkForId(ElementId id) const;
+  /// In-chunk offset of `id` (linear scan over <= 64 contiguous keys).
+  static std::uint32_t OffsetOfId(const Chunk* chunk, ElementId id);
+
+  /// Locates the current key of one reposition: through the handle when it
+  /// resolves, else through the side table. Returns the chunk and writes
+  /// the offset of the element's key.
+  Chunk* Locate(ElementId id, double old_score, const Handle* handle,
+                std::uint32_t* offset) const;
+
+  /// Inserts `key`, splitting if needed; returns the chunk that received
+  /// the key. Does NOT touch the side table (callers decide).
+  Chunk* InsertKey(const Key& key);
+  /// Erases the key at `offset` of `chunk`, merging / dropping the chunk
+  /// when it runs dry. Does NOT touch the side table for the erased id.
+  void EraseKeyAt(Chunk* chunk, std::uint32_t offset);
+  /// Erase by key value (directory search + EraseKeyAt).
   void EraseKey(const Key& key);
 
-  /// Reposition combining erase + insert; stays inside one chunk (single
-  /// directory lookup, local memmoves) whenever old and new key land in the
-  /// same chunk — the common case for hub elements nudged every bucket.
-  void MoveKey(const Key& old_key, const Key& new_key);
+  /// Repositions the key at `offset` of `chunk` to `new_key`; stays inside
+  /// the chunk (local memmoves, no directory search) whenever the new key
+  /// lands in the same chunk — the common case for hub elements nudged
+  /// every bucket. Returns the chunk that holds the key afterwards.
+  Chunk* MoveAt(Chunk* chunk, std::uint32_t offset, const Key& new_key);
+
+  /// Shared one-sweep merge of the sorted removal/insertion runs built by
+  /// the two ApplyBatch flavors.
+  void MergeBatch(BatchScratch* scratch);
 
   /// Merges chunk `idx` with a neighbor when the pair fits in one chunk.
   void MaybeMerge(std::size_t idx);
 
+  const Chunk* FindChunkOfId(ElementId id) const;
+
   ChunkVector chunks_;
   /// chunk_last_[i] == chunks_[i]->keys[size - 1]; the search directory.
   std::vector<Key> chunk_last_;
-  FlatHashMap<ElementId, std::pair<double, Timestamp>> by_id_;
+  /// Stable chunk registry: slot id -> live chunk (nullptr when free).
+  std::vector<Chunk*> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint32_t next_gen_ = 0;
+  /// Id side table: element -> chunk slot. Only the chunk is tracked — the
+  /// in-chunk position is implied by the sorted keys — so in-chunk
+  /// repositions never touch it; it changes only when an element changes
+  /// chunks (insert, erase, cross-chunk move, split, merge).
+  FlatHashMap<ElementId, std::uint32_t> chunk_of_;
+  bool track_ids_ = true;
   std::size_t size_ = 0;
+  mutable std::uint64_t probes_ = 0;
 };
 
-/// The z ranked lists plus the per-element topic membership needed to erase
-/// expired elements without consulting the (already pruned) window.
+/// The z ranked lists plus the per-element membership record: the topic
+/// support needed to erase expired elements without consulting the
+/// (already pruned) window, and the element's t_e — stored ONCE here
+/// instead of once per (element, topic) list entry, so a reposition
+/// updates it with one write instead of z.
 class RankedListIndex {
  public:
-  explicit RankedListIndex(std::size_t num_topics);
+  /// `track_ids` is forwarded to every list (see RankedList): false for
+  /// handle-carrying engines, true for the id-keyed reference paths.
+  explicit RankedListIndex(std::size_t num_topics, bool track_ids = true);
 
-  /// Inserts `id` into the list of every (topic, score) pair.
+  /// Inserts `id` into the list of every (topic, score) pair. When
+  /// `handles_out` is non-null it receives the minted handle of each list
+  /// entry, in `topic_scores` order.
   void Insert(ElementId id,
               const std::vector<std::pair<TopicId, double>>& topic_scores,
-              Timestamp te);
+              Timestamp te, RankedList::Handle* handles_out = nullptr);
 
   /// Repositions `id` in every list it belongs to. `topic_scores` must cover
   /// exactly the element's topic support (same topics as at insertion).
@@ -211,8 +366,28 @@ class RankedListIndex {
                        std::size_t n, bool merge,
                        RankedList::BatchScratch* scratch);
 
-  /// Removes `id` from all its lists.
+  /// Handle-carrying flavor of BatchReposition: positions resolve through
+  /// the carried handles and refreshed handles are written back.
+  void BatchRepositionHandles(TopicId topic,
+                              const RankedList::HandleUpdate* updates,
+                              std::size_t n, bool merge,
+                              RankedList::BatchScratch* scratch);
+
+  /// Updates the element's t_e (one membership write; the lists are not
+  /// touched). Used by the batched paths, whose per-topic runs carry only
+  /// score changes.
+  void TouchTime(ElementId id, Timestamp te);
+
+  /// t_e of an indexed element.
+  Timestamp TimeOf(ElementId id) const;
+
+  /// Removes `id` from all its lists (id-keyed reference path).
   void Erase(ElementId id);
+
+  /// Removes `id` using carried per-topic hints; `hints` must cover exactly
+  /// the element's insertion support (debug-verified).
+  void EraseWithHints(ElementId id, const RankedList::ErasureHint* hints,
+                      std::size_t n);
 
   bool Contains(ElementId id) const { return membership_.contains(id); }
 
@@ -226,9 +401,17 @@ class RankedListIndex {
   /// Number of distinct indexed elements.
   std::size_t num_elements() const { return membership_.size(); }
 
+  /// Sum of id_table_probes() over all lists (zero-probe contract checks).
+  std::uint64_t id_table_probes() const;
+
  private:
+  struct Membership {
+    SmallVector<TopicId, 4> topics;
+    Timestamp te = 0;
+  };
+
   std::vector<RankedList> lists_;
-  FlatHashMap<ElementId, SmallVector<TopicId, 4>> membership_;
+  FlatHashMap<ElementId, Membership> membership_;
   std::size_t total_entries_ = 0;
 };
 

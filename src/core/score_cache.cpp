@@ -8,74 +8,66 @@ ScoreCache::ScoreCache(const ScoringContext* ctx) : ctx_(ctx) {
   KSIR_CHECK(ctx != nullptr);
 }
 
-void ScoreCache::Insert(const SocialElement& e) {
+ScoreCache::~ScoreCache() {
+  for (auto& [id, entry] : entries_) pool_.Destroy(entry);
+}
+
+ScoreCache::TopicList& ScoreCache::Insert(const SocialElement& e) {
   const double lambda = ctx_->params().lambda;
   const double influence_factor = ctx_->influence_factor();
-  TopicList& topics = entries_[e.id];
+  TopicList*& slot = entries_[e.id];
+  if (slot == nullptr) slot = pool_.Create();
+  TopicList& topics = *slot;
   topics.clear();
   topics.reserve(e.topics.nnz());
-  for (const auto& [topic, prob] : e.topics.entries()) {
-    const double semantic = ctx_->SemanticScore(topic, e, prob);
-    const double influence = ctx_->InfluenceScore(topic, e, prob);
-    topics.emplace_back(TopicHalves{
-        topic, prob, semantic, influence,
-        lambda * semantic + influence_factor * influence});
-  }
-}
-
-void ScoreCache::Erase(ElementId id) { entries_.erase(id); }
-
-void ScoreCache::AddEdge(ElementId target,
-                         const SparseVector& referrer_topics) {
-  ApplyEdge(target, referrer_topics, 1.0);
-}
-
-void ScoreCache::RemoveEdge(ElementId target,
-                            const SparseVector& referrer_topics) {
-  ApplyEdge(target, referrer_topics, -1.0);
-}
-
-void ScoreCache::ApplyEdge(ElementId target,
-                           const SparseVector& referrer_topics, double sign) {
-  const auto it = entries_.find(target);
-  KSIR_CHECK(it != entries_.end());
-  TopicList& topics = it->second;
-  const auto& ref_topics = referrer_topics.entries();
-  // Both sides are sorted by topic; one merge pass over the shared support.
-  std::size_t ti = 0;
-  std::size_t ri = 0;
-  while (ti < topics.size() && ri < ref_topics.size()) {
-    if (topics[ti].topic < ref_topics[ri].first) {
-      ++ti;
-    } else if (ref_topics[ri].first < topics[ti].topic) {
-      ++ri;
-    } else {
-      topics[ti].influence +=
-          sign * topics[ti].topic_prob * ref_topics[ri].second;
-      ++ti;
-      ++ri;
+  // I_{i,t}(e) for ALL support topics in one pass over the referrer set
+  // (one window probe per referrer, not per (referrer, topic)): scatter
+  // each referrer's topic vector into the dense accumulator, then
+  // influence_i = p_i(e) * acc[i].
+  const ActiveWindow& window = ctx_->window();
+  const ReferrerList& referrers = window.ReferrersOf(e.id);
+  const bool has_referrers = !referrers.empty();
+  if (has_referrers) {
+    if (acc_.empty()) acc_.Resize(ctx_->model().num_topics());
+    acc_.Begin();
+    for (const Referrer& r : referrers) {
+      const SocialElement* referrer = window.Find(r.id);
+      KSIR_DCHECK(referrer != nullptr);
+      if (referrer == nullptr) continue;
+      for (const auto& [topic, prob] : referrer->topics.entries()) {
+        acc_.Add(static_cast<std::size_t>(topic), prob);
+      }
     }
   }
+  for (const auto& [topic, prob] : e.topics.entries()) {
+    const double semantic = ctx_->SemanticScore(topic, e, prob);
+    const auto t = static_cast<std::size_t>(topic);
+    const double influence =
+        has_referrers && acc_.Touched(t) ? prob * acc_.Get(t) : 0.0;
+    topics.emplace_back(TopicHalves{
+        topic, prob, influence, semantic,
+        lambda * semantic + influence_factor * influence,
+        RankedList::Handle{}});
+  }
+  return topics;
+}
+
+void ScoreCache::Erase(ElementId id) {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return;
+  pool_.Destroy(it->second);
+  entries_.erase(it);
+}
+
+const ScoreCache::TopicList* ScoreCache::Find(ElementId id) const {
+  const auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : it->second;
 }
 
 ScoreCache::TopicList& ScoreCache::MutableHalves(ElementId id) {
   const auto it = entries_.find(id);
   KSIR_CHECK(it != entries_.end());
-  return it->second;
-}
-
-void ScoreCache::ComposeScores(
-    ElementId id, std::vector<std::pair<TopicId, double>>* out) const {
-  const auto it = entries_.find(id);
-  KSIR_CHECK(it != entries_.end());
-  const double lambda = ctx_->params().lambda;
-  const double influence_factor = ctx_->influence_factor();
-  out->clear();
-  out->reserve(it->second.size());
-  for (const TopicHalves& halves : it->second) {
-    out->emplace_back(halves.topic, lambda * halves.semantic +
-                                        influence_factor * halves.influence);
-  }
+  return *it->second;
 }
 
 }  // namespace ksir

@@ -12,18 +12,30 @@
 // reposition step from a full O(|words| * |topics|) rescore plus an
 // O(|I_t(e)|) referrer scan into an O(|shared topics|) update.
 //
+// Each TopicHalves row additionally carries the pipeline's position state:
+// `listed`, the exact score currently sitting in the topic's ranked list
+// (the old key of the next reposition), and `handle`, the RankedList
+// position hint minted at insertion and refreshed by every reposition. The
+// cache entry is thus the single per-(element, topic) record the whole
+// window -> cache -> maintainer -> ranked-list data flow reads and writes —
+// no layer re-derives position or listed score by hashing.
+//
 // The cache is an implementation detail of IndexMaintainer; it trusts the
 // maintainer to feed it every window change exactly once and in order
-// (erase expired, insert inserted/resurrected, then apply edge deltas).
+// (erase expired, insert inserted/resurrected, then apply the edge spans
+// carried by the window report).
 #ifndef KSIR_CORE_SCORE_CACHE_H_
 #define KSIR_CORE_SCORE_CACHE_H_
 
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/flat_hash_map.h"
 #include "common/small_vector.h"
+#include "common/stamped_accumulator.h"
 #include "common/types.h"
+#include "core/ranked_list.h"
 #include "core/scoring.h"
 #include "stream/element.h"
 
@@ -33,27 +45,47 @@ namespace ksir {
 class ScoreCache {
  public:
   /// One support topic of one element. `semantic` is immutable after
-  /// Insert; `influence` tracks I_{i,t}(e) incrementally.
+  /// Insert; `influence` tracks I_{i,t}(e) incrementally. Field order keeps
+  /// the edge-application working set (topic, p_i(e), influence) in one
+  /// contiguous span — the maintainer folds every bucket's edge deltas
+  /// into these rows.
   struct TopicHalves {
     TopicId topic;
     double topic_prob;  // p_i(e), kept to avoid re-probing the element
-    double semantic;    // R_i(e)
     double influence;   // I_{i,t}(e)
-    /// The composed score currently sitting in this topic's ranked list.
-    /// Maintained by Insert and the batched maintainer's queue path, which
-    /// uses it to elide repositions whose tuple would not change: an
-    /// expired referrer sharing no topics with the element moves nothing.
+    double semantic;    // R_i(e)
+    /// The composed score currently sitting in this topic's ranked list:
+    /// the exact old key of the next reposition, and the basis for eliding
+    /// repositions whose tuple would not change (an expired referrer
+    /// sharing no topics with the element moves nothing).
     double listed;
+    /// Position hint into the topic's ranked list; minted at insertion,
+    /// refreshed by every reposition that moves the element.
+    RankedList::Handle handle;
   };
   using TopicList = SmallVector<TopicHalves, 4>;
+
+  static TopicList* FromSlot(void* slot) {
+    return static_cast<TopicList*>(slot);
+  }
 
   /// `ctx` must outlive the cache.
   explicit ScoreCache(const ScoringContext* ctx);
 
+  /// Entries are pool-allocated; live ones are destroyed here.
+  ~ScoreCache();
+
+  ScoreCache(const ScoreCache&) = delete;
+  ScoreCache& operator=(const ScoreCache&) = delete;
+
   /// (Re)computes both halves for every topic in e's support: R_i(e) by the
   /// one-and-only full word scan, I_{i,t}(e) from the window's current
-  /// referrer set. Replaces any previous entry (resurrection).
-  void Insert(const SocialElement& e);
+  /// referrer set. Replaces any previous entry (resurrection). Returns the
+  /// fresh entry so the caller can seed the handles without a second probe;
+  /// entries are pool-allocated, so the reference stays stable for the
+  /// element's whole indexed lifetime (the maintainer parks it in the
+  /// window's user slot and never probes for it again).
+  TopicList& Insert(const SocialElement& e);
 
   /// Drops an expired element. Missing ids are ignored (an element may
   /// expire and be garbage-collected across refresh modes).
@@ -61,32 +93,26 @@ class ScoreCache {
 
   bool Contains(ElementId id) const { return entries_.contains(id); }
 
-  /// I_{i,t}(target) += p_i(target) * p_i(referrer) over shared topics.
-  /// Only the referrer's topic vector is needed; the target's per-topic
-  /// probabilities are already cached in its entry.
-  void AddEdge(ElementId target, const SparseVector& referrer_topics);
+  /// Entry of a present element, or nullptr.
+  const TopicList* Find(ElementId id) const;
 
-  /// I_{i,t}(target) -= p_i(target) * p_i(referrer) over shared topics.
-  void RemoveEdge(ElementId target, const SparseVector& referrer_topics);
-
-  /// Composes delta_i(e) for every topic in the element's support, in topic
-  /// order (the layout RankedListIndex expects). Clears `out` first.
-  void ComposeScores(ElementId id,
-                     std::vector<std::pair<TopicId, double>>* out) const;
-
-  /// The cached halves of a present element, for the batched maintainer:
-  /// it composes scores straight into its per-topic pending runs (skipping
-  /// the intermediate vector) and refreshes `listed` as it queues.
+  /// The cached halves of a present element, for the maintainer: it applies
+  /// the window report's edge spans, composes scores straight into its
+  /// per-topic pending runs and refreshes `listed` / `handle` as it queues.
   TopicList& MutableHalves(ElementId id);
 
   std::size_t size() const { return entries_.size(); }
 
  private:
-  void ApplyEdge(ElementId target, const SparseVector& referrer_topics,
-                 double sign);
-
   const ScoringContext* ctx_;
-  FlatHashMap<ElementId, TopicList> entries_;
+  /// id -> pool-stable entry. The map is consulted once per element
+  /// lifetime on each end (insert / erase) plus by the id-keyed reference
+  /// paths; the handle pipeline reaches entries through the carried slot.
+  FlatHashMap<ElementId, TopicList*> entries_;
+  ObjectPool<TopicList> pool_;
+  /// Dense per-topic accumulator of Insert's one-pass influence
+  /// computation (stamp-cleared per element, sized lazily).
+  StampedAccumulator acc_;
 };
 
 }  // namespace ksir

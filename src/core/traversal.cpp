@@ -13,28 +13,42 @@ RankedListCursor::RankedListCursor(const RankedListIndex* index,
     if (weight <= 0.0) continue;
     if (static_cast<std::size_t>(topic) >= index->num_topics()) continue;
     const RankedList& list = index->list(topic);
-    lists_.push_back(ListPos{topic, weight, list.begin(), list.end()});
+    ListPos pos;
+    pos.topic = topic;
+    pos.weight = weight;
+    pos.list = &list;
+    pos.next = list.begin();
+    lists_.push_back(pos);
   }
+  for (ListPos& pos : lists_) AdvanceHead(&pos);
 }
 
-void RankedListCursor::SkipVisited(ListPos* pos) const {
-  while (pos->it != pos->end && visited_.contains(pos->it->id)) {
-    ++pos->it;
+void RankedListCursor::AdvanceHead(ListPos* pos) {
+  while (true) {
+    while (pos->cursor < pos->filled &&
+           visited_.contains(pos->buffer[pos->cursor].id)) {
+      ++pos->cursor;
+    }
+    if (pos->cursor < pos->filled) return;
+    pos->filled = static_cast<std::uint32_t>(
+        pos->list->DrainTop(&pos->next, pos->buffer.data(), kPullBlock));
+    pos->cursor = 0;
+    if (pos->filled == 0) return;  // list exhausted
   }
 }
 
 double RankedListCursor::UpperBound() const {
   double ub = 0.0;
   for (const ListPos& pos : lists_) {
-    if (pos.it == pos.end) continue;
-    ub += pos.weight * pos.it->score;
+    if (!pos.has_head()) continue;
+    ub += pos.weight * pos.head().score;
   }
   return ub;
 }
 
 bool RankedListCursor::Exhausted() const {
   for (const ListPos& pos : lists_) {
-    if (pos.it != pos.end) return false;
+    if (pos.has_head()) return false;
   }
   return true;
 }
@@ -43,21 +57,49 @@ std::optional<ElementId> RankedListCursor::PopNext() {
   ListPos* best = nullptr;
   double best_value = -1.0;
   for (ListPos& pos : lists_) {
-    if (pos.it == pos.end) continue;
-    const double value = pos.weight * pos.it->score;
+    if (!pos.has_head()) continue;
+    const double value = pos.weight * pos.head().score;
     if (value > best_value) {
       best_value = value;
       best = &pos;
     }
   }
   if (best == nullptr) return std::nullopt;
-  const ElementId id = best->it->id;
+  const ElementId id = best->head().id;
   visited_.insert(id);
   ++num_retrieved_;
   // Keep the invariant: every head position points at an unvisited tuple,
   // so UpperBound() matches the paper's UB over unevaluated elements.
-  for (ListPos& pos : lists_) SkipVisited(&pos);
+  for (ListPos& pos : lists_) AdvanceHead(&pos);
   return id;
+}
+
+std::size_t RankedListCursor::PopWhileAtLeast(double min_value,
+                                              std::vector<ElementId>* out) {
+  std::size_t popped = 0;
+  while (true) {
+    // One pass finds both the upper bound and the best head.
+    double ub = 0.0;
+    ListPos* best = nullptr;
+    double best_value = -1.0;
+    for (ListPos& pos : lists_) {
+      if (!pos.has_head()) continue;
+      const double value = pos.weight * pos.head().score;
+      ub += value;
+      if (value > best_value) {
+        best_value = value;
+        best = &pos;
+      }
+    }
+    if (best == nullptr || ub < min_value) break;
+    const ElementId id = best->head().id;
+    visited_.insert(id);
+    ++num_retrieved_;
+    out->push_back(id);
+    ++popped;
+    for (ListPos& pos : lists_) AdvanceHead(&pos);
+  }
+  return popped;
 }
 
 }  // namespace ksir

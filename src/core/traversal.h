@@ -9,9 +9,17 @@
 // "once a tuple for element e has been accessed in one ranked list, the
 // remaining tuples for e in the other lists are marked as visited").
 // Visited marking is query-local, so concurrent queries share the index.
+//
+// Keys are pulled from each list in blocks via RankedList::DrainTop — one
+// contiguous copy per block instead of a chunk-iterator dereference per
+// pop — and the per-pop merge then runs over the small per-list buffers.
+// PopWhileAtLeast drains whole threshold rounds (the MTTD retrieval loop)
+// in one call.
 #ifndef KSIR_CORE_TRAVERSAL_H_
 #define KSIR_CORE_TRAVERSAL_H_
 
+#include <array>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -40,19 +48,36 @@ class RankedListCursor {
   /// marks it visited everywhere. nullopt when exhausted.
   std::optional<ElementId> PopNext();
 
+  /// Pops elements (appending to `out`, in pop order) for as long as the
+  /// cursor is not exhausted and UpperBound() >= `min_value` — one bulk
+  /// call per MTTD threshold round instead of a pop-and-recheck loop.
+  /// Returns how many were popped.
+  std::size_t PopWhileAtLeast(double min_value, std::vector<ElementId>* out);
+
   /// Elements popped so far.
   std::size_t num_retrieved() const { return num_retrieved_; }
 
  private:
+  /// Keys buffered per DrainTop pull: two cache lines of keys amortize the
+  /// chunk walk across pops without holding a stale view for long.
+  static constexpr std::size_t kPullBlock = 32;
+
   struct ListPos {
     TopicId topic;
     double weight;  // x_i
-    RankedList::const_iterator it;
-    RankedList::const_iterator end;
+    const RankedList* list;
+    RankedList::const_iterator next;  // drain position (beyond the buffer)
+    std::array<RankedList::Key, kPullBlock> buffer;
+    std::uint32_t cursor = 0;
+    std::uint32_t filled = 0;
+
+    bool has_head() const { return cursor < filled; }
+    const RankedList::Key& head() const { return buffer[cursor]; }
   };
 
-  /// Advances `pos` past visited entries.
-  void SkipVisited(ListPos* pos) const;
+  /// Advances `pos` past visited entries, refilling the buffer as needed;
+  /// afterwards the head (if any) is unvisited.
+  void AdvanceHead(ListPos* pos);
 
   std::vector<ListPos> lists_;
   FlatHashSet<ElementId> visited_;

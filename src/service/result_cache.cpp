@@ -54,22 +54,22 @@ std::optional<QueryResult> ResultCache::Lookup(const ResultCacheKey& key) {
   std::lock_guard lock(mutex_);
   const auto it = map_.find(key);
   if (it == map_.end()) {
-    ++stats_.misses;
+    stats_.misses.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
   lru_.splice(lru_.begin(), lru_, it->second);
-  ++stats_.hits;
+  stats_.hits.fetch_add(1, std::memory_order_relaxed);
   return it->second->second;
 }
 
 void ResultCache::Insert(const ResultCacheKey& key,
                          const QueryResult& result) {
   std::lock_guard lock(mutex_);
-  if (key.epoch < floor_epoch_) {
+  if (key.epoch < floor_epoch_.load(std::memory_order_relaxed)) {
     // A concurrent InvalidateBefore already swept this epoch; the entry
     // could never match a current-epoch lookup and would only occupy LRU
     // capacity until eviction.
-    ++stats_.stale_inserts;
+    stats_.stale_inserts.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   const auto it = map_.find(key);
@@ -83,34 +83,50 @@ void ResultCache::Insert(const ResultCacheKey& key,
   while (map_.size() > capacity_) {
     map_.erase(lru_.back().first);
     lru_.pop_back();
-    ++stats_.evictions;
+    stats_.evictions.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 void ResultCache::InvalidateBefore(std::uint64_t epoch) {
   std::lock_guard lock(mutex_);
-  if (epoch > floor_epoch_) floor_epoch_ = epoch;
+  if (epoch > floor_epoch_.load(std::memory_order_relaxed)) {
+    floor_epoch_.store(epoch, std::memory_order_release);
+  }
+  std::int64_t invalidated = 0;
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->first.epoch < epoch) {
       map_.erase(it->first);
       it = lru_.erase(it);
-      ++stats_.invalidated;
+      ++invalidated;
     } else {
       ++it;
     }
+  }
+  if (invalidated > 0) {
+    stats_.invalidated.fetch_add(invalidated, std::memory_order_relaxed);
   }
 }
 
 void ResultCache::Clear() {
   std::lock_guard lock(mutex_);
-  stats_.invalidated += static_cast<std::int64_t>(map_.size());
+  stats_.invalidated.fetch_add(static_cast<std::int64_t>(map_.size()),
+                               std::memory_order_relaxed);
   map_.clear();
   lru_.clear();
 }
 
 ResultCacheStats ResultCache::stats() const {
-  std::lock_guard lock(mutex_);
-  return stats_;
+  // Deliberately lock-free: monitoring must not contend with the query hot
+  // path, and the old locked copy still left the floor counter unreadable
+  // without the mutex.
+  ResultCacheStats snapshot;
+  snapshot.hits = stats_.hits.load(std::memory_order_relaxed);
+  snapshot.misses = stats_.misses.load(std::memory_order_relaxed);
+  snapshot.evictions = stats_.evictions.load(std::memory_order_relaxed);
+  snapshot.invalidated = stats_.invalidated.load(std::memory_order_relaxed);
+  snapshot.stale_inserts =
+      stats_.stale_inserts.load(std::memory_order_relaxed);
+  return snapshot;
 }
 
 std::size_t ResultCache::size() const {

@@ -12,6 +12,7 @@
 #ifndef KSIR_SERVICE_RESULT_CACHE_H_
 #define KSIR_SERVICE_RESULT_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <mutex>
@@ -75,7 +76,18 @@ class ResultCache {
   /// Drops everything.
   void Clear();
 
+  /// Point-in-time counters. Lock-free: the counters are atomics, so the
+  /// stats path never contends with (or races against) queries and
+  /// invalidation sweeps. The snapshot is per-counter consistent, not
+  /// cross-counter consistent.
   ResultCacheStats stats() const;
+
+  /// Current admission floor (highest epoch ever swept). Lock-free; safe to
+  /// poll from monitoring threads while buckets advance.
+  std::uint64_t invalidation_floor() const {
+    return floor_epoch_.load(std::memory_order_acquire);
+  }
+
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
   double quantum() const { return quantum_; }
@@ -86,15 +98,27 @@ class ResultCache {
   };
   using LruList = std::list<std::pair<ResultCacheKey, QueryResult>>;
 
+  /// Counters behind stats(). Relaxed atomics: incremented under mutex_ on
+  /// the map paths but READ without it — the previous plain-int64 fields
+  /// made every monitoring read either take the hot-path lock or race.
+  struct AtomicStats {
+    std::atomic<std::int64_t> hits{0};
+    std::atomic<std::int64_t> misses{0};
+    std::atomic<std::int64_t> evictions{0};
+    std::atomic<std::int64_t> invalidated{0};
+    std::atomic<std::int64_t> stale_inserts{0};
+  };
+
   std::size_t capacity_;
   double quantum_;
   mutable std::mutex mutex_;
   LruList lru_;  // front = most recently used
   std::unordered_map<ResultCacheKey, LruList::iterator, KeyHash> map_;
-  ResultCacheStats stats_;
+  AtomicStats stats_;
   /// Highest epoch ever passed to InvalidateBefore: entries below it have
-  /// been swept and must not be re-admitted.
-  std::uint64_t floor_epoch_ = 0;
+  /// been swept and must not be re-admitted. Atomic so the stats path can
+  /// read it without the mutex; ordered writes happen under the mutex.
+  std::atomic<std::uint64_t> floor_epoch_{0};
 };
 
 }  // namespace ksir

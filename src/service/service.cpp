@@ -42,7 +42,9 @@ KsirService::KsirService(ServiceConfig config, const TopicModel* model)
   const std::size_t workers =
       config_.num_workers > 0 ? config_.num_workers : config_.num_shards;
   pool_ = std::make_unique<WorkerPool>(workers);
-  router_ = std::make_unique<ShardRouter>(config_.num_shards);
+  router_ = std::make_unique<ShardRouter>(
+      config_.num_shards, config_.engine.max_shard_imbalance,
+      config_.engine.window_length);
   ingestor_ = std::make_unique<ShardedIngestor>(shard_ptrs, router_.get(),
                                                 pool_.get());
   planner_ =

@@ -111,6 +111,10 @@ class KsirService {
   /// Shard access for tests/benches (not thread-safe against AdvanceTo).
   const KsirEngine& shard(std::size_t i) const { return *shards_[i]; }
 
+  /// Router access for tests/benches (balance-cap observability; not
+  /// thread-safe against AdvanceTo).
+  const ShardRouter& router() const { return *router_; }
+
   /// Point-in-time counters. Cache/planner counters are always safe to
   /// read; the ingestion counters and shard active-set sizes are not
   /// synchronized against AdvanceTo, so call this from the ingestion

@@ -1,11 +1,29 @@
 #include "service/shard_router.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace ksir {
 
-ShardRouter::ShardRouter(std::size_t num_shards) : num_shards_(num_shards) {
+ShardRouter::ShardRouter(std::size_t num_shards, double max_imbalance,
+                         Timestamp balance_horizon)
+    : num_shards_(num_shards),
+      max_imbalance_(max_imbalance),
+      balance_horizon_(balance_horizon),
+      load_(num_shards, 0),
+      recent_(num_shards, 0) {
   KSIR_CHECK(num_shards >= 1);
+  KSIR_CHECK(max_imbalance == 0.0 || max_imbalance >= 1.0);
+  KSIR_CHECK(balance_horizon >= 0);
+}
+
+void ShardRouter::ExpireRecent(Timestamp now) {
+  const Timestamp cutoff = now - balance_horizon_;
+  while (!recent_queue_.empty() && recent_queue_.front().first <= cutoff) {
+    --recent_[recent_queue_.front().second];
+    recent_queue_.pop_front();
+  }
 }
 
 std::size_t ShardRouter::HashShard(ElementId id) const {
@@ -17,8 +35,35 @@ std::size_t ShardRouter::HashShard(ElementId id) const {
   return static_cast<std::size_t>(x % num_shards_);
 }
 
+std::size_t ShardRouter::CapShard(std::size_t shard) {
+  if (max_imbalance_ == 0.0 || num_shards_ == 1) return shard;
+  const std::vector<std::size_t>& load =
+      balance_horizon_ > 0 ? recent_ : load_;
+  std::size_t least = 0;
+  for (std::size_t s = 1; s < num_shards_; ++s) {
+    if (load[s] < load[least]) least = s;
+  }
+  // Admitting onto `shard` must keep its load within the cap of the least
+  // loaded shard (both +1 so an empty fleet is never divided by zero and
+  // the very first placements are unconstrained). The cap is enforced with
+  // 10% headroom: the recent-load proxy trails the true active sets by a
+  // couple of percent (clock skew of one bucket, dangling references), and
+  // the configured bound is a guarantee on the OBSERVED active spread, not
+  // on the proxy.
+  const double headroom_cap = std::max(1.0, 0.9 * max_imbalance_);
+  const double limit =
+      headroom_cap * (static_cast<double>(load[least]) + 1.0);
+  if (static_cast<double>(load[shard]) + 1.0 <= limit) return shard;
+  ++rebalanced_;
+  return least;
+}
+
 std::size_t ShardRouter::Route(const SocialElement& e) {
-  std::size_t shard = num_shards_;  // sentinel: undecided
+  if (balance_horizon_ > 0) ExpireRecent(e.ts);
+  // Pass 1: touch the known targets and remember their shards; the chain
+  // shard is the first known target's.
+  SmallVector<std::uint32_t, 8> target_shards;
+  std::size_t chain = num_shards_;  // sentinel: undecided
   for (const ElementId target : e.refs) {
     const auto it = assignment_.find(target);
     if (it == assignment_.end()) continue;
@@ -28,15 +73,27 @@ std::size_t ShardRouter::Route(const SocialElement& e) {
       it->second.last_touch = e.ts;
       touch_queue_.emplace_back(target, e.ts);
     }
-    if (shard == num_shards_) {
-      shard = it->second.shard;
-    } else if (it->second.shard != shard) {
-      ++cross_shard_refs_;
-    }
+    target_shards.push_back(it->second.shard);
+    if (chain == num_shards_) chain = it->second.shard;
   }
-  if (shard == num_shards_) shard = HashShard(e.id);
-  assignment_[e.id] =
-      Assignment{static_cast<std::uint32_t>(shard), e.ts};
+  std::size_t shard = chain != num_shards_ ? chain : HashShard(e.id);
+  shard = CapShard(shard);
+  // Pass 2: every known target on another shard than the final choice is a
+  // reference edge the partitioning loses.
+  for (const std::uint32_t target_shard : target_shards) {
+    if (target_shard != shard) ++cross_shard_refs_;
+  }
+  const auto [it, inserted] = assignment_.try_emplace(
+      e.id, Assignment{static_cast<std::uint32_t>(shard), e.ts});
+  if (!inserted) {
+    --load_[it->second.shard];
+    it->second = Assignment{static_cast<std::uint32_t>(shard), e.ts};
+  }
+  ++load_[shard];
+  if (balance_horizon_ > 0) {
+    ++recent_[shard];
+    recent_queue_.emplace_back(e.ts, static_cast<std::uint32_t>(shard));
+  }
   touch_queue_.emplace_back(e.id, e.ts);
   return shard;
 }
@@ -45,8 +102,15 @@ bool ShardRouter::Knows(ElementId id) const {
   return assignment_.contains(id);
 }
 
+void ShardRouter::DropAssignment(ElementId id) {
+  const auto it = assignment_.find(id);
+  if (it == assignment_.end()) return;
+  --load_[it->second.shard];
+  assignment_.erase(it);
+}
+
 void ShardRouter::Forget(const std::vector<ElementId>& ids) {
-  for (const ElementId id : ids) assignment_.erase(id);
+  for (const ElementId id : ids) DropAssignment(id);
   // Their touch_queue_ entries become stale and are skipped by the prune.
 }
 
@@ -58,6 +122,7 @@ void ShardRouter::PruneOlderThan(Timestamp cutoff) {
     if (it == assignment_.end() || it->second.last_touch != touch) {
       continue;  // forgotten, or touched again by a later referral
     }
+    --load_[it->second.shard];
     assignment_.erase(it);
   }
 }

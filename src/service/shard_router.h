@@ -10,6 +10,22 @@
 // original post, so this keeps most edges intra-shard while the hash keeps
 // the shards balanced at the root level.
 //
+// Pure chain affinity collapses a single-component cascade stream onto one
+// shard (every element transitively follows the first root). The optional
+// balance cap (`max_imbalance`, EngineConfig::max_shard_imbalance) bounds
+// that: a placement that would leave the chosen shard's load above
+// `max_imbalance * (least-loaded + 1)` is redirected to the least-loaded
+// shard instead, trading that element's chain edges (counted in
+// cross_shard_refs) for bounded skew. The load the cap acts on is the
+// RECENT load — elements routed within the trailing `balance_horizon`
+// stream-time units (the service passes the window length) — because that
+// tracks each shard's active set; total tracked assignments span the whole
+// resurrectability horizon and go stale long before they are pruned. The
+// cap is enforced with 10% headroom and steers placements: it bounds the
+// load at every admission, so the observed spread tracks the configured
+// bound even as older placements decay. With horizon 0 the cap falls back
+// to total tracked loads.
+//
 // Assignments are kept as long as the element can still be referenced:
 // every incoming reference "touches" the target, extending its routing
 // lifetime — mirroring the active window, where referrals keep an element
@@ -24,6 +40,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/small_vector.h"
 #include "common/types.h"
 #include "stream/element.h"
 
@@ -33,13 +50,20 @@ namespace ksir {
 /// single ingestion thread.
 class ShardRouter {
  public:
-  explicit ShardRouter(std::size_t num_shards);
+  /// `max_imbalance` 0 disables the balance cap; values >= 1 bound the
+  /// load ratio between the most and least loaded shard. `balance_horizon`
+  /// is the trailing stream-time span whose placements count as a shard's
+  /// load for the cap (typically the window length); 0 means total tracked
+  /// assignments.
+  explicit ShardRouter(std::size_t num_shards, double max_imbalance = 0.0,
+                       Timestamp balance_horizon = 0);
 
   /// Chooses and records the shard of `e`: the shard of the first reference
-  /// target with a known assignment, else a hash of the element id. Known
-  /// reference targets are touched (their routing lifetime restarts).
-  /// References to targets assigned to a *different* shard than the chosen
-  /// one are counted in cross_shard_refs() (they will be dangling there).
+  /// target with a known assignment (possibly overridden by the balance
+  /// cap), else a hash of the element id. Known reference targets are
+  /// touched (their routing lifetime restarts). References to targets
+  /// assigned to a *different* shard than the chosen one are counted in
+  /// cross_shard_refs() (they will be dangling there).
   std::size_t Route(const SocialElement& e);
 
   /// True when `id` has a recorded assignment.
@@ -56,11 +80,25 @@ class ShardRouter {
 
   std::size_t num_shards() const { return num_shards_; }
 
+  double max_imbalance() const { return max_imbalance_; }
+
   /// Reference edges whose target was known to live on another shard.
   std::int64_t cross_shard_refs() const { return cross_shard_refs_; }
 
+  /// Chain-affinity placements overridden by the balance cap.
+  std::int64_t rebalanced() const { return rebalanced_; }
+
   /// Currently tracked assignments (memory bound check).
   std::size_t tracked() const { return assignment_.size(); }
+
+  /// Tracked assignments per shard.
+  const std::vector<std::size_t>& shard_loads() const { return load_; }
+
+  /// Placements per shard within the trailing balance horizon (the load
+  /// the cap acts on when a horizon is configured). Rollbacks (Forget) are
+  /// not deducted — they decay out with the horizon — so this can briefly
+  /// overcount after failed buckets, which only makes the cap stricter.
+  const std::vector<std::size_t>& recent_loads() const { return recent_; }
 
  private:
   struct Assignment {
@@ -71,9 +109,24 @@ class ShardRouter {
 
   std::size_t HashShard(ElementId id) const;
 
+  /// Applies the balance cap to a candidate shard choice.
+  std::size_t CapShard(std::size_t shard);
+
+  /// Decays recent-load contributions older than `now - balance_horizon_`.
+  void ExpireRecent(Timestamp now);
+
+  void DropAssignment(ElementId id);
+
   std::size_t num_shards_;
+  double max_imbalance_;
+  Timestamp balance_horizon_;
   std::int64_t cross_shard_refs_ = 0;
+  std::int64_t rebalanced_ = 0;
   std::unordered_map<ElementId, Assignment> assignment_;
+  std::vector<std::size_t> load_;
+  std::vector<std::size_t> recent_;
+  /// (route ts, shard) of every placement, for recent-load decay.
+  std::deque<std::pair<Timestamp, std::uint32_t>> recent_queue_;
   /// (id, touch ts) in ts order for pruning; entries whose ts no longer
   /// matches the assignment's last_touch are stale and skipped (same idiom
   /// as ActiveWindow's archive queue).

@@ -22,6 +22,31 @@ ActiveWindow::~ActiveWindow() {
   for (auto& [id, entry] : entries_) pool_.Destroy(entry);
 }
 
+void ActiveWindow::TouchStash(Entry* entry) {
+  if (entry->stash_stamp != advance_epoch_) {
+    entry->stash_stamp = advance_epoch_;
+    entry->gained_stash.clear();
+    entry->lost_stash.clear();
+  }
+}
+
+ActiveWindow::Touched ActiveWindow::MakeTouched(ElementId id, Entry* entry,
+                                                bool with_edges) const {
+  Touched touched;
+  touched.id = id;
+  touched.element = &entry->element;
+  touched.te = std::max(entry->element.ts, entry->last_ref_time);
+  if (with_edges && entry->stash_stamp == advance_epoch_) {
+    touched.gained_topics = entry->gained_stash.begin();
+    touched.num_gained =
+        static_cast<std::uint32_t>(entry->gained_stash.size());
+    touched.lost_topics = entry->lost_stash.begin();
+    touched.num_lost = static_cast<std::uint32_t>(entry->lost_stash.size());
+  }
+  touched.user_slot = &entry->user_data;
+  return touched;
+}
+
 StatusOr<ActiveWindow::UpdateResult> ActiveWindow::Advance(
     Timestamp now, std::vector<SocialElement> bucket) {
   if (now < now_) {
@@ -31,19 +56,17 @@ StatusOr<ActiveWindow::UpdateResult> ActiveWindow::Advance(
   ++advance_epoch_;
   // Deduplicated via the Entry stamps; may still contain ids that are later
   // reclassified (inserted / resurrected / expired), filtered at the end.
-  // All scratch lives in members (capacity retained across buckets).
-  std::vector<ElementId>& gained_list = gained_scratch_;
-  std::vector<ElementId>& lost_list = lost_scratch_;
+  // All scratch lives in members (capacity retained across buckets). The
+  // scratch lists carry the entry pointer alongside the id so the report
+  // can be assembled without re-probing the id table.
+  std::vector<std::pair<ElementId, Entry*>>& inserted_list = inserted_scratch_;
+  std::vector<std::pair<ElementId, Entry*>>& gained_list = gained_scratch_;
+  std::vector<std::pair<ElementId, Entry*>>& lost_list = lost_scratch_;
   FlatHashSet<ElementId>& resurrected = resurrected_scratch_;
-  // Edge changes as they happen; filtered against the final element
-  // classification before being reported.
-  std::vector<EdgeDelta>& gained_edges_raw = gained_edges_scratch_;
-  std::vector<EdgeDelta>& lost_edges_raw = lost_edges_scratch_;
+  inserted_list.clear();
   gained_list.clear();
   lost_list.clear();
   resurrected.clear();
-  gained_edges_raw.clear();
-  lost_edges_raw.clear();
 
   // --- Phase 1: insert the bucket and register its references. ---
   Timestamp prev_ts = now_;
@@ -73,41 +96,53 @@ StatusOr<ActiveWindow::UpdateResult> ActiveWindow::Advance(
     std::sort(e.refs.begin(), e.refs.end());
     e.refs.erase(std::unique(e.refs.begin(), e.refs.end()), e.refs.end());
     std::erase(e.refs, id);
+    // The entry is created BEFORE its references are registered so each
+    // gained edge can stash a pointer to the (pool-stable) stored topic
+    // vector of its referrer.
+    Entry* entry =
+        pool_.Create(Entry{std::move(e), {}, ts, true, kMinTimestamp});
+    entries_.emplace(id, entry);
+    ++num_active_;
+    window_order_.push_back(id);
+    inserted_list.emplace_back(id, entry);
     // Register references; archived targets are resurrected.
-    for (ElementId target : e.refs) {
+    for (ElementId target : entry->element.refs) {
       auto it = entries_.find(target);
       if (it == entries_.end()) {
         ++result.dangling_refs;
         continue;
       }
-      Entry& entry = *it->second;
-      entry.referrers.push_back(Referrer{id, ts});
-      entry.last_ref_time = ts;
-      if (entry.active) {
-        if (entry.gained_stamp != advance_epoch_) {
-          entry.gained_stamp = advance_epoch_;
-          gained_list.push_back(target);
+      Entry& target_entry = *it->second;
+      target_entry.referrers.push_back(Referrer{id, ts});
+      target_entry.last_ref_time = ts;
+      entry->ref_targets.push_back(&target_entry);
+      if (target_entry.active) {
+        TouchStash(&target_entry);
+        target_entry.gained_stash.push_back(&entry->element.topics);
+        if (target_entry.gained_stamp != advance_epoch_) {
+          target_entry.gained_stamp = advance_epoch_;
+          gained_list.emplace_back(target, &target_entry);
         }
-        gained_edges_raw.push_back(EdgeDelta{target, id});
       } else {
-        entry.active = true;
-        entry.deactivated_at = kMinTimestamp;
+        target_entry.active = true;
+        target_entry.deactivated_at = kMinTimestamp;
         ++num_active_;
         resurrected.insert(target);
       }
     }
-    Entry* entry = pool_.Create(Entry{std::move(e), {}, ts, true, kMinTimestamp});
-    entries_.emplace(id, entry);
-    ++num_active_;
-    window_order_.push_back(id);
-    result.inserted.push_back(id);
   }
   now_ = now;
 
   // --- Phase 2: expiry. Elements whose ts left W_t stop being referrers;
   // then every element that is out of window and referrer-free leaves A_t.
+  // Lost edges are registered from the LEAVER side — the leaver's entry
+  // (and topic vector) is already in hand, so the edge stash costs no
+  // extra lookup, and each leaver removes exactly its OWN record from the
+  // target's expired prefix (one erase per lost edge; a mass expiry of k
+  // referrers of one hub costs k prefix erases rather than one wholesale
+  // drop — the price of attributing every lost edge to its topic vector).
   const Timestamp cutoff = now_ - window_length_;  // in window iff ts > cutoff
-  std::vector<ElementId>& leavers = leavers_;
+  std::vector<std::pair<ElementId, Entry*>>& leavers = leavers_;
   leavers.clear();
   while (!window_order_.empty()) {
     const ElementId id = window_order_.front();
@@ -115,39 +150,46 @@ StatusOr<ActiveWindow::UpdateResult> ActiveWindow::Advance(
     KSIR_CHECK(it != entries_.end());
     if (it->second->element.ts > cutoff) break;
     window_order_.pop_front();
-    leavers.push_back(id);
+    leavers.emplace_back(id, it->second);
   }
-  for (ElementId id : leavers) {
-    const auto it = entries_.find(id);
-    KSIR_CHECK(it != entries_.end());
-    // The leaver no longer influences its reference targets.
-    for (ElementId target : it->second->element.refs) {
-      auto target_it = entries_.find(target);
-      if (target_it == entries_.end() || !target_it->second->active) continue;
-      auto& referrers = target_it->second->referrers;
-      std::size_t expired_prefix = 0;
-      while (expired_prefix < referrers.size() &&
-             referrers[expired_prefix].ts <= cutoff) {
-        lost_edges_raw.push_back(
-            EdgeDelta{target, referrers[expired_prefix].id});
-        ++expired_prefix;
+  for (const auto& [id, leaver] : leavers) {
+    // The leaver no longer influences its reference targets, whose entries
+    // were resolved once at insertion (dangling references left neither a
+    // pointer nor a record). The leaver's record is guaranteed present —
+    // its existence is what kept the target active — and sits in the
+    // target's expired prefix (records are ts-ordered and the leaver's ts
+    // is <= cutoff). Each expired record is removed by exactly the leaver
+    // that owns it, so the prefix drains completely by the end of the
+    // loop.
+    for (Entry* target_entry : leaver->ref_targets) {
+      KSIR_DCHECK(target_entry->active);
+      auto& referrers = target_entry->referrers;
+      std::size_t pos = 0;
+      while (referrers[pos].id != id) {
+        ++pos;
+        KSIR_DCHECK(pos < referrers.size() && referrers[pos].ts <= cutoff);
       }
-      if (expired_prefix > 0) {
-        referrers.erase(referrers.begin(),
-                        referrers.begin() +
-                            static_cast<std::ptrdiff_t>(expired_prefix));
-        Entry& target_entry = *target_it->second;
-        if (target_entry.lost_stamp != advance_epoch_) {
-          target_entry.lost_stamp = advance_epoch_;
-          lost_list.push_back(target);
-        }
+      referrers.erase(referrers.begin() + static_cast<std::ptrdiff_t>(pos),
+                      referrers.begin() +
+                          static_cast<std::ptrdiff_t>(pos + 1));
+      TouchStash(target_entry);
+      target_entry->lost_stash.push_back(&leaver->element.topics);
+      if (target_entry->lost_stamp != advance_epoch_) {
+        target_entry->lost_stamp = advance_epoch_;
+        lost_list.emplace_back(target_entry->element.id, target_entry);
       }
     }
   }
-  for (ElementId id : leavers) MaybeDeactivate(id, &result);
-  for (ElementId id : lost_list) MaybeDeactivate(id, &result);
+  for (const auto& [id, entry] : leavers) {
+    MaybeDeactivate(id, entry, &result);
+  }
+  for (const auto& [id, entry] : lost_list) {
+    MaybeDeactivate(id, entry, &result);
+  }
 
-  // --- Phase 3: garbage-collect the archive. ---
+  // --- Phase 3: garbage-collect the archive. Entries touched by THIS call
+  // deactivated at `now_`, so none of the stashed or reported pointers can
+  // be collected here (retention is always positive).
   while (!archive_queue_.empty() &&
          archive_queue_.front().second + archive_retention_ <= now_) {
     const auto [id, deactivated_at] = archive_queue_.front();
@@ -165,77 +207,71 @@ StatusOr<ActiveWindow::UpdateResult> ActiveWindow::Advance(
 
   FlatHashSet<ElementId>& inserted_set = inserted_set_;
   inserted_set.clear();
-  inserted_set.reserve(result.inserted.size());
-  for (ElementId id : result.inserted) inserted_set.insert(id);
+  inserted_set.reserve(inserted_list.size());
+  for (const auto& [id, entry] : inserted_list) inserted_set.insert(id);
   FlatHashSet<ElementId>& expired_set = expired_set_;
   expired_set.clear();
   expired_set.reserve(result.expired.size());
-  for (ElementId id : result.expired) expired_set.insert(id);
+  for (const Touched& t : result.expired) expired_set.insert(t.id);
   // Keep the report lists disjoint. An element that entered (or re-entered)
   // A_t and left it within this same call was never visible to the index
   // maintainer, so it must appear in NEITHER inserted/resurrected NOR
   // expired — a far time jump can expire a bucket's own elements.
   FlatHashSet<ElementId>& drop_from_expired = drop_from_expired_;
   drop_from_expired.clear();
-  for (ElementId id : result.expired) {
-    if (resurrected.erase(id) > 0 || inserted_set.contains(id)) {
-      drop_from_expired.insert(id);
+  for (const Touched& t : result.expired) {
+    if (resurrected.erase(t.id) > 0 || inserted_set.contains(t.id)) {
+      drop_from_expired.insert(t.id);
     }
   }
   if (!drop_from_expired.empty()) {
-    std::erase_if(result.expired, [&](ElementId id) {
-      return drop_from_expired.contains(id);
-    });
-    std::erase_if(result.inserted, [&](ElementId id) {
-      return expired_set.contains(id);
+    std::erase_if(result.expired, [&](const Touched& t) {
+      return drop_from_expired.contains(t.id);
     });
   }
-  for (ElementId id : resurrected) result.resurrected.push_back(id);
-  for (ElementId id : gained_list) {
-    if (inserted_set.contains(id) || resurrected.contains(id) ||
-        expired_set.contains(id)) {
-      continue;
-    }
-    result.gained_referrer.push_back(id);
+  for (const auto& [id, entry] : inserted_list) {
+    if (expired_set.contains(id)) continue;  // same-call insert + expire
+    result.inserted.push_back(MakeTouched(id, entry, /*with_edges=*/false));
   }
-  for (ElementId id : lost_list) {
-    if (inserted_set.contains(id) || resurrected.contains(id) ||
-        expired_set.contains(id)) {
-      continue;
-    }
+  for (ElementId id : resurrected) {
     const auto it = entries_.find(id);
-    if (it != entries_.end() && it->second->gained_stamp == advance_epoch_) {
+    KSIR_CHECK(it != entries_.end());
+    result.resurrected.push_back(
+        MakeTouched(id, it->second, /*with_edges=*/false));
+  }
+  for (const auto& [id, entry] : gained_list) {
+    if (inserted_set.contains(id) || resurrected.contains(id) ||
+        expired_set.contains(id)) {
+      continue;
+    }
+    result.gained_referrer.push_back(MakeTouched(id, entry,
+                                                 /*with_edges=*/true));
+  }
+  for (const auto& [id, entry] : lost_list) {
+    if (inserted_set.contains(id) || resurrected.contains(id) ||
+        expired_set.contains(id)) {
+      continue;
+    }
+    if (entry->gained_stamp == advance_epoch_) {
       continue;  // a net gain already triggers a reposition
     }
-    result.lost_referrer.push_back(id);
+    result.lost_referrer.push_back(MakeTouched(id, entry,
+                                               /*with_edges=*/true));
   }
-  // Report only edges of elements that survive this call as plain active
-  // repositions; inserted / resurrected / expired targets are re-scored (or
-  // dropped) wholesale by the maintainer. Recorded edge targets were active
-  // at recording time, so "still active" reduces to "not expired" — a probe
-  // of the small expired set instead of the full element table.
-  const auto keeps_edge = [&](const EdgeDelta& edge) {
-    return !inserted_set.contains(edge.target) &&
-           !resurrected.contains(edge.target) &&
-           !expired_set.contains(edge.target);
+  const auto by_id = [](const Touched& a, const Touched& b) {
+    return a.id < b.id;
   };
-  for (const EdgeDelta& edge : gained_edges_raw) {
-    if (keeps_edge(edge)) result.gained_edges.push_back(edge);
-  }
-  for (const EdgeDelta& edge : lost_edges_raw) {
-    if (keeps_edge(edge)) result.lost_edges.push_back(edge);
-  }
-  std::sort(result.resurrected.begin(), result.resurrected.end());
-  std::sort(result.gained_referrer.begin(), result.gained_referrer.end());
-  std::sort(result.lost_referrer.begin(), result.lost_referrer.end());
-  std::sort(result.expired.begin(), result.expired.end());
+  std::sort(result.resurrected.begin(), result.resurrected.end(), by_id);
+  std::sort(result.gained_referrer.begin(), result.gained_referrer.end(),
+            by_id);
+  std::sort(result.lost_referrer.begin(), result.lost_referrer.end(), by_id);
+  std::sort(result.expired.begin(), result.expired.end(), by_id);
   return result;
 }
 
-void ActiveWindow::MaybeDeactivate(ElementId id, UpdateResult* result) {
-  const auto it = entries_.find(id);
-  if (it == entries_.end()) return;
-  Entry& entry = *it->second;
+void ActiveWindow::MaybeDeactivate(ElementId id, Entry* entry_ptr,
+                                   UpdateResult* result) {
+  Entry& entry = *entry_ptr;
   if (!entry.active) return;
   if (entry.element.ts > now_ - window_length_) return;  // still in W_t
   if (!entry.referrers.empty()) return;                  // still referenced
@@ -243,18 +279,12 @@ void ActiveWindow::MaybeDeactivate(ElementId id, UpdateResult* result) {
   entry.deactivated_at = now_;
   --num_active_;
   archive_queue_.emplace_back(id, now_);
-  result->expired.push_back(id);
+  result->expired.push_back(MakeTouched(id, entry_ptr, /*with_edges=*/false));
 }
 
 const SocialElement* ActiveWindow::Find(ElementId id) const {
   const auto it = entries_.find(id);
   if (it == entries_.end() || !it->second->active) return nullptr;
-  return &it->second->element;
-}
-
-const SocialElement* ActiveWindow::FindIncludingArchived(ElementId id) const {
-  const auto it = entries_.find(id);
-  if (it == entries_.end()) return nullptr;
   return &it->second->element;
 }
 

@@ -17,15 +17,19 @@
 //
 // For each active element e the store keeps I_t(e): the in-window elements
 // referring to e, which is exactly the influenced set of the influence score
-// (Eq. 4). Advance() additionally reports the individual influence edges
-// gained and lost, which is what lets the ranked-list maintainer update
-// I_{i,t}(e) incrementally instead of rescanning referrer sets.
+// (Eq. 4). Advance() reports every window change as a Touched record that
+// already carries everything downstream maintenance needs — the element
+// pointer, the final t_e, and the topic vectors of the referrers gained and
+// lost this bucket — so the index maintainer never re-probes the window's
+// hash table per element or per edge. All carried pointers are pool-stable
+// and valid until the next Advance() call.
 #ifndef KSIR_WINDOW_ACTIVE_WINDOW_H_
 #define KSIR_WINDOW_ACTIVE_WINDOW_H_
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/arena.h"
@@ -53,40 +57,48 @@ using ReferrerList = SmallVector<Referrer, 4>;
 /// serializes Advance() against queries with a shared_mutex.
 class ActiveWindow {
  public:
-  /// One influence edge changed by an Advance() call.
-  struct EdgeDelta {
-    /// The referenced element whose I_t shrank or grew.
-    ElementId target;
-    /// The in-window element referring to it.
-    ElementId referrer;
-
-    bool operator==(const EdgeDelta&) const = default;
+  /// One element changed by an Advance() call, with the state downstream
+  /// maintenance needs carried along (no window re-probing):
+  ///  - `element` points at the pool-stable stored element,
+  ///  - `te` is LastReferredAt(id) at the end of the call,
+  ///  - the topic-vector spans list the referrers gained / lost this call
+  ///    (referral-time order; empty for inserted / resurrected elements,
+  ///    whose referrer sets are re-read wholesale at re-scoring).
+  /// Pointers stay valid until the next Advance().
+  struct Touched {
+    ElementId id;
+    const SocialElement* element = nullptr;
+    Timestamp te = 0;
+    const SparseVector* const* gained_topics = nullptr;
+    std::uint32_t num_gained = 0;
+    const SparseVector* const* lost_topics = nullptr;
+    std::uint32_t num_lost = 0;
+    /// Opaque per-element slot owned by the consumer (the maintainer parks
+    /// its score-cache record here at insertion and reads it back on every
+    /// later touch — the last per-element hash probe carried away). The
+    /// window never interprets it; it lives as long as the entry.
+    void** user_slot = nullptr;
   };
 
   /// Changes produced by one Advance() call, consumed by the ranked-list
-  /// maintainer (Algorithm 1). The element-id vectors are disjoint: an id
-  /// appears in at most one of them per call.
+  /// maintainer (Algorithm 1). The lists are disjoint: an id appears in at
+  /// most one of them per call.
   struct UpdateResult {
     /// Newly inserted elements (in arrival order).
-    std::vector<ElementId> inserted;
+    std::vector<Touched> inserted;
     /// Archived elements pulled back into A_t by a new reference. Index
     /// maintenance treats them like insertions.
-    std::vector<ElementId> resurrected;
-    /// Active elements that gained at least one referrer.
-    std::vector<ElementId> gained_referrer;
+    std::vector<Touched> resurrected;
+    /// Active elements that gained at least one referrer (they may have
+    /// lost referrers too; both spans are populated).
+    std::vector<Touched> gained_referrer;
     /// Active elements that lost at least one referrer to expiry but remain
-    /// active (their influence score shrank).
-    std::vector<ElementId> lost_referrer;
-    /// Elements that left A_t (deactivated; removed from the ranked lists).
-    std::vector<ElementId> expired;
-    /// Influence edges gained / lost by elements that stay active across
-    /// this call and were neither inserted nor resurrected by it (those are
-    /// re-scored from scratch, so their edges are intentionally omitted).
-    /// Targets of gained_edges appear in gained_referrer; targets of
-    /// lost_edges appear in lost_referrer or gained_referrer (an element
-    /// with both changes is classified as gained).
-    std::vector<EdgeDelta> gained_edges;
-    std::vector<EdgeDelta> lost_edges;
+    /// active (their influence score shrank) and gained none.
+    std::vector<Touched> lost_referrer;
+    /// Elements that left A_t (deactivated; removed from the ranked
+    /// lists). Edge spans are empty; element/te/user_slot are carried
+    /// (the entries stay alive through this call).
+    std::vector<Touched> expired;
     /// References whose target was neither active nor archived.
     std::int64_t dangling_refs = 0;
   };
@@ -111,12 +123,6 @@ class ActiveWindow {
 
   /// Active-element lookup; nullptr when the id is inactive or unknown.
   const SocialElement* Find(ElementId id) const;
-
-  /// Lookup that also reaches archived (inactive but retained) elements.
-  /// Lost-edge consumers need the expired referrer's topic vector after the
-  /// referrer itself left A_t; within the Advance() that reported the loss
-  /// the referrer is always still archived.
-  const SocialElement* FindIncludingArchived(ElementId id) const;
 
   /// True when the element belongs to A_t.
   bool IsActive(ElementId id) const;
@@ -166,10 +172,32 @@ class ActiveWindow {
     /// an edge is registered).
     std::uint64_t gained_stamp = 0;
     std::uint64_t lost_stamp = 0;
+    /// Per-bucket influence-edge stash: topic vectors of the referrers this
+    /// element gained / lost in the current Advance (referral-time order).
+    /// Lazily cleared via `stash_stamp`, and reported to the maintainer as
+    /// the Touched spans — this is how edge deltas reach the score cache
+    /// without a window probe per edge.
+    SmallVector<const SparseVector*, 4> gained_stash;
+    SmallVector<const SparseVector*, 4> lost_stash;
+    std::uint64_t stash_stamp = 0;
+    /// Entries of this element's non-dangling reference targets, resolved
+    /// once at insertion. A live referral record keeps its target active
+    /// (hence alive) until this element leaves the window — exactly when
+    /// these pointers are consumed to drop the records, so the expiry
+    /// phase performs zero target re-probes.
+    SmallVector<Entry*, 4> ref_targets;
+    /// Consumer-owned slot surfaced through Touched::user_slot.
+    void* user_data = nullptr;
   };
 
-  /// Marks `id` inactive if it no longer satisfies the A_t predicate.
-  void MaybeDeactivate(ElementId id, UpdateResult* result);
+  /// Clears the entry's edge stash on its first touch this epoch.
+  void TouchStash(Entry* entry);
+
+  /// Builds one report record from an entry.
+  Touched MakeTouched(ElementId id, Entry* entry, bool with_edges) const;
+
+  /// Marks the entry inactive if it no longer satisfies the A_t predicate.
+  void MaybeDeactivate(ElementId id, Entry* entry, UpdateResult* result);
 
   Timestamp window_length_;
   Timestamp archive_retention_;
@@ -179,7 +207,8 @@ class ActiveWindow {
   /// Entries live in a free-list pool: an insert after a GC reuses a warm
   /// slot instead of hitting the allocator, the id table rehashes 8-byte
   /// pointers instead of whole entries, and entry addresses are stable
-  /// across insertions (references survive rehash).
+  /// across insertions (references survive rehash) — which is what makes
+  /// the Touched pointers safe to hand out until the next Advance().
   ObjectPool<Entry> pool_;
   FlatHashMap<ElementId, Entry*> entries_;
   std::size_t num_active_ = 0;
@@ -191,11 +220,10 @@ class ActiveWindow {
   /// ---- per-Advance scratch, cleared at the top of every call ----
   /// Retained across buckets so the steady-state hot path allocates
   /// nothing: the vectors keep their capacity, the sets their slot arrays.
-  std::vector<ElementId> gained_scratch_;
-  std::vector<ElementId> lost_scratch_;
-  std::vector<ElementId> leavers_;
-  std::vector<EdgeDelta> gained_edges_scratch_;
-  std::vector<EdgeDelta> lost_edges_scratch_;
+  std::vector<std::pair<ElementId, Entry*>> inserted_scratch_;
+  std::vector<std::pair<ElementId, Entry*>> gained_scratch_;
+  std::vector<std::pair<ElementId, Entry*>> lost_scratch_;
+  std::vector<std::pair<ElementId, Entry*>> leavers_;
   FlatHashSet<ElementId> resurrected_scratch_;
   FlatHashSet<ElementId> inserted_set_;
   FlatHashSet<ElementId> expired_set_;

@@ -315,7 +315,7 @@ TEST_P(RandomInstanceTest, RankedListsConsistentWithDirectScores) {
     const SocialElement* e = window.Find(id);
     for (const auto& [topic, prob] : e->topics.entries()) {
       ASSERT_TRUE(index.list(topic).Contains(id));
-      EXPECT_NEAR(index.list(topic).Get(id).score, ctx.TopicScore(topic, *e),
+      EXPECT_NEAR(index.list(topic).Get(id), ctx.TopicScore(topic, *e),
                   1e-9);
       ++checked;
     }
@@ -385,7 +385,7 @@ TEST_P(SlidingConsistencyTest, IndexMatchesWindowAfterEveryBucket) {
       for (const auto& [topic, prob] : e->topics.entries()) {
         ASSERT_TRUE(index.list(topic).Contains(id))
             << "t=" << bucket_end << " e=" << id;
-        EXPECT_NEAR(index.list(topic).Get(id).score,
+        EXPECT_NEAR(index.list(topic).Get(id),
                     engine.scoring().TopicScore(topic, *e), 1e-9);
       }
     }

@@ -1,5 +1,7 @@
 // Unit tests for the per-topic ranked lists, Algorithm 1 maintenance
-// (including the Figure 5 golden state) and the traversal cursor.
+// (including the Figure 5 golden state) and the traversal cursor. The t_e
+// half of the paper's tuple lives once per element in RankedListIndex
+// (TimeOf); the lists themselves store only the ordering keys.
 #include <limits>
 #include <map>
 #include <random>
@@ -22,9 +24,9 @@ using ::ksir::testing::MakePaperEngineAtT8;
 
 TEST(RankedListTest, InsertKeepsDescendingOrder) {
   RankedList list;
-  list.Insert(1, 0.3, 10);
-  list.Insert(2, 0.9, 11);
-  list.Insert(3, 0.5, 12);
+  list.Insert(1, 0.3);
+  list.Insert(2, 0.9);
+  list.Insert(3, 0.5);
   std::vector<ElementId> order;
   for (const auto& key : list) order.push_back(key.id);
   EXPECT_EQ(order, (std::vector<ElementId>{2, 3, 1}));
@@ -32,8 +34,8 @@ TEST(RankedListTest, InsertKeepsDescendingOrder) {
 
 TEST(RankedListTest, TiesBreakById) {
   RankedList list;
-  list.Insert(7, 0.5, 1);
-  list.Insert(3, 0.5, 1);
+  list.Insert(7, 0.5);
+  list.Insert(3, 0.5);
   std::vector<ElementId> order;
   for (const auto& key : list) order.push_back(key.id);
   EXPECT_EQ(order, (std::vector<ElementId>{3, 7}));
@@ -41,20 +43,17 @@ TEST(RankedListTest, TiesBreakById) {
 
 TEST(RankedListTest, UpdateRepositions) {
   RankedList list;
-  list.Insert(1, 0.3, 10);
-  list.Insert(2, 0.9, 11);
-  list.Update(1, 1.5, 13);
+  list.Insert(1, 0.3);
+  list.Insert(2, 0.9);
+  list.Update(1, 1.5);
   EXPECT_EQ(list.begin()->id, 1);
-  const auto tuple = list.Get(1);
-  EXPECT_DOUBLE_EQ(tuple.score, 1.5);
-  EXPECT_EQ(tuple.te, 13);
-  EXPECT_EQ(list.TimeOf(1), 13);
+  EXPECT_DOUBLE_EQ(list.Get(1), 1.5);
 }
 
 TEST(RankedListTest, EraseRemoves) {
   RankedList list;
-  list.Insert(1, 0.3, 10);
-  list.Insert(2, 0.9, 11);
+  list.Insert(1, 0.3);
+  list.Insert(2, 0.9);
   list.Erase(2);
   EXPECT_EQ(list.size(), 1u);
   EXPECT_FALSE(list.Contains(2));
@@ -63,11 +62,11 @@ TEST(RankedListTest, EraseRemoves) {
 
 TEST(RankedListTest, EqualScoresDistinctElementsCoexist) {
   RankedList list;
-  list.Insert(1, 0.5, 1);
-  list.Insert(2, 0.5, 2);
+  list.Insert(1, 0.5);
+  list.Insert(2, 0.5);
   list.Erase(1);
   EXPECT_TRUE(list.Contains(2));
-  EXPECT_DOUBLE_EQ(list.Get(2).score, 0.5);
+  EXPECT_DOUBLE_EQ(list.Get(2), 0.5);
 }
 
 // ------------------------------------------------------- RankedListIndex --
@@ -81,6 +80,7 @@ TEST(RankedListIndexTest, InsertSpansTopics) {
   EXPECT_TRUE(index.list(2).Contains(1));
   EXPECT_EQ(index.total_entries(), 2u);
   EXPECT_EQ(index.num_elements(), 1u);
+  EXPECT_EQ(index.TimeOf(1), 5);
 }
 
 TEST(RankedListIndexTest, EraseClearsAllLists) {
@@ -92,13 +92,25 @@ TEST(RankedListIndexTest, EraseClearsAllLists) {
   EXPECT_TRUE(index.list(0).empty());
 }
 
-TEST(RankedListIndexTest, UpdateRepositionsAcrossLists) {
+TEST(RankedListIndexTest, UpdateRepositionsAcrossListsAndMovesTime) {
   RankedListIndex index(2);
   index.Insert(1, {{0, 0.9}, {1, 0.1}}, 5);
   index.Insert(2, {{0, 0.5}, {1, 0.5}}, 6);
   index.Update(1, {{0, 0.2}, {1, 0.8}}, 7);
   EXPECT_EQ(index.list(0).begin()->id, 2);
   EXPECT_EQ(index.list(1).begin()->id, 1);
+  EXPECT_EQ(index.TimeOf(1), 7);
+  EXPECT_EQ(index.TimeOf(2), 6);
+}
+
+TEST(RankedListIndexTest, TouchTimeUpdatesWithoutListWork) {
+  RankedListIndex index(2);
+  index.Insert(1, {{0, 0.9}}, 5);
+  const std::uint64_t probes = index.id_table_probes();
+  index.TouchTime(1, 9);
+  EXPECT_EQ(index.TimeOf(1), 9);
+  EXPECT_DOUBLE_EQ(index.list(0).Get(1), 0.9);
+  EXPECT_EQ(index.id_table_probes(), probes + 1);  // only the Get probed
 }
 
 // --------------------------------------------- Figure 5 golden list state --
@@ -113,7 +125,8 @@ TEST_F(Figure5Test, RankedList1MatchesPaper) {
   // Figure 5 RL_1 (score, t_e); e1/e7 are a near-tie at 0.0565 vs 0.0563 —
   // exact arithmetic orders e1 first, and the figure's tuple *values*
   // <0.06,5>, <0.06,7> match (e1: t_e=5, e7: t_e=7); only the paper's row
-  // labels are swapped.
+  // labels are swapped. t_e is per element (identical across lists) and
+  // read from the index.
   const RankedList& list = fixture_.engine->index().list(0);
   struct Row {
     ElementId id;
@@ -129,7 +142,8 @@ TEST_F(Figure5Test, RankedList1MatchesPaper) {
   for (const auto& key : list) {
     EXPECT_EQ(key.id, expected[i].id) << "position " << i;
     EXPECT_NEAR(key.score, expected[i].score, 0.005) << "position " << i;
-    EXPECT_EQ(list.TimeOf(key.id), expected[i].te) << "position " << i;
+    EXPECT_EQ(fixture_.engine->index().TimeOf(key.id), expected[i].te)
+        << "position " << i;
     ++i;
   }
 }
@@ -150,7 +164,8 @@ TEST_F(Figure5Test, RankedList2MatchesPaper) {
   for (const auto& key : list) {
     EXPECT_EQ(key.id, expected[i].id) << "position " << i;
     EXPECT_NEAR(key.score, expected[i].score, 0.005) << "position " << i;
-    EXPECT_EQ(list.TimeOf(key.id), expected[i].te) << "position " << i;
+    EXPECT_EQ(fixture_.engine->index().TimeOf(key.id), expected[i].te)
+        << "position " << i;
     ++i;
   }
 }
@@ -238,6 +253,26 @@ TEST_F(Figure5Test, SingleTopicQueryWalksOneList) {
   EXPECT_EQ(cursor.PopNext(), std::optional<ElementId>(8));
 }
 
+TEST_F(Figure5Test, PopWhileAtLeastMatchesSinglePops) {
+  const SparseVector x = BalancedQueryVector();
+  RankedListCursor bulk(&fixture_.engine->index(), &x);
+  RankedListCursor single(&fixture_.engine->index(), &x);
+  // Threshold rounds mirroring MTTD's retrieve loop.
+  for (const double tau : {0.3, 0.2, 0.1, 0.0}) {
+    std::vector<ElementId> bulk_ids;
+    bulk.PopWhileAtLeast(tau, &bulk_ids);
+    std::vector<ElementId> single_ids;
+    while (!single.Exhausted() && single.UpperBound() >= tau) {
+      const auto popped = single.PopNext();
+      ASSERT_TRUE(popped.has_value());
+      single_ids.push_back(*popped);
+    }
+    EXPECT_EQ(bulk_ids, single_ids) << "tau=" << tau;
+    EXPECT_DOUBLE_EQ(bulk.UpperBound(), single.UpperBound());
+  }
+  EXPECT_TRUE(bulk.Exhausted());
+}
+
 TEST(CursorEdgeTest, EmptyIndexIsExhausted) {
   RankedListIndex index(2);
   const SparseVector x = SparseVector::FromEntries({{0, 0.7}, {1, 0.3}});
@@ -286,7 +321,7 @@ TEST(RankedListChurnTest, MatchesOrderedReferenceAcrossSplitsAndMerges) {
     if (action < 0.5 || score_of.empty()) {
       const ElementId id = next_id++;
       const double score = score_dist(rng);
-      list.Insert(id, score, round);
+      list.Insert(id, score);
       reference.insert(RankedList::Key{score, id});
       score_of[id] = score;
     } else if (action < 0.8) {
@@ -296,7 +331,7 @@ TEST(RankedListChurnTest, MatchesOrderedReferenceAcrossSplitsAndMerges) {
       const double score = score_dist(rng);
       reference.erase(RankedList::Key{it->second, it->first});
       reference.insert(RankedList::Key{score, it->first});
-      list.Update(it->first, score, round);
+      list.Update(it->first, score);
       it->second = score;
     } else {
       auto it = score_of.begin();
@@ -320,23 +355,19 @@ TEST(RankedListChurnTest, MatchesOrderedReferenceAcrossSplitsAndMerges) {
   EXPECT_EQ(list.begin(), list.end());
 }
 
-TEST(RankedListChurnTest, GetAndTimeOfSurviveRepositioning) {
+TEST(RankedListChurnTest, GetSurvivesRepositioning) {
   RankedList list;
   for (ElementId id = 0; id < 300; ++id) {
-    list.Insert(id, static_cast<double>(id % 7), id);
+    list.Insert(id, static_cast<double>(id % 7));
   }
   for (ElementId id = 0; id < 300; id += 3) {
-    list.Update(id, static_cast<double>(id % 11) + 0.5, 1000 + id);
+    list.Update(id, static_cast<double>(id % 11) + 0.5);
   }
   for (ElementId id = 0; id < 300; ++id) {
-    const auto tuple = list.Get(id);
-    EXPECT_EQ(tuple.id, id);
     if (id % 3 == 0) {
-      EXPECT_DOUBLE_EQ(tuple.score, static_cast<double>(id % 11) + 0.5);
-      EXPECT_EQ(tuple.te, 1000 + id);
+      EXPECT_DOUBLE_EQ(list.Get(id), static_cast<double>(id % 11) + 0.5);
     } else {
-      EXPECT_DOUBLE_EQ(tuple.score, static_cast<double>(id % 7));
-      EXPECT_EQ(tuple.te, id);
+      EXPECT_DOUBLE_EQ(list.Get(id), static_cast<double>(id % 7));
     }
   }
 }
@@ -350,7 +381,7 @@ void CheckBatchMatchesSingle(RankedList* batched, RankedList* single,
   RankedList::BatchScratch scratch;
   batched->ApplyBatch(updates.data(), updates.size(), &scratch);
   for (const auto& update : updates) {
-    single->Update(update.id, update.score, update.te);
+    single->Update(update.id, update.score);
   }
   ASSERT_EQ(batched->size(), single->size());
   auto single_it = single->begin();
@@ -361,11 +392,7 @@ void CheckBatchMatchesSingle(RankedList* batched, RankedList* single,
   }
   EXPECT_EQ(single_it, single->end());
   for (const auto& update : updates) {
-    const auto lhs = batched->Get(update.id);
-    const auto rhs = single->Get(update.id);
-    EXPECT_EQ(lhs.score, rhs.score);
-    EXPECT_EQ(lhs.te, rhs.te);
-    EXPECT_EQ(lhs.te, update.te);
+    EXPECT_EQ(batched->Get(update.id), single->Get(update.id));
   }
 }
 
@@ -373,16 +400,16 @@ TEST(RankedListBatchTest, BatchEqualsSingleOnSmallList) {
   RankedList batched;
   RankedList single;
   for (ElementId id = 0; id < 10; ++id) {
-    batched.Insert(id, static_cast<double>(id), id);
-    single.Insert(id, static_cast<double>(id), id);
+    batched.Insert(id, static_cast<double>(id));
+    single.Insert(id, static_cast<double>(id));
   }
-  // Mix of upward moves, downward moves, a no-op score (te-only change)
-  // and a tie with an untouched element.
+  // Mix of upward moves, downward moves, a no-op score and a tie with an
+  // untouched element.
   CheckBatchMatchesSingle(&batched, &single,
-                          {{3, 12.0, 100},
-                           {7, 0.5, 101},
-                           {5, 5.0, 102},
-                           {1, 6.0, 103}});
+                          {{3, 12.0},
+                           {7, 0.5},
+                           {5, 5.0},
+                           {1, 6.0}});
 }
 
 TEST(RankedListBatchTest, BatchAcrossManyChunksMatchesReference) {
@@ -397,8 +424,8 @@ TEST(RankedListBatchTest, BatchAcrossManyChunksMatchesReference) {
   std::uniform_real_distribution<double> score_dist(0.0, 1.0);
   for (ElementId id = 0; id < 2000; ++id) {
     const double score = score_dist(rng);
-    batched.Insert(id, score, id);
-    single.Insert(id, score, id);
+    batched.Insert(id, score);
+    single.Insert(id, score);
     reference.insert(RankedList::Key{score, id});
     score_of[id] = score;
   }
@@ -416,7 +443,7 @@ TEST(RankedListBatchTest, BatchAcrossManyChunksMatchesReference) {
       const double score = (rng() % 4 == 0)
                                ? 0.5
                                : score_dist(rng);
-      updates.push_back({id, score, 10000 + round});
+      updates.push_back({id, score});
       reference.erase(RankedList::Key{score_of[id], id});
       reference.insert(RankedList::Key{score, id});
       score_of[id] = score;
@@ -438,22 +465,22 @@ TEST(RankedListBatchTest, WholeListRepositionedInOneBatch) {
   RankedList single;
   std::vector<RankedList::Tuple> updates;
   for (ElementId id = 0; id < 500; ++id) {
-    batched.Insert(id, static_cast<double>(id), id);
-    single.Insert(id, static_cast<double>(id), id);
+    batched.Insert(id, static_cast<double>(id));
+    single.Insert(id, static_cast<double>(id));
     // Reverse the entire order in one sweep.
-    updates.push_back({id, static_cast<double>(500 - id), 1000 + id});
+    updates.push_back({id, static_cast<double>(500 - id)});
   }
   CheckBatchMatchesSingle(&batched, &single, updates);
 }
 
-TEST(RankedListBatchTest, TeOnlyBatchLeavesOrderUntouched) {
+TEST(RankedListBatchTest, NoOpScoresLeaveOrderUntouched) {
   RankedList list;
   for (ElementId id = 0; id < 100; ++id) {
-    list.Insert(id, static_cast<double>(id), id);
+    list.Insert(id, static_cast<double>(id));
   }
   std::vector<RankedList::Tuple> updates;
   for (ElementId id = 0; id < 100; id += 7) {
-    updates.push_back({id, static_cast<double>(id), 5000 + id});
+    updates.push_back({id, static_cast<double>(id)});
   }
   RankedList::BatchScratch scratch;
   list.ApplyBatch(updates.data(), updates.size(), &scratch);
@@ -461,7 +488,301 @@ TEST(RankedListBatchTest, TeOnlyBatchLeavesOrderUntouched) {
   for (const auto& key : list) {
     EXPECT_EQ(key.id, expected--);
   }
-  EXPECT_EQ(list.TimeOf(7), 5007);
+}
+
+// ---------------------------------------------------- Handles & DrainTop --
+
+TEST(RankedListHandleTest, InsertMintsResolvingHandle) {
+  RankedList list;
+  const auto h = list.Insert(7, 0.5);
+  EXPECT_EQ(list.ProbeHandle(h, 7, 0.5), RankedList::HandleState::kValid);
+  // A default handle and a wrong key both miss.
+  EXPECT_EQ(list.ProbeHandle(RankedList::Handle{}, 7, 0.5),
+            RankedList::HandleState::kStale);
+  EXPECT_EQ(list.ProbeHandle(h, 7, 0.6), RankedList::HandleState::kStale);
+}
+
+TEST(RankedListHandleTest, NoSplitFastPathPerformsZeroIdTableProbes) {
+  // The acceptance contract of the handle pipeline: a reposition whose new
+  // key stays in the handle's chunk touches the id side table ZERO times.
+  RankedList list;
+  RankedList::Handle h1 = list.Insert(1, 0.10);
+  RankedList::Handle h2 = list.Insert(2, 0.20);
+  RankedList::Handle h3 = list.Insert(3, 0.30);
+  const std::uint64_t probes_before = list.id_table_probes();
+
+  // Single-update flavor: moves within the only chunk. Batched flavor:
+  // one move plus a no-op score.
+  list.UpdateHandle({1, 0.10, 0.25, &h1});
+  RankedList::HandleUpdate updates[] = {
+      {2, 0.20, 0.05, &h2},
+      {3, 0.30, 0.30, &h3},
+  };
+  RankedList::BatchScratch scratch;
+  list.ApplyBatchHandles(updates, 2, &scratch);
+
+  // The counter is checked FIRST: Get below is id-keyed and probes.
+  EXPECT_EQ(list.id_table_probes(), probes_before);
+
+  EXPECT_EQ(list.ProbeHandle(h1, 1, 0.25), RankedList::HandleState::kValid);
+  EXPECT_EQ(list.ProbeHandle(h2, 2, 0.05), RankedList::HandleState::kValid);
+  EXPECT_EQ(list.ProbeHandle(h3, 3, 0.30), RankedList::HandleState::kValid);
+  EXPECT_EQ(list.Get(1), 0.25);
+  EXPECT_EQ(list.Get(2), 0.05);
+  EXPECT_EQ(list.Get(3), 0.30);
+}
+
+TEST(RankedListHandleTest, StaleHandleFallsBackThroughSideTable) {
+  // Force chunk splits so early handles go stale, then reposition through
+  // them: the operation must still land exactly, only via the side table.
+  RankedList list;
+  std::vector<RankedList::Handle> handles(300);
+  std::vector<double> scores(300);
+  for (ElementId id = 0; id < 300; ++id) {
+    scores[id] = static_cast<double>(id) / 300.0;
+    handles[id] = list.Insert(id, scores[id]);
+  }
+  const std::uint64_t probes_before = list.id_table_probes();
+  std::size_t stale = 0;
+  for (ElementId id = 0; id < 300; ++id) {
+    if (list.ProbeHandle(handles[id], id, scores[id]) ==
+        RankedList::HandleState::kStale) {
+      ++stale;
+    }
+    list.UpdateHandle({id, scores[id], scores[id] + 2.0, &handles[id]});
+    // The refreshed handle must resolve.
+    EXPECT_EQ(list.ProbeHandle(handles[id], id, scores[id] + 2.0),
+              RankedList::HandleState::kValid);
+  }
+  EXPECT_GT(stale, 0u);  // splits actually invalidated some handles
+  EXPECT_GT(list.id_table_probes(), probes_before);  // fallback was taken
+  for (ElementId id = 0; id < 300; ++id) {
+    EXPECT_DOUBLE_EQ(list.Get(id), scores[id] + 2.0);
+  }
+}
+
+TEST(RankedListHandleTest, ChurnPropertyEveryLiveHandleResolvesOrFallsBack) {
+  // Random churn across every mutation flavor (insert / handle update /
+  // id update / handle erase / id erase / batched handle repositions,
+  // with splits and merges throughout). Invariants after every step:
+  //  - each live element's stored handle either resolves exactly or
+  //    reports a miss AND the next operation through it lands correctly;
+  //  - Get always matches the shadow model;
+  //  - the full key sequence matches an std::set reference.
+  struct Shadow {
+    double score;
+    RankedList::Handle handle;
+  };
+  RankedList list;
+  std::map<ElementId, Shadow> shadow;
+  std::set<RankedList::Key> reference;
+  std::mt19937_64 rng(777);
+  std::uniform_real_distribution<double> score_dist(0.0, 1.0);
+
+  const auto pick = [&](std::mt19937_64& r) {
+    auto it = shadow.begin();
+    std::advance(it, static_cast<std::ptrdiff_t>(r() % shadow.size()));
+    return it;
+  };
+
+  ElementId next_id = 0;
+  RankedList::BatchScratch scratch;
+  for (int round = 0; round < 4000; ++round) {
+    const double action = score_dist(rng);
+    if (action < 0.35 || shadow.size() < 4) {
+      const ElementId id = next_id++;
+      const double score = score_dist(rng);
+      const auto handle = list.Insert(id, score);
+      shadow[id] = Shadow{score, handle};
+      reference.insert(RankedList::Key{score, id});
+    } else if (action < 0.55) {
+      auto it = pick(rng);
+      Shadow& s = it->second;
+      const double score = score_dist(rng);
+      reference.erase(RankedList::Key{s.score, it->first});
+      reference.insert(RankedList::Key{score, it->first});
+      list.UpdateHandle({it->first, s.score, score, &s.handle});
+      s.score = score;
+      // A just-refreshed handle must resolve exactly.
+      ASSERT_EQ(list.ProbeHandle(s.handle, it->first, s.score),
+                RankedList::HandleState::kValid);
+    } else if (action < 0.65) {
+      // Id-keyed update: the stored handle is NOT refreshed and may go
+      // stale; later handle ops must fall back.
+      auto it = pick(rng);
+      Shadow& s = it->second;
+      const double score = score_dist(rng);
+      reference.erase(RankedList::Key{s.score, it->first});
+      reference.insert(RankedList::Key{score, it->first});
+      list.Update(it->first, score);
+      s.score = score;
+    } else if (action < 0.80) {
+      // Batched handle repositions over a random subset.
+      std::vector<RankedList::HandleUpdate> updates;
+      std::set<ElementId> used;
+      const std::size_t batch = 1 + rng() % 24;
+      for (std::size_t i = 0; i < batch && !shadow.empty(); ++i) {
+        auto it = pick(rng);
+        if (!used.insert(it->first).second) continue;
+        Shadow& s = it->second;
+        const double score = rng() % 5 == 0 ? s.score : score_dist(rng);
+        reference.erase(RankedList::Key{s.score, it->first});
+        reference.insert(RankedList::Key{score, it->first});
+        updates.push_back({it->first, s.score, score, &s.handle});
+        s.score = score;
+      }
+      list.ApplyBatchHandles(updates.data(), updates.size(), &scratch);
+    } else if (action < 0.90) {
+      auto it = pick(rng);
+      list.EraseHandle(it->first, it->second.score, it->second.handle);
+      reference.erase(RankedList::Key{it->second.score, it->first});
+      shadow.erase(it);
+    } else {
+      auto it = pick(rng);
+      list.Erase(it->first);
+      reference.erase(RankedList::Key{it->second.score, it->first});
+      shadow.erase(it);
+    }
+
+    if (round % 200 == 199) {
+      ASSERT_EQ(list.size(), reference.size());
+      auto ref_it = reference.begin();
+      for (const auto& key : list) {
+        ASSERT_EQ(key.id, ref_it->id);
+        ASSERT_EQ(key.score, ref_it->score);
+        ++ref_it;
+      }
+      for (const auto& [id, s] : shadow) {
+        ASSERT_EQ(list.Get(id), s.score) << "id=" << id;
+        // The stored handle is a hint: valid or stale, never wrong.
+        const auto state = list.ProbeHandle(s.handle, id, s.score);
+        ASSERT_TRUE(state == RankedList::HandleState::kValid ||
+                    state == RankedList::HandleState::kStale);
+      }
+    }
+  }
+}
+
+TEST(RankedListBatchTest, HandleBatchMatchesIdBatchBitwise) {
+  RankedList by_handle;
+  RankedList by_id;
+  std::vector<RankedList::Handle> handles(2000);
+  std::vector<double> scores(2000);
+  std::mt19937_64 rng(123);
+  std::uniform_real_distribution<double> score_dist(0.0, 1.0);
+  for (ElementId id = 0; id < 2000; ++id) {
+    scores[id] = score_dist(rng);
+    handles[id] = by_handle.Insert(id, scores[id]);
+    by_id.Insert(id, scores[id]);
+  }
+  RankedList::BatchScratch scratch_h;
+  RankedList::BatchScratch scratch_i;
+  for (int round = 0; round < 30; ++round) {
+    std::vector<RankedList::HandleUpdate> handle_updates;
+    std::vector<RankedList::Tuple> tuples;
+    std::set<ElementId> used;
+    const std::size_t batch = 2 + rng() % 300;
+    for (std::size_t i = 0; i < batch; ++i) {
+      const ElementId id = static_cast<ElementId>(rng() % 2000);
+      if (!used.insert(id).second) continue;
+      const double score = rng() % 4 == 0 ? 0.5 : score_dist(rng);
+      handle_updates.push_back({id, scores[id], score, &handles[id]});
+      tuples.push_back({id, score});
+      scores[id] = score;
+    }
+    by_handle.ApplyBatchHandles(handle_updates.data(), handle_updates.size(),
+                                &scratch_h);
+    by_id.ApplyBatch(tuples.data(), tuples.size(), &scratch_i);
+    ASSERT_EQ(by_handle.size(), by_id.size());
+    auto id_it = by_id.begin();
+    for (const auto& key : by_handle) {
+      ASSERT_EQ(key.id, id_it->id);
+      ASSERT_EQ(key.score, id_it->score);  // bitwise-identical doubles
+      ++id_it;
+    }
+  }
+}
+
+TEST(RankedListHandleTest, UntrackedListNeverTouchesAnIdTable) {
+  // A handle-carrying engine's list runs with track_ids = false: every
+  // operation resolves through the carried handle or the self-locating
+  // carried key, so the probe counter stays at zero FOREVER — including
+  // across splits and merges, whose side-table rewrites are gone entirely.
+  RankedList list(/*track_ids=*/false);
+  std::vector<RankedList::Handle> handles(500);
+  std::vector<double> scores(500);
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> score_dist(0.0, 1.0);
+  for (ElementId id = 0; id < 500; ++id) {
+    scores[id] = score_dist(rng);
+    handles[id] = list.Insert(id, scores[id]);
+  }
+  RankedList::BatchScratch scratch;
+  for (int round = 0; round < 20; ++round) {
+    std::vector<RankedList::HandleUpdate> updates;
+    for (ElementId id = round % 3; id < 500; id += 3) {
+      const double score = score_dist(rng);
+      updates.push_back({id, scores[id], score, &handles[id]});
+      scores[id] = score;
+    }
+    list.ApplyBatchHandles(updates.data(), updates.size(), &scratch);
+  }
+  for (ElementId id = 0; id < 500; id += 50) {
+    list.UpdateHandle({id, scores[id], scores[id] * 0.5, &handles[id]});
+    scores[id] *= 0.5;
+  }
+  for (ElementId id = 0; id < 500; id += 7) {
+    list.EraseHandle(id, scores[id], handles[id]);
+  }
+  EXPECT_EQ(list.id_table_probes(), 0u);
+  // Diagnostic lookups still work (by scan) and see the final state.
+  EXPECT_FALSE(list.Contains(0));
+  EXPECT_TRUE(list.Contains(1));
+  EXPECT_DOUBLE_EQ(list.Get(1), scores[1]);
+  // Ordering stayed intact throughout.
+  double prev = std::numeric_limits<double>::infinity();
+  for (const auto& key : list) {
+    EXPECT_LE(key.score, prev);
+    prev = key.score;
+  }
+}
+
+TEST(RankedListDrainTest, DrainTopEqualsRepeatedSinglePops) {
+  // DrainTop(n) must yield exactly the keys of n iterator increments, for
+  // every block size, across chunk boundaries.
+  RankedList list;
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> score_dist(0.0, 1.0);
+  for (ElementId id = 0; id < 500; ++id) {
+    list.Insert(id, score_dist(rng));
+  }
+  for (const std::size_t block : {1u, 3u, 32u, 64u, 100u, 1000u}) {
+    std::vector<RankedList::Key> drained;
+    auto pos = list.begin();
+    std::vector<RankedList::Key> buffer(block);
+    while (true) {
+      const std::size_t n = list.DrainTop(&pos, buffer.data(), block);
+      if (n == 0) break;
+      drained.insert(drained.end(), buffer.begin(),
+                     buffer.begin() + static_cast<std::ptrdiff_t>(n));
+    }
+    ASSERT_EQ(pos, list.end());
+    std::vector<RankedList::Key> singles;
+    for (auto it = list.begin(); it != list.end(); ++it) {
+      singles.push_back(*it);
+    }
+    ASSERT_EQ(drained.size(), singles.size()) << "block=" << block;
+    for (std::size_t i = 0; i < singles.size(); ++i) {
+      EXPECT_EQ(drained[i].id, singles[i].id) << "block=" << block;
+      EXPECT_EQ(drained[i].score, singles[i].score);
+    }
+  }
+  // Empty list: zero keys, iterator stays at end.
+  RankedList empty;
+  auto pos = empty.begin();
+  RankedList::Key out;
+  EXPECT_EQ(empty.DrainTop(&pos, &out, 1), 0u);
+  EXPECT_EQ(pos, empty.end());
 }
 
 // ------------------------------------------------------------- NaN guard --
@@ -469,24 +790,23 @@ TEST(RankedListBatchTest, TeOnlyBatchLeavesOrderUntouched) {
 TEST(RankedListDeathTest, InsertRejectsNaNScore) {
   const double nan = std::numeric_limits<double>::quiet_NaN();
   RankedList list;
-  EXPECT_DEATH(list.Insert(1, nan, 0), "isnan");
+  EXPECT_DEATH(list.Insert(1, nan), "isnan");
 }
 
 TEST(RankedListDeathTest, UpdateRejectsNaNScore) {
   const double nan = std::numeric_limits<double>::quiet_NaN();
   RankedList list;
-  list.Insert(1, 0.5, 0);
-  EXPECT_DEATH(list.Update(1, nan, 1), "isnan");
+  list.Insert(1, 0.5);
+  EXPECT_DEATH(list.Update(1, nan), "isnan");
 }
 
 TEST(RankedListDeathTest, ApplyBatchRejectsNaNScore) {
   const double nan = std::numeric_limits<double>::quiet_NaN();
   RankedList list;
-  list.Insert(1, 0.5, 0);
+  list.Insert(1, 0.5);
   RankedList::Tuple update;
   update.id = 1;
   update.score = nan;
-  update.te = 1;
   RankedList::BatchScratch scratch;
   EXPECT_DEATH(list.ApplyBatch(&update, 1, &scratch), "isnan");
 }
@@ -522,7 +842,7 @@ TEST(RefreshModeTest, PaperModeKeepsStaleUpperBound) {
     ASSERT_TRUE(engine.AdvanceTo(5, {mk(3, 5, {1})}).ok());
     // t=6: e2 (ts 2) leaves the window; e1 loses its referral, e3 remains.
     ASSERT_TRUE(engine.AdvanceTo(6, {}).ok());
-    const double listed = engine.index().list(0).Get(1).score;
+    const double listed = engine.index().list(0).Get(1);
     const SocialElement* e1 = engine.window().Find(1);
     ASSERT_NE(e1, nullptr);
     const double exact = engine.scoring().TopicScore(0, *e1);

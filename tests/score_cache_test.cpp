@@ -1,8 +1,10 @@
 // ScoreCache equivalence and staleness-direction tests.
 //
-// The incremental maintenance path (ScoreMaintenance::kIncremental) must be
-// observationally identical to the full-recompute baseline
-// (ScoreMaintenance::kRecompute) after arbitrary Advance sequences —
+// The incremental maintenance paths (ScoreMaintenance::kIncremental, in all
+// three flavors: handle-carrying batched, id-keyed batched, and
+// single-reposition) must be observationally identical to the
+// full-recompute baseline (ScoreMaintenance::kRecompute) after arbitrary
+// Advance sequences —
 // insertions, referrer gains, referrer expiry, element expiry and
 // resurrection, under both RefreshModes — and under RefreshMode::kPaper the
 // listed scores may only ever be stale-HIGH (sound upper bounds), never
@@ -65,10 +67,11 @@ SocialElement RandomElement(Rng* rng, ElementId id, Timestamp ts,
   return e;
 }
 
-/// Feeds the same random stream to three engines bucket by bucket — an
-/// always-batched incremental one, a single-reposition incremental one and
-/// the recompute baseline — checking list-state equality after every
-/// advance. The two incremental engines must agree bitwise (they compose
+/// Feeds the same random stream to four engines bucket by bucket — the
+/// handle-carrying batched path (production default), the id-keyed batched
+/// path (the PR 3 baseline), the single-reposition path (the PR 2 baseline)
+/// and the recompute baseline — checking list-state equality after every
+/// advance. The three incremental engines must agree bitwise (they compose
 /// identical doubles from the same cache); recompute agrees within kTol.
 void RunEquivalenceStream(std::uint64_t seed, RefreshMode mode) {
   Rng rng(seed);
@@ -82,17 +85,23 @@ void RunEquivalenceStream(std::uint64_t seed, RefreshMode mode) {
   base.archive_retention = 10;  // > T: keeps targets resurrectable
   base.refresh_mode = mode;
 
-  EngineConfig incremental_config = base;
-  incremental_config.score_maintenance = ScoreMaintenance::kIncremental;
-  // Every reposition goes through the ApplyBatch merge sweep...
-  incremental_config.reposition_batch_min = 1;
-  EngineConfig single_config = incremental_config;
-  // ...vs. none of them (the PR 2 single-reposition reference path).
+  EngineConfig handle_config = base;
+  handle_config.score_maintenance = ScoreMaintenance::kIncremental;
+  // Every reposition goes through the merge sweep, positions carried as
+  // handles (the production default)...
+  handle_config.reposition_batch_min = 1;
+  handle_config.carry_handles = true;
+  // ...vs. the same sweep resolving every tuple by id (PR 3)...
+  EngineConfig batched_config = handle_config;
+  batched_config.carry_handles = false;
+  // ...vs. no batching at all (the PR 2 single-reposition reference path).
+  EngineConfig single_config = handle_config;
   single_config.reposition_batch_min = 0;
   EngineConfig recompute_config = base;
   recompute_config.score_maintenance = ScoreMaintenance::kRecompute;
 
-  KsirEngine incremental(incremental_config, &model);
+  KsirEngine handle(handle_config, &model);
+  KsirEngine batched(batched_config, &model);
   KsirEngine single(single_config, &model);
   KsirEngine recompute(recompute_config, &model);
 
@@ -112,54 +121,69 @@ void RunEquivalenceStream(std::uint64_t seed, RefreshMode mode) {
               [](const SocialElement& a, const SocialElement& b) {
                 return a.ts < b.ts;
               });
-    ASSERT_TRUE(incremental.AdvanceTo(bucket_end, bucket).ok());
+    ASSERT_TRUE(handle.AdvanceTo(bucket_end, bucket).ok());
+    ASSERT_TRUE(batched.AdvanceTo(bucket_end, bucket).ok());
     ASSERT_TRUE(single.AdvanceTo(bucket_end, bucket).ok());
     ASSERT_TRUE(recompute.AdvanceTo(bucket_end, std::move(bucket)).ok());
 
     // Same active set, same index membership, same tuples.
-    const auto& iw = incremental.window();
+    const auto& iw = handle.window();
     const auto& rw = recompute.window();
     ASSERT_EQ(iw.num_active(), rw.num_active()) << "t=" << bucket_end;
-    ASSERT_EQ(incremental.index().num_elements(),
+    ASSERT_EQ(handle.index().num_elements(),
               recompute.index().num_elements());
-    ASSERT_EQ(incremental.index().total_entries(),
+    ASSERT_EQ(handle.index().total_entries(),
               recompute.index().total_entries());
-    ASSERT_EQ(incremental.index().total_entries(),
+    ASSERT_EQ(handle.index().total_entries(),
+              batched.index().total_entries());
+    ASSERT_EQ(handle.index().total_entries(),
               single.index().total_entries());
     for (ElementId id : iw.ActiveIds()) {
       const SocialElement* e = iw.Find(id);
       ASSERT_NE(e, nullptr);
       for (const auto& [topic, prob] : e->topics.entries()) {
-        ASSERT_TRUE(incremental.index().list(topic).Contains(id))
+        ASSERT_TRUE(handle.index().list(topic).Contains(id))
             << "t=" << bucket_end << " e=" << id;
         ASSERT_TRUE(recompute.index().list(topic).Contains(id));
-        const auto lhs = incremental.index().list(topic).Get(id);
-        const auto mid = single.index().list(topic).Get(id);
-        const auto rhs = recompute.index().list(topic).Get(id);
-        // Batched and single-reposition incremental must agree EXACTLY.
-        EXPECT_EQ(lhs.score, mid.score)
+        const double lhs = handle.index().list(topic).Get(id);
+        const double bat = batched.index().list(topic).Get(id);
+        const double mid = single.index().list(topic).Get(id);
+        const double rhs = recompute.index().list(topic).Get(id);
+        // The three incremental paths must agree EXACTLY.
+        EXPECT_EQ(lhs, bat)
             << "t=" << bucket_end << " e=" << id << " topic=" << topic;
-        EXPECT_EQ(lhs.te, mid.te);
-        EXPECT_NEAR(lhs.score, rhs.score, kTol)
+        EXPECT_EQ(lhs, mid)
             << "t=" << bucket_end << " e=" << id << " topic=" << topic;
-        EXPECT_EQ(lhs.te, rhs.te);
+        EXPECT_NEAR(lhs, rhs, kTol)
+            << "t=" << bucket_end << " e=" << id << " topic=" << topic;
         if (mode == RefreshMode::kExact) {
           // All paths must equal a from-scratch delta_i(e).
-          EXPECT_NEAR(lhs.score,
-                      incremental.scoring().TopicScore(topic, *e, prob), kTol);
+          EXPECT_NEAR(lhs,
+                      handle.scoring().TopicScore(topic, *e, prob), kTol);
         }
       }
+      // t_e is per element; all engines must agree exactly.
+      EXPECT_EQ(handle.index().TimeOf(id), batched.index().TimeOf(id))
+          << "t=" << bucket_end << " e=" << id;
+      EXPECT_EQ(handle.index().TimeOf(id), single.index().TimeOf(id));
+      EXPECT_EQ(handle.index().TimeOf(id), recompute.index().TimeOf(id));
     }
-    // The whole key sequence of every list must match between the batched
-    // and single-reposition engines (same order, bitwise-equal scores).
+    // The whole key sequence of every list must match across the three
+    // incremental engines (same order, bitwise-equal scores).
     for (TopicId topic = 0; topic < kNumTopics; ++topic) {
-      const auto& blist = incremental.index().list(topic);
+      const auto& hlist = handle.index().list(topic);
+      const auto& blist = batched.index().list(topic);
       const auto& slist = single.index().list(topic);
-      ASSERT_EQ(blist.size(), slist.size());
+      ASSERT_EQ(hlist.size(), blist.size());
+      ASSERT_EQ(hlist.size(), slist.size());
+      auto bit = blist.begin();
       auto sit = slist.begin();
-      for (const auto& key : blist) {
+      for (const auto& key : hlist) {
+        ASSERT_EQ(key.id, bit->id) << "t=" << bucket_end << " topic=" << topic;
+        ASSERT_EQ(key.score, bit->score);
         ASSERT_EQ(key.id, sit->id) << "t=" << bucket_end << " topic=" << topic;
         ASSERT_EQ(key.score, sit->score);
+        ++bit;
         ++sit;
       }
     }
@@ -175,12 +199,16 @@ void RunEquivalenceStream(std::uint64_t seed, RefreshMode mode) {
        {Algorithm::kMtts, Algorithm::kMttd, Algorithm::kCelf,
         Algorithm::kTopkRepresentative}) {
     query.algorithm = algorithm;
-    const auto lhs = incremental.Query(query);
+    const auto lhs = handle.Query(query);
+    const auto bat = batched.Query(query);
     const auto mid = single.Query(query);
     const auto rhs = recompute.Query(query);
     ASSERT_TRUE(lhs.ok());
+    ASSERT_TRUE(bat.ok());
     ASSERT_TRUE(mid.ok());
     ASSERT_TRUE(rhs.ok());
+    EXPECT_EQ(lhs->element_ids, bat->element_ids) << AlgorithmName(algorithm);
+    EXPECT_EQ(lhs->score, bat->score) << AlgorithmName(algorithm);
     EXPECT_EQ(lhs->element_ids, mid->element_ids) << AlgorithmName(algorithm);
     EXPECT_EQ(lhs->score, mid->score) << AlgorithmName(algorithm);
     EXPECT_EQ(lhs->element_ids, rhs->element_ids)
@@ -241,7 +269,7 @@ TEST(ScoreCachePaperModeTest, ListedScoresNeverStaleLow) {
     for (ElementId id : engine.window().ActiveIds()) {
       const SocialElement* e = engine.window().Find(id);
       for (const auto& [topic, prob] : e->topics.entries()) {
-        const double listed = engine.index().list(topic).Get(id).score;
+        const double listed = engine.index().list(topic).Get(id);
         const double exact = engine.scoring().TopicScore(topic, *e, prob);
         EXPECT_GE(listed, exact - kTol)
             << "stale-LOW bound at t=" << bucket_end << " e=" << id;
@@ -326,14 +354,14 @@ TEST(ScoreCachePaperModeTest, NextGainRepositionsToExactScore) {
   ASSERT_TRUE(engine.AdvanceTo(6, {}).ok());
   const SocialElement* e1 = engine.window().Find(1);
   ASSERT_NE(e1, nullptr);
-  EXPECT_GT(engine.index().list(0).Get(1).score,
+  EXPECT_GT(engine.index().list(0).Get(1),
             engine.scoring().TopicScore(0, *e1));  // stale-high, by design
   // t=7: e4 refers to e1 -> gained edge -> reposition. The listed score
   // must now equal the exact recomputation (loss of e2 plus gain of e4).
   ASSERT_TRUE(engine.AdvanceTo(7, {mk(4, 7, {1})}).ok());
   e1 = engine.window().Find(1);
   ASSERT_NE(e1, nullptr);
-  EXPECT_NEAR(engine.index().list(0).Get(1).score,
+  EXPECT_NEAR(engine.index().list(0).Get(1),
               engine.scoring().TopicScore(0, *e1), 1e-12);
 }
 

@@ -5,7 +5,10 @@
 #include <atomic>
 #include <memory>
 #include <stdexcept>
+#include <thread>
 #include <vector>
+
+#include "common/rng.h"
 
 #include <gtest/gtest.h>
 
@@ -152,6 +155,58 @@ TEST(ShardRouterTest, ForgetRollsBackAssignments) {
   EXPECT_FALSE(router.Knows(5));
   router.PruneOlderThan(100);  // stale queue entry must be skipped cleanly
   EXPECT_EQ(router.tracked(), 0u);
+}
+
+TEST(ShardRouterTest, BalanceCapSpreadsSingleComponentCascade) {
+  // One root with every later element chaining to its predecessor: pure
+  // chain affinity degenerates to one shard; the balance cap bounds the
+  // tracked-load skew while keeping most chain hops intra-shard.
+  constexpr std::size_t kShards = 4;
+  constexpr double kCap = 2.0;
+  ShardRouter uncapped(kShards);
+  ShardRouter capped(kShards, kCap);
+  for (ElementId id = 0; id < 400; ++id) {
+    SocialElement e;
+    e.id = id;
+    e.ts = id + 1;
+    if (id > 0) e.refs = {id - 1};
+    uncapped.Route(e);
+    capped.Route(e);
+  }
+  // Uncapped: the whole cascade collapses onto the root's shard.
+  std::size_t uncapped_nonempty = 0;
+  for (const std::size_t load : uncapped.shard_loads()) {
+    if (load > 0) ++uncapped_nonempty;
+  }
+  EXPECT_EQ(uncapped_nonempty, 1u);
+  EXPECT_EQ(uncapped.rebalanced(), 0);
+  // Capped: every shard carries load and the skew respects the cap.
+  const auto& loads = capped.shard_loads();
+  const std::size_t max_load = *std::max_element(loads.begin(), loads.end());
+  const std::size_t min_load = *std::min_element(loads.begin(), loads.end());
+  EXPECT_GT(min_load, 0u);
+  EXPECT_LE(static_cast<double>(max_load),
+            kCap * (static_cast<double>(min_load) + 1.0));
+  EXPECT_GT(capped.rebalanced(), 0);
+  // The rebalanced placements cost exactly their chain edges.
+  EXPECT_EQ(capped.cross_shard_refs(), capped.rebalanced());
+}
+
+TEST(ShardRouterTest, BalanceCapOffPreservesChainAffinity) {
+  // max_imbalance = 0 must reproduce the pure chain-following behavior.
+  ShardRouter router(4, 0.0);
+  SocialElement root;
+  root.id = 1;
+  root.ts = 1;
+  const std::size_t shard = router.Route(root);
+  for (ElementId id = 2; id <= 200; ++id) {
+    SocialElement reply;
+    reply.id = id;
+    reply.ts = id;
+    reply.refs = {id - 1};
+    EXPECT_EQ(router.Route(reply), shard);
+  }
+  EXPECT_EQ(router.cross_shard_refs(), 0);
 }
 
 TEST(ShardRouterTest, RootsSpreadAcrossShards) {
@@ -302,6 +357,9 @@ TEST(ServiceTest, CreateRejectsBadConfig) {
   EXPECT_FALSE(KsirService::Create(config, &model).ok());
   config = PaperServiceConfig(2);
   config.engine.bucket_length = -5;
+  EXPECT_FALSE(KsirService::Create(config, &model).ok());
+  config = PaperServiceConfig(2);
+  config.engine.max_shard_imbalance = 0.5;  // must be 0 (off) or >= 1
   EXPECT_FALSE(KsirService::Create(config, &model).ok());
   EXPECT_FALSE(KsirService::Create(PaperServiceConfig(2), nullptr).ok());
 }
@@ -517,7 +575,151 @@ TEST_F(PlannerPropertyTest, StandingQueriesRunAfterEachBucket) {
   EXPECT_TRUE(changes[0]);  // first evaluation always reports a change
 }
 
+// ---- balance-aware routing at the service seam -----------------------------
+
+TEST(ServiceBalanceTest, CappedRoutingBoundsSkewAndKeepsMergeQualityBar) {
+  // A single-component cascade stream (every element references recent
+  // predecessors) collapses onto one shard under pure chain affinity. With
+  // the cap enabled the per-shard load spread must respect the bound AND
+  // the fan-out/merge CELF answer must stay within the 0.95x acceptance
+  // bar of a single engine — the trade the cap makes is a few cross-shard
+  // edges, not merge quality.
+  constexpr std::size_t kShards = 4;
+  constexpr double kCap = 2.0;
+  constexpr int kTopics = 4;
+  constexpr int kVocab = 32;
+  Rng rng(99);
+  std::vector<std::vector<double>> matrix(kTopics,
+                                          std::vector<double>(kVocab));
+  for (auto& row : matrix) {
+    for (auto& p : row) p = rng.NextDouble() + 0.05;
+  }
+  TopicModel model = std::move(TopicModel::FromMatrix(std::move(matrix))).value();
+
+  std::vector<SocialElement> elements;
+  for (ElementId id = 0; id < 1200; ++id) {
+    SocialElement e;
+    e.id = id;
+    e.ts = id + 1;
+    std::vector<WordId> words;
+    for (int w = 0; w < 6; ++w) {
+      words.push_back(static_cast<WordId>(rng.NextUint64(kVocab)));
+    }
+    e.doc = Document::FromWordIds(words);
+    e.topics = SparseVector::TruncateAndNormalize(
+        rng.NextDirichlet(0.5, kTopics), 0.1);
+    const int num_refs = 1 + static_cast<int>(rng.NextUint64(3));
+    for (int r = 0; r < num_refs && id > 0; ++r) {
+      const ElementId target =
+          id - 1 - static_cast<ElementId>(rng.NextUint64(
+                       std::min<std::uint64_t>(8, id)));
+      if (!std::count(e.refs.begin(), e.refs.end(), target)) {
+        e.refs.push_back(target);
+      }
+    }
+    std::sort(e.refs.begin(), e.refs.end());
+    elements.push_back(std::move(e));
+  }
+
+  EngineConfig engine_config;
+  engine_config.scoring.eta = 4.0;
+  engine_config.window_length = 600;
+  engine_config.bucket_length = 60;
+  KsirEngine single(engine_config, &model);
+  ASSERT_TRUE(single.Append(elements).ok());
+
+  ServiceConfig capped_config;
+  capped_config.engine = engine_config;
+  capped_config.engine.max_shard_imbalance = kCap;
+  capped_config.num_shards = kShards;
+  auto capped = KsirService::Create(capped_config, &model);
+  ASSERT_TRUE(capped.ok());
+  ASSERT_TRUE((*capped)->Append(elements).ok());
+
+  // Routing actually exercised the cap, and every shard carries recent
+  // load. A roaming cascade is the cap's worst case — the chain re-anchors
+  // on whatever shard it was pushed to, so placements come in runs and old
+  // runs decay unevenly; the cap bounds every ADMISSION, which keeps the
+  // end-of-stream skew near the configured bound (asserted with 30% drift
+  // slack) instead of the total collapse chain affinity alone produces.
+  const ShardRouter& router = (*capped)->router();
+  EXPECT_GT(router.rebalanced(), 0);
+  const auto& loads = router.recent_loads();
+  EXPECT_GT(*std::min_element(loads.begin(), loads.end()), 0u);
+  std::size_t max_active = 0;
+  std::size_t min_active = static_cast<std::size_t>(-1);
+  for (std::size_t s = 0; s < kShards; ++s) {
+    const std::size_t active = (*capped)->shard(s).window().num_active();
+    max_active = std::max(max_active, active);
+    min_active = std::min(min_active, active);
+  }
+  ASSERT_GT(min_active, 0u);
+  EXPECT_LE(static_cast<double>(max_active) /
+                static_cast<double>(min_active),
+            kCap * 1.3);
+
+  // Merge-quality acceptance bar against the single engine.
+  for (int q = 0; q < 6; ++q) {
+    KsirQuery query;
+    query.k = 8;
+    query.algorithm = Algorithm::kCelf;
+    const auto a = static_cast<TopicId>(q % kTopics);
+    const auto b = static_cast<TopicId>((q + 1) % kTopics);
+    query.x = a == b ? SparseVector::FromEntries({{a, 1.0}})
+                     : SparseVector::FromEntries({{a, 0.6}, {b, 0.4}});
+    const auto expected = single.Query(query);
+    const auto actual = (*capped)->Query(query);
+    ASSERT_TRUE(expected.ok() && actual.ok()) << "query " << q;
+    EXPECT_GE(actual->score, 0.95 * expected->score)
+        << "query " << q << ": capped sharded " << actual->score
+        << " vs single " << expected->score;
+  }
+}
+
 // ---- result cache unit behavior -------------------------------------------
+
+TEST(ResultCacheTest, StatsAndFloorReadableDuringConcurrentSweeps) {
+  // Regression (TSan-covered): the stats counters and the invalidation
+  // floor are read by monitoring threads while queries insert and bucket
+  // advances sweep. The counters are atomics now; under the old plain
+  // fields this read raced InvalidateBefore/Insert.
+  ResultCache cache(64);
+  KsirQuery query;
+  query.x = SparseVector::FromEntries({{0, 1.0}});
+  QueryResult result;
+  result.score = 1.0;
+  constexpr std::uint64_t kEpochs = 2000;
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> floor_monotone{true};
+  std::thread monitor([&] {
+    std::uint64_t prev = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::uint64_t floor = cache.invalidation_floor();
+      if (floor < prev) floor_monotone.store(false);
+      prev = floor;
+      const ResultCacheStats stats = cache.stats();
+      if (stats.hits < 0 || stats.misses < 0) floor_monotone.store(false);
+    }
+  });
+  std::thread sweeper([&] {
+    for (std::uint64_t epoch = 1; epoch <= kEpochs; ++epoch) {
+      cache.InvalidateBefore(epoch);
+    }
+  });
+  for (std::uint64_t epoch = 1; epoch <= kEpochs; ++epoch) {
+    cache.Insert(cache.MakeKey(query, epoch), result);
+    (void)cache.Lookup(cache.MakeKey(query, epoch));
+  }
+  sweeper.join();
+  stop.store(true, std::memory_order_release);
+  monitor.join();
+
+  EXPECT_TRUE(floor_monotone.load());
+  EXPECT_EQ(cache.invalidation_floor(), kEpochs);
+  const ResultCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, static_cast<std::int64_t>(kEpochs));
+}
 
 TEST(ResultCacheTest, QuantizesNearbyQueryVectors) {
   ResultCache cache(8, 1e-3);

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for the hot-path benchmark.
+
+Compares the freshly produced BENCH_hotpath.json against the committed
+baseline and fails (exit 1) when the production engine's p50 bucket-update
+latency regressed by more than the threshold. Comparisons only make sense
+at matching scale; a scale mismatch is reported and skipped (exit 0) so the
+gate never silently compares apples to oranges.
+
+Usage: check_bench_regression.py BASELINE.json FRESH.json [THRESHOLD]
+  THRESHOLD is the allowed relative regression, default 0.15 (= +15%).
+"""
+
+import json
+import sys
+
+# The production engine key, newest first: older baselines predate the
+# handle path and archive the batched engine instead.
+ENGINE_KEYS = ("handle", "batched")
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def p50_of(doc, path):
+    engines = doc.get("engines", {})
+    for key in ENGINE_KEYS:
+        if key in engines:
+            return key, engines[key]["bucket_update"]["p50_ms"]
+    raise KeyError(f"{path}: no known engine key in {sorted(engines)}")
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    baseline_path, fresh_path = argv[1], argv[2]
+    threshold = float(argv[3]) if len(argv) > 3 else 0.15
+
+    baseline = load(baseline_path)
+    fresh = load(fresh_path)
+
+    base_scale = baseline.get("scale")
+    fresh_scale = fresh.get("scale")
+    if base_scale != fresh_scale:
+        print(f"SKIP: scale mismatch (baseline={base_scale}, "
+              f"fresh={fresh_scale}); nothing comparable")
+        return 0
+
+    base_key, base_p50 = p50_of(baseline, baseline_path)
+    fresh_key, fresh_p50 = p50_of(fresh, fresh_path)
+    if base_p50 <= 0.0:
+        print(f"SKIP: baseline p50 is {base_p50}")
+        return 0
+
+    ratio = fresh_p50 / base_p50
+    print(f"baseline[{base_key}] p50 = {base_p50:.6f} ms, "
+          f"fresh[{fresh_key}] p50 = {fresh_p50:.6f} ms, "
+          f"ratio = {ratio:.3f} (limit {1.0 + threshold:.2f})")
+    if ratio > 1.0 + threshold:
+        print(f"FAIL: p50 bucket-update regressed by "
+              f"{(ratio - 1.0) * 100.0:.1f}% (> {threshold * 100.0:.0f}%)")
+        return 1
+    print("OK: within the regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
