@@ -1,9 +1,13 @@
-// Ingestion/query hot-path benchmark: handle-carrying batched maintenance
-// vs. the id-keyed batched path (the PR 3 baseline) vs. the
-// single-reposition incremental path (the PR 2 baseline) vs. the
-// full-recompute baseline, on a reposition-heavy stream — plus a
-// reposition-batch-size sweep and sharded-ingestion scenarios with the
-// balance-aware routing cap off and on.
+// Ingestion/query hot-path benchmark: parallel staged maintenance (4
+// workers) vs. serial handle-carrying batched maintenance vs. the id-keyed
+// batched path (the PR 3 baseline) vs. the single-reposition incremental
+// path (the PR 2 baseline) vs. the full-recompute baseline, on a
+// reposition-heavy stream — plus a reposition-batch-size sweep, a
+// maintenance-thread sweep (1/2/4 workers) and sharded-ingestion scenarios
+// with the balance-aware routing cap off and on. The JSON records
+// available_cores: the parallel path is bitwise-identical to the serial
+// one by contract, so on a single-core container it can only show its
+// overhead — wall-clock speedup needs cores.
 //
 // The workload is deliberately hub-heavy (high mean out-references, strong
 // preferential attachment, flat recency decay) so that most of Algorithm 1's
@@ -23,6 +27,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -31,7 +36,7 @@
 #include "core/engine.h"
 #include "service/shard_router.h"
 #include "service/sharded_ingestor.h"
-#include "service/worker_pool.h"
+#include "runtime/worker_pool.h"
 #include "stream/generator.h"
 
 namespace ksir::bench {
@@ -118,8 +123,8 @@ ShardedRun FeedSharded(const EngineConfig& config, const TopicModel* model,
   }
   ShardRouter router(num_shards, config.max_shard_imbalance,
                      config.window_length);
-  WorkerPool pool(num_shards);
-  ShardedIngestor ingestor(shard_ptrs, &router, &pool);
+  const auto pool = MakeWorkerPool(num_shards);
+  ShardedIngestor ingestor(shard_ptrs, &router, pool.get());
 
   std::vector<double> bucket_ms;
   const std::size_t n = elements.size();
@@ -204,7 +209,8 @@ int Run(const char* out_path) {
   profile.seed = 42;
 
   PrintBanner(
-      "Hot-path bench: handle vs batched vs single vs recompute maintenance",
+      "Hot-path bench: parallel vs handle vs batched vs single vs recompute "
+      "maintenance",
       "Algorithm 1 + Algorithms 2-3 hot paths");
 
   auto generated = GenerateStream(profile);
@@ -213,11 +219,17 @@ int Run(const char* out_path) {
   dataset.eta = CalibrateEta(dataset.stream);
 
   EngineConfig base = MakeConfig(dataset, /*window_length=*/48 * 3600);
-  // The production default: per-list merge sweeps above the threshold,
-  // positions carried as handles through window -> cache -> lists.
+  // The serial production default: per-list merge sweeps above the
+  // threshold, positions carried as handles through window -> cache ->
+  // lists.
   EngineConfig handle_config = base;
   handle_config.score_maintenance = ScoreMaintenance::kIncremental;
   handle_config.carry_handles = true;
+  // The staged parallel apply over the same pipeline, 4 participants
+  // (bitwise-identical results by contract).
+  constexpr std::size_t kParallelWorkers = 4;
+  EngineConfig parallel_config = handle_config;
+  parallel_config.maintenance_threads = kParallelWorkers;
   // The PR 3 baseline: same batching, every tuple re-resolved by id.
   EngineConfig batched_config = handle_config;
   batched_config.carry_handles = false;
@@ -240,15 +252,17 @@ int Run(const char* out_path) {
   // fresh engines per pass, keeping each engine's better pass: the shared
   // bench machine drifts by tens of percent within one process, far above
   // the effects measured here, and best-of-2 over interleaved passes
-  // cancels most of it. Within a pass the handle engine is measured BEFORE
-  // the batched baseline (and that before the unbatched one): residual
-  // drift favors later feeds, so the ordering can only understate the
-  // handle speedup. The last pass's engines are kept for the query
-  // workload and the equivalence checks.
+  // cancels most of it. Within a pass the parallel engine is measured
+  // BEFORE the serial handle engine (and that before the batched and
+  // unbatched baselines): residual drift favors later feeds, so the
+  // ordering can only understate each speedup. The last pass's engines are
+  // kept for the query workload and the equivalence checks.
   BucketStats recompute_feed;
+  BucketStats parallel_feed;
   BucketStats handle_feed;
   BucketStats batched_feed;
   BucketStats unbatched_feed;
+  std::unique_ptr<KsirEngine> parallel;
   std::unique_ptr<KsirEngine> handle;
   std::unique_ptr<KsirEngine> batched;
   std::unique_ptr<KsirEngine> unbatched;
@@ -259,6 +273,8 @@ int Run(const char* out_path) {
   for (int pass = 0; pass < 2; ++pass) {
     recompute =
         std::make_unique<KsirEngine>(recompute_config, &dataset.stream.model);
+    parallel =
+        std::make_unique<KsirEngine>(parallel_config, &dataset.stream.model);
     handle =
         std::make_unique<KsirEngine>(handle_config, &dataset.stream.model);
     batched =
@@ -268,6 +284,10 @@ int Run(const char* out_path) {
     recompute_feed = better(
         recompute_feed,
         Feed(recompute.get(),
+             std::vector<SocialElement>(dataset.stream.elements)));
+    parallel_feed = better(
+        parallel_feed,
+        Feed(parallel.get(),
              std::vector<SocialElement>(dataset.stream.elements)));
     handle_feed = better(
         handle_feed,
@@ -300,6 +320,25 @@ int Run(const char* out_path) {
     const BucketStats feed =
         Feed(&engine, std::vector<SocialElement>(dataset.stream.elements));
     sweep.push_back({batch_min, feed.total_ms, feed.p50_ms});
+  }
+
+  // Maintenance-thread sweep: fresh engines, same stream, varying the
+  // staged apply's participant count (1 = the serial reference path).
+  // Scaling needs cores — see available_cores in the JSON.
+  const std::size_t kThreadSweep[] = {1, 2, 4};
+  struct ThreadSweepPoint {
+    std::size_t threads;
+    double total_ms;
+    double p50_ms;
+  };
+  std::vector<ThreadSweepPoint> thread_sweep;
+  for (const std::size_t threads : kThreadSweep) {
+    EngineConfig config = handle_config;
+    config.maintenance_threads = threads;
+    KsirEngine engine(config, &dataset.stream.model);
+    const BucketStats feed =
+        Feed(&engine, std::vector<SocialElement>(dataset.stream.elements));
+    thread_sweep.push_back({threads, feed.total_ms, feed.p50_ms});
   }
 
   // Sharded-ingestion scenarios: the same stream partitioned over 4 shard
@@ -343,18 +382,24 @@ int Run(const char* out_path) {
       query.x = spec.x;
       query.algorithm = algo.algorithm;
       const auto han = handle->Query(query);
+      const auto par = parallel->Query(query);
       const auto bat = batched->Query(query);
       const auto unb = unbatched->Query(query);
       const auto rec = recompute->Query(query);
       KSIR_CHECK(han.ok());
+      KSIR_CHECK(par.ok());
       KSIR_CHECK(bat.ok());
       KSIR_CHECK(unb.ok());
       KSIR_CHECK(rec.ok());
       han_total += han->stats.elapsed_ms;
       rec_total += rec->stats.elapsed_ms;
-      // Handle vs id-batched vs single-reposition must agree EXACTLY
-      // (bit-identical list states); recompute within the floating-point
+      // Handle vs parallel vs id-batched vs single-reposition must agree
+      // EXACTLY (bit-identical list states; the parallel apply's
+      // determinism contract); recompute within the floating-point
       // tolerance.
+      if (han->element_ids != par->element_ids || han->score != par->score) {
+        results_identical = false;
+      }
       if (han->element_ids != bat->element_ids || han->score != bat->score) {
         results_identical = false;
       }
@@ -385,31 +430,46 @@ int Run(const char* out_path) {
                                            batched_feed.total_ms);
   const double batch_speedup_p50 = ratio(unbatched_feed.p50_ms,
                                          batched_feed.p50_ms);
+  const double parallel_speedup_total = ratio(handle_feed.total_ms,
+                                              parallel_feed.total_ms);
+  const double parallel_speedup_p50 = ratio(handle_feed.p50_ms,
+                                            parallel_feed.p50_ms);
+  const unsigned available_cores = std::thread::hardware_concurrency();
 
-  std::printf("  stream: %zu elements, %zu buckets, eta=%.4f\n",
+  std::printf("  stream: %zu elements, %zu buckets, eta=%.4f (%u cores)\n",
               dataset.stream.elements.size(), handle_feed.num_buckets,
-              dataset.eta);
+              dataset.eta, available_cores);
   std::printf("  bucket update total: recompute %.1f ms | unbatched %.1f ms "
-              "| batched %.1f ms | handle %.1f ms\n",
+              "| batched %.1f ms | handle %.1f ms | parallel x%zu %.1f ms\n",
               recompute_feed.total_ms, unbatched_feed.total_ms,
-              batched_feed.total_ms, handle_feed.total_ms);
+              batched_feed.total_ms, handle_feed.total_ms, kParallelWorkers,
+              parallel_feed.total_ms);
   std::printf("  speedups: handle vs recompute %.2fx | handle vs batched "
               "(PR 3 baseline) %.2fx total, %.2fx p50 | batched vs "
-              "unbatched %.2fx total\n",
+              "unbatched %.2fx total | parallel vs handle %.2fx total, "
+              "%.2fx p50\n",
               speedup_total, handle_speedup_total, handle_speedup_p50,
-              batch_speedup_total);
+              batch_speedup_total, parallel_speedup_total,
+              parallel_speedup_p50);
   std::printf("  bucket update p50/p95: batched %.3f/%.3f ms | handle "
-              "%.3f/%.3f ms\n",
+              "%.3f/%.3f ms | parallel %.3f/%.3f ms\n",
               batched_feed.p50_ms, batched_feed.p95_ms,
-              handle_feed.p50_ms, handle_feed.p95_ms);
+              handle_feed.p50_ms, handle_feed.p95_ms,
+              parallel_feed.p50_ms, parallel_feed.p95_ms);
   std::printf("  throughput: recompute %.0f el/s | unbatched %.0f el/s | "
-              "batched %.0f el/s | handle %.0f el/s\n",
+              "batched %.0f el/s | handle %.0f el/s | parallel %.0f el/s\n",
               recompute_feed.elements_per_sec,
               unbatched_feed.elements_per_sec,
-              batched_feed.elements_per_sec, handle_feed.elements_per_sec);
+              batched_feed.elements_per_sec, handle_feed.elements_per_sec,
+              parallel_feed.elements_per_sec);
   std::printf("  batch-size sweep (total ms):");
   for (const SweepPoint& point : sweep) {
     std::printf(" min=%zu: %.1f", point.batch_min, point.total_ms);
+  }
+  std::printf("\n");
+  std::printf("  thread sweep (total ms):");
+  for (const ThreadSweepPoint& point : thread_sweep) {
+    std::printf(" w=%zu: %.1f", point.threads, point.total_ms);
   }
   std::printf("\n");
   const auto print_sharded = [&](const char* name, const ShardedRun& run) {
@@ -446,6 +506,9 @@ int Run(const char* out_path) {
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"bench\": \"hotpath\",\n");
   std::fprintf(out, "  \"scale\": \"%s\",\n", scale_name);
+  // The parallel path is bitwise-identical to the serial one; wall-clock
+  // scaling needs cores, so record what this run actually had.
+  std::fprintf(out, "  \"available_cores\": %u,\n", available_cores);
   std::fprintf(out,
                "  \"workload\": {\"profile\": \"%s\", \"num_elements\": %zu, "
                "\"avg_references\": %.1f, \"ref_popularity_weight\": %.2f, "
@@ -476,19 +539,24 @@ int Run(const char* out_path) {
   };
   std::fprintf(out, "  \"engines\": {\n");
   emit_engine("handle", handle_feed, &handle_lat, true);
+  emit_engine("parallel", parallel_feed, nullptr, true);
   emit_engine("batched", batched_feed, nullptr, true);
   emit_engine("incremental_unbatched", unbatched_feed, nullptr, true);
   emit_engine("recompute", recompute_feed, &recompute_lat, false);
   std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"maintenance_threads\": %zu,\n", kParallelWorkers);
   std::fprintf(out,
                "  \"speedup\": {\"bucket_update_total\": %.3f, "
                "\"bucket_update_p50\": %.3f, "
                "\"handle_vs_pr3_batched_total\": %.3f, "
                "\"handle_vs_pr3_batched_p50\": %.3f, "
                "\"batched_vs_pr2_incremental_total\": %.3f, "
-               "\"batched_vs_pr2_incremental_p50\": %.3f},\n",
+               "\"batched_vs_pr2_incremental_p50\": %.3f, "
+               "\"parallel_vs_handle_total\": %.3f, "
+               "\"parallel_vs_handle_p50\": %.3f},\n",
                speedup_total, speedup_p50, handle_speedup_total,
-               handle_speedup_p50, batch_speedup_total, batch_speedup_p50);
+               handle_speedup_p50, batch_speedup_total, batch_speedup_p50,
+               parallel_speedup_total, parallel_speedup_p50);
   std::fprintf(out, "  \"batch_sweep\": [");
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     std::fprintf(out,
@@ -496,6 +564,15 @@ int Run(const char* out_path) {
                  "\"p50_ms\": %.6f}",
                  i == 0 ? "" : ", ", sweep[i].batch_min, sweep[i].total_ms,
                  sweep[i].p50_ms);
+  }
+  std::fprintf(out, "],\n");
+  std::fprintf(out, "  \"thread_sweep\": [");
+  for (std::size_t i = 0; i < thread_sweep.size(); ++i) {
+    std::fprintf(out,
+                 "%s{\"maintenance_threads\": %zu, \"total_ms\": %.3f, "
+                 "\"p50_ms\": %.6f}",
+                 i == 0 ? "" : ", ", thread_sweep[i].threads,
+                 thread_sweep[i].total_ms, thread_sweep[i].p50_ms);
   }
   std::fprintf(out, "],\n");
   EmitShardedJson(out, "sharded", sharded, 0.0, handle_feed.total_ms, true);

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/timer.h"
+#include "runtime/worker_pool.h"
 #include "core/brute_force.h"
 #include "core/celf.h"
 #include "core/mttd.h"
@@ -55,6 +56,15 @@ Status ValidateEngineConfig(const EngineConfig& config) {
     return Status::InvalidArgument(
         "max_shard_imbalance must be 0 (off) or >= 1");
   }
+  // The engine spawns maintenance_threads - 1 OS threads when it owns the
+  // pool; an absurd value from an untrusted config must fail validation
+  // here, not exhaust the process inside the constructor. 256 is far past
+  // any useful participant count (the stages shard by element and topic,
+  // both bounded per bucket).
+  if (config.maintenance_threads > 256) {
+    return Status::InvalidArgument(
+        "maintenance_threads must be <= 256");
+  }
   return Status::OK();
 }
 
@@ -64,26 +74,43 @@ bool UsesHandlePipeline(const EngineConfig& config) {
          config.reposition_batch_min > 0;
 }
 
-KsirEngine::KsirEngine(EngineConfig config, const TopicModel* model)
+bool UsesParallelMaintenance(const EngineConfig& config) {
+  return UsesHandlePipeline(config) && config.maintenance_threads >= 2;
+}
+
+KsirEngine::KsirEngine(EngineConfig config, const TopicModel* model,
+                       WorkerPool* maintenance_pool)
     : config_(config),
       window_(config.window_length, config.archive_retention),
       index_(model != nullptr ? model->num_topics() : 1,
              /*track_ids=*/!UsesHandlePipeline(config)),
       scoring_(model, &window_, config.scoring),
+      // The advancing thread is one participant, so an engine-owned pool
+      // only needs the helpers. A shared pool is used as passed — the
+      // sharded service hands every shard the same process-wide pool.
+      owned_pool_(maintenance_pool == nullptr && UsesParallelMaintenance(config)
+                      ? MakeWorkerPool(config.maintenance_threads - 1)
+                      : nullptr),
       maintainer_(&scoring_, &index_, config.refresh_mode,
                   config.score_maintenance, config.reposition_batch_min,
-                  config.carry_handles) {
+                  config.carry_handles,
+                  maintenance_pool != nullptr ? maintenance_pool
+                                              : owned_pool_.get(),
+                  config.maintenance_threads) {
   KSIR_CHECK(config.bucket_length > 0);
   KSIR_CHECK(config.window_length >= config.bucket_length);
 }
 
+KsirEngine::~KsirEngine() = default;
+
 StatusOr<std::unique_ptr<KsirEngine>> KsirEngine::Create(
-    EngineConfig config, const TopicModel* model) {
+    EngineConfig config, const TopicModel* model,
+    WorkerPool* maintenance_pool) {
   KSIR_RETURN_NOT_OK(ValidateEngineConfig(config));
   if (model == nullptr) {
     return Status::InvalidArgument("topic model must not be null");
   }
-  return std::make_unique<KsirEngine>(config, model);
+  return std::make_unique<KsirEngine>(config, model, maintenance_pool);
 }
 
 Status KsirEngine::AdvanceTo(Timestamp bucket_end,

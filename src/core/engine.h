@@ -50,6 +50,16 @@ struct EngineConfig {
   /// the id-keyed batched baseline (the PR 3 path) for equivalence testing
   /// and benchmarking. Only meaningful under kIncremental with batching on.
   bool carry_handles = true;
+  /// Participants in the staged parallel bucket maintenance (the
+  /// element-sharded scoring/folding stage and the topic-sharded list
+  /// stage; see IndexMaintainer). 0/1 = the serial reference path. Only
+  /// the handle pipeline parallelizes; other maintenance flavors ignore
+  /// this. The advancing thread is one participant — the engine spawns (or
+  /// shares; see KsirEngine's pool parameter and ServiceConfig) a runtime
+  /// WorkerPool for the remaining maintenance_threads - 1. Determinism
+  /// contract: the parallel apply is bitwise-identical to the serial
+  /// handle path, so this knob trades threads for latency only.
+  std::size_t maintenance_threads = 0;
   /// Balance cap of the service's chain-affinity shard router: routing an
   /// element onto a shard whose RECENT load (placements within the
   /// trailing window) would exceed `max_shard_imbalance * (least-loaded
@@ -95,6 +105,10 @@ Status ValidateEngineConfig(const EngineConfig& config);
 /// through handles and self-locating carried keys).
 bool UsesHandlePipeline(const EngineConfig& config);
 
+/// True when `config` runs bucket maintenance on the staged parallel path
+/// (handle pipeline with maintenance_threads >= 2).
+bool UsesParallelMaintenance(const EngineConfig& config);
+
 /// Self-contained export of one active element: the element itself plus its
 /// current in-window referrers (the influenced set I_t(e)). Everything a
 /// remote merge step needs to re-evaluate delta(e, x) without access to this
@@ -104,17 +118,27 @@ struct ElementSnapshot {
   std::vector<SocialElement> referrers;
 };
 
+class WorkerPool;
+
 /// Streaming k-SIR query engine.
 class KsirEngine {
  public:
   /// `model` must outlive the engine. Elements handed to the engine must
   /// already carry their sparse topic vectors (use TopicInferencer or a
-  /// generator's ground truth).
-  KsirEngine(EngineConfig config, const TopicModel* model);
+  /// generator's ground truth). When the config enables parallel
+  /// maintenance, `maintenance_pool` is the shared runtime pool the staged
+  /// apply fans out on (it must outlive the engine — the seam the sharded
+  /// service uses to run every shard on ONE process-wide pool); nullptr
+  /// makes the engine own a pool built by the runtime factory.
+  KsirEngine(EngineConfig config, const TopicModel* model,
+             WorkerPool* maintenance_pool = nullptr);
+
+  ~KsirEngine();
 
   /// Validating factory for long-running callers that must not abort.
-  static StatusOr<std::unique_ptr<KsirEngine>> Create(EngineConfig config,
-                                                      const TopicModel* model);
+  static StatusOr<std::unique_ptr<KsirEngine>> Create(
+      EngineConfig config, const TopicModel* model,
+      WorkerPool* maintenance_pool = nullptr);
 
   /// Advances the clock to `bucket_end` and ingests `bucket` (elements with
   /// ts in (previous time, bucket_end], sorted by ts). Thread-exclusive.
@@ -159,6 +183,10 @@ class KsirEngine {
   ActiveWindow window_;
   RankedListIndex index_;
   ScoringContext scoring_;
+  /// Engine-owned maintenance pool (only when parallel maintenance is on
+  /// and no shared pool was passed); declared before the maintainer, which
+  /// holds the raw pointer.
+  std::unique_ptr<WorkerPool> owned_pool_;
   IndexMaintainer maintainer_;
   MaintenanceStats stats_;
   std::uint64_t bucket_epoch_ = 0;

@@ -1,8 +1,10 @@
 #include "core/index_maintainer.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/check.h"
+#include "runtime/worker_pool.h"
 
 namespace ksir {
 
@@ -10,7 +12,8 @@ IndexMaintainer::IndexMaintainer(const ScoringContext* ctx,
                                  RankedListIndex* index, RefreshMode mode,
                                  ScoreMaintenance maintenance,
                                  std::size_t reposition_batch_min,
-                                 bool carry_handles)
+                                 bool carry_handles, WorkerPool* pool,
+                                 std::size_t parallel_workers)
     : ctx_(ctx),
       index_(index),
       mode_(mode),
@@ -24,6 +27,20 @@ IndexMaintainer::IndexMaintainer(const ScoringContext* ctx,
   KSIR_CHECK(index != nullptr);
   topic_counts_.resize(index->num_topics(), 0);
   edge_acc_.Resize(index->num_topics());
+  // Only the handle pipeline parallelizes: its per-topic runs carry every
+  // position and listed key, so the topic stage needs no shared lookups at
+  // all. Other flavors fall back to their serial reference paths.
+  parallel_ = pool != nullptr && parallel_workers >= 2 && use_handles_;
+  if (parallel_) {
+    pool_ = pool;
+    workers_ = parallel_workers;
+    insert_counts_.resize(index->num_topics(), 0);
+    worker_acc_.resize(workers_);
+    for (StampedAccumulator& acc : worker_acc_) {
+      acc.Resize(index->num_topics());
+    }
+    worker_scratch_.resize(workers_);
+  }
 }
 
 void IndexMaintainer::Apply(const ActiveWindow::UpdateResult& update) {
@@ -34,36 +51,41 @@ void IndexMaintainer::Apply(const ActiveWindow::UpdateResult& update) {
   }
 }
 
+void IndexMaintainer::EraseExpired(const ActiveWindow::Touched& t) {
+  // Expired ids are no longer in the window store. With handle carrying
+  // on, the cache entry (reached through the carried user slot) already
+  // knows every list position and listed key of the dying element, so the
+  // erases resolve through the carried hints instead of per-list id
+  // probes.
+  if (use_handles_) {
+    // Under the handle pipeline every indexed element owns a cache entry
+    // for its whole lifetime, and the id-keyed Erase below would abort on
+    // the untracked lists anyway — so a missing entry here is a pipeline
+    // bug, not a recoverable state.
+    const ScoreCache::TopicList* halves = ScoreCache::FromSlot(*t.user_slot);
+    KSIR_CHECK(halves != nullptr);
+    KSIR_DCHECK(halves == cache_.Find(t.id));
+    hint_scratch_.clear();
+    for (const ScoreCache::TopicHalves& half : *halves) {
+      hint_scratch_.push_back(
+          RankedList::ErasureHint{half.topic, half.listed, half.handle});
+    }
+    index_->EraseWithHints(t.id, hint_scratch_.data(), hint_scratch_.size());
+    cache_.Erase(t.id);
+    return;
+  }
+  index_->Erase(t.id);
+  cache_.Erase(t.id);
+}
+
 void IndexMaintainer::ApplyIncremental(
     const ActiveWindow::UpdateResult& update) {
-  // Expiry first: expired ids are no longer in the window store. With
-  // handle carrying on, the cache entry (reached through the carried user
-  // slot) already knows every list position and listed key of the dying
-  // element, so the erases resolve through the carried hints instead of
-  // per-list id probes.
-  for (const ActiveWindow::Touched& t : update.expired) {
-    if (use_handles_) {
-      // Under the handle pipeline every indexed element owns a cache
-      // entry for its whole lifetime, and the id-keyed Erase below would
-      // abort on the untracked lists anyway — so a missing entry here is
-      // a pipeline bug, not a recoverable state.
-      const ScoreCache::TopicList* halves =
-          ScoreCache::FromSlot(*t.user_slot);
-      KSIR_CHECK(halves != nullptr);
-      KSIR_DCHECK(halves == cache_.Find(t.id));
-      hint_scratch_.clear();
-      for (const ScoreCache::TopicHalves& half : *halves) {
-        hint_scratch_.push_back(
-            RankedList::ErasureHint{half.topic, half.listed, half.handle});
-      }
-      index_->EraseWithHints(t.id, hint_scratch_.data(),
-                             hint_scratch_.size());
-      cache_.Erase(t.id);
-      continue;
-    }
-    index_->Erase(t.id);
-    cache_.Erase(t.id);
+  if (parallel_) {
+    ApplyIncrementalParallel(update);
+    return;
   }
+  // Expiry first.
+  for (const ActiveWindow::Touched& t : update.expired) EraseExpired(t);
   // Inserted and resurrected elements get the one full scan of their
   // lifetime; the window's referrer sets already reflect this bucket, so
   // their edge spans are empty by contract.
@@ -142,30 +164,7 @@ void IndexMaintainer::ProcessTouched(const ActiveWindow::Touched& t,
       use_handles_ ? *ScoreCache::FromSlot(*t.user_slot)
                    : cache_.MutableHalves(t.id);
   KSIR_DCHECK(&halves == &cache_.MutableHalves(t.id));
-  if (t.num_gained + t.num_lost > 0) {
-    // Scatter all of this element's edge deltas into a dense per-topic
-    // accumulator (epoch-stamped, never cleared), then fold them into the
-    // cached influence halves in one pass over the element's support —
-    // O(sum of referrer supports + own support) instead of one sorted
-    // merge per edge.
-    edge_acc_.Begin();
-    for (std::uint32_t i = 0; i < t.num_gained; ++i) {
-      for (const auto& [topic, prob] : t.gained_topics[i]->entries()) {
-        edge_acc_.Add(static_cast<std::size_t>(topic), prob);
-      }
-    }
-    for (std::uint32_t i = 0; i < t.num_lost; ++i) {
-      for (const auto& [topic, prob] : t.lost_topics[i]->entries()) {
-        edge_acc_.Add(static_cast<std::size_t>(topic), -prob);
-      }
-    }
-    for (ScoreCache::TopicHalves& half : halves) {
-      const auto slot = static_cast<std::size_t>(half.topic);
-      if (edge_acc_.Touched(slot)) {
-        half.influence += half.topic_prob * edge_acc_.Get(slot);
-      }
-    }
-  }
+  if (t.num_gained + t.num_lost > 0) FoldEdges(t, &halves, &edge_acc_);
   if (!reposition) return;
   const double lambda = ctx_->params().lambda;
   const double influence_factor = ctx_->influence_factor();
@@ -209,6 +208,33 @@ void IndexMaintainer::ProcessTouched(const ActiveWindow::Touched& t,
   }
 }
 
+void IndexMaintainer::FoldEdges(const ActiveWindow::Touched& t,
+                                ScoreCache::TopicList* halves,
+                                StampedAccumulator* acc) {
+  // Scatter all of this element's edge deltas into a dense per-topic
+  // accumulator (epoch-stamped, never cleared), then fold them into the
+  // cached influence halves in one pass over the element's support —
+  // O(sum of referrer supports + own support) instead of one sorted
+  // merge per edge.
+  acc->Begin();
+  for (std::uint32_t i = 0; i < t.num_gained; ++i) {
+    for (const auto& [topic, prob] : t.gained_topics[i]->entries()) {
+      acc->Add(static_cast<std::size_t>(topic), prob);
+    }
+  }
+  for (std::uint32_t i = 0; i < t.num_lost; ++i) {
+    for (const auto& [topic, prob] : t.lost_topics[i]->entries()) {
+      acc->Add(static_cast<std::size_t>(topic), -prob);
+    }
+  }
+  for (ScoreCache::TopicHalves& half : *halves) {
+    const auto slot = static_cast<std::size_t>(half.topic);
+    if (acc->Touched(slot)) {
+      half.influence += half.topic_prob * acc->Get(slot);
+    }
+  }
+}
+
 template <typename PendingT, typename ApplyFn>
 void IndexMaintainer::FlushRuns(std::vector<PendingT>* pending,
                                 ApplyFn apply) {
@@ -247,6 +273,210 @@ void IndexMaintainer::FlushRuns(std::vector<PendingT>* pending,
   }
   touched_.clear();
   pending->clear();
+}
+
+void IndexMaintainer::ProcessTouchedParallel(TouchedItem* item,
+                                             StampedAccumulator* acc) {
+  // The element stage's kernel: identical arithmetic, in identical
+  // per-element operand order, to the serial ProcessTouched — the changed
+  // tuples just land in the item's private buffer instead of the shared
+  // queue (the gather re-serializes them in queue order).
+  const ActiveWindow::Touched& t = *item->touched;
+  ScoreCache::TopicList& halves = *item->halves;
+  if (t.num_gained + t.num_lost > 0) FoldEdges(t, &halves, acc);
+  if (!item->reposition) return;
+  const double lambda = ctx_->params().lambda;
+  const double influence_factor = ctx_->influence_factor();
+  std::uint32_t n = 0;
+  for (ScoreCache::TopicHalves& half : halves) {
+    const double score =
+        lambda * half.semantic + influence_factor * half.influence;
+    if (score == half.listed) continue;
+    item->updates[n++] = PendingHandle{
+        half.topic,
+        RankedList::HandleUpdate{t.id, half.listed, score, &half.handle}};
+    half.listed = score;
+  }
+  item->num_updates = n;
+}
+
+void IndexMaintainer::ApplyIncrementalParallel(
+    const ActiveWindow::UpdateResult& update) {
+  // Stage 1 (serial): expiry, exactly as the serial path — an erase
+  // touches the membership map and several lists per element.
+  for (const ActiveWindow::Touched& t : update.expired) EraseExpired(t);
+
+  // Stage 2 (serial): lay out the bucket's work. Fresh elements get their
+  // cache entry rows and membership record (hash maps and pools are
+  // single-threaded state); gained/lost elements get an arena buffer
+  // sized for their full support. No scores are computed yet.
+  run_arena_.Reset();
+  fresh_items_.clear();
+  touched_items_.clear();
+  for (const std::vector<ActiveWindow::Touched>* list :
+       {&update.inserted, &update.resurrected}) {
+    for (const ActiveWindow::Touched& t : *list) {
+      ScoreCache::TopicList& halves = cache_.AllocateEntry(*t.element);
+      *t.user_slot = &halves;  // carried to every later touch
+      topic_id_scratch_.clear();
+      for (const ScoreCache::TopicHalves& half : halves) {
+        topic_id_scratch_.push_back(half.topic);
+      }
+      index_->InsertMembership(t.id, topic_id_scratch_.data(),
+                               topic_id_scratch_.size(), t.te);
+      fresh_items_.push_back(FreshItem{t.element, &halves});
+    }
+  }
+  const bool reposition_losses = mode_ == RefreshMode::kExact;
+  const auto add_touched = [this](const ActiveWindow::Touched& t,
+                                  bool reposition, bool te_changed) {
+    ScoreCache::TopicList* halves = ScoreCache::FromSlot(*t.user_slot);
+    KSIR_DCHECK(halves == &cache_.MutableHalves(t.id));
+    TouchedItem item;
+    item.touched = &t;
+    item.halves = halves;
+    item.updates =
+        reposition ? run_arena_.AllocateArray<PendingHandle>(halves->size())
+                   : nullptr;
+    item.num_updates = 0;
+    item.reposition = reposition;
+    item.te_changed = te_changed;
+    touched_items_.push_back(item);
+  };
+  for (const ActiveWindow::Touched& t : update.gained_referrer) {
+    add_touched(t, /*reposition=*/true, /*te_changed=*/true);
+  }
+  for (const ActiveWindow::Touched& t : update.lost_referrer) {
+    add_touched(t, reposition_losses, /*te_changed=*/false);
+  }
+
+  // Stage 3 (parallel, element-sharded): fresh-element scoring (the one
+  // full word scan of the element's lifetime), edge folding and score
+  // composition. Elements are disjoint — each one owns its cache rows —
+  // and each participant folds through its own dense accumulator, so the
+  // stage shares nothing mutable and allocates nothing.
+  const std::size_t num_fresh = fresh_items_.size();
+  const std::size_t total = num_fresh + touched_items_.size();
+  if (total > 0) {
+    std::atomic<std::size_t> cursor{0};
+    ParallelRun(pool_, std::min(workers_, total), [&](std::size_t p) {
+      StampedAccumulator& acc = worker_acc_[p];
+      for (;;) {
+        const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= total) return;
+        if (i < num_fresh) {
+          cache_.ComputeHalves(*fresh_items_[i].element,
+                               fresh_items_[i].halves, &acc);
+        } else {
+          ProcessTouchedParallel(&touched_items_[i - num_fresh], &acc);
+        }
+      }
+    });
+  }
+
+  // Stage 4 (serial): deterministic gather. t_e lands first (one
+  // membership write per gained element, as in the serial path), then the
+  // per-element outputs are scattered into per-topic runs in EXACTLY the
+  // serial queue order — fresh inserts in element order, repositions in
+  // (element, support) order — so every list sees the identical operation
+  // sequence the serial path would have produced.
+  std::size_t total_inserts = 0;
+  std::size_t total_updates = 0;
+  for (const FreshItem& item : fresh_items_) {
+    for (const ScoreCache::TopicHalves& half : *item.halves) {
+      const auto topic = static_cast<std::size_t>(half.topic);
+      if (insert_counts_[topic]++ == 0 && topic_counts_[topic] == 0) {
+        touched_.push_back(half.topic);
+      }
+      ++total_inserts;
+    }
+  }
+  for (const TouchedItem& item : touched_items_) {
+    if (item.reposition && item.te_changed) {
+      index_->TouchTime(item.touched->id, item.touched->te);
+    }
+    for (std::uint32_t i = 0; i < item.num_updates; ++i) {
+      const auto topic = static_cast<std::size_t>(item.updates[i].topic);
+      if (topic_counts_[topic]++ == 0 && insert_counts_[topic] == 0) {
+        touched_.push_back(item.updates[i].topic);
+      }
+      ++total_updates;
+    }
+  }
+  if (touched_.empty()) return;
+  std::sort(touched_.begin(), touched_.end());
+  auto* insert_runs = run_arena_.AllocateArray<PendingInsert>(total_inserts);
+  auto* update_runs =
+      run_arena_.AllocateArray<RankedList::HandleUpdate>(total_updates);
+  auto* insert_off =
+      run_arena_.AllocateArray<std::uint32_t>(touched_.size() + 1);
+  auto* update_off =
+      run_arena_.AllocateArray<std::uint32_t>(touched_.size() + 1);
+  std::uint32_t ins = 0;
+  std::uint32_t upd = 0;
+  for (std::size_t i = 0; i < touched_.size(); ++i) {
+    const auto t = static_cast<std::size_t>(touched_[i]);
+    insert_off[i] = ins;
+    update_off[i] = upd;
+    const std::uint32_t insert_count = insert_counts_[t];
+    const std::uint32_t update_count = topic_counts_[t];
+    insert_counts_[t] = ins;  // repurposed as the scatter cursors
+    topic_counts_[t] = upd;
+    ins += insert_count;
+    upd += update_count;
+  }
+  insert_off[touched_.size()] = ins;
+  update_off[touched_.size()] = upd;
+  for (const FreshItem& item : fresh_items_) {
+    const ElementId id = item.element->id;
+    for (ScoreCache::TopicHalves& half : *item.halves) {
+      insert_runs[insert_counts_[static_cast<std::size_t>(half.topic)]++] =
+          PendingInsert{id, half.listed, &half.handle};
+    }
+  }
+  for (const TouchedItem& item : touched_items_) {
+    for (std::uint32_t i = 0; i < item.num_updates; ++i) {
+      update_runs[topic_counts_[static_cast<std::size_t>(
+          item.updates[i].topic)]++] = item.updates[i].payload;
+    }
+  }
+
+  // Stage 5 (parallel, topic-sharded): apply each touched topic's fresh
+  // inserts, then its reposition run. A topic is claimed by exactly one
+  // participant and no list state is shared across topics, so there is no
+  // list-level locking; handle minting and the ScoreCache handle
+  // write-backs land identically to the serial order because each list
+  // executes its serial operation sequence. Per-participant BatchScratch
+  // keeps the merge sweeps allocation- and contention-free.
+  std::atomic<std::size_t> topic_cursor{0};
+  ParallelRun(
+      pool_, std::min(workers_, touched_.size()), [&](std::size_t p) {
+        RankedList::BatchScratch& scratch = worker_scratch_[p];
+        for (;;) {
+          const std::size_t i =
+              topic_cursor.fetch_add(1, std::memory_order_relaxed);
+          if (i >= touched_.size()) return;
+          const TopicId topic = touched_[i];
+          for (std::uint32_t k = insert_off[i]; k < insert_off[i + 1]; ++k) {
+            *insert_runs[k].handle = index_->InsertListEntry(
+                topic, insert_runs[k].id, insert_runs[k].score);
+          }
+          const std::uint32_t begin = update_off[i];
+          const std::uint32_t n = update_off[i + 1] - begin;
+          if (n > 0) {
+            index_->BatchRepositionHandles(topic, update_runs + begin, n,
+                                           /*merge=*/n >= batch_min_,
+                                           &scratch);
+          }
+        }
+      });
+
+  // Restore the lazily-zeroed counters for the next bucket.
+  for (const TopicId topic : touched_) {
+    insert_counts_[static_cast<std::size_t>(topic)] = 0;
+    topic_counts_[static_cast<std::size_t>(topic)] = 0;
+  }
+  touched_.clear();
 }
 
 void IndexMaintainer::FlushRepositions() {

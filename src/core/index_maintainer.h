@@ -16,6 +16,8 @@
 
 namespace ksir {
 
+class WorkerPool;
+
 /// How ranked-list scores react to referrer expiry (DESIGN.md §5).
 enum class RefreshMode {
   /// Reposition elements whose referrers expired: list scores are always
@@ -60,18 +62,36 @@ inline constexpr std::size_t kDefaultRepositionBatchMin = 2;
 /// owned by this maintainer — one engine's maintainer never shares mutable
 /// state with another's, which is what lets the sharded service advance
 /// shards in parallel.
+///
+/// With a runtime WorkerPool and `parallel_workers >= 2` the handle
+/// pipeline's bucket apply runs STAGED (see ApplyIncrementalParallel):
+/// serial expiry + entry allocation, a parallel element-sharded stage
+/// (fresh-element scoring, edge folding, score composition — elements are
+/// disjoint, each worker gets its own dense accumulator), a serial
+/// deterministic gather that scatters the per-element outputs into
+/// per-topic runs in exactly the serial path's queue order, and a parallel
+/// topic-sharded list stage (each topic's RankedList — fresh inserts then
+/// the reposition run — is claimed by exactly one worker, so no list-level
+/// locking; per-worker BatchScratch keeps allocation contention-free).
+/// Because every list sees the identical operation sequence the serial
+/// path would produce, the resulting lists, handles and ScoreCache state
+/// are BITWISE identical to the serial handle path.
 class IndexMaintainer {
  public:
   /// `ctx` and `index` must outlive the maintainer; `ctx`'s window must be
   /// the window whose updates are applied. `reposition_batch_min` is the
   /// per-list batching threshold; 0 disables batching entirely (the
   /// single-reposition reference path, which also disables handle
-  /// carrying).
+  /// carrying). `pool` + `parallel_workers >= 2` enable the staged
+  /// parallel apply (handle pipeline only; `pool` must outlive the
+  /// maintainer and may be shared — the stages fan out through
+  /// ParallelRun, whose caller participation tolerates a busy pool).
   IndexMaintainer(const ScoringContext* ctx, RankedListIndex* index,
                   RefreshMode mode = RefreshMode::kExact,
                   ScoreMaintenance maintenance = ScoreMaintenance::kIncremental,
                   std::size_t reposition_batch_min = kDefaultRepositionBatchMin,
-                  bool carry_handles = true);
+                  bool carry_handles = true, WorkerPool* pool = nullptr,
+                  std::size_t parallel_workers = 0);
 
   /// Applies one Advance() result. Must be called after every window
   /// advance, with no interleaved advances.
@@ -81,13 +101,20 @@ class IndexMaintainer {
   ScoreMaintenance maintenance() const { return maintenance_; }
   std::size_t reposition_batch_min() const { return batch_min_; }
   bool carries_handles() const { return use_handles_; }
+  /// True when buckets run the staged parallel apply.
+  bool parallel() const { return parallel_; }
 
   /// The cache backing kIncremental maintenance (exposed for tests).
   const ScoreCache& score_cache() const { return cache_; }
 
  private:
   void ApplyIncremental(const ActiveWindow::UpdateResult& update);
+  void ApplyIncrementalParallel(const ActiveWindow::UpdateResult& update);
   void ApplyRecompute(const ActiveWindow::UpdateResult& update);
+
+  /// Erases one expired element from the lists and the cache (shared by
+  /// the serial and parallel applies; always serial).
+  void EraseExpired(const ActiveWindow::Touched& t);
 
   /// Inserts a fresh / resurrected element into the cache and the lists,
   /// seeding the cache entry's handles when handle carrying is on.
@@ -109,12 +136,24 @@ class IndexMaintainer {
   template <typename PendingT, typename ApplyFn>
   void FlushRuns(std::vector<PendingT>* pending, ApplyFn apply);
 
+  /// Scatters one element's carried edge spans into `acc` and folds them
+  /// into the cached influence halves (the shared edge-folding kernel of
+  /// the serial and parallel applies).
+  static void FoldEdges(const ActiveWindow::Touched& t,
+                        ScoreCache::TopicList* halves,
+                        StampedAccumulator* acc);
+
   const ScoringContext* ctx_;
   RankedListIndex* index_;
   RefreshMode mode_;
   ScoreMaintenance maintenance_;
   std::size_t batch_min_;
   bool use_handles_;
+  /// Staged parallel apply: pool + participant count (the advancing thread
+  /// is participant 0; the pool supplies helpers).
+  WorkerPool* pool_ = nullptr;
+  std::size_t workers_ = 1;
+  bool parallel_ = false;
   ScoreCache cache_;
   /// Reused (topic, score) buffer; repositions are too frequent to allocate.
   std::vector<std::pair<TopicId, double>> scratch_scores_;
@@ -144,6 +183,46 @@ class IndexMaintainer {
   /// Backs the scattered per-topic runs; reset every flush.
   Arena run_arena_;
   RankedList::BatchScratch batch_scratch_;
+
+  /// ---- staged parallel apply state (parallel_ engines only) ----
+  /// One fresh (inserted / resurrected) element of the bucket: entry rows
+  /// laid out serially, score halves computed by the element stage.
+  struct FreshItem {
+    const SocialElement* element;
+    ScoreCache::TopicList* halves;
+  };
+  /// One gained-/lost-referrer element: the element stage folds its edge
+  /// spans, composes scores and writes the changed tuples into `updates`
+  /// (arena storage sized to the full support; `num_updates` filled by the
+  /// one worker that claims the element).
+  struct TouchedItem {
+    const ActiveWindow::Touched* touched;
+    ScoreCache::TopicList* halves;
+    PendingHandle* updates;
+    std::uint32_t num_updates;
+    bool reposition;
+    bool te_changed;
+  };
+  /// One fresh list insert of the topic stage (scattered per topic by the
+  /// gather, applied by the topic's worker, handle written through).
+  struct PendingInsert {
+    ElementId id;
+    double score;
+    RankedList::Handle* handle;
+  };
+  void ProcessTouchedParallel(TouchedItem* item, StampedAccumulator* acc);
+
+  std::vector<FreshItem> fresh_items_;
+  std::vector<TouchedItem> touched_items_;
+  std::vector<TopicId> topic_id_scratch_;
+  /// Pending fresh list inserts per topic (the reposition counts reuse
+  /// topic_counts_); zeroed lazily via touched_.
+  std::vector<std::uint32_t> insert_counts_;
+  /// Per-worker scratch: dense accumulators for the element stage, batch
+  /// scratch for the topic stage — indexed by ParallelRun participant, so
+  /// the stages allocate nothing and contend on nothing.
+  std::vector<StampedAccumulator> worker_acc_;
+  std::vector<RankedList::BatchScratch> worker_scratch_;
 };
 
 }  // namespace ksir

@@ -621,6 +621,28 @@ void RankedListIndex::Insert(
   }
 }
 
+void RankedListIndex::InsertMembership(ElementId id, const TopicId* topics,
+                                       std::size_t n, Timestamp te) {
+  const auto [it, inserted] = membership_.try_emplace(id);
+  KSIR_CHECK(inserted);
+  Membership& member = it->second;
+  member.te = te;
+  member.topics.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const TopicId topic = topics[i];
+    KSIR_CHECK(topic >= 0 && static_cast<std::size_t>(topic) < lists_.size());
+    member.topics.push_back(topic);
+  }
+  total_entries_ += n;
+}
+
+RankedList::Handle RankedListIndex::InsertListEntry(TopicId topic,
+                                                    ElementId id,
+                                                    double score) {
+  KSIR_DCHECK(topic >= 0 && static_cast<std::size_t>(topic) < lists_.size());
+  return lists_[static_cast<std::size_t>(topic)].Insert(id, score);
+}
+
 void RankedListIndex::Update(
     ElementId id, const std::vector<std::pair<TopicId, double>>& topic_scores,
     Timestamp te) {

@@ -342,6 +342,21 @@ class RankedListIndex {
               const std::vector<std::pair<TopicId, double>>& topic_scores,
               Timestamp te, RankedList::Handle* handles_out = nullptr);
 
+  /// Serial half of the parallel fresh-insert path: records the membership
+  /// row (`topics` must be the element's exact support, in its topic-vector
+  /// order) and the entry count WITHOUT touching any list. The per-topic
+  /// InsertListEntry calls supply the list halves; Insert == membership +
+  /// one InsertListEntry per support topic, in the same order.
+  void InsertMembership(ElementId id, const TopicId* topics, std::size_t n,
+                        Timestamp te);
+
+  /// Inserts one (id, score) into one topic's list and returns the minted
+  /// handle. Touches ONLY that list, so topic-disjoint callers (the
+  /// maintainer's parallel list stage) run concurrently without locks; the
+  /// membership row must already exist (InsertMembership).
+  RankedList::Handle InsertListEntry(TopicId topic, ElementId id,
+                                     double score);
+
   /// Repositions `id` in every list it belongs to. `topic_scores` must cover
   /// exactly the element's topic support (same topics as at insertion).
   void Update(ElementId id,

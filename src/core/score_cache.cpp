@@ -13,13 +13,28 @@ ScoreCache::~ScoreCache() {
 }
 
 ScoreCache::TopicList& ScoreCache::Insert(const SocialElement& e) {
-  const double lambda = ctx_->params().lambda;
-  const double influence_factor = ctx_->influence_factor();
+  TopicList& topics = AllocateEntry(e);
+  ComputeHalves(e, &topics, &acc_);
+  return topics;
+}
+
+ScoreCache::TopicList& ScoreCache::AllocateEntry(const SocialElement& e) {
   TopicList*& slot = entries_[e.id];
   if (slot == nullptr) slot = pool_.Create();
   TopicList& topics = *slot;
   topics.clear();
   topics.reserve(e.topics.nnz());
+  for (const auto& [topic, prob] : e.topics.entries()) {
+    topics.emplace_back(
+        TopicHalves{topic, prob, 0.0, 0.0, 0.0, RankedList::Handle{}});
+  }
+  return topics;
+}
+
+void ScoreCache::ComputeHalves(const SocialElement& e, TopicList* topics,
+                               StampedAccumulator* acc) const {
+  const double lambda = ctx_->params().lambda;
+  const double influence_factor = ctx_->influence_factor();
   // I_{i,t}(e) for ALL support topics in one pass over the referrer set
   // (one window probe per referrer, not per (referrer, topic)): scatter
   // each referrer's topic vector into the dense accumulator, then
@@ -28,28 +43,26 @@ ScoreCache::TopicList& ScoreCache::Insert(const SocialElement& e) {
   const ReferrerList& referrers = window.ReferrersOf(e.id);
   const bool has_referrers = !referrers.empty();
   if (has_referrers) {
-    if (acc_.empty()) acc_.Resize(ctx_->model().num_topics());
-    acc_.Begin();
+    if (acc->empty()) acc->Resize(ctx_->model().num_topics());
+    acc->Begin();
     for (const Referrer& r : referrers) {
       const SocialElement* referrer = window.Find(r.id);
       KSIR_DCHECK(referrer != nullptr);
       if (referrer == nullptr) continue;
       for (const auto& [topic, prob] : referrer->topics.entries()) {
-        acc_.Add(static_cast<std::size_t>(topic), prob);
+        acc->Add(static_cast<std::size_t>(topic), prob);
       }
     }
   }
-  for (const auto& [topic, prob] : e.topics.entries()) {
-    const double semantic = ctx_->SemanticScore(topic, e, prob);
-    const auto t = static_cast<std::size_t>(topic);
-    const double influence =
-        has_referrers && acc_.Touched(t) ? prob * acc_.Get(t) : 0.0;
-    topics.emplace_back(TopicHalves{
-        topic, prob, influence, semantic,
-        lambda * semantic + influence_factor * influence,
-        RankedList::Handle{}});
+  for (TopicHalves& half : *topics) {
+    const double semantic = ctx_->SemanticScore(half.topic, e, half.topic_prob);
+    const auto t = static_cast<std::size_t>(half.topic);
+    half.semantic = semantic;
+    half.influence = has_referrers && acc->Touched(t)
+                         ? half.topic_prob * acc->Get(t)
+                         : 0.0;
+    half.listed = lambda * semantic + influence_factor * half.influence;
   }
-  return topics;
 }
 
 void ScoreCache::Erase(ElementId id) {

@@ -85,7 +85,24 @@ class ScoreCache {
   /// entries are pool-allocated, so the reference stays stable for the
   /// element's whole indexed lifetime (the maintainer parks it in the
   /// window's user slot and never probes for it again).
+  /// Equivalent to AllocateEntry + ComputeHalves with the cache's own
+  /// accumulator — the split the parallel maintenance pipeline uses.
   TopicList& Insert(const SocialElement& e);
+
+  /// Serial half of the parallel insert path: creates (or replaces, on
+  /// resurrection) the entry and lays out one row per support topic with
+  /// `topic` and `topic_prob` filled and the score halves zeroed. Touches
+  /// the id table and the pool — the single-threaded part.
+  TopicList& AllocateEntry(const SocialElement& e);
+
+  /// Pure compute half: fills semantic / influence / listed of every row
+  /// laid out by AllocateEntry, reading only state that is immutable during
+  /// index maintenance (the element, the model, the window's referrer
+  /// sets). `acc` is the caller's dense scratch — the parallel stage runs
+  /// this concurrently for DISJOINT elements, one accumulator per worker.
+  /// Composes bitwise the same doubles as Insert.
+  void ComputeHalves(const SocialElement& e, TopicList* topics,
+                     StampedAccumulator* acc) const;
 
   /// Drops an expired element. Missing ids are ignored (an element may
   /// expire and be garbage-collected across refresh modes).

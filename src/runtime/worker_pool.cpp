@@ -1,6 +1,7 @@
-#include "service/worker_pool.h"
+#include "runtime/worker_pool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
 
 namespace ksir {
@@ -20,6 +21,11 @@ WorkerPool::~WorkerPool() {
   }
   work_available_.notify_all();
   for (std::thread& thread : threads_) thread.join();
+}
+
+std::unique_ptr<WorkerPool> MakeWorkerPool(std::size_t requested,
+                                           std::size_t fallback) {
+  return std::make_unique<WorkerPool>(requested > 0 ? requested : fallback);
 }
 
 void WorkerPool::Submit(std::function<void()> task) {
@@ -72,6 +78,58 @@ void TaskGroup::Wait() {
 }
 
 TaskGroup::~TaskGroup() { WaitDrained(); }
+
+void ParallelRun(WorkerPool* pool, std::size_t n,
+                 std::function<void(std::size_t)> fn) {
+  if (n == 0) return;
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+  // Shared by the caller and the helper tasks. Helpers may still be queued
+  // when the call returns (every index already claimed elsewhere); they
+  // find the cursor exhausted, touch nothing but the state block, and
+  // return — hence the shared_ptr and the fn copy inside it.
+  struct State {
+    std::function<void(std::size_t)> fn;
+    std::size_t n;
+    std::atomic<std::size_t> next{0};
+    std::mutex mutex;
+    std::condition_variable all_done;
+    std::size_t finished = 0;
+    std::exception_ptr first_exception;
+  };
+  auto state = std::make_shared<State>();
+  state->fn = std::move(fn);
+  state->n = n;
+  const auto run_claimed = [](const std::shared_ptr<State>& s) {
+    for (;;) {
+      const std::size_t i = s->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= s->n) return;
+      std::exception_ptr error;
+      try {
+        s->fn(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::unique_lock lock(s->mutex);
+      if (error && !s->first_exception) s->first_exception = std::move(error);
+      if (++s->finished == s->n) s->all_done.notify_all();
+    }
+  };
+  const std::size_t helpers =
+      std::min<std::size_t>(n - 1, pool->num_threads());
+  for (std::size_t i = 0; i < helpers; ++i) {
+    pool->Submit([state, run_claimed]() { run_claimed(state); });
+  }
+  run_claimed(state);
+  std::unique_lock lock(state->mutex);
+  state->all_done.wait(lock, [&]() { return state->finished == state->n; });
+  if (state->first_exception) {
+    std::rethrow_exception(
+        std::exchange(state->first_exception, nullptr));
+  }
+}
 
 void WorkerPool::WorkerLoop() {
   std::unique_lock lock(mutex_);

@@ -1,20 +1,24 @@
-// Fixed-size thread pool used by the sharded service to advance shards and
-// fan queries out in parallel. Deliberately minimal: tasks are
-// std::function<void()>, results travel through captured state, and
-// WaitIdle() gives the caller a barrier. The ksir library itself is
-// exception-free (errors travel as Status through captured state), but the
-// pool must not be: a task that throws — user callbacks, std::bad_alloc —
-// would otherwise leave the in-flight counters permanently elevated and
-// deadlock every waiter. The first exception of a batch is captured and
-// rethrown to the waiter; the counters are decremented on every exit path.
-#ifndef KSIR_SERVICE_WORKER_POOL_H_
-#define KSIR_SERVICE_WORKER_POOL_H_
+// Shared runtime layer: the fixed-size thread pool used by the whole
+// system — the sharded service advances shards and fans queries out on it,
+// and the core engine's maintainer executes its staged bucket work on it.
+// It lives below both so the engine can parallelize without depending on
+// the service. Deliberately minimal: tasks are std::function<void()>,
+// results travel through captured state, and WaitIdle() gives the caller a
+// barrier. The ksir library itself is exception-free (errors travel as
+// Status through captured state), but the pool must not be: a task that
+// throws — user callbacks, std::bad_alloc — would otherwise leave the
+// in-flight counters permanently elevated and deadlock every waiter. The
+// first exception of a batch is captured and rethrown to the waiter; the
+// counters are decremented on every exit path.
+#ifndef KSIR_RUNTIME_WORKER_POOL_H_
+#define KSIR_RUNTIME_WORKER_POOL_H_
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -23,10 +27,13 @@ namespace ksir {
 
 /// Shared worker pool. Thread-safe; Submit may be called from any thread,
 /// including from inside a task (tasks must not WaitIdle, though — that
-/// would deadlock the barrier they are part of).
+/// would deadlock the barrier they are part of; use ParallelRun for nested
+/// fan-out, its caller participation never blocks pool progress).
 class WorkerPool {
  public:
-  /// Spawns `num_threads` workers (>= 1; 0 is clamped to 1).
+  /// Spawns `num_threads` workers (>= 1; 0 is clamped to 1). Prefer
+  /// MakeWorkerPool — the one factory every deployment seam constructs
+  /// pools through.
   explicit WorkerPool(std::size_t num_threads);
 
   /// Drains the queue, then joins all workers. An exception captured after
@@ -61,6 +68,13 @@ class WorkerPool {
   bool shutdown_ = false;
   std::vector<std::thread> threads_;
 };
+
+/// The one pool-construction seam (service, engine-owned maintenance
+/// pools, benches, tests): resolves `requested` threads — 0 falls back to
+/// `fallback` — and builds the pool. Keeping every call site on this
+/// factory is what makes "no stray thread spawns" checkable.
+std::unique_ptr<WorkerPool> MakeWorkerPool(std::size_t requested,
+                                           std::size_t fallback = 1);
 
 /// Completion barrier for one batch of tasks on a shared pool. Unlike
 /// WorkerPool::WaitIdle, Wait() only blocks on tasks submitted through THIS
@@ -98,6 +112,20 @@ class TaskGroup {
   std::exception_ptr first_exception_;
 };
 
+/// Runs `fn(i)` for every i in [0, n) with CALLER PARTICIPATION: up to
+/// n - 1 helper tasks are enqueued on the pool, every participant claims
+/// indices from a shared cursor, and the caller keeps claiming and running
+/// work itself until none is left — so the call makes progress even when
+/// every pool worker is busy (or when the caller IS a pool worker, as with
+/// per-shard maintenance fanning out on the service's shared pool).
+/// Helpers never block: one that finds the cursor exhausted simply
+/// returns. That is what makes nested fan-out deadlock-free where a
+/// TaskGroup::Wait inside a pool task is not. Each index is executed by
+/// exactly one participant; the call returns after every claimed index has
+/// finished, rethrowing the first exception any fn raised.
+void ParallelRun(WorkerPool* pool, std::size_t n,
+                 std::function<void(std::size_t)> fn);
+
 }  // namespace ksir
 
-#endif  // KSIR_SERVICE_WORKER_POOL_H_
+#endif  // KSIR_RUNTIME_WORKER_POOL_H_

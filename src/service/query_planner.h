@@ -28,7 +28,7 @@
 #include "common/status.h"
 #include "core/engine.h"
 #include "core/query.h"
-#include "service/worker_pool.h"
+#include "runtime/worker_pool.h"
 #include "topic/topic_model.h"
 
 namespace ksir {

@@ -1,5 +1,6 @@
 #include "service/result_cache.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -14,10 +15,17 @@ inline std::uint64_t MixHash(std::uint64_t h, std::uint64_t v) {
   return h;
 }
 
-}  // namespace
+/// Segment count: enough to kill lock contention at service capacities,
+/// but never so many that a small cache's per-segment slice distorts LRU
+/// behavior (capacities under 2 * kMinPerSegment stay on one segment and
+/// keep exact global LRU semantics).
+std::size_t NumSegmentsFor(std::size_t capacity) {
+  constexpr std::size_t kMaxSegments = 8;
+  constexpr std::size_t kMinPerSegment = 64;
+  return std::clamp<std::size_t>(capacity / kMinPerSegment, 1, kMaxSegments);
+}
 
-std::size_t ResultCache::KeyHash::operator()(
-    const ResultCacheKey& key) const {
+std::size_t ComputeKeyHash(const ResultCacheKey& key) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
   h = MixHash(h, key.epoch);
   h = MixHash(h, static_cast<std::uint64_t>(key.k));
@@ -30,10 +38,27 @@ std::size_t ResultCache::KeyHash::operator()(
   return static_cast<std::size_t>(h);
 }
 
+}  // namespace
+
+std::size_t ResultCache::KeyHash::operator()(
+    const ResultCacheKey& key) const {
+  return key.hash != 0 ? key.hash : ComputeKeyHash(key);
+}
+
 ResultCache::ResultCache(std::size_t capacity, double quantum)
-    : capacity_(capacity), quantum_(quantum) {
+    : capacity_(capacity),
+      quantum_(quantum),
+      segment_capacity_((capacity + NumSegmentsFor(capacity) - 1) /
+                        NumSegmentsFor(capacity)),
+      segments_(NumSegmentsFor(capacity)) {
   KSIR_CHECK(capacity >= 1);
   KSIR_CHECK(quantum > 0.0);
+}
+
+ResultCache::Segment& ResultCache::SegmentFor(
+    const ResultCacheKey& key) const {
+  if (segments_.size() == 1) return segments_[0];
+  return segments_[KeyHash{}(key) % segments_.size()];
 }
 
 ResultCacheKey ResultCache::MakeKey(const KsirQuery& query,
@@ -47,24 +72,27 @@ ResultCacheKey ResultCache::MakeKey(const KsirQuery& query,
   for (const auto& [topic, weight] : query.x.entries()) {
     key.x_q.emplace_back(topic, std::llround(weight / quantum_));
   }
+  key.hash = ComputeKeyHash(key);
   return key;
 }
 
 std::optional<QueryResult> ResultCache::Lookup(const ResultCacheKey& key) {
-  std::lock_guard lock(mutex_);
-  const auto it = map_.find(key);
-  if (it == map_.end()) {
+  Segment& segment = SegmentFor(key);
+  std::lock_guard lock(segment.mutex);
+  const auto it = segment.map.find(key);
+  if (it == segment.map.end()) {
     stats_.misses.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
-  lru_.splice(lru_.begin(), lru_, it->second);
+  segment.lru.splice(segment.lru.begin(), segment.lru, it->second);
   stats_.hits.fetch_add(1, std::memory_order_relaxed);
   return it->second->second;
 }
 
 void ResultCache::Insert(const ResultCacheKey& key,
                          const QueryResult& result) {
-  std::lock_guard lock(mutex_);
+  Segment& segment = SegmentFor(key);
+  std::lock_guard lock(segment.mutex);
   if (key.epoch < floor_epoch_.load(std::memory_order_relaxed)) {
     // A concurrent InvalidateBefore already swept this epoch; the entry
     // could never match a current-epoch lookup and would only occupy LRU
@@ -72,34 +100,42 @@ void ResultCache::Insert(const ResultCacheKey& key,
     stats_.stale_inserts.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  const auto it = map_.find(key);
-  if (it != map_.end()) {
+  const auto it = segment.map.find(key);
+  if (it != segment.map.end()) {
     it->second->second = result;
-    lru_.splice(lru_.begin(), lru_, it->second);
+    segment.lru.splice(segment.lru.begin(), segment.lru, it->second);
     return;
   }
-  lru_.emplace_front(key, result);
-  map_.emplace(key, lru_.begin());
-  while (map_.size() > capacity_) {
-    map_.erase(lru_.back().first);
-    lru_.pop_back();
+  segment.lru.emplace_front(key, result);
+  segment.map.emplace(key, segment.lru.begin());
+  while (segment.map.size() > segment_capacity_) {
+    segment.map.erase(segment.lru.back().first);
+    segment.lru.pop_back();
     stats_.evictions.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 void ResultCache::InvalidateBefore(std::uint64_t epoch) {
-  std::lock_guard lock(mutex_);
-  if (epoch > floor_epoch_.load(std::memory_order_relaxed)) {
-    floor_epoch_.store(epoch, std::memory_order_release);
+  // Raise the admission floor FIRST (monotone CAS loop — sweeps from
+  // different threads must never lower it), so an Insert racing the sweep
+  // of its segment is rejected no matter which lock it wins.
+  std::uint64_t floor = floor_epoch_.load(std::memory_order_relaxed);
+  while (epoch > floor &&
+         !floor_epoch_.compare_exchange_weak(floor, epoch,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed)) {
   }
   std::int64_t invalidated = 0;
-  for (auto it = lru_.begin(); it != lru_.end();) {
-    if (it->first.epoch < epoch) {
-      map_.erase(it->first);
-      it = lru_.erase(it);
-      ++invalidated;
-    } else {
-      ++it;
+  for (Segment& segment : segments_) {
+    std::lock_guard lock(segment.mutex);
+    for (auto it = segment.lru.begin(); it != segment.lru.end();) {
+      if (it->first.epoch < epoch) {
+        segment.map.erase(it->first);
+        it = segment.lru.erase(it);
+        ++invalidated;
+      } else {
+        ++it;
+      }
     }
   }
   if (invalidated > 0) {
@@ -108,11 +144,16 @@ void ResultCache::InvalidateBefore(std::uint64_t epoch) {
 }
 
 void ResultCache::Clear() {
-  std::lock_guard lock(mutex_);
-  stats_.invalidated.fetch_add(static_cast<std::int64_t>(map_.size()),
-                               std::memory_order_relaxed);
-  map_.clear();
-  lru_.clear();
+  std::int64_t dropped = 0;
+  for (Segment& segment : segments_) {
+    std::lock_guard lock(segment.mutex);
+    dropped += static_cast<std::int64_t>(segment.map.size());
+    segment.map.clear();
+    segment.lru.clear();
+  }
+  if (dropped > 0) {
+    stats_.invalidated.fetch_add(dropped, std::memory_order_relaxed);
+  }
 }
 
 ResultCacheStats ResultCache::stats() const {
@@ -130,8 +171,12 @@ ResultCacheStats ResultCache::stats() const {
 }
 
 std::size_t ResultCache::size() const {
-  std::lock_guard lock(mutex_);
-  return map_.size();
+  std::size_t total = 0;
+  for (Segment& segment : segments_) {
+    std::lock_guard lock(segment.mutex);
+    total += segment.map.size();
+  }
+  return total;
 }
 
 }  // namespace ksir

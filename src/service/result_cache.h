@@ -9,6 +9,15 @@
 // reclaims the memory eagerly. Query vectors are quantized onto a small
 // grid before keying, so vectors that differ only by inference noise share
 // an entry.
+//
+// Storage is SEGMENTED: the key hash selects one of up to 8 independent
+// (mutex + LRU + map) segments, so concurrent readers on different keys
+// never contend on one lock — the last query-path contention point after
+// the stats counters went atomic. Eviction is per segment (approximate
+// global LRU; capacity is split evenly), which is invisible at service
+// capacities; small caches (< 64 entries per would-be segment) keep a
+// single segment and therefore exact LRU semantics. The stats counters and
+// the invalidation floor stay process-wide atomics readable with no lock.
 #ifndef KSIR_SERVICE_RESULT_CACHE_H_
 #define KSIR_SERVICE_RESULT_CACHE_H_
 
@@ -33,8 +42,17 @@ struct ResultCacheKey {
   std::int64_t epsilon_q = 0;
   /// (topic, quantized weight), sorted by topic.
   std::vector<std::pair<std::int32_t, std::int64_t>> x_q;
+  /// Memoized hash, filled by MakeKey, so segment selection and the map
+  /// probe walk the (potentially long) quantized vector ONCE per
+  /// operation. Not part of key identity; 0 = not memoized (recomputed on
+  /// demand — equal keys always hash equal either way).
+  std::size_t hash = 0;
 
-  bool operator==(const ResultCacheKey&) const = default;
+  bool operator==(const ResultCacheKey& other) const {
+    return epoch == other.epoch && k == other.k &&
+           algorithm == other.algorithm && epsilon_q == other.epsilon_q &&
+           x_q == other.x_q;
+  }
 };
 
 struct ResultCacheStats {
@@ -76,6 +94,10 @@ class ResultCache {
   /// Drops everything.
   void Clear();
 
+  /// Independent mutex+LRU segments backing the store (1 for small
+  /// capacities — exact LRU — up to 8 at service capacities).
+  std::size_t num_segments() const { return segments_.size(); }
+
   /// Point-in-time counters. Lock-free: the counters are atomics, so the
   /// stats path never contends with (or races against) queries and
   /// invalidation sweeps. The snapshot is per-counter consistent, not
@@ -98,9 +120,10 @@ class ResultCache {
   };
   using LruList = std::list<std::pair<ResultCacheKey, QueryResult>>;
 
-  /// Counters behind stats(). Relaxed atomics: incremented under mutex_ on
-  /// the map paths but READ without it — the previous plain-int64 fields
-  /// made every monitoring read either take the hot-path lock or race.
+  /// Counters behind stats(). Relaxed atomics: incremented under a segment
+  /// mutex on the map paths but READ without it — the previous plain-int64
+  /// fields made every monitoring read either take the hot-path lock or
+  /// race.
   struct AtomicStats {
     std::atomic<std::int64_t> hits{0};
     std::atomic<std::int64_t> misses{0};
@@ -109,15 +132,26 @@ class ResultCache {
     std::atomic<std::int64_t> stale_inserts{0};
   };
 
+  /// One independent LRU shard. Entries land by key hash; each segment
+  /// holds capacity_ / num_segments entries (rounded up).
+  struct Segment {
+    mutable std::mutex mutex;
+    LruList lru;  // front = most recently used
+    std::unordered_map<ResultCacheKey, LruList::iterator, KeyHash> map;
+  };
+
+  Segment& SegmentFor(const ResultCacheKey& key) const;
+
   std::size_t capacity_;
   double quantum_;
-  mutable std::mutex mutex_;
-  LruList lru_;  // front = most recently used
-  std::unordered_map<ResultCacheKey, LruList::iterator, KeyHash> map_;
+  std::size_t segment_capacity_;
+  /// Sized at construction, never resized — the vector itself is shared
+  /// read-only, all mutation happens inside a segment under its mutex.
+  mutable std::vector<Segment> segments_;
   AtomicStats stats_;
   /// Highest epoch ever passed to InvalidateBefore: entries below it have
   /// been swept and must not be re-admitted. Atomic so the stats path can
-  /// read it without the mutex; ordered writes happen under the mutex.
+  /// read it without a lock; the sweep orders its store before sweeping.
   std::atomic<std::uint64_t> floor_epoch_{0};
 };
 

@@ -33,22 +33,35 @@ StatusOr<std::unique_ptr<KsirService>> KsirService::Create(
 KsirService::KsirService(ServiceConfig config, const TopicModel* model)
     : config_(config),
       cache_(config.cache_capacity, config.cache_quantum) {
+  // One pool for everything: shard advances, query fan-out, and — when
+  // parallel maintenance is configured — every shard engine's staged
+  // bucket apply (passed into the engines below instead of letting each
+  // spawn its own).
+  const std::size_t default_workers = std::max(
+      config_.num_shards, UsesParallelMaintenance(config_.engine)
+                              ? config_.engine.maintenance_threads
+                              : std::size_t{1});
+  if (config_.shared_pool != nullptr) {
+    pool_ = config_.shared_pool;
+  } else {
+    owned_pool_ = MakeWorkerPool(config_.num_workers, default_workers);
+    pool_ = owned_pool_.get();
+  }
+  WorkerPool* maintenance_pool =
+      UsesParallelMaintenance(config_.engine) ? pool_ : nullptr;
   shards_.reserve(config_.num_shards);
   std::vector<KsirEngine*> shard_ptrs;
   for (std::size_t i = 0; i < config_.num_shards; ++i) {
-    shards_.push_back(std::make_unique<KsirEngine>(config_.engine, model));
+    shards_.push_back(
+        std::make_unique<KsirEngine>(config_.engine, model, maintenance_pool));
     shard_ptrs.push_back(shards_.back().get());
   }
-  const std::size_t workers =
-      config_.num_workers > 0 ? config_.num_workers : config_.num_shards;
-  pool_ = std::make_unique<WorkerPool>(workers);
   router_ = std::make_unique<ShardRouter>(
       config_.num_shards, config_.engine.max_shard_imbalance,
       config_.engine.window_length);
-  ingestor_ = std::make_unique<ShardedIngestor>(shard_ptrs, router_.get(),
-                                                pool_.get());
-  planner_ =
-      std::make_unique<QueryPlanner>(shard_ptrs, model, pool_.get());
+  ingestor_ =
+      std::make_unique<ShardedIngestor>(shard_ptrs, router_.get(), pool_);
+  planner_ = std::make_unique<QueryPlanner>(shard_ptrs, model, pool_);
   standing_ = std::make_unique<ShardedStandingQueryManager>(
       [this](const KsirQuery& query) { return Query(query); });
 }

@@ -39,7 +39,7 @@
 #include "service/shard_router.h"
 #include "service/sharded_ingestor.h"
 #include "service/sharded_standing_query.h"
-#include "service/worker_pool.h"
+#include "runtime/worker_pool.h"
 #include "topic/topic_model.h"
 
 namespace ksir {
@@ -50,8 +50,19 @@ struct ServiceConfig {
   EngineConfig engine;
   /// Number of shard engines (>= 1).
   std::size_t num_shards = 4;
-  /// Worker threads shared by ingestion and query fan-out; 0 = num_shards.
+  /// Worker threads shared by ingestion, query fan-out AND the shards'
+  /// parallel maintenance stages (when engine.maintenance_threads >= 2 the
+  /// shard engines fan their staged bucket apply out on this same pool —
+  /// one process-wide pool instead of a pool per shard; caller
+  /// participation keeps nested fan-out deadlock-free). 0 = num_shards,
+  /// raised to engine.maintenance_threads when that is larger; size it
+  /// near num_shards * maintenance_threads to run both levels fully
+  /// parallel.
   std::size_t num_workers = 0;
+  /// Optional externally owned pool (must outlive the service): lets
+  /// several services / engines in one process share one pool. nullptr =
+  /// the service builds its own through the runtime factory.
+  WorkerPool* shared_pool = nullptr;
   /// Result-cache entries kept across one epoch (>= 1).
   std::size_t cache_capacity = 4096;
   /// Query-vector quantization step of the cache key.
@@ -125,8 +136,12 @@ class KsirService {
   KsirService(ServiceConfig config, const TopicModel* model);
 
   ServiceConfig config_;
+  /// Service-owned pool (absent when config.shared_pool was passed);
+  /// declared before the shards, which hold the raw pointer through their
+  /// maintainers.
+  std::unique_ptr<WorkerPool> owned_pool_;
+  WorkerPool* pool_ = nullptr;
   std::vector<std::unique_ptr<KsirEngine>> shards_;
-  std::unique_ptr<WorkerPool> pool_;
   std::unique_ptr<ShardRouter> router_;
   std::unique_ptr<ShardedIngestor> ingestor_;
   std::unique_ptr<QueryPlanner> planner_;

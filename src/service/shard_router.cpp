@@ -40,8 +40,10 @@ std::size_t ShardRouter::CapShard(std::size_t shard) {
   const std::vector<std::size_t>& load =
       balance_horizon_ > 0 ? recent_ : load_;
   std::size_t least = 0;
+  std::size_t most = 0;
   for (std::size_t s = 1; s < num_shards_; ++s) {
     if (load[s] < load[least]) least = s;
+    if (load[s] > load[most]) most = s;
   }
   // Admitting onto `shard` must keep its load within the cap of the least
   // loaded shard (both +1 so an empty fleet is never divided by zero and
@@ -50,9 +52,24 @@ std::size_t ShardRouter::CapShard(std::size_t shard) {
   // couple of percent (clock skew of one bucket, dangling references), and
   // the configured bound is a guarantee on the OBSERVED active spread, not
   // on the proxy.
-  const double headroom_cap = std::max(1.0, 0.9 * max_imbalance_);
+  double admission_cap = std::max(1.0, 0.9 * max_imbalance_);
+  // Decay-aware pressure: bounding admissions alone lets the CURRENT
+  // spread drift past the bound without any single placement breaking the
+  // rule — old placement runs decay unevenly, so a roaming cascade used to
+  // end ~30% past the cap. Once the observed spread exceeds the configured
+  // bound, tighten the admission cap in proportion to the excess
+  // (cap * bound / spread), steering placements near the drift edge to the
+  // least-loaded shard so routing actively closes the gap instead of
+  // freezing it. Inside the bound the fixed headroom alone applies —
+  // chain affinity (and with it merge quality) is only taxed while the
+  // guarantee is actually violated.
+  const double spread = (static_cast<double>(load[most]) + 1.0) /
+                        (static_cast<double>(load[least]) + 1.0);
+  if (spread > max_imbalance_) {
+    admission_cap = std::max(1.0, admission_cap * max_imbalance_ / spread);
+  }
   const double limit =
-      headroom_cap * (static_cast<double>(load[least]) + 1.0);
+      admission_cap * (static_cast<double>(load[least]) + 1.0);
   if (static_cast<double>(load[shard]) + 1.0 <= limit) return shard;
   ++rebalanced_;
   return least;

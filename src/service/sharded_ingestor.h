@@ -11,7 +11,7 @@
 #include "common/status.h"
 #include "core/engine.h"
 #include "service/shard_router.h"
-#include "service/worker_pool.h"
+#include "runtime/worker_pool.h"
 
 namespace ksir {
 

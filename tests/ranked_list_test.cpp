@@ -813,6 +813,41 @@ TEST(RankedListDeathTest, ApplyBatchRejectsNaNScore) {
 
 // --------------------------------------------------- Refresh mode (paper) --
 
+TEST(RankedListIndexTest, SplitInsertMatchesCombinedInsert) {
+  // The parallel maintenance pipeline inserts fresh elements in two
+  // halves: InsertMembership (serial) then one InsertListEntry per support
+  // topic (topic-sharded). The result — membership, t_e, entry counts,
+  // list keys AND minted handles — must be exactly what the combined
+  // Insert produces.
+  RankedListIndex combined(3, /*track_ids=*/false);
+  RankedListIndex split(3, /*track_ids=*/false);
+  const std::vector<std::pair<TopicId, double>> support = {
+      {0, 0.9}, {2, 0.4}};
+  std::vector<RankedList::Handle> combined_handles(support.size());
+  combined.Insert(7, support, /*te=*/42, combined_handles.data());
+
+  const TopicId topics[] = {0, 2};
+  split.InsertMembership(7, topics, 2, /*te=*/42);
+  std::vector<RankedList::Handle> split_handles;
+  for (const auto& [topic, score] : support) {
+    split_handles.push_back(split.InsertListEntry(topic, 7, score));
+  }
+
+  EXPECT_EQ(split.num_elements(), combined.num_elements());
+  EXPECT_EQ(split.total_entries(), combined.total_entries());
+  EXPECT_EQ(split.TimeOf(7), combined.TimeOf(7));
+  for (std::size_t i = 0; i < support.size(); ++i) {
+    EXPECT_EQ(split_handles[i], combined_handles[i]) << "entry " << i;
+    const TopicId topic = support[i].first;
+    ASSERT_EQ(split.list(topic).size(), combined.list(topic).size());
+    EXPECT_EQ(split.list(topic).Get(7), combined.list(topic).Get(7));
+    EXPECT_EQ(split.list(topic).ProbeHandle(split_handles[i], 7,
+                                            support[i].second),
+              RankedList::HandleState::kValid);
+  }
+  EXPECT_TRUE(split.list(1).empty());
+}
+
 TEST(RefreshModeTest, PaperModeKeepsStaleUpperBound) {
   // Build a stream where an element loses a referrer with no gain in the
   // same bucket: with kPaper the list score stays stale-high; with kExact

@@ -67,12 +67,15 @@ SocialElement RandomElement(Rng* rng, ElementId id, Timestamp ts,
   return e;
 }
 
-/// Feeds the same random stream to four engines bucket by bucket — the
-/// handle-carrying batched path (production default), the id-keyed batched
-/// path (the PR 3 baseline), the single-reposition path (the PR 2 baseline)
-/// and the recompute baseline — checking list-state equality after every
-/// advance. The three incremental engines must agree bitwise (they compose
-/// identical doubles from the same cache); recompute agrees within kTol.
+/// Feeds the same random stream to five engines bucket by bucket — the
+/// handle-carrying batched path (production default), the PARALLEL staged
+/// apply over that same path (maintenance_threads = 3), the id-keyed
+/// batched path (the PR 3 baseline), the single-reposition path (the PR 2
+/// baseline) and the recompute baseline — checking list-state equality
+/// after every advance. The four incremental engines must agree bitwise
+/// (they compose identical doubles from the same cache, and the parallel
+/// stages replay the serial per-list operation order exactly); recompute
+/// agrees within kTol.
 void RunEquivalenceStream(std::uint64_t seed, RefreshMode mode) {
   Rng rng(seed);
   TopicModel model = MakeModel(&rng);
@@ -91,6 +94,9 @@ void RunEquivalenceStream(std::uint64_t seed, RefreshMode mode) {
   // handles (the production default)...
   handle_config.reposition_batch_min = 1;
   handle_config.carry_handles = true;
+  // ...vs. the staged parallel apply of the same pipeline...
+  EngineConfig parallel_config = handle_config;
+  parallel_config.maintenance_threads = 3;
   // ...vs. the same sweep resolving every tuple by id (PR 3)...
   EngineConfig batched_config = handle_config;
   batched_config.carry_handles = false;
@@ -101,6 +107,7 @@ void RunEquivalenceStream(std::uint64_t seed, RefreshMode mode) {
   recompute_config.score_maintenance = ScoreMaintenance::kRecompute;
 
   KsirEngine handle(handle_config, &model);
+  KsirEngine parallel(parallel_config, &model);
   KsirEngine batched(batched_config, &model);
   KsirEngine single(single_config, &model);
   KsirEngine recompute(recompute_config, &model);
@@ -122,6 +129,7 @@ void RunEquivalenceStream(std::uint64_t seed, RefreshMode mode) {
                 return a.ts < b.ts;
               });
     ASSERT_TRUE(handle.AdvanceTo(bucket_end, bucket).ok());
+    ASSERT_TRUE(parallel.AdvanceTo(bucket_end, bucket).ok());
     ASSERT_TRUE(batched.AdvanceTo(bucket_end, bucket).ok());
     ASSERT_TRUE(single.AdvanceTo(bucket_end, bucket).ok());
     ASSERT_TRUE(recompute.AdvanceTo(bucket_end, std::move(bucket)).ok());
@@ -134,6 +142,8 @@ void RunEquivalenceStream(std::uint64_t seed, RefreshMode mode) {
               recompute.index().num_elements());
     ASSERT_EQ(handle.index().total_entries(),
               recompute.index().total_entries());
+    ASSERT_EQ(handle.index().total_entries(),
+              parallel.index().total_entries());
     ASSERT_EQ(handle.index().total_entries(),
               batched.index().total_entries());
     ASSERT_EQ(handle.index().total_entries(),
@@ -163,26 +173,34 @@ void RunEquivalenceStream(std::uint64_t seed, RefreshMode mode) {
         }
       }
       // t_e is per element; all engines must agree exactly.
+      EXPECT_EQ(handle.index().TimeOf(id), parallel.index().TimeOf(id))
+          << "t=" << bucket_end << " e=" << id;
       EXPECT_EQ(handle.index().TimeOf(id), batched.index().TimeOf(id))
           << "t=" << bucket_end << " e=" << id;
       EXPECT_EQ(handle.index().TimeOf(id), single.index().TimeOf(id));
       EXPECT_EQ(handle.index().TimeOf(id), recompute.index().TimeOf(id));
     }
-    // The whole key sequence of every list must match across the three
+    // The whole key sequence of every list must match across the four
     // incremental engines (same order, bitwise-equal scores).
     for (TopicId topic = 0; topic < kNumTopics; ++topic) {
       const auto& hlist = handle.index().list(topic);
+      const auto& plist = parallel.index().list(topic);
       const auto& blist = batched.index().list(topic);
       const auto& slist = single.index().list(topic);
+      ASSERT_EQ(hlist.size(), plist.size());
       ASSERT_EQ(hlist.size(), blist.size());
       ASSERT_EQ(hlist.size(), slist.size());
+      auto pit = plist.begin();
       auto bit = blist.begin();
       auto sit = slist.begin();
       for (const auto& key : hlist) {
+        ASSERT_EQ(key.id, pit->id) << "t=" << bucket_end << " topic=" << topic;
+        ASSERT_EQ(key.score, pit->score);
         ASSERT_EQ(key.id, bit->id) << "t=" << bucket_end << " topic=" << topic;
         ASSERT_EQ(key.score, bit->score);
         ASSERT_EQ(key.id, sit->id) << "t=" << bucket_end << " topic=" << topic;
         ASSERT_EQ(key.score, sit->score);
+        ++pit;
         ++bit;
         ++sit;
       }
@@ -200,13 +218,17 @@ void RunEquivalenceStream(std::uint64_t seed, RefreshMode mode) {
         Algorithm::kTopkRepresentative}) {
     query.algorithm = algorithm;
     const auto lhs = handle.Query(query);
+    const auto par = parallel.Query(query);
     const auto bat = batched.Query(query);
     const auto mid = single.Query(query);
     const auto rhs = recompute.Query(query);
     ASSERT_TRUE(lhs.ok());
+    ASSERT_TRUE(par.ok());
     ASSERT_TRUE(bat.ok());
     ASSERT_TRUE(mid.ok());
     ASSERT_TRUE(rhs.ok());
+    EXPECT_EQ(lhs->element_ids, par->element_ids) << AlgorithmName(algorithm);
+    EXPECT_EQ(lhs->score, par->score) << AlgorithmName(algorithm);
     EXPECT_EQ(lhs->element_ids, bat->element_ids) << AlgorithmName(algorithm);
     EXPECT_EQ(lhs->score, bat->score) << AlgorithmName(algorithm);
     EXPECT_EQ(lhs->element_ids, mid->element_ids) << AlgorithmName(algorithm);

@@ -2,10 +2,24 @@
 """Bench-regression gate for the hot-path benchmark.
 
 Compares the freshly produced BENCH_hotpath.json against the committed
-baseline and fails (exit 1) when the production engine's p50 bucket-update
-latency regressed by more than the threshold. Comparisons only make sense
-at matching scale; a scale mismatch is reported and skipped (exit 0) so the
-gate never silently compares apples to oranges.
+baseline and fails (exit 1) when a production engine's p50 bucket-update
+latency regressed by more than the threshold. Two paths are gated:
+
+  * the serial production engine ("handle"; older baselines archive
+    "batched" instead), always, and
+  * the parallel staged engine ("parallel"), when both documents carry it
+    AND report the same available_cores — the parallel path is
+    bitwise-identical to the serial one by contract, so its wall-clock is
+    a function of the core count and cross-hardware comparisons would
+    gate on the machine, not the code. At mismatched core counts the gate
+    falls back to an IN-RUN overhead bound instead of going dark: the
+    fresh run's parallel p50 may not exceed the fresh run's serial p50 by
+    more than the threshold (a lock slipped into the topic stage or an
+    accidentally serialized stage trips this on any hardware).
+
+Comparisons only make sense at matching scale; a scale mismatch is
+reported and skipped (exit 0) so the gate never silently compares apples
+to oranges.
 
 Usage: check_bench_regression.py BASELINE.json FRESH.json [THRESHOLD]
   THRESHOLD is the allowed relative regression, default 0.15 (= +15%).
@@ -14,9 +28,10 @@ Usage: check_bench_regression.py BASELINE.json FRESH.json [THRESHOLD]
 import json
 import sys
 
-# The production engine key, newest first: older baselines predate the
-# handle path and archive the batched engine instead.
-ENGINE_KEYS = ("handle", "batched")
+# The serial production engine key, newest first: older baselines predate
+# the handle path and archive the batched engine instead.
+SERIAL_ENGINE_KEYS = ("handle", "batched")
+PARALLEL_ENGINE_KEY = "parallel"
 
 
 def load(path):
@@ -24,12 +39,28 @@ def load(path):
         return json.load(f)
 
 
-def p50_of(doc, path):
+def serial_p50_of(doc, path):
     engines = doc.get("engines", {})
-    for key in ENGINE_KEYS:
+    for key in SERIAL_ENGINE_KEYS:
         if key in engines:
             return key, engines[key]["bucket_update"]["p50_ms"]
     raise KeyError(f"{path}: no known engine key in {sorted(engines)}")
+
+
+def check_pair(label, base_p50, fresh_p50, threshold):
+    """Returns False when this engine's p50 regressed past the threshold."""
+    if base_p50 <= 0.0:
+        print(f"SKIP [{label}]: baseline p50 is {base_p50}")
+        return True
+    ratio = fresh_p50 / base_p50
+    print(f"[{label}] baseline p50 = {base_p50:.6f} ms, "
+          f"fresh p50 = {fresh_p50:.6f} ms, "
+          f"ratio = {ratio:.3f} (limit {1.0 + threshold:.2f})")
+    if ratio > 1.0 + threshold:
+        print(f"FAIL [{label}]: p50 bucket-update regressed by "
+              f"{(ratio - 1.0) * 100.0:.1f}% (> {threshold * 100.0:.0f}%)")
+        return False
+    return True
 
 
 def main(argv):
@@ -49,19 +80,32 @@ def main(argv):
               f"fresh={fresh_scale}); nothing comparable")
         return 0
 
-    base_key, base_p50 = p50_of(baseline, baseline_path)
-    fresh_key, fresh_p50 = p50_of(fresh, fresh_path)
-    if base_p50 <= 0.0:
-        print(f"SKIP: baseline p50 is {base_p50}")
-        return 0
+    base_key, base_p50 = serial_p50_of(baseline, baseline_path)
+    fresh_key, fresh_p50 = serial_p50_of(fresh, fresh_path)
+    ok = check_pair(f"serial {base_key}/{fresh_key}", base_p50, fresh_p50,
+                    threshold)
 
-    ratio = fresh_p50 / base_p50
-    print(f"baseline[{base_key}] p50 = {base_p50:.6f} ms, "
-          f"fresh[{fresh_key}] p50 = {fresh_p50:.6f} ms, "
-          f"ratio = {ratio:.3f} (limit {1.0 + threshold:.2f})")
-    if ratio > 1.0 + threshold:
-        print(f"FAIL: p50 bucket-update regressed by "
-              f"{(ratio - 1.0) * 100.0:.1f}% (> {threshold * 100.0:.0f}%)")
+    base_parallel = baseline.get("engines", {}).get(PARALLEL_ENGINE_KEY)
+    fresh_parallel = fresh.get("engines", {}).get(PARALLEL_ENGINE_KEY)
+    if base_parallel is None or fresh_parallel is None:
+        print("NOTE: parallel engine absent from one document; "
+              "serial gate only")
+    else:
+        base_cores = baseline.get("available_cores")
+        fresh_cores = fresh.get("available_cores")
+        if base_cores != fresh_cores:
+            print(f"NOTE: core-count mismatch (baseline={base_cores}, "
+                  f"fresh={fresh_cores}); gating in-run parallel overhead "
+                  f"instead of cross-run p50")
+            ok = check_pair(
+                "parallel-vs-serial in-run overhead", fresh_p50,
+                fresh_parallel["bucket_update"]["p50_ms"], threshold) and ok
+        else:
+            ok = check_pair(
+                "parallel", base_parallel["bucket_update"]["p50_ms"],
+                fresh_parallel["bucket_update"]["p50_ms"], threshold) and ok
+
+    if not ok:
         return 1
     print("OK: within the regression budget")
     return 0
