@@ -8,14 +8,21 @@
 // threads fire random keyword queries that the QueryPlanner fans out and
 // merges, with repeated queries between bucket boundaries served from the
 // epoch-keyed ResultCache. Reports query throughput, latency percentiles
-// per algorithm, and the service counters.
+// per algorithm, the service counters, and — telemetry runs at kCounters —
+// the per-stage maintenance breakdown from the metrics registry.
 //
-//   $ ./query_server_sim
+//   $ ./query_server_sim [METRICS.prom] [NUM_ELEMENTS]
+//
+// With METRICS.prom the full Prometheus text exposition is written there
+// at exit (CI validates it with tools/check_metrics_exposition.py);
+// NUM_ELEMENTS overrides the generated stream size (default 8000).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -39,13 +46,19 @@ double Percentile(std::vector<double> values, double p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("Query-server simulation: sharded service, concurrent k-SIR "
               "queries\n");
   std::printf("=========================================================\n");
 
+  const char* metrics_path = argc > 1 ? argv[1] : nullptr;
   StreamProfile profile = RedditSimProfile();
   profile.num_elements = 8000;
+  if (argc > 2) {
+    const long n = std::atol(argv[2]);
+    KSIR_CHECK(n > 0);
+    profile.num_elements = static_cast<std::size_t>(n);
+  }
   auto generated = GenerateStream(profile);
   KSIR_CHECK(generated.ok());
   const GeneratedStream& stream = *generated;
@@ -55,6 +68,9 @@ int main() {
   config.engine.window_length = 24 * 3600;
   config.engine.bucket_length = 15 * 60;
   config.num_shards = 4;
+  // Stage timers + histograms on: this sim doubles as the live-exposition
+  // fixture CI validates, and its report includes the stage breakdown.
+  config.telemetry.level = TelemetryLevel::kCounters;
   auto created = KsirService::Create(config, &stream.model);
   KSIR_CHECK(created.ok());
   KsirService& service = **created;
@@ -180,5 +196,32 @@ int main() {
               static_cast<long long>(stats.planner.merge_wins),
               static_cast<long long>(stats.planner.epoch_retries),
               static_cast<long long>(stats.ingestion.cross_shard_refs));
+
+  // Per-stage maintenance breakdown straight off the metrics registry:
+  // where the ingestion wall time above actually went.
+  const RegistrySnapshot snapshot =
+      service.telemetry().registry().Snapshot();
+  const auto hist_sum_ms = [&snapshot](const char* name) {
+    const MetricSnapshot* m = snapshot.Find(name);
+    return m != nullptr ? m->histogram.sum * 1e3 : 0.0;
+  };
+  std::printf("Maintenance stages: expiry %.1f ms, score %.1f ms, gather "
+              "%.1f ms, list-apply %.1f ms (bucket-apply total %.1f ms "
+              "across shards).\n",
+              hist_sum_ms("ksir_maintainer_stage_expiry_seconds"),
+              hist_sum_ms("ksir_maintainer_stage_score_seconds"),
+              hist_sum_ms("ksir_maintainer_stage_gather_seconds"),
+              hist_sum_ms("ksir_maintainer_stage_list_apply_seconds"),
+              hist_sum_ms("ksir_maintainer_bucket_apply_seconds"));
+
+  if (metrics_path != nullptr) {
+    const std::string text = service.MetricsText();
+    std::FILE* out = std::fopen(metrics_path, "w");
+    KSIR_CHECK(out != nullptr);
+    std::fwrite(text.data(), 1, text.size(), out);
+    std::fclose(out);
+    std::printf("Wrote Prometheus exposition (%zu bytes) to %s.\n",
+                text.size(), metrics_path);
+  }
   return 0;
 }

@@ -65,6 +65,7 @@ Status ValidateEngineConfig(const EngineConfig& config) {
     return Status::InvalidArgument(
         "maintenance_threads must be <= 256");
   }
+  KSIR_RETURN_NOT_OK(ValidateTelemetryConfig(config.telemetry));
   return Status::OK();
 }
 
@@ -79,24 +80,32 @@ bool UsesParallelMaintenance(const EngineConfig& config) {
 }
 
 KsirEngine::KsirEngine(EngineConfig config, const TopicModel* model,
-                       WorkerPool* maintenance_pool)
+                       WorkerPool* maintenance_pool, Telemetry* telemetry)
     : config_(config),
       window_(config.window_length, config.archive_retention),
       index_(model != nullptr ? model->num_topics() : 1,
              /*track_ids=*/!UsesHandlePipeline(config)),
       scoring_(model, &window_, config.scoring),
+      owned_telemetry_(telemetry == nullptr
+                           ? std::make_unique<Telemetry>(config.telemetry)
+                           : nullptr),
+      telemetry_(telemetry != nullptr ? telemetry : owned_telemetry_.get()),
+      advance_hist_(telemetry_->registry().GetHistogram(
+          "ksir_engine_advance_seconds",
+          "One KsirEngine::AdvanceTo (window advance + bucket apply)")),
       // The advancing thread is one participant, so an engine-owned pool
       // only needs the helpers. A shared pool is used as passed — the
       // sharded service hands every shard the same process-wide pool.
       owned_pool_(maintenance_pool == nullptr && UsesParallelMaintenance(config)
-                      ? MakeWorkerPool(config.maintenance_threads - 1)
+                      ? MakeWorkerPool(config.maintenance_threads - 1,
+                                       /*fallback=*/1, telemetry_)
                       : nullptr),
       maintainer_(&scoring_, &index_, config.refresh_mode,
                   config.score_maintenance, config.reposition_batch_min,
                   config.carry_handles,
                   maintenance_pool != nullptr ? maintenance_pool
                                               : owned_pool_.get(),
-                  config.maintenance_threads) {
+                  config.maintenance_threads, telemetry_) {
   KSIR_CHECK(config.bucket_length > 0);
   KSIR_CHECK(config.window_length >= config.bucket_length);
 }
@@ -105,12 +114,13 @@ KsirEngine::~KsirEngine() = default;
 
 StatusOr<std::unique_ptr<KsirEngine>> KsirEngine::Create(
     EngineConfig config, const TopicModel* model,
-    WorkerPool* maintenance_pool) {
+    WorkerPool* maintenance_pool, Telemetry* telemetry) {
   KSIR_RETURN_NOT_OK(ValidateEngineConfig(config));
   if (model == nullptr) {
     return Status::InvalidArgument("topic model must not be null");
   }
-  return std::make_unique<KsirEngine>(config, model, maintenance_pool);
+  return std::make_unique<KsirEngine>(config, model, maintenance_pool,
+                                      telemetry);
 }
 
 Status KsirEngine::AdvanceTo(Timestamp bucket_end,
@@ -136,7 +146,13 @@ Status KsirEngine::AdvanceTo(Timestamp bucket_end,
   stats_.elements_expired +=
       static_cast<std::int64_t>(update.expired.size());
   stats_.dangling_refs += update.dangling_refs;
-  stats_.total_update_ms += timer.ElapsedMillis();
+  const double elapsed_ms = timer.ElapsedMillis();
+  stats_.total_update_ms += elapsed_ms;
+  // The clock reads above pre-date telemetry (they feed MaintenanceStats),
+  // so only the histogram record itself is gated on the level.
+  if (telemetry_->timing_enabled()) {
+    advance_hist_->Record(elapsed_ms / 1e3);
+  }
   ++bucket_epoch_;
   return Status::OK();
 }
@@ -223,6 +239,11 @@ Timestamp KsirEngine::now() const {
 std::uint64_t KsirEngine::bucket_epoch() const {
   std::shared_lock lock(mutex_);
   return bucket_epoch_;
+}
+
+std::size_t KsirEngine::num_active() const {
+  std::shared_lock lock(mutex_);
+  return window_.num_active();
 }
 
 std::vector<ElementSnapshot> KsirEngine::ExportSnapshots(

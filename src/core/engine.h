@@ -18,6 +18,7 @@
 #include "core/ranked_list.h"
 #include "core/scoring.h"
 #include "stream/element.h"
+#include "telemetry/telemetry.h"
 #include "topic/topic_model.h"
 #include "window/active_window.h"
 
@@ -72,6 +73,10 @@ struct EngineConfig {
   /// every deployment seam (service, benches, tests) shares one knob next
   /// to the window/bucket geometry.
   double max_shard_imbalance = 0.0;
+  /// Telemetry level and tracing knobs for the engine-owned Telemetry.
+  /// Ignored when a shared Telemetry is passed to the constructor (the
+  /// sharing owner's config governs); see telemetry.h for the cost model.
+  TelemetryConfig telemetry;
 };
 
 /// Cumulative ingestion statistics.
@@ -129,16 +134,21 @@ class KsirEngine {
   /// maintenance, `maintenance_pool` is the shared runtime pool the staged
   /// apply fans out on (it must outlive the engine — the seam the sharded
   /// service uses to run every shard on ONE process-wide pool); nullptr
-  /// makes the engine own a pool built by the runtime factory.
+  /// makes the engine own a pool built by the runtime factory. `telemetry`
+  /// is the shared registry/tracer the engine and its maintainer record
+  /// into (the sharded service hands every shard the service-wide one, so
+  /// N shards aggregate into one series set); nullptr makes the engine own
+  /// one configured by `config.telemetry`.
   KsirEngine(EngineConfig config, const TopicModel* model,
-             WorkerPool* maintenance_pool = nullptr);
+             WorkerPool* maintenance_pool = nullptr,
+             Telemetry* telemetry = nullptr);
 
   ~KsirEngine();
 
   /// Validating factory for long-running callers that must not abort.
   static StatusOr<std::unique_ptr<KsirEngine>> Create(
       EngineConfig config, const TopicModel* model,
-      WorkerPool* maintenance_pool = nullptr);
+      WorkerPool* maintenance_pool = nullptr, Telemetry* telemetry = nullptr);
 
   /// Advances the clock to `bucket_end` and ingests `bucket` (elements with
   /// ts in (previous time, bucket_end], sorted by ts). Thread-exclusive.
@@ -163,6 +173,15 @@ class KsirEngine {
   /// identical state, which is what makes epoch-keyed result caching sound.
   std::uint64_t bucket_epoch() const;
 
+  /// Current active-set size under the query (shared) lock — the accessor
+  /// concurrent readers must use while another thread ingests (window() is
+  /// unsynchronized by design).
+  std::size_t num_active() const;
+
+  /// The telemetry this engine records into (the shared one when passed,
+  /// else the engine-owned one).
+  Telemetry& telemetry() const { return *telemetry_; }
+
   /// Const-safe bulk export under the query (shared) lock: snapshots of the
   /// requested elements with their in-window referrer sets. Ids that are not
   /// active at call time are silently skipped, so callers racing AdvanceTo
@@ -183,6 +202,11 @@ class KsirEngine {
   ActiveWindow window_;
   RankedListIndex index_;
   ScoringContext scoring_;
+  /// Engine-owned telemetry (only when no shared one was passed); declared
+  /// before the pool and the maintainer, which hold the raw pointer.
+  std::unique_ptr<Telemetry> owned_telemetry_;
+  Telemetry* telemetry_;
+  Histogram* advance_hist_;
   /// Engine-owned maintenance pool (only when parallel maintenance is on
   /// and no shared pool was passed); declared before the maintainer, which
   /// holds the raw pointer.

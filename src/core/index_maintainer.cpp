@@ -13,7 +13,8 @@ IndexMaintainer::IndexMaintainer(const ScoringContext* ctx,
                                  ScoreMaintenance maintenance,
                                  std::size_t reposition_batch_min,
                                  bool carry_handles, WorkerPool* pool,
-                                 std::size_t parallel_workers)
+                                 std::size_t parallel_workers,
+                                 Telemetry* telemetry)
     : ctx_(ctx),
       index_(index),
       mode_(mode),
@@ -22,9 +23,44 @@ IndexMaintainer::IndexMaintainer(const ScoringContext* ctx,
       use_handles_(carry_handles &&
                    maintenance == ScoreMaintenance::kIncremental &&
                    reposition_batch_min > 0),
+      owned_telemetry_(telemetry == nullptr ? std::make_unique<Telemetry>()
+                                            : nullptr),
+      telemetry_(telemetry != nullptr ? telemetry : owned_telemetry_.get()),
       cache_(ctx) {
   KSIR_CHECK(ctx != nullptr);
   KSIR_CHECK(index != nullptr);
+  MetricRegistry& reg = telemetry_->registry();
+  stage_expiry_hist_ = reg.GetHistogram(
+      "ksir_maintainer_stage_expiry_seconds",
+      "Bucket-apply stage: expiry erases plus fresh-element layout");
+  stage_score_hist_ = reg.GetHistogram(
+      "ksir_maintainer_stage_score_seconds",
+      "Bucket-apply stage: fresh scoring, edge folding, score composition");
+  stage_gather_hist_ = reg.GetHistogram(
+      "ksir_maintainer_stage_gather_seconds",
+      "Bucket-apply stage: deterministic gather into per-topic runs "
+      "(parallel apply only)");
+  stage_list_apply_hist_ = reg.GetHistogram(
+      "ksir_maintainer_stage_list_apply_seconds",
+      "Bucket-apply stage: ranked-list inserts and reposition runs");
+  bucket_apply_hist_ = reg.GetHistogram(
+      "ksir_maintainer_bucket_apply_seconds",
+      "Whole IndexMaintainer::Apply of one bucket");
+  expired_counter_ = reg.GetCounter("ksir_maintainer_expired_total",
+                                    "Elements erased on expiry");
+  fresh_counter_ = reg.GetCounter(
+      "ksir_maintainer_fresh_total",
+      "Elements inserted fresh or resurrected into the ranked lists");
+  touched_counter_ = reg.GetCounter(
+      "ksir_maintainer_elements_touched_total",
+      "Elements that gained or lost a referrer within a bucket");
+  repositions_counter_ = reg.GetCounter(
+      "ksir_maintainer_repositions_total",
+      "Ranked-list reposition tuples actually applied");
+  elisions_counter_ = reg.GetCounter(
+      "ksir_maintainer_elisions_total",
+      "Reposition tuples elided because the composed score equals the "
+      "listed score");
   topic_counts_.resize(index->num_topics(), 0);
   edge_acc_.Resize(index->num_topics());
   // Only the handle pipeline parallelizes: its per-topic runs carry every
@@ -44,10 +80,34 @@ IndexMaintainer::IndexMaintainer(const ScoringContext* ctx,
 }
 
 void IndexMaintainer::Apply(const ActiveWindow::UpdateResult& update) {
-  if (maintenance_ == ScoreMaintenance::kIncremental) {
-    ApplyIncremental(update);
-  } else {
-    ApplyRecompute(update);
+  // One bucket apply is one trace unit: every sample_period-th bucket gets
+  // its stage spans recorded.
+  telemetry_->tracer().SampleUnit();
+  bucket_repositions_ = 0;
+  bucket_elisions_ = 0;
+  {
+    StageScope scope(telemetry_, bucket_apply_hist_, "maint.bucket_apply");
+    if (maintenance_ == ScoreMaintenance::kIncremental) {
+      ApplyIncremental(update);
+    } else {
+      ApplyRecompute(update);
+    }
+  }
+  // Counter flush: the hot loops above accumulate into plain members; one
+  // sharded fetch_add per series per bucket lands them in the registry.
+  if (!update.expired.empty()) {
+    expired_counter_->Add(static_cast<std::int64_t>(update.expired.size()));
+  }
+  const std::size_t fresh = update.inserted.size() + update.resurrected.size();
+  if (fresh > 0) fresh_counter_->Add(static_cast<std::int64_t>(fresh));
+  const std::size_t touched =
+      update.gained_referrer.size() + update.lost_referrer.size();
+  if (touched > 0) touched_counter_->Add(static_cast<std::int64_t>(touched));
+  if (bucket_repositions_ > 0) {
+    repositions_counter_->Add(static_cast<std::int64_t>(bucket_repositions_));
+  }
+  if (bucket_elisions_ > 0) {
+    elisions_counter_->Add(static_cast<std::int64_t>(bucket_elisions_));
   }
 }
 
@@ -84,39 +144,55 @@ void IndexMaintainer::ApplyIncremental(
     ApplyIncrementalParallel(update);
     return;
   }
-  // Expiry first.
-  for (const ActiveWindow::Touched& t : update.expired) EraseExpired(t);
-  // Inserted and resurrected elements get the one full scan of their
-  // lifetime; the window's referrer sets already reflect this bucket, so
-  // their edge spans are empty by contract.
-  for (const ActiveWindow::Touched& t : update.inserted) InsertFresh(t);
-  for (const ActiveWindow::Touched& t : update.resurrected) InsertFresh(t);
-  // Each touched element applies its own carried edge spans right before it
-  // is queued — the cached influence halves stay exact in *both* refresh
-  // modes (under kPaper the lists may stay stale-high, but the cache always
-  // holds the true I_{i,t}(e), so the next reposition lands exactly where a
-  // full recompute would). Within one element the gained terms are applied
-  // before the lost terms, and elements do not interact, so the composed
-  // doubles are bitwise identical across the handle, batched and
-  // single-reposition paths.
-  for (const ActiveWindow::Touched& t : update.gained_referrer) {
-    ProcessTouched(t, /*reposition=*/true, /*te_changed=*/true);
+  {
+    // Expiry first; fresh-element insertion shares the stage (it is the
+    // serial path's window/membership layout work, matching the parallel
+    // apply's stage 1+2 boundary).
+    StageScope scope(telemetry_, stage_expiry_hist_, "maint.expiry");
+    for (const ActiveWindow::Touched& t : update.expired) EraseExpired(t);
+    // Inserted and resurrected elements get the one full scan of their
+    // lifetime; the window's referrer sets already reflect this bucket, so
+    // their edge spans are empty by contract.
+    for (const ActiveWindow::Touched& t : update.inserted) InsertFresh(t);
+    for (const ActiveWindow::Touched& t : update.resurrected) InsertFresh(t);
   }
-  // A lost referral never moves t_e (it is a running max). Under kExact the
-  // element is repositioned (topics the expired referrer did not share are
-  // elided); under kPaper only the cache absorbs the loss.
-  const bool reposition_losses = mode_ == RefreshMode::kExact;
-  for (const ActiveWindow::Touched& t : update.lost_referrer) {
-    ProcessTouched(t, reposition_losses, /*te_changed=*/false);
+  {
+    StageScope scope(telemetry_, stage_score_hist_, "maint.score");
+    // Each touched element applies its own carried edge spans right before
+    // it is queued — the cached influence halves stay exact in *both*
+    // refresh modes (under kPaper the lists may stay stale-high, but the
+    // cache always holds the true I_{i,t}(e), so the next reposition lands
+    // exactly where a full recompute would). Within one element the gained
+    // terms are applied before the lost terms, and elements do not
+    // interact, so the composed doubles are bitwise identical across the
+    // handle, batched and single-reposition paths.
+    for (const ActiveWindow::Touched& t : update.gained_referrer) {
+      ProcessTouched(t, /*reposition=*/true, /*te_changed=*/true);
+    }
+    // A lost referral never moves t_e (it is a running max). Under kExact
+    // the element is repositioned (topics the expired referrer did not
+    // share are elided); under kPaper only the cache absorbs the loss.
+    const bool reposition_losses = mode_ == RefreshMode::kExact;
+    for (const ActiveWindow::Touched& t : update.lost_referrer) {
+      ProcessTouched(t, reposition_losses, /*te_changed=*/false);
+    }
   }
+  StageScope scope(telemetry_, stage_list_apply_hist_, "maint.list_apply");
   FlushRepositions();
 }
 
 void IndexMaintainer::ApplyRecompute(
     const ActiveWindow::UpdateResult& update) {
-  for (const ActiveWindow::Touched& t : update.expired) {
-    index_->Erase(t.id);
+  {
+    StageScope scope(telemetry_, stage_expiry_hist_, "maint.expiry");
+    for (const ActiveWindow::Touched& t : update.expired) {
+      index_->Erase(t.id);
+    }
   }
+  // The recompute baseline has no decomposed score stage: every insert /
+  // update below recomputes delta_i(e) inline with the list write, so the
+  // whole remainder is the list-apply stage.
+  StageScope scope(telemetry_, stage_list_apply_hist_, "maint.list_apply");
   for (const ActiveWindow::Touched& t : update.inserted) {
     index_->Insert(t.id, ctx_->AllTopicScores(*t.element), t.te);
   }
@@ -179,6 +255,7 @@ void IndexMaintainer::ProcessTouched(const ActiveWindow::Touched& t,
       scratch_scores_.emplace_back(half.topic, score);
     }
     index_->UpdateTrusted(t.id, scratch_scores_, t.te);
+    bucket_repositions_ += halves.size();  // this path never elides
     return;
   }
   // t_e is per element, written once; the per-topic runs carry only score
@@ -190,7 +267,10 @@ void IndexMaintainer::ProcessTouched(const ActiveWindow::Touched& t,
         lambda * half.semantic + influence_factor * half.influence;
     if (use_handles_) {
       // Handle path: queue only tuples whose KEY moves.
-      if (score == half.listed) continue;
+      if (score == half.listed) {
+        ++bucket_elisions_;
+        continue;
+      }
       pending_handles_.push_back(
           {half.topic, RankedList::HandleUpdate{t.id, half.listed, score,
                                                 &half.handle}});
@@ -198,10 +278,14 @@ void IndexMaintainer::ProcessTouched(const ActiveWindow::Touched& t,
       // Id-keyed batched baseline (PR 3 tuple volume): a gained referral
       // queues every topic — the per-tuple id resolution then discovers
       // the unchanged keys, exactly as the PR 3 ApplyBatch did.
-      if (!te_changed && score == half.listed) continue;
+      if (!te_changed && score == half.listed) {
+        ++bucket_elisions_;
+        continue;
+      }
       pending_tuples_.push_back(
           {half.topic, RankedList::Tuple{t.id, score}});
     }
+    ++bucket_repositions_;
     half.listed = score;
     const auto topic = static_cast<std::size_t>(half.topic);
     if (topic_counts_[topic]++ == 0) touched_.push_back(half.topic);
@@ -302,145 +386,167 @@ void IndexMaintainer::ProcessTouchedParallel(TouchedItem* item,
 
 void IndexMaintainer::ApplyIncrementalParallel(
     const ActiveWindow::UpdateResult& update) {
-  // Stage 1 (serial): expiry, exactly as the serial path — an erase
-  // touches the membership map and several lists per element.
-  for (const ActiveWindow::Touched& t : update.expired) EraseExpired(t);
+  PendingInsert* insert_runs = nullptr;
+  RankedList::HandleUpdate* update_runs = nullptr;
+  std::uint32_t* insert_off = nullptr;
+  std::uint32_t* update_off = nullptr;
+  {
+    StageScope scope(telemetry_, stage_expiry_hist_, "maint.expiry");
+    // Stage 1 (serial): expiry, exactly as the serial path — an erase
+    // touches the membership map and several lists per element.
+    for (const ActiveWindow::Touched& t : update.expired) EraseExpired(t);
 
-  // Stage 2 (serial): lay out the bucket's work. Fresh elements get their
-  // cache entry rows and membership record (hash maps and pools are
-  // single-threaded state); gained/lost elements get an arena buffer
-  // sized for their full support. No scores are computed yet.
-  run_arena_.Reset();
-  fresh_items_.clear();
-  touched_items_.clear();
-  for (const std::vector<ActiveWindow::Touched>* list :
-       {&update.inserted, &update.resurrected}) {
-    for (const ActiveWindow::Touched& t : *list) {
-      ScoreCache::TopicList& halves = cache_.AllocateEntry(*t.element);
-      *t.user_slot = &halves;  // carried to every later touch
-      topic_id_scratch_.clear();
-      for (const ScoreCache::TopicHalves& half : halves) {
-        topic_id_scratch_.push_back(half.topic);
-      }
-      index_->InsertMembership(t.id, topic_id_scratch_.data(),
-                               topic_id_scratch_.size(), t.te);
-      fresh_items_.push_back(FreshItem{t.element, &halves});
-    }
-  }
-  const bool reposition_losses = mode_ == RefreshMode::kExact;
-  const auto add_touched = [this](const ActiveWindow::Touched& t,
-                                  bool reposition, bool te_changed) {
-    ScoreCache::TopicList* halves = ScoreCache::FromSlot(*t.user_slot);
-    KSIR_DCHECK(halves == &cache_.MutableHalves(t.id));
-    TouchedItem item;
-    item.touched = &t;
-    item.halves = halves;
-    item.updates =
-        reposition ? run_arena_.AllocateArray<PendingHandle>(halves->size())
-                   : nullptr;
-    item.num_updates = 0;
-    item.reposition = reposition;
-    item.te_changed = te_changed;
-    touched_items_.push_back(item);
-  };
-  for (const ActiveWindow::Touched& t : update.gained_referrer) {
-    add_touched(t, /*reposition=*/true, /*te_changed=*/true);
-  }
-  for (const ActiveWindow::Touched& t : update.lost_referrer) {
-    add_touched(t, reposition_losses, /*te_changed=*/false);
-  }
-
-  // Stage 3 (parallel, element-sharded): fresh-element scoring (the one
-  // full word scan of the element's lifetime), edge folding and score
-  // composition. Elements are disjoint — each one owns its cache rows —
-  // and each participant folds through its own dense accumulator, so the
-  // stage shares nothing mutable and allocates nothing.
-  const std::size_t num_fresh = fresh_items_.size();
-  const std::size_t total = num_fresh + touched_items_.size();
-  if (total > 0) {
-    std::atomic<std::size_t> cursor{0};
-    ParallelRun(pool_, std::min(workers_, total), [&](std::size_t p) {
-      StampedAccumulator& acc = worker_acc_[p];
-      for (;;) {
-        const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-        if (i >= total) return;
-        if (i < num_fresh) {
-          cache_.ComputeHalves(*fresh_items_[i].element,
-                               fresh_items_[i].halves, &acc);
-        } else {
-          ProcessTouchedParallel(&touched_items_[i - num_fresh], &acc);
+    // Stage 2 (serial): lay out the bucket's work. Fresh elements get
+    // their cache entry rows and membership record (hash maps and pools
+    // are single-threaded state); gained/lost elements get an arena buffer
+    // sized for their full support. No scores are computed yet.
+    run_arena_.Reset();
+    fresh_items_.clear();
+    touched_items_.clear();
+    for (const std::vector<ActiveWindow::Touched>* list :
+         {&update.inserted, &update.resurrected}) {
+      for (const ActiveWindow::Touched& t : *list) {
+        ScoreCache::TopicList& halves = cache_.AllocateEntry(*t.element);
+        *t.user_slot = &halves;  // carried to every later touch
+        topic_id_scratch_.clear();
+        for (const ScoreCache::TopicHalves& half : halves) {
+          topic_id_scratch_.push_back(half.topic);
         }
+        index_->InsertMembership(t.id, topic_id_scratch_.data(),
+                                 topic_id_scratch_.size(), t.te);
+        fresh_items_.push_back(FreshItem{t.element, &halves});
       }
-    });
-  }
-
-  // Stage 4 (serial): deterministic gather. t_e lands first (one
-  // membership write per gained element, as in the serial path), then the
-  // per-element outputs are scattered into per-topic runs in EXACTLY the
-  // serial queue order — fresh inserts in element order, repositions in
-  // (element, support) order — so every list sees the identical operation
-  // sequence the serial path would have produced.
-  std::size_t total_inserts = 0;
-  std::size_t total_updates = 0;
-  for (const FreshItem& item : fresh_items_) {
-    for (const ScoreCache::TopicHalves& half : *item.halves) {
-      const auto topic = static_cast<std::size_t>(half.topic);
-      if (insert_counts_[topic]++ == 0 && topic_counts_[topic] == 0) {
-        touched_.push_back(half.topic);
-      }
-      ++total_inserts;
     }
-  }
-  for (const TouchedItem& item : touched_items_) {
-    if (item.reposition && item.te_changed) {
-      index_->TouchTime(item.touched->id, item.touched->te);
+    const bool reposition_losses = mode_ == RefreshMode::kExact;
+    const auto add_touched = [this](const ActiveWindow::Touched& t,
+                                    bool reposition, bool te_changed) {
+      ScoreCache::TopicList* halves = ScoreCache::FromSlot(*t.user_slot);
+      KSIR_DCHECK(halves == &cache_.MutableHalves(t.id));
+      TouchedItem item;
+      item.touched = &t;
+      item.halves = halves;
+      item.updates =
+          reposition ? run_arena_.AllocateArray<PendingHandle>(halves->size())
+                     : nullptr;
+      item.num_updates = 0;
+      item.reposition = reposition;
+      item.te_changed = te_changed;
+      touched_items_.push_back(item);
+    };
+    for (const ActiveWindow::Touched& t : update.gained_referrer) {
+      add_touched(t, /*reposition=*/true, /*te_changed=*/true);
     }
-    for (std::uint32_t i = 0; i < item.num_updates; ++i) {
-      const auto topic = static_cast<std::size_t>(item.updates[i].topic);
-      if (topic_counts_[topic]++ == 0 && insert_counts_[topic] == 0) {
-        touched_.push_back(item.updates[i].topic);
-      }
-      ++total_updates;
-    }
-  }
-  if (touched_.empty()) return;
-  std::sort(touched_.begin(), touched_.end());
-  auto* insert_runs = run_arena_.AllocateArray<PendingInsert>(total_inserts);
-  auto* update_runs =
-      run_arena_.AllocateArray<RankedList::HandleUpdate>(total_updates);
-  auto* insert_off =
-      run_arena_.AllocateArray<std::uint32_t>(touched_.size() + 1);
-  auto* update_off =
-      run_arena_.AllocateArray<std::uint32_t>(touched_.size() + 1);
-  std::uint32_t ins = 0;
-  std::uint32_t upd = 0;
-  for (std::size_t i = 0; i < touched_.size(); ++i) {
-    const auto t = static_cast<std::size_t>(touched_[i]);
-    insert_off[i] = ins;
-    update_off[i] = upd;
-    const std::uint32_t insert_count = insert_counts_[t];
-    const std::uint32_t update_count = topic_counts_[t];
-    insert_counts_[t] = ins;  // repurposed as the scatter cursors
-    topic_counts_[t] = upd;
-    ins += insert_count;
-    upd += update_count;
-  }
-  insert_off[touched_.size()] = ins;
-  update_off[touched_.size()] = upd;
-  for (const FreshItem& item : fresh_items_) {
-    const ElementId id = item.element->id;
-    for (ScoreCache::TopicHalves& half : *item.halves) {
-      insert_runs[insert_counts_[static_cast<std::size_t>(half.topic)]++] =
-          PendingInsert{id, half.listed, &half.handle};
-    }
-  }
-  for (const TouchedItem& item : touched_items_) {
-    for (std::uint32_t i = 0; i < item.num_updates; ++i) {
-      update_runs[topic_counts_[static_cast<std::size_t>(
-          item.updates[i].topic)]++] = item.updates[i].payload;
+    for (const ActiveWindow::Touched& t : update.lost_referrer) {
+      add_touched(t, reposition_losses, /*te_changed=*/false);
     }
   }
 
+  const std::size_t num_fresh = fresh_items_.size();
+  {
+    StageScope scope(telemetry_, stage_score_hist_, "maint.score");
+    // Stage 3 (parallel, element-sharded): fresh-element scoring (the one
+    // full word scan of the element's lifetime), edge folding and score
+    // composition. Elements are disjoint — each one owns its cache rows —
+    // and each participant folds through its own dense accumulator, so the
+    // stage shares nothing mutable and allocates nothing.
+    const std::size_t total = num_fresh + touched_items_.size();
+    if (total > 0) {
+      std::atomic<std::size_t> cursor{0};
+      ParallelRun(pool_, std::min(workers_, total), [&](std::size_t p) {
+        StampedAccumulator& acc = worker_acc_[p];
+        for (;;) {
+          const std::size_t i =
+              cursor.fetch_add(1, std::memory_order_relaxed);
+          if (i >= total) return;
+          if (i < num_fresh) {
+            cache_.ComputeHalves(*fresh_items_[i].element,
+                                 fresh_items_[i].halves, &acc);
+          } else {
+            ProcessTouchedParallel(&touched_items_[i - num_fresh], &acc);
+          }
+        }
+      });
+    }
+  }
+
+  {
+    StageScope scope(telemetry_, stage_gather_hist_, "maint.gather");
+    // Stage 4 (serial): deterministic gather. t_e lands first (one
+    // membership write per gained element, as in the serial path), then
+    // the per-element outputs are scattered into per-topic runs in EXACTLY
+    // the serial queue order — fresh inserts in element order, repositions
+    // in (element, support) order — so every list sees the identical
+    // operation sequence the serial path would have produced.
+    std::size_t total_inserts = 0;
+    std::size_t total_updates = 0;
+    for (const FreshItem& item : fresh_items_) {
+      for (const ScoreCache::TopicHalves& half : *item.halves) {
+        const auto topic = static_cast<std::size_t>(half.topic);
+        if (insert_counts_[topic]++ == 0 && topic_counts_[topic] == 0) {
+          touched_.push_back(half.topic);
+        }
+        ++total_inserts;
+      }
+    }
+    for (const TouchedItem& item : touched_items_) {
+      if (item.reposition && item.te_changed) {
+        index_->TouchTime(item.touched->id, item.touched->te);
+      }
+      if (item.reposition) {
+        // Mirror the serial ProcessTouched accounting: num_updates tuples
+        // moved, the rest of the support was elided.
+        bucket_repositions_ += item.num_updates;
+        bucket_elisions_ += item.halves->size() - item.num_updates;
+      }
+      for (std::uint32_t i = 0; i < item.num_updates; ++i) {
+        const auto topic = static_cast<std::size_t>(item.updates[i].topic);
+        if (topic_counts_[topic]++ == 0 && insert_counts_[topic] == 0) {
+          touched_.push_back(item.updates[i].topic);
+        }
+        ++total_updates;
+      }
+    }
+    if (touched_.empty()) return;
+    std::sort(touched_.begin(), touched_.end());
+    insert_runs = run_arena_.AllocateArray<PendingInsert>(total_inserts);
+    update_runs =
+        run_arena_.AllocateArray<RankedList::HandleUpdate>(total_updates);
+    insert_off =
+        run_arena_.AllocateArray<std::uint32_t>(touched_.size() + 1);
+    update_off =
+        run_arena_.AllocateArray<std::uint32_t>(touched_.size() + 1);
+    std::uint32_t ins = 0;
+    std::uint32_t upd = 0;
+    for (std::size_t i = 0; i < touched_.size(); ++i) {
+      const auto t = static_cast<std::size_t>(touched_[i]);
+      insert_off[i] = ins;
+      update_off[i] = upd;
+      const std::uint32_t insert_count = insert_counts_[t];
+      const std::uint32_t update_count = topic_counts_[t];
+      insert_counts_[t] = ins;  // repurposed as the scatter cursors
+      topic_counts_[t] = upd;
+      ins += insert_count;
+      upd += update_count;
+    }
+    insert_off[touched_.size()] = ins;
+    update_off[touched_.size()] = upd;
+    for (const FreshItem& item : fresh_items_) {
+      const ElementId id = item.element->id;
+      for (ScoreCache::TopicHalves& half : *item.halves) {
+        insert_runs[insert_counts_[static_cast<std::size_t>(half.topic)]++] =
+            PendingInsert{id, half.listed, &half.handle};
+      }
+    }
+    for (const TouchedItem& item : touched_items_) {
+      for (std::uint32_t i = 0; i < item.num_updates; ++i) {
+        update_runs[topic_counts_[static_cast<std::size_t>(
+            item.updates[i].topic)]++] = item.updates[i].payload;
+      }
+    }
+  }
+
+  StageScope list_scope(telemetry_, stage_list_apply_hist_,
+                        "maint.list_apply");
   // Stage 5 (parallel, topic-sharded): apply each touched topic's fresh
   // inserts, then its reposition run. A topic is claimed by exactly one
   // participant and no list state is shared across topics, so there is no

@@ -7,11 +7,14 @@
 #include <utility>
 #include <vector>
 
+#include <memory>
+
 #include "common/arena.h"
 #include "common/stamped_accumulator.h"
 #include "core/ranked_list.h"
 #include "core/score_cache.h"
 #include "core/scoring.h"
+#include "telemetry/telemetry.h"
 #include "window/active_window.h"
 
 namespace ksir {
@@ -86,12 +89,17 @@ class IndexMaintainer {
   /// parallel apply (handle pipeline only; `pool` must outlive the
   /// maintainer and may be shared — the stages fan out through
   /// ParallelRun, whose caller participation tolerates a busy pool).
+  /// `telemetry` (optional, must outlive the maintainer) receives the
+  /// per-stage bucket-apply histograms (`ksir_maintainer_stage_*_seconds`)
+  /// and touched/reposition/elision counters; null gives the maintainer a
+  /// private kOff Telemetry so counters keep working in isolation.
   IndexMaintainer(const ScoringContext* ctx, RankedListIndex* index,
                   RefreshMode mode = RefreshMode::kExact,
                   ScoreMaintenance maintenance = ScoreMaintenance::kIncremental,
                   std::size_t reposition_batch_min = kDefaultRepositionBatchMin,
                   bool carry_handles = true, WorkerPool* pool = nullptr,
-                  std::size_t parallel_workers = 0);
+                  std::size_t parallel_workers = 0,
+                  Telemetry* telemetry = nullptr);
 
   /// Applies one Advance() result. Must be called after every window
   /// advance, with no interleaved advances.
@@ -154,6 +162,27 @@ class IndexMaintainer {
   WorkerPool* pool_ = nullptr;
   std::size_t workers_ = 1;
   bool parallel_ = false;
+  /// Fallback Telemetry (kOff) owned when no shared one was passed, so the
+  /// metric pointers below are always valid and the hot path never
+  /// null-checks them.
+  std::unique_ptr<Telemetry> owned_telemetry_;
+  Telemetry* telemetry_;
+  /// Stage histograms (recorded only when timing is enabled; see
+  /// telemetry.h for the stage -> code mapping in each apply flavor).
+  Histogram* stage_expiry_hist_;
+  Histogram* stage_score_hist_;
+  Histogram* stage_gather_hist_;
+  Histogram* stage_list_apply_hist_;
+  Histogram* bucket_apply_hist_;
+  /// Always-live counters, flushed once per Apply from the plain per-bucket
+  /// accumulators below (the hot loops never touch an atomic).
+  Counter* expired_counter_;
+  Counter* fresh_counter_;
+  Counter* touched_counter_;
+  Counter* repositions_counter_;
+  Counter* elisions_counter_;
+  std::size_t bucket_repositions_ = 0;
+  std::size_t bucket_elisions_ = 0;
   ScoreCache cache_;
   /// Reused (topic, score) buffer; repositions are too frequent to allocate.
   std::vector<std::pair<TopicId, double>> scratch_scores_;

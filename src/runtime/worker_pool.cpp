@@ -6,7 +6,17 @@
 
 namespace ksir {
 
-WorkerPool::WorkerPool(std::size_t num_threads) {
+WorkerPool::WorkerPool(std::size_t num_threads, Telemetry* telemetry)
+    : owned_telemetry_(telemetry == nullptr ? std::make_unique<Telemetry>()
+                                            : nullptr),
+      telemetry_(telemetry != nullptr ? telemetry : owned_telemetry_.get()) {
+  MetricRegistry& reg = telemetry_->registry();
+  queue_depth_gauge_ = reg.GetGauge("ksir_pool_queue_depth",
+                                    "Tasks waiting in the pool queue");
+  tasks_counter_ =
+      reg.GetCounter("ksir_pool_tasks_total", "Tasks submitted to the pool");
+  task_hist_ = reg.GetHistogram("ksir_pool_task_seconds",
+                                "Execution time of one pool task");
   const std::size_t n = std::max<std::size_t>(1, num_threads);
   threads_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -24,15 +34,19 @@ WorkerPool::~WorkerPool() {
 }
 
 std::unique_ptr<WorkerPool> MakeWorkerPool(std::size_t requested,
-                                           std::size_t fallback) {
-  return std::make_unique<WorkerPool>(requested > 0 ? requested : fallback);
+                                           std::size_t fallback,
+                                           Telemetry* telemetry) {
+  return std::make_unique<WorkerPool>(requested > 0 ? requested : fallback,
+                                      telemetry);
 }
 
 void WorkerPool::Submit(std::function<void()> task) {
   {
     std::unique_lock lock(mutex_);
     queue_.push_back(std::move(task));
+    queue_depth_gauge_->Set(static_cast<std::int64_t>(queue_.size()));
   }
+  tasks_counter_->Add(1);
   work_available_.notify_one();
 }
 
@@ -142,6 +156,7 @@ void WorkerPool::WorkerLoop() {
     }
     std::function<void()> task = std::move(queue_.front());
     queue_.pop_front();
+    queue_depth_gauge_->Set(static_cast<std::int64_t>(queue_.size()));
     ++in_flight_;
     lock.unlock();
     // in_flight_ must come back down whether the task returns or throws;
@@ -149,6 +164,7 @@ void WorkerPool::WorkerLoop() {
     // into the group), so first_exception_ is the direct-Submit channel.
     std::exception_ptr error;
     try {
+      StageScope scope(telemetry_, task_hist_, "pool.task");
       task();
     } catch (...) {
       error = std::current_exception();

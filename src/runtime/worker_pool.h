@@ -23,6 +23,8 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/telemetry.h"
+
 namespace ksir {
 
 /// Shared worker pool. Thread-safe; Submit may be called from any thread,
@@ -33,8 +35,10 @@ class WorkerPool {
  public:
   /// Spawns `num_threads` workers (>= 1; 0 is clamped to 1). Prefer
   /// MakeWorkerPool — the one factory every deployment seam constructs
-  /// pools through.
-  explicit WorkerPool(std::size_t num_threads);
+  /// pools through. `telemetry` (optional, must outlive the pool) receives
+  /// the queue-depth gauge, task counter and task-latency histogram; null
+  /// gives the pool a private kOff Telemetry.
+  explicit WorkerPool(std::size_t num_threads, Telemetry* telemetry = nullptr);
 
   /// Drains the queue, then joins all workers. An exception captured after
   /// the last WaitIdle is discarded.
@@ -66,6 +70,15 @@ class WorkerPool {
   /// capture into their group instead); rethrown by WaitIdle.
   std::exception_ptr first_exception_;
   bool shutdown_ = false;
+  /// Fallback Telemetry (kOff) owned when none was passed; keeps the
+  /// metric pointers below always valid.
+  std::unique_ptr<Telemetry> owned_telemetry_;
+  Telemetry* telemetry_;
+  /// Instantaneous queue depth (set under mutex_ at every push/pop, so a
+  /// plain last-value gauge is exact).
+  Gauge* queue_depth_gauge_;
+  Counter* tasks_counter_;
+  Histogram* task_hist_;
   std::vector<std::thread> threads_;
 };
 
@@ -74,7 +87,8 @@ class WorkerPool {
 /// `fallback` — and builds the pool. Keeping every call site on this
 /// factory is what makes "no stray thread spawns" checkable.
 std::unique_ptr<WorkerPool> MakeWorkerPool(std::size_t requested,
-                                           std::size_t fallback = 1);
+                                           std::size_t fallback = 1,
+                                           Telemetry* telemetry = nullptr);
 
 /// Completion barrier for one batch of tasks on a shared pool. Unlike
 /// WorkerPool::WaitIdle, Wait() only blocks on tasks submitted through THIS

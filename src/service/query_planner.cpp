@@ -1,6 +1,7 @@
 #include "service/query_planner.h"
 
 #include <algorithm>
+#include <string>
 #include <unordered_map>
 #include <utility>
 
@@ -52,15 +53,48 @@ ShardAnswer AskShard(const KsirEngine& shard, const KsirQuery& query,
 }  // namespace
 
 QueryPlanner::QueryPlanner(std::vector<KsirEngine*> shards,
-                           const TopicModel* model, WorkerPool* pool)
-    : shards_(std::move(shards)), model_(model), pool_(pool) {
+                           const TopicModel* model, WorkerPool* pool,
+                           Telemetry* telemetry)
+    : shards_(std::move(shards)),
+      model_(model),
+      pool_(pool),
+      owned_telemetry_(telemetry == nullptr ? std::make_unique<Telemetry>()
+                                            : nullptr),
+      telemetry_(telemetry != nullptr ? telemetry : owned_telemetry_.get()) {
   KSIR_CHECK(!shards_.empty());
   KSIR_CHECK(model_ != nullptr && pool_ != nullptr);
+  MetricRegistry& reg = telemetry_->registry();
+  plans_counter_ = reg.GetCounter("ksir_planner_plans_total",
+                                  "Fan-out/merge plans executed");
+  epoch_retries_counter_ = reg.GetCounter(
+      "ksir_planner_epoch_retries_total",
+      "Per-shard query/export pairs re-run because a bucket landed between");
+  merge_wins_counter_ = reg.GetCounter(
+      "ksir_planner_merge_wins_total",
+      "Plans where the merged set beat every single-shard result");
+  best_shard_wins_counter_ = reg.GetCounter(
+      "ksir_planner_best_shard_wins_total",
+      "Plans resolved by the best-shard guard");
+  plan_hist_ = reg.GetHistogram("ksir_planner_plan_seconds",
+                                "One whole QueryPlanner::Plan");
+  merge_hist_ = reg.GetHistogram(
+      "ksir_planner_merge_seconds",
+      "Merge step: snapshot replay window + CELF over candidates");
+  shard_fanout_hists_.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shard_fanout_hists_.push_back(reg.GetHistogram(
+        "ksir_planner_shard_fanout_seconds_" + std::to_string(i),
+        "Query + snapshot export latency of shard " + std::to_string(i)));
+  }
 }
 
 StatusOr<QueryResult> QueryPlanner::Plan(const KsirQuery& query) const {
+  // One plan is one trace unit (matching the maintainer's bucket applies):
+  // every sample_period-th plan gets its fan-out/merge spans recorded.
+  telemetry_->tracer().SampleUnit();
+  StageScope plan_scope(telemetry_, plan_hist_, "planner.plan");
   WallTimer timer;
-  plans_.fetch_add(1, std::memory_order_relaxed);
+  plans_counter_->Add(1);
 
   // --- Step 1: fan the query out to every shard in parallel. ---
   std::vector<ShardAnswer> answers(shards_.size());
@@ -69,6 +103,8 @@ StatusOr<QueryResult> QueryPlanner::Plan(const KsirQuery& query) const {
     TaskGroup group(pool_);
     for (std::size_t i = 0; i < shards_.size(); ++i) {
       group.Submit([this, i, &query, &answers, &retries]() {
+        StageScope scope(telemetry_, shard_fanout_hists_[i],
+                         "planner.fanout");
         answers[i] = AskShard(*shards_[i], query, &retries[i]);
       });
     }
@@ -76,7 +112,7 @@ StatusOr<QueryResult> QueryPlanner::Plan(const KsirQuery& query) const {
   }
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     KSIR_RETURN_NOT_OK(answers[i].status);
-    epoch_retries_.fetch_add(retries[i], std::memory_order_relaxed);
+    if (retries[i] > 0) epoch_retries_counter_->Add(retries[i]);
   }
 
   // Best single-shard answer: the guard result the merge has to beat.
@@ -112,6 +148,7 @@ StatusOr<QueryResult> QueryPlanner::Plan(const KsirQuery& query) const {
 
   QueryResult merged;
   if (!merge_elements.empty()) {
+    StageScope merge_scope(telemetry_, merge_hist_, "planner.merge");
     std::vector<SocialElement> replay;
     replay.reserve(merge_elements.size());
     Timestamp max_ts = 0;
@@ -138,9 +175,10 @@ StatusOr<QueryResult> QueryPlanner::Plan(const KsirQuery& query) const {
   // --- Step 3: never return less than the best single shard. ---
   QueryResult final_result;
   if (merged.score > answers[best_shard].result.score + 1e-12) {
-    merge_wins_.fetch_add(1, std::memory_order_relaxed);
+    merge_wins_counter_->Add(1);
     final_result = std::move(merged);
   } else {
+    best_shard_wins_counter_->Add(1);
     final_result = std::move(answers[best_shard].result);
     final_result.stats.num_evaluated += merged.stats.num_evaluated;
     final_result.stats.num_gain_evaluations +=
@@ -163,9 +201,10 @@ StatusOr<QueryResult> QueryPlanner::Plan(const KsirQuery& query) const {
 
 PlannerStats QueryPlanner::stats() const {
   PlannerStats stats;
-  stats.plans = plans_.load(std::memory_order_relaxed);
-  stats.epoch_retries = epoch_retries_.load(std::memory_order_relaxed);
-  stats.merge_wins = merge_wins_.load(std::memory_order_relaxed);
+  stats.plans = plans_counter_->Value();
+  stats.epoch_retries = epoch_retries_counter_->Value();
+  stats.merge_wins = merge_wins_counter_->Value();
+  stats.best_shard_wins = best_shard_wins_counter_->Value();
   return stats;
 }
 

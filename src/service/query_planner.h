@@ -21,25 +21,29 @@
 #ifndef KSIR_SERVICE_QUERY_PLANNER_H_
 #define KSIR_SERVICE_QUERY_PLANNER_H_
 
-#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
 #include "core/engine.h"
 #include "core/query.h"
 #include "runtime/worker_pool.h"
+#include "telemetry/telemetry.h"
 #include "topic/topic_model.h"
 
 namespace ksir {
 
-/// Counters of the planning layer.
+/// Counters of the planning layer — a point-in-time view over the registry
+/// counters (`ksir_planner_*_total`).
 struct PlannerStats {
   std::int64_t plans = 0;
   /// Query/export pairs re-run because a bucket landed in between.
   std::int64_t epoch_retries = 0;
   /// Plans where the merged set beat every single-shard result.
   std::int64_t merge_wins = 0;
+  /// Plans resolved by the best-shard guard (merge did not beat it).
+  std::int64_t best_shard_wins = 0;
 };
 
 /// Stateless-per-query planner. Thread-safe: any number of threads may call
@@ -47,9 +51,12 @@ struct PlannerStats {
 class QueryPlanner {
  public:
   /// `shards`, `model` and `pool` must outlive the planner; `shards` must
-  /// be non-empty and share the model and scoring parameters.
+  /// be non-empty and share the model and scoring parameters. `telemetry`
+  /// (optional, must outlive the planner) receives the plan counters, the
+  /// whole-plan / merge-window histograms and one fan-out latency
+  /// histogram per shard; null gives the planner a private kOff Telemetry.
   QueryPlanner(std::vector<KsirEngine*> shards, const TopicModel* model,
-               WorkerPool* pool);
+               WorkerPool* pool, Telemetry* telemetry = nullptr);
 
   /// Answers `query` at the shards' current time.
   StatusOr<QueryResult> Plan(const KsirQuery& query) const;
@@ -62,9 +69,19 @@ class QueryPlanner {
   std::vector<KsirEngine*> shards_;
   const TopicModel* model_;
   WorkerPool* pool_;
-  mutable std::atomic<std::int64_t> plans_{0};
-  mutable std::atomic<std::int64_t> epoch_retries_{0};
-  mutable std::atomic<std::int64_t> merge_wins_{0};
+  /// Fallback Telemetry (kOff) owned when none was passed.
+  std::unique_ptr<Telemetry> owned_telemetry_;
+  Telemetry* telemetry_;
+  Counter* plans_counter_;
+  Counter* epoch_retries_counter_;
+  Counter* merge_wins_counter_;
+  Counter* best_shard_wins_counter_;
+  Histogram* plan_hist_;
+  Histogram* merge_hist_;
+  /// Per-shard fan-out latency (`ksir_planner_shard_fanout_seconds_<i>`):
+  /// the one family where per-shard series matter — a straggler shard is
+  /// exactly what the fan-out hides in aggregate.
+  std::vector<Histogram*> shard_fanout_hists_;
 };
 
 }  // namespace ksir

@@ -45,14 +45,29 @@ std::size_t ResultCache::KeyHash::operator()(
   return key.hash != 0 ? key.hash : ComputeKeyHash(key);
 }
 
-ResultCache::ResultCache(std::size_t capacity, double quantum)
+ResultCache::ResultCache(std::size_t capacity, double quantum,
+                         Telemetry* telemetry)
     : capacity_(capacity),
       quantum_(quantum),
       segment_capacity_((capacity + NumSegmentsFor(capacity) - 1) /
                         NumSegmentsFor(capacity)),
-      segments_(NumSegmentsFor(capacity)) {
+      segments_(NumSegmentsFor(capacity)),
+      owned_telemetry_(telemetry == nullptr ? std::make_unique<Telemetry>()
+                                            : nullptr),
+      telemetry_(telemetry != nullptr ? telemetry : owned_telemetry_.get()) {
   KSIR_CHECK(capacity >= 1);
   KSIR_CHECK(quantum > 0.0);
+  MetricRegistry& reg = telemetry_->registry();
+  hits_ = reg.GetCounter("ksir_cache_hits_total", "Result-cache hits");
+  misses_ = reg.GetCounter("ksir_cache_misses_total", "Result-cache misses");
+  evictions_ =
+      reg.GetCounter("ksir_cache_evictions_total", "LRU evictions");
+  invalidated_ = reg.GetCounter(
+      "ksir_cache_invalidated_total",
+      "Entries dropped by epoch invalidation sweeps and Clear()");
+  stale_inserts_ = reg.GetCounter(
+      "ksir_cache_stale_inserts_total",
+      "Inserts rejected below the epoch invalidation floor");
 }
 
 ResultCache::Segment& ResultCache::SegmentFor(
@@ -81,11 +96,11 @@ std::optional<QueryResult> ResultCache::Lookup(const ResultCacheKey& key) {
   std::lock_guard lock(segment.mutex);
   const auto it = segment.map.find(key);
   if (it == segment.map.end()) {
-    stats_.misses.fetch_add(1, std::memory_order_relaxed);
+    misses_->Add(1);
     return std::nullopt;
   }
   segment.lru.splice(segment.lru.begin(), segment.lru, it->second);
-  stats_.hits.fetch_add(1, std::memory_order_relaxed);
+  hits_->Add(1);
   return it->second->second;
 }
 
@@ -97,7 +112,7 @@ void ResultCache::Insert(const ResultCacheKey& key,
     // A concurrent InvalidateBefore already swept this epoch; the entry
     // could never match a current-epoch lookup and would only occupy LRU
     // capacity until eviction.
-    stats_.stale_inserts.fetch_add(1, std::memory_order_relaxed);
+    stale_inserts_->Add(1);
     return;
   }
   const auto it = segment.map.find(key);
@@ -111,7 +126,7 @@ void ResultCache::Insert(const ResultCacheKey& key,
   while (segment.map.size() > segment_capacity_) {
     segment.map.erase(segment.lru.back().first);
     segment.lru.pop_back();
-    stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+    evictions_->Add(1);
   }
 }
 
@@ -139,7 +154,7 @@ void ResultCache::InvalidateBefore(std::uint64_t epoch) {
     }
   }
   if (invalidated > 0) {
-    stats_.invalidated.fetch_add(invalidated, std::memory_order_relaxed);
+    invalidated_->Add(invalidated);
   }
 }
 
@@ -152,21 +167,19 @@ void ResultCache::Clear() {
     segment.lru.clear();
   }
   if (dropped > 0) {
-    stats_.invalidated.fetch_add(dropped, std::memory_order_relaxed);
+    invalidated_->Add(dropped);
   }
 }
 
 ResultCacheStats ResultCache::stats() const {
   // Deliberately lock-free: monitoring must not contend with the query hot
-  // path, and the old locked copy still left the floor counter unreadable
-  // without the mutex.
+  // path. A thin view over the registry counters, which are the storage.
   ResultCacheStats snapshot;
-  snapshot.hits = stats_.hits.load(std::memory_order_relaxed);
-  snapshot.misses = stats_.misses.load(std::memory_order_relaxed);
-  snapshot.evictions = stats_.evictions.load(std::memory_order_relaxed);
-  snapshot.invalidated = stats_.invalidated.load(std::memory_order_relaxed);
-  snapshot.stale_inserts =
-      stats_.stale_inserts.load(std::memory_order_relaxed);
+  snapshot.hits = hits_->Value();
+  snapshot.misses = misses_->Value();
+  snapshot.evictions = evictions_->Value();
+  snapshot.invalidated = invalidated_->Value();
+  snapshot.stale_inserts = stale_inserts_->Value();
   return snapshot;
 }
 

@@ -24,6 +24,7 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -31,6 +32,7 @@
 #include <vector>
 
 #include "core/query.h"
+#include "telemetry/telemetry.h"
 
 namespace ksir {
 
@@ -71,8 +73,12 @@ struct ResultCacheStats {
 class ResultCache {
  public:
   /// `capacity` >= 1 entries; `quantum` > 0 is the query-vector grid step
-  /// (weights within the same quantum share a key).
-  explicit ResultCache(std::size_t capacity, double quantum = 1e-4);
+  /// (weights within the same quantum share a key). `telemetry` (optional,
+  /// must outlive the cache) receives the hit/miss/eviction counters; null
+  /// gives the cache a private kOff Telemetry so stats() stays
+  /// per-instance.
+  explicit ResultCache(std::size_t capacity, double quantum = 1e-4,
+                       Telemetry* telemetry = nullptr);
 
   /// Builds the key of `query` at `epoch`.
   ResultCacheKey MakeKey(const KsirQuery& query, std::uint64_t epoch) const;
@@ -98,10 +104,10 @@ class ResultCache {
   /// capacities — exact LRU — up to 8 at service capacities).
   std::size_t num_segments() const { return segments_.size(); }
 
-  /// Point-in-time counters. Lock-free: the counters are atomics, so the
-  /// stats path never contends with (or races against) queries and
-  /// invalidation sweeps. The snapshot is per-counter consistent, not
-  /// cross-counter consistent.
+  /// Point-in-time counters — a thin view over the registry counters
+  /// (`ksir_cache_*_total`). Lock-free: the stats path never contends with
+  /// (or races against) queries and invalidation sweeps. The snapshot is
+  /// per-counter consistent, not cross-counter consistent.
   ResultCacheStats stats() const;
 
   /// Current admission floor (highest epoch ever swept). Lock-free; safe to
@@ -120,18 +126,6 @@ class ResultCache {
   };
   using LruList = std::list<std::pair<ResultCacheKey, QueryResult>>;
 
-  /// Counters behind stats(). Relaxed atomics: incremented under a segment
-  /// mutex on the map paths but READ without it — the previous plain-int64
-  /// fields made every monitoring read either take the hot-path lock or
-  /// race.
-  struct AtomicStats {
-    std::atomic<std::int64_t> hits{0};
-    std::atomic<std::int64_t> misses{0};
-    std::atomic<std::int64_t> evictions{0};
-    std::atomic<std::int64_t> invalidated{0};
-    std::atomic<std::int64_t> stale_inserts{0};
-  };
-
   /// One independent LRU shard. Entries land by key hash; each segment
   /// holds capacity_ / num_segments entries (rounded up).
   struct Segment {
@@ -148,7 +142,18 @@ class ResultCache {
   /// Sized at construction, never resized — the vector itself is shared
   /// read-only, all mutation happens inside a segment under its mutex.
   mutable std::vector<Segment> segments_;
-  AtomicStats stats_;
+  /// Fallback Telemetry (kOff) owned when none was passed.
+  std::unique_ptr<Telemetry> owned_telemetry_;
+  Telemetry* telemetry_;
+  /// Counters behind stats() (registry-backed, `ksir_cache_*_total`).
+  /// Sharded relaxed atomics: incremented under a segment mutex on the map
+  /// paths but READ without it — the previous plain-int64 fields made
+  /// every monitoring read either take the hot-path lock or race.
+  Counter* hits_;
+  Counter* misses_;
+  Counter* evictions_;
+  Counter* invalidated_;
+  Counter* stale_inserts_;
   /// Highest epoch ever passed to InvalidateBefore: entries below it have
   /// been swept and must not be re-admitted. Atomic so the stats path can
   /// read it without a lock; the sweep orders its store before sweeping.

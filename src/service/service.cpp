@@ -4,11 +4,13 @@
 #include <utility>
 
 #include "common/check.h"
+#include "telemetry/exposition.h"
 
 namespace ksir {
 
 Status ValidateServiceConfig(const ServiceConfig& config) {
   KSIR_RETURN_NOT_OK(ValidateEngineConfig(config.engine));
+  KSIR_RETURN_NOT_OK(ValidateTelemetryConfig(config.telemetry));
   if (config.num_shards < 1) {
     return Status::InvalidArgument("num_shards must be >= 1");
   }
@@ -32,7 +34,8 @@ StatusOr<std::unique_ptr<KsirService>> KsirService::Create(
 
 KsirService::KsirService(ServiceConfig config, const TopicModel* model)
     : config_(config),
-      cache_(config.cache_capacity, config.cache_quantum) {
+      telemetry_(std::make_unique<Telemetry>(config.telemetry)),
+      cache_(config.cache_capacity, config.cache_quantum, telemetry_.get()) {
   // One pool for everything: shard advances, query fan-out, and — when
   // parallel maintenance is configured — every shard engine's staged
   // bucket apply (passed into the engines below instead of letting each
@@ -44,7 +47,8 @@ KsirService::KsirService(ServiceConfig config, const TopicModel* model)
   if (config_.shared_pool != nullptr) {
     pool_ = config_.shared_pool;
   } else {
-    owned_pool_ = MakeWorkerPool(config_.num_workers, default_workers);
+    owned_pool_ =
+        MakeWorkerPool(config_.num_workers, default_workers, telemetry_.get());
     pool_ = owned_pool_.get();
   }
   WorkerPool* maintenance_pool =
@@ -52,18 +56,28 @@ KsirService::KsirService(ServiceConfig config, const TopicModel* model)
   shards_.reserve(config_.num_shards);
   std::vector<KsirEngine*> shard_ptrs;
   for (std::size_t i = 0; i < config_.num_shards; ++i) {
-    shards_.push_back(
-        std::make_unique<KsirEngine>(config_.engine, model, maintenance_pool));
+    shards_.push_back(std::make_unique<KsirEngine>(
+        config_.engine, model, maintenance_pool, telemetry_.get()));
     shard_ptrs.push_back(shards_.back().get());
   }
   router_ = std::make_unique<ShardRouter>(
       config_.num_shards, config_.engine.max_shard_imbalance,
       config_.engine.window_length);
-  ingestor_ =
-      std::make_unique<ShardedIngestor>(shard_ptrs, router_.get(), pool_);
-  planner_ = std::make_unique<QueryPlanner>(shard_ptrs, model, pool_);
+  ingestor_ = std::make_unique<ShardedIngestor>(shard_ptrs, router_.get(),
+                                                pool_, telemetry_.get());
+  planner_ = std::make_unique<QueryPlanner>(shard_ptrs, model, pool_,
+                                            telemetry_.get());
   standing_ = std::make_unique<ShardedStandingQueryManager>(
       [this](const KsirQuery& query) { return Query(query); });
+  MetricRegistry& reg = telemetry_->registry();
+  queries_counter_ = reg.GetCounter("ksir_service_queries_total",
+                                    "Ad-hoc queries answered (any path)");
+  query_hist_ = reg.GetHistogram(
+      "ksir_service_query_seconds",
+      "Whole Query(): cache lookup, plan (on miss), cache insert");
+  cache_lookup_hist_ = reg.GetHistogram(
+      "ksir_service_cache_lookup_seconds",
+      "Cache key build + lookup at the head of Query()");
 }
 
 Status KsirService::AdvanceTo(Timestamp bucket_end,
@@ -102,12 +116,22 @@ Status KsirService::Append(std::vector<SocialElement> elements) {
 }
 
 StatusOr<QueryResult> KsirService::Query(const KsirQuery& query) const {
+  // No SampleUnit here: the planner's Plan is the trace unit of the query
+  // path, so these spans ride along whenever the tracer is already armed
+  // (the cache-lookup span of a sampled plan's query, approximately).
+  queries_counter_->Add(1);
+  StageScope query_scope(telemetry_.get(), query_hist_, "service.query");
   const std::uint64_t generation =
       write_generation_.load(std::memory_order_acquire);
   const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
-  const ResultCacheKey key = cache_.MakeKey(query, epoch);
-  if (auto cached = cache_.Lookup(key); cached.has_value()) {
-    return *std::move(cached);
+  ResultCacheKey key;
+  {
+    StageScope lookup_scope(telemetry_.get(), cache_lookup_hist_,
+                            "service.cache_lookup");
+    key = cache_.MakeKey(query, epoch);
+    if (auto cached = cache_.Lookup(key); cached.has_value()) {
+      return *std::move(cached);
+    }
   }
   KSIR_ASSIGN_OR_RETURN(QueryResult result, planner_->Plan(query));
   // Seqlock read side: only cache when the whole fan-out ran inside one
@@ -128,9 +152,21 @@ ServiceStats KsirService::stats() const {
   stats.planner = planner_->stats();
   stats.standing_errors = standing_errors_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
-    stats.num_active_total += shard->window().num_active();
+    stats.num_active_total += shard->num_active();
   }
   return stats;
+}
+
+std::string KsirService::MetricsText() const {
+  return PrometheusText(telemetry_->registry());
+}
+
+std::string KsirService::MetricsJsonDump() const {
+  return MetricsJson(telemetry_->registry());
+}
+
+std::string KsirService::TraceJson() const {
+  return ChromeTraceJson(telemetry_->tracer());
 }
 
 }  // namespace ksir

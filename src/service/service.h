@@ -30,10 +30,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "core/engine.h"
+#include "telemetry/telemetry.h"
 #include "service/query_planner.h"
 #include "service/result_cache.h"
 #include "service/shard_router.h"
@@ -69,6 +71,11 @@ struct ServiceConfig {
   double cache_quantum = 1e-4;
   /// Re-evaluate standing queries right after every ingested bucket.
   bool evaluate_standing_after_advance = true;
+  /// Telemetry level and tracing knobs of the service-wide Telemetry (one
+  /// registry + tracer shared by every shard engine, the pool, the
+  /// ingestor, the planner and the cache — N shards aggregate into one
+  /// series set). Overrides engine.telemetry, which is ignored here.
+  TelemetryConfig telemetry;
 };
 
 /// Validates a ServiceConfig (including the nested engine config).
@@ -126,16 +133,33 @@ class KsirService {
   /// thread-safe against AdvanceTo).
   const ShardRouter& router() const { return *router_; }
 
-  /// Point-in-time counters. Cache/planner counters are always safe to
-  /// read; the ingestion counters and shard active-set sizes are not
-  /// synchronized against AdvanceTo, so call this from the ingestion
-  /// thread or a quiescent service for exact values.
+  /// Point-in-time counters, safe to call from any thread concurrently
+  /// with ingestion and queries: every field is assembled from atomic
+  /// storage (registry counters; active-set sizes under each shard's query
+  /// lock). The snapshot is per-field consistent, not cross-field.
   ServiceStats stats() const;
+
+  /// The service-wide telemetry (registry + tracer).
+  Telemetry& telemetry() const { return *telemetry_; }
+
+  /// Prometheus text exposition of every service metric (see
+  /// telemetry/exposition.h). Safe any time.
+  std::string MetricsText() const;
+
+  /// JSON snapshot of every service metric.
+  std::string MetricsJsonDump() const;
+
+  /// chrome://tracing JSON of the sampled spans (empty event list unless
+  /// config.telemetry.level == kTracing).
+  std::string TraceJson() const;
 
  private:
   KsirService(ServiceConfig config, const TopicModel* model);
 
   ServiceConfig config_;
+  /// Service-wide telemetry; declared before every component that records
+  /// into it (pool, shards, ingestor, planner, cache).
+  std::unique_ptr<Telemetry> telemetry_;
   /// Service-owned pool (absent when config.shared_pool was passed);
   /// declared before the shards, which hold the raw pointer through their
   /// maintainers.
@@ -146,6 +170,10 @@ class KsirService {
   std::unique_ptr<ShardedIngestor> ingestor_;
   std::unique_ptr<QueryPlanner> planner_;
   mutable ResultCache cache_;
+  /// Query-path metrics (the cache-lookup span runs before the planner's).
+  Counter* queries_counter_ = nullptr;
+  Histogram* query_hist_ = nullptr;
+  Histogram* cache_lookup_hist_ = nullptr;
   std::unique_ptr<ShardedStandingQueryManager> standing_;
   std::atomic<std::uint64_t> epoch_{0};
   /// Seqlock-style ingestion generation: odd while a bucket is being

@@ -6,16 +6,21 @@
 #define KSIR_SERVICE_SHARDED_INGESTOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/status.h"
 #include "core/engine.h"
 #include "service/shard_router.h"
 #include "runtime/worker_pool.h"
+#include "telemetry/telemetry.h"
 
 namespace ksir {
 
-/// Cumulative ingestion statistics of the sharded path.
+/// Cumulative ingestion statistics of the sharded path. A point-in-time
+/// view assembled from registry counters — safe to read from any thread
+/// while another ingests (each field is an atomic sum; the snapshot is
+/// per-field consistent).
 struct IngestionStats {
   std::int64_t elements_ingested = 0;
   std::int64_t buckets_processed = 0;
@@ -32,9 +37,11 @@ class ShardedIngestor {
  public:
   /// `shards`, `router` and `pool` must outlive the ingestor. `shards` must
   /// be non-empty, all constructed with the same config; `router` must have
-  /// the same shard count.
+  /// the same shard count. `telemetry` (optional, must outlive the
+  /// ingestor) receives the ingest counters and per-bucket latency
+  /// histogram; null gives the ingestor a private kOff Telemetry.
   ShardedIngestor(std::vector<KsirEngine*> shards, ShardRouter* router,
-                  WorkerPool* pool);
+                  WorkerPool* pool, Telemetry* telemetry = nullptr);
 
   /// Advances every shard's clock to `bucket_end`, ingesting each element
   /// of `bucket` (sorted by ts in (now, bucket_end]) on the shard chosen by
@@ -51,7 +58,10 @@ class ShardedIngestor {
   /// The shared shard clock.
   Timestamp now() const;
 
-  const IngestionStats& stats() const { return stats_; }
+  /// Point-in-time counter view, safe to call from any thread concurrently
+  /// with AdvanceTo (the backing storage is sharded atomics; the previous
+  /// plain-field struct made every concurrent read a data race).
+  IngestionStats stats() const;
 
   std::size_t num_shards() const { return shards_.size(); }
 
@@ -63,7 +73,18 @@ class ShardedIngestor {
   /// Elements older than now - prune_horizon_ can no longer be referenced
   /// (past window + archive retention); their routing entries are dropped.
   Timestamp prune_horizon_;
-  IngestionStats stats_;
+  /// Fallback Telemetry (kOff) owned when none was passed.
+  std::unique_ptr<Telemetry> owned_telemetry_;
+  Telemetry* telemetry_;
+  /// Always-live counters backing stats(). The update time is carried as
+  /// integer nanoseconds so the pre-existing total_update_ms field stays
+  /// exact at every telemetry level (its WallTimer pre-dates telemetry).
+  Counter* elements_counter_;
+  Counter* buckets_counter_;
+  Counter* cross_refs_counter_;
+  Counter* update_nanos_counter_;
+  /// Per-bucket parallel-advance latency (recorded when timing is on).
+  Histogram* bucket_hist_;
 };
 
 }  // namespace ksir

@@ -1,0 +1,133 @@
+#include "telemetry/exposition.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace ksir {
+
+namespace {
+
+void Appendf(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void Appendf(std::string* out, const char* fmt, ...) {
+  char buffer[512];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buffer, std::min<std::size_t>(n, sizeof(buffer) - 1));
+}
+
+const char* TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::string PrometheusText(const MetricRegistry& registry) {
+  const RegistrySnapshot snapshot = registry.Snapshot();
+  std::string out;
+  out.reserve(snapshot.metrics.size() * 256);
+  for (const MetricSnapshot& metric : snapshot.metrics) {
+    if (!metric.help.empty()) {
+      Appendf(&out, "# HELP %s %s\n", metric.name.c_str(),
+              metric.help.c_str());
+    }
+    Appendf(&out, "# TYPE %s %s\n", metric.name.c_str(),
+            TypeName(metric.type));
+    if (metric.type != MetricType::kHistogram) {
+      Appendf(&out, "%s %" PRId64 "\n", metric.name.c_str(), metric.value);
+      continue;
+    }
+    const HistogramSnapshot& hist = metric.histogram;
+    std::int64_t cumulative = 0;
+    for (std::size_t b = 0; b < hist.counts.size(); ++b) {
+      cumulative += hist.counts[b];
+      if (b < kNumLatencyBounds) {
+        // %.9g keeps every bound exact (they have up to 7 significant
+        // digits); %g would round 8.388608 to 8.38861 and aliased le
+        // labels break downstream histogram_quantile math.
+        Appendf(&out, "%s_bucket{le=\"%.9g\"} %" PRId64 "\n",
+                metric.name.c_str(), kLatencyBoundsSeconds[b], cumulative);
+      } else {
+        Appendf(&out, "%s_bucket{le=\"+Inf\"} %" PRId64 "\n",
+                metric.name.c_str(), cumulative);
+      }
+    }
+    Appendf(&out, "%s_sum %.9g\n", metric.name.c_str(), hist.sum);
+    Appendf(&out, "%s_count %" PRId64 "\n", metric.name.c_str(), hist.count);
+  }
+  return out;
+}
+
+std::string MetricsJson(const MetricRegistry& registry) {
+  const RegistrySnapshot snapshot = registry.Snapshot();
+  std::string out = "{\n";
+  for (const MetricType type :
+       {MetricType::kCounter, MetricType::kGauge, MetricType::kHistogram}) {
+    const char* section = type == MetricType::kCounter    ? "counters"
+                          : type == MetricType::kGauge    ? "gauges"
+                                                          : "histograms";
+    Appendf(&out, "  \"%s\": {", section);
+    bool first = true;
+    for (const MetricSnapshot& metric : snapshot.metrics) {
+      if (metric.type != type) continue;
+      Appendf(&out, "%s\n    \"%s\": ", first ? "" : ",",
+              metric.name.c_str());
+      first = false;
+      if (type != MetricType::kHistogram) {
+        Appendf(&out, "%" PRId64, metric.value);
+        continue;
+      }
+      const HistogramSnapshot& hist = metric.histogram;
+      Appendf(&out,
+              "{\"count\": %" PRId64
+              ", \"sum\": %.9g, \"p50\": %.9g, \"p95\": %.9g, "
+              "\"p99\": %.9g, \"buckets\": [",
+              hist.count, hist.sum, hist.Percentile(0.50),
+              hist.Percentile(0.95), hist.Percentile(0.99));
+      std::int64_t cumulative = 0;
+      for (std::size_t b = 0; b < hist.counts.size(); ++b) {
+        cumulative += hist.counts[b];
+        const double le = b < kNumLatencyBounds
+                              ? kLatencyBoundsSeconds[b]
+                              : -1.0;  // -1 encodes +Inf
+        Appendf(&out, "%s[%.9g, %" PRId64 "]", b == 0 ? "" : ", ", le,
+                cumulative);
+      }
+      out += "]}";
+    }
+    Appendf(&out, "\n  }%s\n",
+            type == MetricType::kHistogram ? "" : ",");
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string ChromeTraceJson(const Tracer& tracer) {
+  const std::vector<TraceEvent> events = tracer.Events();
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    Appendf(&out,
+            "%s\n  {\"name\": \"%s\", \"ph\": \"X\", \"ts\": %.3f, "
+            "\"dur\": %.3f, \"pid\": 1, \"tid\": %u}",
+            i == 0 ? "" : ",", e.name != nullptr ? e.name : "", e.ts_us,
+            e.dur_us, e.tid);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace ksir

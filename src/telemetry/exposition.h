@@ -1,0 +1,32 @@
+// Exposition endpoints: serialize a MetricRegistry as Prometheus text
+// (text/plain; version 0.0.4) or a JSON snapshot, and a Tracer as
+// chrome://tracing / Perfetto JSON. Pure functions over point-in-time
+// snapshots — callers decide where the bytes go (stdout, a file, an HTTP
+// response).
+#ifndef KSIR_TELEMETRY_EXPOSITION_H_
+#define KSIR_TELEMETRY_EXPOSITION_H_
+
+#include <string>
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace ksir {
+
+/// Prometheus text exposition: # HELP / # TYPE headers, counter and gauge
+/// samples, histograms as cumulative `_bucket{le="..."}` series plus
+/// `_sum` / `_count`.
+std::string PrometheusText(const MetricRegistry& registry);
+
+/// JSON snapshot: {"counters": {...}, "gauges": {...}, "histograms":
+/// {name: {"count", "sum", "p50", "p95", "p99", "buckets": [[le, n],...]}}}
+/// with cumulative bucket counts matching the Prometheus exposition.
+std::string MetricsJson(const MetricRegistry& registry);
+
+/// chrome://tracing-compatible JSON object ({"traceEvents": [...]}) of the
+/// tracer's buffered spans; load in chrome://tracing or ui.perfetto.dev.
+std::string ChromeTraceJson(const Tracer& tracer);
+
+}  // namespace ksir
+
+#endif  // KSIR_TELEMETRY_EXPOSITION_H_

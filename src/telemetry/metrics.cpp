@@ -1,0 +1,132 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ksir {
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const auto c = static_cast<double>(counts[i]);
+    if (c <= 0.0) continue;
+    if (cumulative + c >= target) {
+      const double lower = i == 0 ? 0.0 : kLatencyBoundsSeconds[i - 1];
+      const double upper = i < kNumLatencyBounds
+                               ? kLatencyBoundsSeconds[i]
+                               : kLatencyBoundsSeconds[kNumLatencyBounds - 1];
+      const double frac =
+          std::clamp((target - cumulative) / c, 0.0, 1.0);
+      return lower + (upper - lower) * frac;
+    }
+    cumulative += c;
+  }
+  return kLatencyBoundsSeconds[kNumLatencyBounds - 1];
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.counts.assign(kNumHistogramBuckets, 0);
+  for (const Shard& shard : shards_) {
+    for (std::size_t b = 0; b < kNumHistogramBuckets; ++b) {
+      snapshot.counts[b] += shard.counts[b].load(std::memory_order_relaxed);
+    }
+    snapshot.sum += std::bit_cast<double>(
+        shard.sum_bits.load(std::memory_order_relaxed));
+  }
+  for (const std::int64_t c : snapshot.counts) snapshot.count += c;
+  return snapshot;
+}
+
+const MetricSnapshot* RegistrySnapshot::Find(std::string_view name) const {
+  for (const MetricSnapshot& metric : metrics) {
+    if (metric.name == name) return &metric;
+  }
+  return nullptr;
+}
+
+MetricRegistry::Entry* MetricRegistry::GetOrCreate(std::string_view name,
+                                                   std::string_view help,
+                                                   MetricType type) {
+  std::lock_guard lock(mutex_);
+  const auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    // Same name must mean same metric: a type clash is a naming bug, and
+    // silently handing back the wrong type would corrupt both series.
+    KSIR_CHECK(it->second->type == type);
+    return it->second;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->help = std::string(help);
+  entry->type = type;
+  switch (type) {
+    case MetricType::kCounter:
+      entry->counter = std::make_unique<Counter>();
+      break;
+    case MetricType::kGauge:
+      entry->gauge = std::make_unique<Gauge>();
+      break;
+    case MetricType::kHistogram:
+      entry->histogram = std::make_unique<Histogram>();
+      break;
+  }
+  Entry* raw = entry.get();
+  entries_.push_back(std::move(entry));
+  // Keyed by the entry-owned string: stable because entries are
+  // pointer-stable unique_ptrs and never removed.
+  by_name_.emplace(std::string_view(raw->name), raw);
+  return raw;
+}
+
+Counter* MetricRegistry::GetCounter(std::string_view name,
+                                    std::string_view help) {
+  return GetOrCreate(name, help, MetricType::kCounter)->counter.get();
+}
+
+Gauge* MetricRegistry::GetGauge(std::string_view name,
+                                std::string_view help) {
+  return GetOrCreate(name, help, MetricType::kGauge)->gauge.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(std::string_view name,
+                                        std::string_view help) {
+  return GetOrCreate(name, help, MetricType::kHistogram)->histogram.get();
+}
+
+RegistrySnapshot MetricRegistry::Snapshot() const {
+  RegistrySnapshot snapshot;
+  {
+    std::lock_guard lock(mutex_);
+    snapshot.metrics.reserve(entries_.size());
+    for (const auto& entry : entries_) {
+      MetricSnapshot metric;
+      metric.name = entry->name;
+      metric.help = entry->help;
+      metric.type = entry->type;
+      switch (entry->type) {
+        case MetricType::kCounter:
+          metric.value = entry->counter->Value();
+          break;
+        case MetricType::kGauge:
+          metric.value = entry->gauge->Value();
+          break;
+        case MetricType::kHistogram:
+          metric.histogram = entry->histogram->Snapshot();
+          break;
+      }
+      snapshot.metrics.push_back(std::move(metric));
+    }
+  }
+  std::sort(snapshot.metrics.begin(), snapshot.metrics.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return snapshot;
+}
+
+}  // namespace ksir

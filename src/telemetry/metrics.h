@@ -1,0 +1,252 @@
+// Low-overhead metrics registry: named counters, gauges and fixed-bucket
+// latency histograms.
+//
+// The hot-path contract is that recording NEVER contends: every counter and
+// histogram is split into kMetricShards cache-line-aligned shards, each
+// thread writes the shard picked by its round-robin thread slot with one
+// relaxed atomic RMW, and readers merge the shards at snapshot time. A
+// snapshot is therefore per-cell consistent (each cell is an atomic sum)
+// but not cross-cell consistent — exactly the semantics the pre-telemetry
+// stats structs already had. Metric objects are registered once (cold path,
+// registry mutex) and addressed by pointer afterwards, so steady-state
+// recording performs zero hashing and zero locking.
+#ifndef KSIR_TELEMETRY_METRICS_H_
+#define KSIR_TELEMETRY_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ksir {
+
+/// Write-side shards per metric. Sized for the worker counts the runtime
+/// layer actually runs (maintenance stages and shard fan-outs are 2-8
+/// participants); more threads than shards just share slots, which is
+/// correct (atomic RMW) merely slower.
+inline constexpr std::size_t kMetricShards = 8;
+
+/// The calling thread's metric shard: a process-wide round-robin slot,
+/// assigned on first use, folded onto [0, kMetricShards). Round-robin (not
+/// thread-id hashing) so up to kMetricShards concurrent workers are
+/// guaranteed collision-free.
+inline std::size_t MetricShardIndex() {
+  static std::atomic<std::size_t> next_slot{0};
+  thread_local const std::size_t slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed);
+  return slot % kMetricShards;
+}
+
+/// Lock-free add for a double stored as its bit pattern in an atomic
+/// uint64 (std::atomic<double>::fetch_add is C++20 but not lock-free
+/// everywhere; the CAS loop is portable and contention-free under the
+/// sharding above).
+inline void AtomicBitsAddDouble(std::atomic<std::uint64_t>* cell,
+                                double delta) {
+  std::uint64_t observed = cell->load(std::memory_order_relaxed);
+  for (;;) {
+    const std::uint64_t desired =
+        std::bit_cast<std::uint64_t>(std::bit_cast<double>(observed) + delta);
+    if (cell->compare_exchange_weak(observed, desired,
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+/// Monotone counter. Add() is one relaxed fetch_add on the caller's shard;
+/// Value() sums the shards (racy-by-design point-in-time read).
+class Counter {
+ public:
+  void Add(std::int64_t n = 1) {
+    shards_[MetricShardIndex()].value.fetch_add(n,
+                                                std::memory_order_relaxed);
+  }
+
+  std::int64_t Value() const {
+    std::int64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  /// One cache line per shard: a counter's shards are written by different
+  /// threads concurrently, and within a registry arena neighboring metrics'
+  /// shards would otherwise share lines. alignas(64) both aligns the shard
+  /// AND pads sizeof to a 64-byte multiple (sizeof is always a multiple of
+  /// alignof), so shard i and shard i+1 can never false-share.
+  struct alignas(64) Shard {
+    std::atomic<std::int64_t> value{0};
+  };
+  static_assert(alignof(Shard) == 64 && sizeof(Shard) == 64,
+                "Counter shards must each own a full cache line; a smaller "
+                "shard would false-share with its neighbor and serialize "
+                "every hot-path Add across workers");
+
+  Shard shards_[kMetricShards];
+};
+
+/// Last-value gauge (queue depths, pool sizes). A single cell — gauges are
+/// set from one writer at a time (e.g. under the pool mutex) and only need
+/// torn-free reads, not contention-free increments. alignas keeps the cell
+/// off its registry neighbors' lines.
+class alignas(64) Gauge {
+ public:
+  void Set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(std::int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Histogram bucket upper bounds in SECONDS, shared by every histogram:
+/// 250 ns to ~8.4 s, log-2 spaced, plus an implicit overflow bucket. Fixed
+/// global bounds keep the shard layout a compile-time array (no per-metric
+/// allocation, static_assert-able padding) and make every histogram
+/// mergeable with every other.
+inline constexpr double kLatencyBoundsSeconds[] = {
+    2.5e-7,    5e-7,      1e-6,      2e-6,      4e-6,      8e-6,
+    1.6e-5,    3.2e-5,    6.4e-5,    1.28e-4,   2.56e-4,   5.12e-4,
+    1.024e-3,  2.048e-3,  4.096e-3,  8.192e-3,  1.6384e-2, 3.2768e-2,
+    6.5536e-2, 1.31072e-1, 2.62144e-1, 5.24288e-1, 1.048576, 2.097152,
+    4.194304,  8.388608,
+};
+inline constexpr std::size_t kNumLatencyBounds =
+    sizeof(kLatencyBoundsSeconds) / sizeof(double);
+/// Bucket count including the overflow bucket.
+inline constexpr std::size_t kNumHistogramBuckets = kNumLatencyBounds + 1;
+
+/// Merged read-side view of one histogram (see Histogram::Snapshot).
+struct HistogramSnapshot {
+  /// counts[i] covers (bounds[i-1], bounds[i]]; the last entry is the
+  /// overflow bucket.
+  std::vector<std::int64_t> counts;
+  double sum = 0.0;
+  std::int64_t count = 0;
+
+  /// Quantile estimate by linear interpolation inside the covering bucket
+  /// (the standard Prometheus histogram_quantile estimator). Returns 0 for
+  /// an empty histogram; values in the overflow bucket clamp to the top
+  /// bound.
+  double Percentile(double q) const;
+};
+
+/// Fixed-bucket latency histogram. Record() touches only the caller's
+/// shard: one relaxed fetch_add on the bucket cell plus one CAS on the
+/// shard-local sum.
+class Histogram {
+ public:
+  void Record(double seconds) {
+    Shard& shard = shards_[MetricShardIndex()];
+    shard.counts[BucketOf(seconds)].fetch_add(1, std::memory_order_relaxed);
+    AtomicBitsAddDouble(&shard.sum_bits, seconds);
+  }
+
+  /// Merges all shards into one point-in-time view.
+  HistogramSnapshot Snapshot() const;
+
+  static std::size_t BucketOf(double seconds) {
+    // Branch-predictable linear scan is beaten by binary search at this
+    // bound count; 26 doubles fit in two cache lines either way.
+    std::size_t lo = 0;
+    std::size_t hi = kNumLatencyBounds;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (seconds <= kLatencyBoundsSeconds[mid]) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;  // == kNumLatencyBounds -> overflow bucket
+  }
+
+ private:
+  /// Shard layout: 27 bucket cells plus the sum cell is 224 bytes;
+  /// alignas(64) pads sizeof to 256 so consecutive shards (written by
+  /// different workers) start on distinct cache lines and never share one.
+  struct alignas(64) Shard {
+    std::atomic<std::int64_t> counts[kNumHistogramBuckets] = {};
+    std::atomic<std::uint64_t> sum_bits{0};
+  };
+  static_assert(alignof(Shard) == 64 && sizeof(Shard) % 64 == 0,
+                "Histogram shards must start and end on cache-line "
+                "boundaries; an unpadded shard would false-share its last "
+                "cells with the next worker's first cells");
+
+  Shard shards_[kMetricShards];
+};
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// Point-in-time copy of one registered metric.
+struct MetricSnapshot {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  /// Counter / gauge value (unset for histograms).
+  std::int64_t value = 0;
+  /// Histogram view (empty for counters / gauges).
+  HistogramSnapshot histogram;
+};
+
+/// Point-in-time copy of the whole registry, sorted by name.
+struct RegistrySnapshot {
+  std::vector<MetricSnapshot> metrics;
+
+  /// nullptr when `name` is not present.
+  const MetricSnapshot* Find(std::string_view name) const;
+};
+
+/// Named directory of metrics. Get-or-create by name: asking twice for the
+/// same name returns the SAME object (that is what lets N shard engines
+/// aggregate into one process view), asking with a different type for an
+/// existing name is a programming error and aborts. Registration takes the
+/// registry mutex — do it at construction time, never on the hot path; the
+/// returned pointers are stable for the registry's lifetime.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name, std::string_view help = "");
+  Gauge* GetGauge(std::string_view name, std::string_view help = "");
+  Histogram* GetHistogram(std::string_view name, std::string_view help = "");
+
+  /// Merged point-in-time copy of every metric, sorted by name. Safe to
+  /// call concurrently with recording.
+  RegistrySnapshot Snapshot() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string help;
+    MetricType type;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* GetOrCreate(std::string_view name, std::string_view help,
+                     MetricType type);
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::unordered_map<std::string_view, Entry*> by_name_;
+};
+
+}  // namespace ksir
+
+#endif  // KSIR_TELEMETRY_METRICS_H_

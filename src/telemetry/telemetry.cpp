@@ -1,0 +1,22 @@
+#include "telemetry/telemetry.h"
+
+namespace ksir {
+
+Status ValidateTelemetryConfig(const TelemetryConfig& config) {
+  if (config.trace_sample_period < 1) {
+    return Status::InvalidArgument("trace_sample_period must be >= 1");
+  }
+  if (config.trace_capacity < 1) {
+    return Status::InvalidArgument("trace_capacity must be >= 1");
+  }
+  return Status::OK();
+}
+
+Telemetry::Telemetry(TelemetryConfig config)
+    : config_(config),
+      timing_enabled_(config.level != TelemetryLevel::kOff),
+      tracer_(config.level == TelemetryLevel::kTracing,
+              config.trace_sample_period < 1 ? 1 : config.trace_sample_period,
+              config.trace_capacity) {}
+
+}  // namespace ksir

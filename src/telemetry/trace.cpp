@@ -1,0 +1,58 @@
+#include "telemetry/trace.h"
+
+#include <functional>
+#include <thread>
+
+#include "common/check.h"
+
+namespace ksir {
+
+namespace {
+
+std::uint32_t FoldedThreadId() {
+  thread_local const std::uint32_t tid = static_cast<std::uint32_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xffffffu);
+  return tid;
+}
+
+}  // namespace
+
+Tracer::Tracer(bool enabled, std::size_t sample_period, std::size_t capacity)
+    : enabled_(enabled),
+      sample_period_(sample_period),
+      capacity_(capacity),
+      epoch_(std::chrono::steady_clock::now()) {
+  KSIR_CHECK(sample_period_ >= 1);
+  if (enabled_) events_.reserve(capacity_);
+}
+
+void Tracer::Emit(const char* name,
+                  std::chrono::steady_clock::time_point begin,
+                  std::chrono::steady_clock::time_point end) {
+  if (!armed()) return;
+  TraceEvent event;
+  event.name = name;
+  event.ts_us =
+      std::chrono::duration<double, std::micro>(begin - epoch_).count();
+  event.dur_us = std::chrono::duration<double, std::micro>(end - begin).count();
+  event.tid = FoldedThreadId();
+  std::lock_guard lock(mutex_);
+  if (events_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(event);
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+void Tracer::Clear() {
+  std::lock_guard lock(mutex_);
+  events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace ksir

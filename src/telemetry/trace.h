@@ -1,0 +1,89 @@
+// Lightweight span tracing: a bounded buffer of (name, start, duration)
+// events emitted by the RAII stage timers (telemetry.h) and exportable as
+// chrome://tracing / Perfetto-compatible JSON.
+//
+// Sampling model: tracing every bucket/query would make the trace buffer
+// the hot path, so the tracer records whole UNITS (one bucket apply, one
+// query plan). SampleUnit() is called at each unit boundary and arms the
+// tracer for every sample_period-th unit; stage scopes emit only while
+// armed. The armed flag is process-wide and relaxed: concurrent units
+// (queries racing an ingest) may ride along inside a sampled window, which
+// is harmless — a trace is a sampled illustration, not an exact ledger.
+// When the buffer fills, further events are counted as dropped rather than
+// evicting older ones (the first trace of a run is usually the one that
+// matters).
+#ifndef KSIR_TELEMETRY_TRACE_H_
+#define KSIR_TELEMETRY_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace ksir {
+
+/// One complete span ("ph":"X" in the chrome trace format). `name` must
+/// point to static storage (stage names are string literals).
+struct TraceEvent {
+  const char* name = nullptr;
+  /// Microseconds since the tracer's epoch (its construction).
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  /// Folded thread id, stable per thread within a run.
+  std::uint32_t tid = 0;
+};
+
+/// Bounded trace-event sink. Thread-safe; Emit is mutex-protected but only
+/// runs on sampled units, so it never sits on the steady-state hot path.
+class Tracer {
+ public:
+  /// A disabled tracer (enabled = false) ignores every call at one branch
+  /// of cost. `sample_period` >= 1: every Nth unit is traced;
+  /// `capacity` bounds the buffered events.
+  Tracer(bool enabled, std::size_t sample_period, std::size_t capacity);
+
+  bool enabled() const { return enabled_; }
+
+  /// Marks a top-level unit boundary (bucket apply, query plan): arms the
+  /// tracer for every sample_period-th unit.
+  void SampleUnit() {
+    if (!enabled_) return;
+    const std::uint64_t unit =
+        units_.fetch_add(1, std::memory_order_relaxed);
+    armed_.store(unit % sample_period_ == 0, std::memory_order_relaxed);
+  }
+
+  /// True while the current sampled unit is being traced.
+  bool armed() const {
+    return enabled_ && armed_.load(std::memory_order_relaxed);
+  }
+
+  /// Records one complete span. No-op unless armed.
+  void Emit(const char* name, std::chrono::steady_clock::time_point begin,
+            std::chrono::steady_clock::time_point end);
+
+  /// Copy of the buffered events (ts-ordered by emission).
+  std::vector<TraceEvent> Events() const;
+
+  std::int64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  void Clear();
+
+ private:
+  const bool enabled_;
+  const std::size_t sample_period_;
+  const std::size_t capacity_;
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::uint64_t> units_{0};
+  std::atomic<bool> armed_{false};
+  std::atomic<std::int64_t> dropped_{0};
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace ksir
+
+#endif  // KSIR_TELEMETRY_TRACE_H_

@@ -973,5 +973,48 @@ TEST(ResultCacheTest, InsertBelowInvalidationFloorIsDropped) {
   EXPECT_EQ(cache.stats().stale_inserts, 2);
 }
 
+TEST(ServiceTest, StatsReadableDuringConcurrentIngestion) {
+  // TSan regression: IngestionStats used to live in plain int64 fields
+  // written by AdvanceTo, so reading service stats() while a bucket was
+  // ingesting was a documented data race. The counters are registry-backed
+  // atomics now and the active-set sizes are read under each shard's query
+  // lock — stats() must be callable from a monitor thread at any time.
+  constexpr int kTopics = 4;
+  Rng rng(4242);
+  std::vector<std::vector<double>> matrix(kTopics, std::vector<double>(32));
+  for (auto& row : matrix) {
+    for (auto& p : row) p = rng.NextDouble() + 0.05;
+  }
+  TopicModel model =
+      std::move(TopicModel::FromMatrix(std::move(matrix))).value();
+  ServiceConfig config;
+  config.engine.scoring.eta = 4.0;
+  config.engine.window_length = 60;
+  config.engine.bucket_length = 5;
+  config.num_shards = 2;
+  auto service = KsirService::Create(config, &model);
+  ASSERT_TRUE(service.ok());
+
+  std::atomic<bool> stop{false};
+  std::thread monitor([&]() {
+    std::int64_t last_elements = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const ServiceStats stats = (*service)->stats();
+      // Counters are monotone even mid-bucket.
+      ASSERT_GE(stats.ingestion.elements_ingested, last_elements);
+      last_elements = stats.ingestion.elements_ingested;
+      ASSERT_GE(stats.ingestion.buckets_processed, 0);
+      ASSERT_GE(stats.ingestion.total_update_ms, 0.0);
+    }
+  });
+  ASSERT_TRUE((*service)->Append(ChurnStream(1200, kTopics, 32, &rng)).ok());
+  stop.store(true, std::memory_order_release);
+  monitor.join();
+
+  const ServiceStats stats = (*service)->stats();
+  EXPECT_EQ(stats.ingestion.elements_ingested, 1200);
+  EXPECT_GT(stats.num_active_total, 0u);
+}
+
 }  // namespace
 }  // namespace ksir

@@ -17,6 +17,13 @@ latency regressed by more than the threshold. Two paths are gated:
     more than the threshold (a lock slipped into the topic stage or an
     accidentally serialized stage trips this on any hardware).
 
+Additionally, when the fresh document carries a "telemetry" section, its
+IN-RUN counters-on overhead is gated: the fresh run measures the same
+serial engine with telemetry off and at kCounters back to back, and the
+p50 ratio between them may not exceed TELEMETRY_OVERHEAD_LIMIT (2%) —
+the telemetry layer's core cost contract, checked on the run's own
+hardware so it never depends on a baseline.
+
 Comparisons only make sense at matching scale; a scale mismatch is
 reported and skipped (exit 0) so the gate never silently compares apples
 to oranges.
@@ -27,6 +34,9 @@ Usage: check_bench_regression.py BASELINE.json FRESH.json [THRESHOLD]
 
 import json
 import sys
+
+# Allowed counters-on p50 overhead vs. telemetry off, measured in-run.
+TELEMETRY_OVERHEAD_LIMIT = 0.02
 
 # The serial production engine key, newest first: older baselines predate
 # the handle path and archive the batched engine instead.
@@ -104,6 +114,27 @@ def main(argv):
             ok = check_pair(
                 "parallel", base_parallel["bucket_update"]["p50_ms"],
                 fresh_parallel["bucket_update"]["p50_ms"], threshold) and ok
+
+    telemetry = fresh.get("telemetry")
+    if telemetry is None:
+        print("NOTE: no telemetry section in the fresh document; "
+              "overhead gate skipped")
+    else:
+        ratio = telemetry.get("overhead_p50_ratio", 0.0)
+        off_p50 = telemetry.get("off", {}).get("p50_ms", 0.0)
+        print(f"[telemetry overhead] counters-on/off p50 ratio = "
+              f"{ratio:.4f} (limit {1.0 + TELEMETRY_OVERHEAD_LIMIT:.2f}, "
+              f"off p50 = {off_p50:.6f} ms)")
+        if off_p50 < 0.005:
+            # Below ~5us the per-bucket timer resolution dominates the
+            # ratio; a smoke-scale run cannot resolve a 2% bound.
+            print("SKIP [telemetry overhead]: off p50 too small to "
+                  "resolve the bound")
+        elif ratio > 1.0 + TELEMETRY_OVERHEAD_LIMIT:
+            print(f"FAIL [telemetry overhead]: counters-on p50 overhead "
+                  f"{(ratio - 1.0) * 100.0:.2f}% exceeds "
+                  f"{TELEMETRY_OVERHEAD_LIMIT * 100.0:.0f}%")
+            ok = False
 
     if not ok:
         return 1
