@@ -32,8 +32,10 @@
 
 #include "bench_util.h"
 #include "common/check.h"
+#include "common/rng.h"
 #include "common/timer.h"
 #include "core/engine.h"
+#include "subscribe/standing_query.h"
 #include "service/shard_router.h"
 #include "service/sharded_ingestor.h"
 #include "runtime/worker_pool.h"
@@ -345,16 +347,17 @@ int Run(const char* out_path) {
 
   // Telemetry-overhead measurement: the serial handle engine with
   // telemetry off (the default) vs. kCounters (stage timers + histograms
-  // live), THREE interleaved best-of passes — the claimed bound is <= 2%
-  // p50 overhead, well under single-pass drift on a shared machine, so
-  // this pair gets one more pass than the engine comparison above. The
+  // live), FOUR interleaved best-of passes — the claimed bound is <= 2%
+  // p50 overhead, well under single-pass drift on a shared machine
+  // (single-pass ratios swing 0.88-1.8x on a noisy single-core box), so
+  // this pair gets two more passes than the engine comparison above. The
   // last counters engine is kept for the per-stage breakdown below.
   BucketStats telemetry_off_feed;
   BucketStats telemetry_on_feed;
   EngineConfig telemetry_on_config = handle_config;
   telemetry_on_config.telemetry.level = TelemetryLevel::kCounters;
   std::unique_ptr<KsirEngine> telemetry_on_engine;
-  for (int pass = 0; pass < 3; ++pass) {
+  for (int pass = 0; pass < 4; ++pass) {
     KsirEngine off_engine(handle_config, &dataset.stream.model);
     telemetry_off_feed = better(
         telemetry_off_feed,
@@ -413,6 +416,116 @@ int Run(const char* out_path) {
   const ShardedRun sharded_balanced =
       FeedSharded(balanced_config, &dataset.stream.model, kNumShards,
                   std::vector<SocialElement>(dataset.stream.elements));
+
+  // ---- Subscription-engine sweep: standing queries, 1k -> 100k ---------
+  // A much sparser topic space than the reposition-heavy stream: with 512
+  // topics each bucket touches only a fraction of the space, which is the
+  // regime the inverted subscription index exploits. Subscriptions are
+  // single- and two-topic interests with 8 users per distinct interest
+  // (identical queries share one evaluation per group per round), so the
+  // measured reduction decomposes into topic skipping x group sharing.
+  // The naive evaluation count needs no measurement — by construction it
+  // is registered x rounds — but the smallest point is also RUN naively
+  // to validate that identity and record its wall time.
+  StreamProfile sub_profile = profile;
+  sub_profile.name = "sparse-topic";
+  sub_profile.num_topics = 512;
+  sub_profile.seed = 43;
+  auto sub_generated = GenerateStream(sub_profile);
+  KSIR_CHECK(sub_generated.ok());
+  Dataset sub_dataset{sub_profile.name, std::move(sub_generated).value(),
+                      1.0};
+  sub_dataset.eta = CalibrateEta(sub_dataset.stream);
+  EngineConfig sub_config =
+      MakeConfig(sub_dataset, /*window_length=*/48 * 3600);
+  sub_config.score_maintenance = ScoreMaintenance::kIncremental;
+  sub_config.carry_handles = true;
+
+  struct SubPoint {
+    std::size_t registered = 0;
+    std::size_t distinct = 0;
+    std::uint64_t rounds = 0;
+    SubscriptionManager::Counters totals;
+    std::int64_t naive_evaluations = 0;
+    double total_ms = 0.0;
+    double reduction = 0.0;
+  };
+  const auto run_subscriptions = [&](std::size_t registered,
+                                     SubscriptionMode mode) {
+    KsirEngine engine(sub_config, &sub_dataset.stream.model);
+    StandingQueryManager manager(&engine, mode);
+    Rng sub_rng(1234);
+    const auto num_topics =
+        static_cast<std::uint64_t>(sub_profile.num_topics);
+    const std::size_t distinct = std::max<std::size_t>(1, registered / 8);
+    std::vector<KsirQuery> pool;
+    pool.reserve(distinct);
+    for (std::size_t d = 0; d < distinct; ++d) {
+      KsirQuery query;
+      query.k = 5;
+      query.algorithm = Algorithm::kTopkRepresentative;
+      const auto t1 = static_cast<TopicId>(sub_rng.NextUint64(num_topics));
+      if (d % 4 == 3) {
+        auto t2 = static_cast<TopicId>(sub_rng.NextUint64(num_topics));
+        if (t2 == t1) t2 = static_cast<TopicId>((t1 + 1) % num_topics);
+        query.x = SparseVector::FromEntries(
+            {{std::min(t1, t2), 0.5}, {std::max(t1, t2), 0.5}});
+      } else {
+        query.x = SparseVector::FromEntries({{t1, 1.0}});
+      }
+      pool.push_back(std::move(query));
+    }
+    for (std::size_t i = 0; i < registered; ++i) {
+      manager.Subscribe(pool[i % distinct],
+                        [](const SubscriptionUpdate&) {});
+    }
+    SubPoint point;
+    WallTimer timer;
+    const Status status = AppendInBuckets(
+        std::vector<SocialElement>(sub_dataset.stream.elements),
+        sub_config.bucket_length, [&engine]() { return engine.now(); },
+        [&](Timestamp bucket_end, std::vector<SocialElement> bucket) {
+          KSIR_RETURN_NOT_OK(engine.AdvanceTo(bucket_end,
+                                              std::move(bucket)));
+          KSIR_RETURN_NOT_OK(manager.EvaluateAll());
+          ++point.rounds;
+          return Status::OK();
+        });
+    KSIR_CHECK(status.ok());
+    point.total_ms = timer.ElapsedMillis();
+    point.registered = registered;
+    point.distinct = distinct;
+    point.totals = manager.subscriptions().totals();
+    point.naive_evaluations = static_cast<std::int64_t>(registered) *
+                              static_cast<std::int64_t>(point.rounds);
+    point.reduction =
+        point.totals.evaluations > 0
+            ? static_cast<double>(point.naive_evaluations) /
+                  static_cast<double>(point.totals.evaluations)
+            : 0.0;
+    return point;
+  };
+
+  std::vector<std::size_t> sub_counts;
+  switch (scale) {
+    case Scale::kPaper:
+      sub_counts = {1000, 10000, 100000};
+      break;
+    case Scale::kSmall:
+      sub_counts = {1000, 10000};
+      break;
+    case Scale::kSmoke:
+      sub_counts = {200, 1000};
+      break;
+  }
+  std::vector<SubPoint> sub_sweep;
+  for (const std::size_t count : sub_counts) {
+    sub_sweep.push_back(
+        run_subscriptions(count, SubscriptionMode::kIndexed));
+  }
+  const SubPoint sub_naive =
+      run_subscriptions(sub_counts.front(), SubscriptionMode::kNaive);
+  KSIR_CHECK(sub_naive.totals.evaluations == sub_naive.naive_evaluations);
 
   // Query workload at end-of-stream state.
   const std::vector<QuerySpec> workload =
@@ -564,6 +677,31 @@ int Run(const char* out_path) {
               results_identical ? "yes" : "NO",
               max_abs_score_diff);
 
+  std::printf("  subscriptions (sparse-topic stream, %d topics, %llu "
+              "rounds):\n",
+              sub_profile.num_topics,
+              static_cast<unsigned long long>(
+                  sub_sweep.front().rounds));
+  for (const SubPoint& point : sub_sweep) {
+    std::printf("    %6zu subs (%zu distinct): %lld evals vs %lld naive "
+                "(%.1fx fewer), activated %lld / skipped %lld, %lld "
+                "shared, %lld deltas, %.1f ms\n",
+                point.registered, point.distinct,
+                static_cast<long long>(point.totals.evaluations),
+                static_cast<long long>(point.naive_evaluations),
+                point.reduction,
+                static_cast<long long>(point.totals.activated),
+                static_cast<long long>(point.totals.skipped),
+                static_cast<long long>(point.totals.shared_hits),
+                static_cast<long long>(point.totals.deltas),
+                point.total_ms);
+  }
+  std::printf("    naive reference at %zu subs: %lld evaluations "
+              "(= registered x rounds), %.1f ms\n",
+              sub_naive.registered,
+              static_cast<long long>(sub_naive.totals.evaluations),
+              sub_naive.total_ms);
+
   std::FILE* out = std::fopen(out_path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", out_path);
@@ -687,6 +825,47 @@ int Run(const char* out_path) {
                    prepr_ms, prepr_ms / handle_feed.total_ms);
     }
   }
+  std::fprintf(out,
+               "  \"subscriptions\": {\n"
+               "    \"workload\": {\"profile\": \"%s\", \"num_topics\": "
+               "%d, \"num_elements\": %zu, \"rounds\": %llu, "
+               "\"users_per_interest\": 8},\n",
+               sub_profile.name.c_str(), sub_profile.num_topics,
+               sub_dataset.stream.elements.size(),
+               static_cast<unsigned long long>(sub_sweep.front().rounds));
+  std::fprintf(out,
+               "    \"naive_reference\": {\"registered\": %zu, "
+               "\"evaluations\": %lld, \"expected_evaluations\": %lld, "
+               "\"total_ms\": %.3f},\n",
+               sub_naive.registered,
+               static_cast<long long>(sub_naive.totals.evaluations),
+               static_cast<long long>(sub_naive.naive_evaluations),
+               sub_naive.total_ms);
+  std::fprintf(out, "    \"sweep\": [");
+  for (std::size_t i = 0; i < sub_sweep.size(); ++i) {
+    const SubPoint& point = sub_sweep[i];
+    std::fprintf(
+        out,
+        "%s{\"registered\": %zu, \"distinct_queries\": %zu, "
+        "\"evaluations\": %lld, \"naive_evaluations\": %lld, "
+        "\"eval_reduction\": %.3f, \"activated\": %lld, "
+        "\"skipped\": %lld, \"shared_hits\": %lld, "
+        "\"delta_events\": %lld, \"activated_per_registered\": %.4f, "
+        "\"total_ms\": %.3f}",
+        i == 0 ? "" : ", ", point.registered, point.distinct,
+        static_cast<long long>(point.totals.evaluations),
+        static_cast<long long>(point.naive_evaluations),
+        point.reduction, static_cast<long long>(point.totals.activated),
+        static_cast<long long>(point.totals.skipped),
+        static_cast<long long>(point.totals.shared_hits),
+        static_cast<long long>(point.totals.deltas),
+        point.naive_evaluations > 0
+            ? static_cast<double>(point.totals.activated) /
+                  static_cast<double>(point.naive_evaluations)
+            : 0.0,
+        point.total_ms);
+  }
+  std::fprintf(out, "]\n  },\n");
   std::fprintf(out, "  \"num_queries\": %zu,\n", workload.size());
   std::fprintf(out, "  \"results_identical\": %s,\n",
                results_identical ? "true" : "false");

@@ -11,7 +11,7 @@
 #include <string>
 
 #include "core/engine.h"
-#include "core/standing_query.h"
+#include "subscribe/standing_query.h"
 #include "stream/generator.h"
 #include "topic/inference.h"
 #include "topic/query_inference.h"

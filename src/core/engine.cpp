@@ -154,6 +154,8 @@ Status KsirEngine::AdvanceTo(Timestamp bucket_end,
     advance_hist_->Record(elapsed_ms / 1e3);
   }
   ++bucket_epoch_;
+  last_summary_ = maintainer_.last_summary();
+  last_summary_.epoch = bucket_epoch_;
   return Status::OK();
 }
 
@@ -239,6 +241,11 @@ Timestamp KsirEngine::now() const {
 std::uint64_t KsirEngine::bucket_epoch() const {
   std::shared_lock lock(mutex_);
   return bucket_epoch_;
+}
+
+AdvanceSummary KsirEngine::last_advance_summary() const {
+  std::shared_lock lock(mutex_);
+  return last_summary_;
 }
 
 std::size_t KsirEngine::num_active() const {

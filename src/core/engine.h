@@ -173,6 +173,13 @@ class KsirEngine {
   /// identical state, which is what makes epoch-keyed result caching sound.
   std::uint64_t bucket_epoch() const;
 
+  /// Touched-topic summary of the most recent successful AdvanceTo, with
+  /// `epoch` stamped to the bucket epoch it produced (see
+  /// advance_summary.h). Empty with epoch 0 before the first bucket.
+  /// Returns a copy under the query (shared) lock, so it is safe to call
+  /// while another thread ingests.
+  AdvanceSummary last_advance_summary() const;
+
   /// Current active-set size under the query (shared) lock — the accessor
   /// concurrent readers must use while another thread ingests (window() is
   /// unsynchronized by design).
@@ -214,6 +221,9 @@ class KsirEngine {
   IndexMaintainer maintainer_;
   MaintenanceStats stats_;
   std::uint64_t bucket_epoch_ = 0;
+  /// Copy of the maintainer's last bucket summary, epoch-stamped (the
+  /// maintainer's own is only valid until its next Apply).
+  AdvanceSummary last_summary_;
   mutable std::shared_mutex mutex_;
 };
 

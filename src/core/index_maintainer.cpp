@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 
 #include "common/check.h"
 #include "runtime/worker_pool.h"
@@ -62,6 +63,8 @@ IndexMaintainer::IndexMaintainer(const ScoringContext* ctx,
       "Reposition tuples elided because the composed score equals the "
       "listed score");
   topic_counts_.resize(index->num_topics(), 0);
+  summary_movement_.resize(index->num_topics(), 0.0);
+  summary_seen_.resize(index->num_topics(), 0);
   edge_acc_.Resize(index->num_topics());
   // Only the handle pipeline parallelizes: its per-topic runs carry every
   // position and listed key, so the topic stage needs no shared lookups at
@@ -93,6 +96,7 @@ void IndexMaintainer::Apply(const ActiveWindow::UpdateResult& update) {
       ApplyRecompute(update);
     }
   }
+  MaterializeSummary();
   // Counter flush: the hot loops above accumulate into plain members; one
   // sharded fetch_add per series per bucket lands them in the registry.
   if (!update.expired.empty()) {
@@ -109,6 +113,41 @@ void IndexMaintainer::Apply(const ActiveWindow::UpdateResult& update) {
   if (bucket_elisions_ > 0) {
     elisions_counter_->Add(static_cast<std::int64_t>(bucket_elisions_));
   }
+}
+
+void IndexMaintainer::TouchSummary(TopicId topic, double movement) {
+  const auto slot = static_cast<std::size_t>(topic);
+  if (summary_seen_[slot] == 0) {
+    summary_seen_[slot] = 1;
+    summary_topics_.push_back(topic);
+  }
+  if (movement > summary_movement_[slot]) summary_movement_[slot] = movement;
+}
+
+void IndexMaintainer::TouchElidedLoss(const ScoreCache::TopicList& halves,
+                                      const StampedAccumulator& acc) {
+  const double factor = ctx_->influence_factor();
+  for (const ScoreCache::TopicHalves& half : halves) {
+    const auto slot = static_cast<std::size_t>(half.topic);
+    if (acc.Touched(slot)) {
+      TouchSummary(half.topic,
+                   std::abs(factor * half.topic_prob * acc.Get(slot)));
+    }
+  }
+}
+
+void IndexMaintainer::MaterializeSummary() {
+  summary_.topics.clear();
+  std::sort(summary_topics_.begin(), summary_topics_.end());
+  summary_.topics.reserve(summary_topics_.size());
+  for (const TopicId topic : summary_topics_) {
+    const auto slot = static_cast<std::size_t>(topic);
+    summary_.topics.push_back(AdvanceSummary::TopicTouch{
+        topic, summary_movement_[slot]});
+    summary_movement_[slot] = 0.0;
+    summary_seen_[slot] = 0;
+  }
+  summary_topics_.clear();
 }
 
 void IndexMaintainer::EraseExpired(const ActiveWindow::Touched& t) {
@@ -129,10 +168,16 @@ void IndexMaintainer::EraseExpired(const ActiveWindow::Touched& t) {
     for (const ScoreCache::TopicHalves& half : *halves) {
       hint_scratch_.push_back(
           RankedList::ErasureHint{half.topic, half.listed, half.handle});
+      TouchSummary(half.topic, std::abs(half.listed));
     }
     index_->EraseWithHints(t.id, hint_scratch_.data(), hint_scratch_.size());
     cache_.Erase(t.id);
     return;
+  }
+  if (const ScoreCache::TopicList* halves = cache_.Find(t.id)) {
+    for (const ScoreCache::TopicHalves& half : *halves) {
+      TouchSummary(half.topic, std::abs(half.listed));
+    }
   }
   index_->Erase(t.id);
   cache_.Erase(t.id);
@@ -183,9 +228,21 @@ void IndexMaintainer::ApplyIncremental(
 
 void IndexMaintainer::ApplyRecompute(
     const ActiveWindow::UpdateResult& update) {
+  // Summary movements on this baseline are best-effort (score magnitudes;
+  // 0 for erases) — the topic SETS are exact, which is all activation
+  // needs. See advance_summary.h.
+  const auto touch_all =
+      [this](const std::vector<std::pair<TopicId, double>>& scores) {
+        for (const auto& [topic, score] : scores) {
+          TouchSummary(topic, std::abs(score));
+        }
+      };
   {
     StageScope scope(telemetry_, stage_expiry_hist_, "maint.expiry");
     for (const ActiveWindow::Touched& t : update.expired) {
+      for (const auto& [topic, prob] : t.element->topics.entries()) {
+        TouchSummary(topic, 0.0);
+      }
       index_->Erase(t.id);
     }
   }
@@ -194,20 +251,28 @@ void IndexMaintainer::ApplyRecompute(
   // whole remainder is the list-apply stage.
   StageScope scope(telemetry_, stage_list_apply_hist_, "maint.list_apply");
   for (const ActiveWindow::Touched& t : update.inserted) {
-    index_->Insert(t.id, ctx_->AllTopicScores(*t.element), t.te);
+    const auto scores = ctx_->AllTopicScores(*t.element);
+    touch_all(scores);
+    index_->Insert(t.id, scores, t.te);
   }
   // Resurrected elements were erased from the lists when they deactivated;
   // they re-enter with freshly computed scores.
   for (const ActiveWindow::Touched& t : update.resurrected) {
-    index_->Insert(t.id, ctx_->AllTopicScores(*t.element), t.te);
+    const auto scores = ctx_->AllTopicScores(*t.element);
+    touch_all(scores);
+    index_->Insert(t.id, scores, t.te);
   }
   for (const ActiveWindow::Touched& t : update.gained_referrer) {
-    index_->Update(t.id, ctx_->AllTopicScores(*t.element), t.te);
+    const auto scores = ctx_->AllTopicScores(*t.element);
+    touch_all(scores);
+    index_->Update(t.id, scores, t.te);
   }
-  if (mode_ == RefreshMode::kExact) {
-    for (const ActiveWindow::Touched& t : update.lost_referrer) {
-      index_->Update(t.id, ctx_->AllTopicScores(*t.element), t.te);
-    }
+  for (const ActiveWindow::Touched& t : update.lost_referrer) {
+    const auto scores = ctx_->AllTopicScores(*t.element);
+    // Losses move true scores in both refresh modes; only kExact writes
+    // them back into the lists.
+    touch_all(scores);
+    if (mode_ == RefreshMode::kExact) index_->Update(t.id, scores, t.te);
   }
 }
 
@@ -218,6 +283,7 @@ void IndexMaintainer::InsertFresh(const ActiveWindow::Touched& t) {
   scratch_scores_.reserve(halves.size());
   for (const ScoreCache::TopicHalves& half : halves) {
     scratch_scores_.emplace_back(half.topic, half.listed);
+    TouchSummary(half.topic, std::abs(half.listed));
   }
   if (use_handles_) {
     handle_scratch_.resize(halves.size());
@@ -241,7 +307,14 @@ void IndexMaintainer::ProcessTouched(const ActiveWindow::Touched& t,
                    : cache_.MutableHalves(t.id);
   KSIR_DCHECK(&halves == &cache_.MutableHalves(t.id));
   if (t.num_gained + t.num_lost > 0) FoldEdges(t, &halves, &edge_acc_);
-  if (!reposition) return;
+  if (!reposition) {
+    // kPaper referrer loss: the lists keep the stale-high tuples, but the
+    // true scores moved wherever the lost referrers' supports overlapped
+    // this element's — surface those topics so indexed subscription
+    // activation stays exact against the naive baseline.
+    if (t.num_gained + t.num_lost > 0) TouchElidedLoss(halves, edge_acc_);
+    return;
+  }
   const double lambda = ctx_->params().lambda;
   const double influence_factor = ctx_->influence_factor();
   if (batch_min_ == 0) {
@@ -251,6 +324,9 @@ void IndexMaintainer::ProcessTouched(const ActiveWindow::Touched& t,
     for (ScoreCache::TopicHalves& half : halves) {
       const double score =
           lambda * half.semantic + influence_factor * half.influence;
+      if (score != half.listed) {
+        TouchSummary(half.topic, std::abs(score - half.listed));
+      }
       half.listed = score;
       scratch_scores_.emplace_back(half.topic, score);
     }
@@ -274,6 +350,7 @@ void IndexMaintainer::ProcessTouched(const ActiveWindow::Touched& t,
       pending_handles_.push_back(
           {half.topic, RankedList::HandleUpdate{t.id, half.listed, score,
                                                 &half.handle}});
+      TouchSummary(half.topic, std::abs(score - half.listed));
     } else {
       // Id-keyed batched baseline (PR 3 tuple volume): a gained referral
       // queues every topic — the per-tuple id resolution then discovers
@@ -281,6 +358,9 @@ void IndexMaintainer::ProcessTouched(const ActiveWindow::Touched& t,
       if (!te_changed && score == half.listed) {
         ++bucket_elisions_;
         continue;
+      }
+      if (score != half.listed) {
+        TouchSummary(half.topic, std::abs(score - half.listed));
       }
       pending_tuples_.push_back(
           {half.topic, RankedList::Tuple{t.id, score}});
@@ -368,7 +448,30 @@ void IndexMaintainer::ProcessTouchedParallel(TouchedItem* item,
   const ActiveWindow::Touched& t = *item->touched;
   ScoreCache::TopicList& halves = *item->halves;
   if (t.num_gained + t.num_lost > 0) FoldEdges(t, &halves, acc);
-  if (!item->reposition) return;
+  if (!item->reposition) {
+    // kPaper referrer loss: no list writes, but the true scores moved
+    // wherever the lost referrers' supports overlapped. The summary
+    // touches are parked in the item's update buffer (topic + movement in
+    // `score`; no handle) for the serial gather to fold — TouchSummary
+    // state is single-threaded.
+    std::uint32_t n = 0;
+    if (t.num_gained + t.num_lost > 0) {
+      const double factor = ctx_->influence_factor();
+      for (const ScoreCache::TopicHalves& half : halves) {
+        const auto slot = static_cast<std::size_t>(half.topic);
+        if (acc->Touched(slot)) {
+          item->updates[n++] = PendingHandle{
+              half.topic,
+              RankedList::HandleUpdate{
+                  t.id, 0.0,
+                  std::abs(factor * half.topic_prob * acc->Get(slot)),
+                  nullptr}};
+        }
+      }
+    }
+    item->num_updates = n;
+    return;
+  }
   const double lambda = ctx_->params().lambda;
   const double influence_factor = ctx_->influence_factor();
   std::uint32_t n = 0;
@@ -425,9 +528,9 @@ void IndexMaintainer::ApplyIncrementalParallel(
       TouchedItem item;
       item.touched = &t;
       item.halves = halves;
-      item.updates =
-          reposition ? run_arena_.AllocateArray<PendingHandle>(halves->size())
-                     : nullptr;
+      // Reposition items buffer their changed tuples here; kPaper loss
+      // items (reposition off) reuse the buffer for their summary touches.
+      item.updates = run_arena_.AllocateArray<PendingHandle>(halves->size());
       item.num_updates = 0;
       item.reposition = reposition;
       item.te_changed = te_changed;
@@ -485,24 +588,34 @@ void IndexMaintainer::ApplyIncrementalParallel(
         if (insert_counts_[topic]++ == 0 && topic_counts_[topic] == 0) {
           touched_.push_back(half.topic);
         }
+        TouchSummary(half.topic, std::abs(half.listed));
         ++total_inserts;
       }
     }
     for (const TouchedItem& item : touched_items_) {
-      if (item.reposition && item.te_changed) {
+      if (!item.reposition) {
+        // kPaper loss items carry summary touches, not repositions; fold
+        // them here and keep them out of the per-topic runs.
+        for (std::uint32_t i = 0; i < item.num_updates; ++i) {
+          TouchSummary(item.updates[i].topic, item.updates[i].payload.score);
+        }
+        continue;
+      }
+      if (item.te_changed) {
         index_->TouchTime(item.touched->id, item.touched->te);
       }
-      if (item.reposition) {
-        // Mirror the serial ProcessTouched accounting: num_updates tuples
-        // moved, the rest of the support was elided.
-        bucket_repositions_ += item.num_updates;
-        bucket_elisions_ += item.halves->size() - item.num_updates;
-      }
+      // Mirror the serial ProcessTouched accounting: num_updates tuples
+      // moved, the rest of the support was elided.
+      bucket_repositions_ += item.num_updates;
+      bucket_elisions_ += item.halves->size() - item.num_updates;
       for (std::uint32_t i = 0; i < item.num_updates; ++i) {
         const auto topic = static_cast<std::size_t>(item.updates[i].topic);
         if (topic_counts_[topic]++ == 0 && insert_counts_[topic] == 0) {
           touched_.push_back(item.updates[i].topic);
         }
+        TouchSummary(item.updates[i].topic,
+                     std::abs(item.updates[i].payload.score -
+                              item.updates[i].payload.old_score));
         ++total_updates;
       }
     }
@@ -538,6 +651,7 @@ void IndexMaintainer::ApplyIncrementalParallel(
       }
     }
     for (const TouchedItem& item : touched_items_) {
+      if (!item.reposition) continue;  // summary-only touches, folded above
       for (std::uint32_t i = 0; i < item.num_updates; ++i) {
         update_runs[topic_counts_[static_cast<std::size_t>(
             item.updates[i].topic)]++] = item.updates[i].payload;

@@ -11,6 +11,7 @@
 
 #include "common/arena.h"
 #include "common/stamped_accumulator.h"
+#include "core/advance_summary.h"
 #include "core/ranked_list.h"
 #include "core/score_cache.h"
 #include "core/scoring.h"
@@ -115,6 +116,10 @@ class IndexMaintainer {
   /// The cache backing kIncremental maintenance (exposed for tests).
   const ScoreCache& score_cache() const { return cache_; }
 
+  /// Touched-topic summary of the most recent Apply() (epoch unset; the
+  /// engine stamps it). Valid until the next Apply.
+  const AdvanceSummary& last_summary() const { return summary_; }
+
  private:
   void ApplyIncremental(const ActiveWindow::UpdateResult& update);
   void ApplyIncrementalParallel(const ActiveWindow::UpdateResult& update);
@@ -151,6 +156,22 @@ class IndexMaintainer {
                         ScoreCache::TopicList* halves,
                         StampedAccumulator* acc);
 
+  /// Records one score movement on `topic` into the bucket's summary
+  /// accumulator (dense max, lazily cleared at materialization).
+  void TouchSummary(TopicId topic, double movement);
+
+  /// Records the kPaper-elided score movements of one referrer-loss
+  /// element: the lists stay stale-high, but the true delta_i(e) moved on
+  /// every support topic the lost referrers overlapped, and subscriptions
+  /// keyed on those topics must see the touch. Reads the fold residue
+  /// still stamped in `acc` right after FoldEdges(t, halves, acc).
+  void TouchElidedLoss(const ScoreCache::TopicList& halves,
+                       const StampedAccumulator& acc);
+
+  /// Sorts and publishes the bucket's summary accumulator into summary_,
+  /// restoring the dense arrays for the next bucket.
+  void MaterializeSummary();
+
   const ScoringContext* ctx_;
   RankedListIndex* index_;
   RefreshMode mode_;
@@ -183,6 +204,13 @@ class IndexMaintainer {
   Counter* elisions_counter_;
   std::size_t bucket_repositions_ = 0;
   std::size_t bucket_elisions_ = 0;
+  /// Published touched-topic summary of the last Apply, and its dense
+  /// per-bucket accumulator (max movement + seen flag per topic, cleared
+  /// lazily through summary_topics_ at materialization).
+  AdvanceSummary summary_;
+  std::vector<double> summary_movement_;
+  std::vector<std::uint8_t> summary_seen_;
+  std::vector<TopicId> summary_topics_;
   ScoreCache cache_;
   /// Reused (topic, score) buffer; repositions are too frequent to allocate.
   std::vector<std::pair<TopicId, double>> scratch_scores_;

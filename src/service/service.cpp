@@ -68,7 +68,9 @@ KsirService::KsirService(ServiceConfig config, const TopicModel* model)
   planner_ = std::make_unique<QueryPlanner>(shard_ptrs, model, pool_,
                                             telemetry_.get());
   standing_ = std::make_unique<ShardedStandingQueryManager>(
-      [this](const KsirQuery& query) { return Query(query); });
+      [this](const KsirQuery& query) { return Query(query); },
+      config_.subscription_mode, telemetry_.get());
+  summaries_scratch_.resize(config_.num_shards);
   MetricRegistry& reg = telemetry_->registry();
   queries_counter_ = reg.GetCounter("ksir_service_queries_total",
                                     "Ad-hoc queries answered (any path)");
@@ -97,7 +99,11 @@ Status KsirService::AdvanceTo(Timestamp bucket_end,
   }
   cache_.InvalidateBefore(epoch_.load(std::memory_order_acquire));
   if (config_.evaluate_standing_after_advance && standing_->size() > 0) {
-    if (!standing_->EvaluateAll().ok()) {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      summaries_scratch_[i] = shards_[i]->last_advance_summary();
+    }
+    const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
+    if (!standing_->AfterAdvance(summaries_scratch_, epoch).ok()) {
       standing_errors_.fetch_add(1, std::memory_order_relaxed);
     }
   }

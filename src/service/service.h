@@ -71,6 +71,11 @@ struct ServiceConfig {
   double cache_quantum = 1e-4;
   /// Re-evaluate standing queries right after every ingested bucket.
   bool evaluate_standing_after_advance = true;
+  /// How the post-bucket standing-query round is driven: kIndexed wakes
+  /// only subscriptions whose query support intersects the topics touched
+  /// by the bucket (union over shards), kNaive re-evaluates everything —
+  /// the reference baseline, kept for equivalence testing.
+  SubscriptionMode subscription_mode = SubscriptionMode::kIndexed;
   /// Telemetry level and tracing knobs of the service-wide Telemetry (one
   /// registry + tracer shared by every shard engine, the pool, the
   /// ingestor, the planner and the cache — N shards aggregate into one
@@ -175,6 +180,8 @@ class KsirService {
   Histogram* query_hist_ = nullptr;
   Histogram* cache_lookup_hist_ = nullptr;
   std::unique_ptr<ShardedStandingQueryManager> standing_;
+  /// Per-shard advance summaries collected after each bucket (reused).
+  std::vector<AdvanceSummary> summaries_scratch_;
   std::atomic<std::uint64_t> epoch_{0};
   /// Seqlock-style ingestion generation: odd while a bucket is being
   /// applied to the shards, even when quiescent. A query whose fan-out

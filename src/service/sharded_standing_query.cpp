@@ -1,0 +1,43 @@
+#include "service/sharded_standing_query.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ksir {
+
+ShardedStandingQueryManager::ShardedStandingQueryManager(Evaluator evaluator,
+                                                         SubscriptionMode mode,
+                                                         Telemetry* telemetry)
+    : subscriptions_(std::move(evaluator), mode, telemetry) {}
+
+Status ShardedStandingQueryManager::AfterAdvance(
+    const std::vector<AdvanceSummary>& shard_summaries, std::uint64_t epoch) {
+  last_epoch_ = epoch;
+  merged_.topics.clear();
+  merged_.epoch = epoch;
+  for (const AdvanceSummary& summary : shard_summaries) {
+    merged_.topics.insert(merged_.topics.end(), summary.topics.begin(),
+                          summary.topics.end());
+  }
+  std::sort(merged_.topics.begin(), merged_.topics.end(),
+            [](const AdvanceSummary::TopicTouch& a,
+               const AdvanceSummary::TopicTouch& b) {
+              return a.topic < b.topic;
+            });
+  // Max-merge duplicates in place (each shard's list is already deduped,
+  // so a topic appears at most num_shards times).
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < merged_.topics.size(); ++i) {
+    if (out > 0 && merged_.topics[out - 1].topic == merged_.topics[i].topic) {
+      merged_.topics[out - 1].max_movement =
+          std::max(merged_.topics[out - 1].max_movement,
+                   merged_.topics[i].max_movement);
+    } else {
+      merged_.topics[out++] = merged_.topics[i];
+    }
+  }
+  merged_.topics.resize(out);
+  return subscriptions_.EvaluateAffected(merged_);
+}
+
+}  // namespace ksir

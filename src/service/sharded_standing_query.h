@@ -1,17 +1,66 @@
 // Standing k-SIR subscriptions over the sharded service: the same
-// manager/diff semantics as the single-engine deployment, but every
+// subscription engine as the single-engine deployment, but every
 // evaluation is routed through the service's planner (and hence the result
 // cache — after a bucket, the subscriptions re-prime the cache for the
-// ad-hoc queries that follow). The service constructs it with an evaluator
-// bound to KsirService::Query.
+// ad-hoc queries that follow), and activation consumes the UNION of the
+// per-shard advance summaries: a topic is touched for the service if any
+// shard moved it, with the max movement across shards. The service
+// constructs it with an evaluator bound to KsirService::Query and drives
+// it through AfterAdvance once per ingested bucket.
 #ifndef KSIR_SERVICE_SHARDED_STANDING_QUERY_H_
 #define KSIR_SERVICE_SHARDED_STANDING_QUERY_H_
 
-#include "core/standing_query.h"
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/advance_summary.h"
+#include "subscribe/subscription_manager.h"
 
 namespace ksir {
 
-using ShardedStandingQueryManager = StandingQueryManager;
+class ShardedStandingQueryManager {
+ public:
+  using Callback = SubscriptionManager::LegacyCallback;
+  using Evaluator = SubscriptionManager::Evaluator;
+
+  /// `telemetry` must outlive the manager (the service passes its own).
+  explicit ShardedStandingQueryManager(
+      Evaluator evaluator, SubscriptionMode mode = SubscriptionMode::kIndexed,
+      Telemetry* telemetry = nullptr);
+
+  std::int64_t Register(KsirQuery query, Callback callback) {
+    return subscriptions_.Register(std::move(query), std::move(callback));
+  }
+  std::int64_t Subscribe(KsirQuery query, SubscriptionCallback callback) {
+    return subscriptions_.Subscribe(std::move(query), std::move(callback));
+  }
+  bool Unregister(std::int64_t standing_id) {
+    return subscriptions_.Unsubscribe(standing_id);
+  }
+  bool Unsubscribe(std::int64_t standing_id) {
+    return subscriptions_.Unsubscribe(standing_id);
+  }
+
+  std::size_t size() const { return subscriptions_.size(); }
+
+  /// Legacy full round: every subscription evaluated, regardless of mode.
+  Status EvaluateAll() { return subscriptions_.EvaluateAll(last_epoch_); }
+
+  /// One post-bucket round: merges the per-shard summaries (topic union,
+  /// max movement) stamped at the service `epoch`, then activates the
+  /// touched subscriptions (or everything, under kNaive).
+  Status AfterAdvance(const std::vector<AdvanceSummary>& shard_summaries,
+                      std::uint64_t epoch);
+
+  SubscriptionManager& subscriptions() { return subscriptions_; }
+  const SubscriptionManager& subscriptions() const { return subscriptions_; }
+
+ private:
+  std::uint64_t last_epoch_ = 0;
+  AdvanceSummary merged_;  // reused across rounds
+  SubscriptionManager subscriptions_;
+};
 
 }  // namespace ksir
 

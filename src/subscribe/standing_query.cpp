@@ -1,0 +1,40 @@
+#include "subscribe/standing_query.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace ksir {
+
+StandingQueryManager::StandingQueryManager(Evaluator evaluator,
+                                           SubscriptionMode mode,
+                                           Telemetry* telemetry)
+    : subscriptions_(std::move(evaluator), mode, telemetry) {}
+
+StandingQueryManager::StandingQueryManager(const KsirEngine* engine,
+                                           SubscriptionMode mode,
+                                           Telemetry* telemetry)
+    : engine_(engine),
+      subscriptions_(
+          [engine](const KsirQuery& query) { return engine->Query(query); },
+          mode, telemetry) {
+  KSIR_CHECK(engine != nullptr);
+}
+
+Status StandingQueryManager::EvaluateAll() {
+  if (subscriptions_.mode() == SubscriptionMode::kIndexed &&
+      engine_ != nullptr) {
+    AdvanceSummary summary = engine_->last_advance_summary();
+    if (summary.epoch == last_epoch_seen_) {
+      // No bucket since the previous round: no topic moved, so only fresh
+      // registrations (and always-active groups) need a pass.
+      summary.topics.clear();
+    }
+    last_epoch_seen_ = summary.epoch;
+    return subscriptions_.EvaluateAffected(summary);
+  }
+  return subscriptions_.EvaluateAll(
+      engine_ != nullptr ? engine_->bucket_epoch() : last_epoch_seen_);
+}
+
+}  // namespace ksir

@@ -1,0 +1,88 @@
+// Standing (continuous) k-SIR queries: the deployment pattern of the
+// paper's introduction — users keep an interest registered and the system
+// refreshes their representative set as the window slides.
+//
+// StandingQueryManager is the single-engine facade over the subscription
+// engine (subscribe/subscription_manager.h). It keeps the legacy
+// Register/EvaluateAll surface — re-evaluate on demand, report a per-query
+// `changed` bit — while routing through the shared-evaluation + delta
+// machinery. The default mode is kNaive (every EvaluateAll call evaluates
+// every query, the historical behavior); kIndexed consumes the engine's
+// AdvanceSummary so untouched queries are skipped.
+//
+// The manager is evaluator-agnostic: evaluation runs through a
+// caller-supplied function — a single engine's Query (the convenience
+// constructor) or the sharded service's planner + cache path (see
+// service/sharded_standing_query.h).
+#ifndef KSIR_SUBSCRIBE_STANDING_QUERY_H_
+#define KSIR_SUBSCRIBE_STANDING_QUERY_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "subscribe/subscription_manager.h"
+
+namespace ksir {
+
+/// Registry of standing queries over one evaluation backend.
+/// Thread-compatible; call EvaluateAll from the ingestion thread after
+/// AdvanceTo (the evaluator is responsible for its own locking).
+class StandingQueryManager {
+ public:
+  /// Invoked per standing query per evaluation. `changed` is true when the
+  /// result's element set differs from the previous evaluation.
+  using Callback = SubscriptionManager::LegacyCallback;
+  using Evaluator = SubscriptionManager::Evaluator;
+
+  /// Evaluates through `evaluator` (must be non-null). Without an engine
+  /// there is no AdvanceSummary, so kIndexed degrades to full rounds.
+  explicit StandingQueryManager(Evaluator evaluator,
+                                SubscriptionMode mode = SubscriptionMode::kNaive,
+                                Telemetry* telemetry = nullptr);
+
+  /// Convenience: evaluates through `engine->Query`. `engine` must outlive
+  /// the manager. Under kIndexed, EvaluateAll reads the engine's last
+  /// advance summary and only wakes the touched subscriptions.
+  explicit StandingQueryManager(const KsirEngine* engine,
+                                SubscriptionMode mode = SubscriptionMode::kNaive,
+                                Telemetry* telemetry = nullptr);
+
+  /// Registers a query; returns its standing id.
+  std::int64_t Register(KsirQuery query, Callback callback) {
+    return subscriptions_.Register(std::move(query), std::move(callback));
+  }
+
+  /// Delta-stream registration (enter/leave/reorder events).
+  std::int64_t Subscribe(KsirQuery query, SubscriptionCallback callback) {
+    return subscriptions_.Subscribe(std::move(query), std::move(callback));
+  }
+
+  /// Removes a standing query; false when the id is unknown.
+  bool Unregister(std::int64_t standing_id) {
+    return subscriptions_.Unsubscribe(standing_id);
+  }
+
+  /// Re-evaluates standing queries against the current stream state. Under
+  /// kNaive every query runs; under kIndexed (with an engine) only queries
+  /// touched by buckets since the previous call run — a repeated call with
+  /// no intervening AdvanceTo wakes nothing but fresh registrations.
+  /// Returns the first query error encountered (remaining queries still
+  /// run).
+  Status EvaluateAll();
+
+  std::size_t size() const { return subscriptions_.size(); }
+
+  /// The underlying subscription engine (counters, delta subscriptions).
+  SubscriptionManager& subscriptions() { return subscriptions_; }
+  const SubscriptionManager& subscriptions() const { return subscriptions_; }
+
+ private:
+  const KsirEngine* engine_ = nullptr;
+  std::uint64_t last_epoch_seen_ = 0;
+  SubscriptionManager subscriptions_;
+};
+
+}  // namespace ksir
+
+#endif  // KSIR_SUBSCRIBE_STANDING_QUERY_H_

@@ -1,0 +1,104 @@
+// Inverted topic index over standing-query groups.
+//
+// Posting key: the sparse query vector's support set — a group posting
+// appears under every topic id its query weights. Activation for a bucket
+// is the union of the postings of the bucket's touched topics (see
+// advance_summary.h), so work scales with touched topics, not with the
+// registered population.
+//
+// The index is a header-only template so it can be unit-tested with a toy
+// item type. An item T must expose:
+//   const SparseVector& support() const;            // sorted, immutable
+//   SmallVector<std::uint32_t, 2>& posting_slots(); // owned by the index
+// posting_slots() is back-patched storage parallel to support().entries()
+// — it makes Remove O(support) with swap-remove semantics instead of a
+// linear posting scan.
+#ifndef KSIR_SUBSCRIBE_SUBSCRIPTION_INDEX_H_
+#define KSIR_SUBSCRIBE_SUBSCRIPTION_INDEX_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/flat_hash_map.h"
+#include "common/sparse_vector.h"
+#include "common/types.h"
+
+namespace ksir {
+
+template <typename T>
+class InvertedTopicIndex {
+ public:
+  /// Posts `item` under every topic of its support. The item's
+  /// posting_slots() is filled parallel to support().entries().
+  void Add(T* item) {
+    auto& slots = item->posting_slots();
+    slots.clear();
+    for (const auto& [topic, weight] : item->support().entries()) {
+      std::vector<T*>& posting = postings_[topic];
+      slots.push_back(static_cast<std::uint32_t>(posting.size()));
+      posting.push_back(item);
+      ++num_postings_;
+    }
+  }
+
+  /// Removes `item` from every posting it appears in: swap-remove, with
+  /// the displaced item's slot back-patched (O(log nnz) to locate the
+  /// displaced item's slot for this topic).
+  void Remove(T* item) {
+    const auto& entries = item->support().entries();
+    auto& slots = item->posting_slots();
+    KSIR_CHECK(slots.size() == entries.size());
+    for (std::size_t k = 0; k < entries.size(); ++k) {
+      const TopicId topic = entries[k].first;
+      auto it = postings_.find(topic);
+      KSIR_CHECK(it != postings_.end());
+      std::vector<T*>& posting = it->second;
+      const std::uint32_t pos = slots[k];
+      KSIR_CHECK(pos < posting.size() && posting[pos] == item);
+      T* moved = posting.back();
+      posting[pos] = moved;
+      posting.pop_back();
+      --num_postings_;
+      if (moved != item) {
+        moved->posting_slots()[SlotOf(*moved, topic)] = pos;
+      }
+    }
+    slots.clear();
+  }
+
+  /// Invokes `fn(T*)` for every item posted under `topic`. Items spanning
+  /// several touched topics are visited once per topic — the caller
+  /// deduplicates (a round stamp is cheaper there than a set here).
+  template <typename Fn>
+  void ForEachPosted(TopicId topic, Fn&& fn) const {
+    const auto it = postings_.find(topic);
+    if (it == postings_.end()) return;
+    for (T* item : it->second) fn(item);
+  }
+
+  /// Total live (item, topic) postings.
+  std::size_t num_postings() const { return num_postings_; }
+
+  /// Topics with at least one historic posting (empty postings linger).
+  std::size_t num_topics() const { return postings_.size(); }
+
+ private:
+  /// Index of `topic` within the item's sorted support.
+  static std::size_t SlotOf(T& item, TopicId topic) {
+    const auto& entries = item.support().entries();
+    const auto it = std::lower_bound(
+        entries.begin(), entries.end(), topic,
+        [](const SparseVector::Entry& e, TopicId t) { return e.first < t; });
+    KSIR_CHECK(it != entries.end() && it->first == topic);
+    return static_cast<std::size_t>(it - entries.begin());
+  }
+
+  FlatHashMap<TopicId, std::vector<T*>> postings_;
+  std::size_t num_postings_ = 0;
+};
+
+}  // namespace ksir
+
+#endif  // KSIR_SUBSCRIBE_SUBSCRIPTION_INDEX_H_

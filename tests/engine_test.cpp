@@ -6,7 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "core/engine.h"
-#include "core/standing_query.h"
+#include "subscribe/standing_query.h"
 #include "paper_fixture.h"
 #include "stream/generator.h"
 

@@ -19,52 +19,23 @@
 #include "common/rng.h"
 #include "core/engine.h"
 #include "stream/element.h"
+#include "stream_gen.h"
 #include "topic/topic_model.h"
 
 namespace ksir {
 namespace {
 
 constexpr int kNumTopics = 4;
-constexpr int kVocabSize = 24;
 constexpr double kTol = 1e-9;
 
-TopicModel MakeModel(Rng* rng) {
-  std::vector<std::vector<double>> matrix(kNumTopics,
-                                          std::vector<double>(kVocabSize));
-  for (auto& row : matrix) {
-    for (auto& p : row) p = rng->NextDouble() + 0.02;
-  }
-  return std::move(TopicModel::FromMatrix(std::move(matrix))).value();
-}
+TopicModel MakeModel(Rng* rng) { return testing::MakeModel(rng); }
 
 SocialElement RandomElement(Rng* rng, ElementId id, Timestamp ts,
                             const std::vector<ElementId>& history,
                             std::size_t ref_reach) {
-  SocialElement e;
-  e.id = id;
-  e.ts = ts;
-  std::vector<WordId> words;
-  const int len = 2 + static_cast<int>(rng->NextUint64(5));
-  for (int j = 0; j < len; ++j) {
-    words.push_back(static_cast<WordId>(rng->NextUint64(kVocabSize)));
-  }
-  e.doc = Document::FromWordIds(words);
-  e.topics =
-      SparseVector::TruncateAndNormalize(rng->NextDirichlet(0.4, kNumTopics),
-                                         0.15);
-  // References reach far enough back to hit archived (resurrection) and
-  // garbage-collected (dangling) targets, not just in-window ones.
-  const int num_refs = static_cast<int>(rng->NextUint64(3));
-  for (int r = 0; r < num_refs && !history.empty(); ++r) {
-    const std::size_t back =
-        rng->NextUint64(std::min(ref_reach, history.size()));
-    const ElementId target = history[history.size() - 1 - back];
-    if (!std::count(e.refs.begin(), e.refs.end(), target)) {
-      e.refs.push_back(target);
-    }
-  }
-  std::sort(e.refs.begin(), e.refs.end());
-  return e;
+  testing::StreamGenConfig config;
+  config.ref_reach = ref_reach;
+  return testing::RandomElement(rng, id, ts, history, config);
 }
 
 /// Feeds the same random stream to five engines bucket by bucket — the

@@ -1,0 +1,117 @@
+// Random social-stream generation shared by the equivalence tests
+// (score_cache_test, subscription_test): a seeded topic model, random
+// elements whose references reach far enough back to exercise archived
+// (resurrection) and garbage-collected (dangling) targets, and a stateful
+// bucket generator that owns the id counter and reference history.
+#ifndef KSIR_TESTS_STREAM_GEN_H_
+#define KSIR_TESTS_STREAM_GEN_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "stream/element.h"
+#include "topic/topic_model.h"
+
+namespace ksir {
+namespace testing {
+
+struct StreamGenConfig {
+  int num_topics = 4;
+  int vocab_size = 24;
+  /// How far back a reference may reach into the id history (past the
+  /// window, to hit archived and garbage-collected targets).
+  std::size_t ref_reach = 12;
+  /// Elements per bucket: uniform in [0, max_bucket_elements).
+  std::size_t max_bucket_elements = 4;
+};
+
+inline TopicModel MakeModel(Rng* rng, const StreamGenConfig& config = {}) {
+  std::vector<std::vector<double>> matrix(
+      static_cast<std::size_t>(config.num_topics),
+      std::vector<double>(static_cast<std::size_t>(config.vocab_size)));
+  for (auto& row : matrix) {
+    for (auto& p : row) p = rng->NextDouble() + 0.02;
+  }
+  return std::move(TopicModel::FromMatrix(std::move(matrix))).value();
+}
+
+inline SocialElement RandomElement(Rng* rng, ElementId id, Timestamp ts,
+                                   const std::vector<ElementId>& history,
+                                   const StreamGenConfig& config = {}) {
+  SocialElement e;
+  e.id = id;
+  e.ts = ts;
+  std::vector<WordId> words;
+  const int len = 2 + static_cast<int>(rng->NextUint64(5));
+  for (int j = 0; j < len; ++j) {
+    words.push_back(static_cast<WordId>(
+        rng->NextUint64(static_cast<std::uint64_t>(config.vocab_size))));
+  }
+  e.doc = Document::FromWordIds(words);
+  e.topics = SparseVector::TruncateAndNormalize(
+      rng->NextDirichlet(0.4, config.num_topics), 0.15);
+  const int num_refs = static_cast<int>(rng->NextUint64(3));
+  for (int r = 0; r < num_refs && !history.empty(); ++r) {
+    const std::size_t back =
+        rng->NextUint64(std::min(config.ref_reach, history.size()));
+    const ElementId target = history[history.size() - 1 - back];
+    if (!std::count(e.refs.begin(), e.refs.end(), target)) {
+      e.refs.push_back(target);
+    }
+  }
+  std::sort(e.refs.begin(), e.refs.end());
+  return e;
+}
+
+/// Stateful generator: one rng + id counter + reference history, dealt out
+/// bucket by bucket. Two engines fed the SAME StreamGen output see the
+/// identical stream (copy the bucket before moving it into an engine).
+class StreamGen {
+ public:
+  explicit StreamGen(std::uint64_t seed, StreamGenConfig config = {})
+      : rng_(seed), config_(config) {}
+
+  TopicModel MakeModel() { return testing::MakeModel(&rng_, config_); }
+
+  /// Elements of the bucket ending at `bucket_end` (timestamps inside
+  /// (bucket_end - 2, bucket_end]), sorted by ts.
+  std::vector<SocialElement> NextBucket(Timestamp bucket_end) {
+    std::vector<SocialElement> bucket;
+    const auto count = rng_.NextUint64(config_.max_bucket_elements);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const Timestamp ts =
+          bucket_end - 1 + static_cast<Timestamp>(rng_.NextUint64(2));
+      bucket.push_back(
+          RandomElement(&rng_, next_id_++, ts, history_, config_));
+      history_.push_back(bucket.back().id);
+    }
+    std::sort(bucket.begin(), bucket.end(),
+              [](const SocialElement& a, const SocialElement& b) {
+                return a.ts < b.ts;
+              });
+    return bucket;
+  }
+
+  /// A random truncated-Dirichlet query vector over the model's topics.
+  SparseVector RandomQueryVector(double alpha = 0.5, double cutoff = 0.1) {
+    return SparseVector::TruncateAndNormalize(
+        rng_.NextDirichlet(alpha, config_.num_topics), cutoff);
+  }
+
+  Rng& rng() { return rng_; }
+  const StreamGenConfig& config() const { return config_; }
+
+ private:
+  Rng rng_;
+  StreamGenConfig config_;
+  ElementId next_id_ = 1;
+  std::vector<ElementId> history_;
+};
+
+}  // namespace testing
+}  // namespace ksir
+
+#endif  // KSIR_TESTS_STREAM_GEN_H_

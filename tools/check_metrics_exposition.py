@@ -37,6 +37,13 @@ REQUIRED_COUNTERS_POSITIVE = [
     "ksir_service_queries_total",
     "ksir_planner_plans_total",
     "ksir_pool_tasks_total",
+    # The subscription engine: query_server_sim registers 48 standing
+    # subscriptions over 16 distinct queries, so registrations, activated
+    # rounds, evaluations and delta events must all have happened.
+    "ksir_sub_registered_total",
+    "ksir_sub_activated_total",
+    "ksir_sub_evaluations_total",
+    "ksir_sub_deltas_total",
 ]
 REQUIRED_COUNTERS_NONNEGATIVE = [
     "ksir_maintainer_expired_total",
@@ -50,6 +57,10 @@ REQUIRED_COUNTERS_NONNEGATIVE = [
     "ksir_planner_epoch_retries_total",
     "ksir_planner_merge_wins_total",
     "ksir_planner_best_shard_wins_total",
+    # Situational on a given workload: skips need an untouched-topic round,
+    # shared hits need >1 subscription in an activated group that round.
+    "ksir_sub_skipped_total",
+    "ksir_sub_shared_hits_total",
 ]
 REQUIRED_HISTOGRAMS_POPULATED = [
     "ksir_maintainer_bucket_apply_seconds",
@@ -61,6 +72,7 @@ REQUIRED_HISTOGRAMS_POPULATED = [
     "ksir_service_query_seconds",
     "ksir_service_cache_lookup_seconds",
     "ksir_pool_task_seconds",
+    "ksir_sub_evaluate_seconds",
 ]
 STAGE_HISTOGRAMS = [
     "ksir_maintainer_stage_expiry_seconds",
