@@ -32,8 +32,10 @@
 
 #include "bench_util.h"
 #include "common/check.h"
+#include "common/kernels/kernels.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "kernel_microbench.h"
 #include "core/engine.h"
 #include "subscribe/standing_query.h"
 #include "service/shard_router.h"
@@ -192,6 +194,20 @@ void EmitShardedJson(std::FILE* out, const char* key, const ShardedRun& run,
 int Run(const char* out_path) {
   const Scale scale = GetScale();
   const double factor = ElementFactor(scale);
+
+  // Kernel microbenchmarks first, while the process is quiet: running them
+  // after the feed phases (thread pools, cache pressure, post-AVX license
+  // shifts) adds noise that the 1.2x regression gate would trip on.
+  // check_bench_regression.py gates the chunk-merge and dense-dot speedups
+  // whenever a SIMD arm is active.
+  const KernelBenchReport kernel_report = RunKernelMicrobench();
+  std::printf("kernel dispatch: isa=%s cpu=[%s]\n",
+              kernel_report.isa.c_str(),
+              ksir::kernels::CpuFeatureString().c_str());
+  for (const KernelBenchResult& k : kernel_report.kernels) {
+    std::printf("    %-22s scalar %8.1f ns  dispatched %8.1f ns  %5.2fx\n",
+                k.name.c_str(), k.scalar_ns, k.dispatched_ns, k.speedup);
+  }
 
   // Reposition-heavy profile: every arrival references ~6 earlier elements
   // picked mostly by popularity, so hubs accumulate large in-degrees and
@@ -716,6 +732,19 @@ int Run(const char* out_path) {
   // The parallel path is bitwise-identical to the serial one; wall-clock
   // scaling needs cores, so record what this run actually had.
   std::fprintf(out, "  \"available_cores\": %u,\n", available_cores);
+  std::fprintf(out, "  \"cpu_features\": \"%s\",\n",
+               ksir::kernels::CpuFeatureString().c_str());
+  std::fprintf(out, "  \"kernels\": {\"isa\": \"%s\", \"results\": {",
+               kernel_report.isa.c_str());
+  for (std::size_t i = 0; i < kernel_report.kernels.size(); ++i) {
+    const KernelBenchResult& k = kernel_report.kernels[i];
+    std::fprintf(out,
+                 "%s\"%s\": {\"scalar_ns\": %.1f, \"dispatched_ns\": %.1f, "
+                 "\"speedup\": %.3f}",
+                 i == 0 ? "" : ", ", k.name.c_str(), k.scalar_ns,
+                 k.dispatched_ns, k.speedup);
+  }
+  std::fprintf(out, "}},\n");
   std::fprintf(out,
                "  \"workload\": {\"profile\": \"%s\", \"num_elements\": %zu, "
                "\"avg_references\": %.1f, \"ref_popularity_weight\": %.2f, "

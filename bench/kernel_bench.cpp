@@ -1,0 +1,23 @@
+// Standalone runner for the vectorized-kernel microbenchmarks: prints a
+// scalar-vs-dispatched table for every kernel plus the detected CPU
+// features. The same measurements feed hotpath_bench's JSON "kernels"
+// section; this binary exists for quick iteration on the kernel arms.
+#include <cstdio>
+
+#include "common/kernels/kernels.h"
+#include "kernel_microbench.h"
+
+int main() {
+  const ksir::bench::KernelBenchReport report =
+      ksir::bench::RunKernelMicrobench();
+  std::printf("kernel dispatch: isa=%s simd_compiled_in=%d cpu=[%s]\n\n",
+              report.isa.c_str(), ksir::kernels::SimdCompiledIn() ? 1 : 0,
+              ksir::kernels::CpuFeatureString().c_str());
+  std::printf("%-22s %14s %14s %9s\n", "kernel", "scalar_ns/op",
+              "dispatch_ns/op", "speedup");
+  for (const auto& k : report.kernels) {
+    std::printf("%-22s %14.1f %14.1f %8.2fx\n", k.name.c_str(), k.scalar_ns,
+                k.dispatched_ns, k.speedup);
+  }
+  return 0;
+}

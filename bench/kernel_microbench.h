@@ -1,0 +1,37 @@
+// In-process microbenchmarks of the vectorized kernel layer
+// (src/common/kernels): each kernel is timed twice on identical inputs —
+// once with the dispatch forced to the scalar reference arm, once with
+// the runtime-selected arm — so the reported speedup is an in-run,
+// same-binary comparison (no cross-build noise). Used by the standalone
+// kernel_bench binary and by hotpath_bench's JSON emission.
+#ifndef KSIR_BENCH_KERNEL_MICROBENCH_H_
+#define KSIR_BENCH_KERNEL_MICROBENCH_H_
+
+#include <string>
+#include <vector>
+
+namespace ksir::bench {
+
+/// One kernel's timing under both dispatch arms. The op granularity is
+/// workload-shaped (a whole chunk-span rewrite, a 1024-dim dot, a block
+/// of probes); only the scalar/dispatched ratio is comparable across
+/// kernels.
+struct KernelBenchResult {
+  std::string name;
+  double scalar_ns = 0.0;      // ns per op on the forced-scalar table
+  double dispatched_ns = 0.0;  // ns per op on the runtime-selected table
+  double speedup = 0.0;        // scalar_ns / dispatched_ns
+};
+
+struct KernelBenchReport {
+  std::string isa;  // runtime-selected arm ("scalar" when SIMD is off)
+  std::vector<KernelBenchResult> kernels;
+};
+
+/// Runs every kernel microbenchmark (deterministic inputs, best-of-3
+/// timing per arm). Restores the dispatch state on return.
+KernelBenchReport RunKernelMicrobench();
+
+}  // namespace ksir::bench
+
+#endif  // KSIR_BENCH_KERNEL_MICROBENCH_H_

@@ -1,0 +1,72 @@
+// Runtime dispatch: pick the best compiled-in arm the CPU actually
+// supports, once, at first use. The force-scalar flag is re-read on every
+// ActiveTable() call so tests and parity benchmarks can flip arms
+// mid-process.
+#include "common/kernels/kernels.h"
+
+#include <atomic>
+
+namespace ksir {
+namespace kernels {
+
+#if defined(KSIR_KERNELS_X86)
+const KernelTable& Sse2Table();
+const KernelTable& Avx2Table();
+#endif
+#if defined(KSIR_KERNELS_NEON) && defined(__aarch64__)
+const KernelTable& NeonTable();
+#endif
+
+namespace {
+
+std::atomic<bool> g_force_scalar{false};
+
+const KernelTable* SelectBest() {
+#if defined(KSIR_KERNELS_X86)
+  if (__builtin_cpu_supports("avx2")) return &Avx2Table();
+  return &Sse2Table();  // SSE2 is the x86-64 baseline, always safe.
+#elif defined(KSIR_KERNELS_NEON) && defined(__aarch64__)
+  return &NeonTable();
+#else
+  return &ScalarTable();
+#endif
+}
+
+}  // namespace
+
+const KernelTable& ActiveTable() {
+  static const KernelTable* const best = SelectBest();
+  if (g_force_scalar.load(std::memory_order_relaxed)) return ScalarTable();
+  return *best;
+}
+
+bool SetForceScalar(bool force) {
+  return g_force_scalar.exchange(force, std::memory_order_relaxed);
+}
+
+bool SimdCompiledIn() {
+#if defined(KSIR_KERNELS_X86) || \
+    (defined(KSIR_KERNELS_NEON) && defined(__aarch64__))
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::string CpuFeatureString() {
+#if defined(__x86_64__) || defined(_M_X64)
+  std::string features = "sse2";
+  if (__builtin_cpu_supports("sse4.2")) features += " sse4.2";
+  if (__builtin_cpu_supports("avx")) features += " avx";
+  if (__builtin_cpu_supports("avx2")) features += " avx2";
+  if (__builtin_cpu_supports("avx512f")) features += " avx512f";
+  return features;
+#elif defined(__aarch64__)
+  return "neon";
+#else
+  return "none";
+#endif
+}
+
+}  // namespace kernels
+}  // namespace ksir

@@ -1,0 +1,288 @@
+// AVX2 dispatch arm. Compiled with -mavx2 but deliberately WITHOUT -mfma:
+// fused multiply-add would change the rounding of the dot/sum reductions
+// and break bitwise equality with the scalar reference. Only entered after
+// __builtin_cpu_supports("avx2") at dispatch time.
+#if defined(KSIR_KERNELS_X86)
+
+#include <immintrin.h>
+
+#include "common/kernels/kernels_detail.h"
+
+namespace ksir {
+namespace kernels {
+namespace {
+
+// Counts keys[i] < key over [keys, keys + n). A Key16 loads as two doubles
+// (score, id-bits); unpacklo/hi on two adjacent 32-byte loads splits four
+// records into a score vector and an id vector with IDENTICAL lane
+// permutation, so the per-lane predicate
+//   (s > key.s) | (s == key.s & id < key.id)
+// lines up and the popcount of its movemask is exact. Branchless: no data-
+// dependent branches, which is the whole point — the probe keys of the
+// chunk directory are effectively random and a binary search mispredicts
+// half its branches.
+std::size_t CountLess(const Key16* keys, std::size_t n, Key16 key) {
+  const __m256d key_score = _mm256_set1_pd(key.score);
+  const __m256i key_id = _mm256_set1_epi64x(key.id);
+  // The compare masks are all-ones (-1) per matching lane; subtracting
+  // them into a vector counter skips the movemask+popcount round trip per
+  // iteration, leaving one horizontal fold at the end.
+  __m256i vcount = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v0 = _mm256_loadu_pd(&keys[i].score);
+    const __m256d v1 = _mm256_loadu_pd(&keys[i + 2].score);
+    const __m256d scores = _mm256_unpacklo_pd(v0, v1);
+    const __m256d ids = _mm256_unpackhi_pd(v0, v1);
+    const __m256d score_gt = _mm256_cmp_pd(scores, key_score, _CMP_GT_OQ);
+    const __m256d score_eq = _mm256_cmp_pd(scores, key_score, _CMP_EQ_OQ);
+    const __m256i id_lt =
+        _mm256_cmpgt_epi64(key_id, _mm256_castpd_si256(ids));
+    const __m256d less = _mm256_or_pd(
+        score_gt, _mm256_and_pd(score_eq, _mm256_castsi256_pd(id_lt)));
+    vcount = _mm256_sub_epi64(vcount, _mm256_castpd_si256(less));
+  }
+  alignas(32) std::int64_t c[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(c), vcount);
+  std::size_t count = static_cast<std::size_t>(c[0] + c[1] + c[2] + c[3]);
+  for (; i < n; ++i) count += keys[i] < key ? 1 : 0;
+  return count;
+}
+
+// Counts key < keys[i] (the strict-suffix count for upper_bound).
+std::size_t CountGreater(const Key16* keys, std::size_t n, Key16 key) {
+  const __m256d key_score = _mm256_set1_pd(key.score);
+  const __m256i key_id = _mm256_set1_epi64x(key.id);
+  __m256i vcount = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v0 = _mm256_loadu_pd(&keys[i].score);
+    const __m256d v1 = _mm256_loadu_pd(&keys[i + 2].score);
+    const __m256d scores = _mm256_unpacklo_pd(v0, v1);
+    const __m256d ids = _mm256_unpackhi_pd(v0, v1);
+    const __m256d score_lt = _mm256_cmp_pd(scores, key_score, _CMP_LT_OQ);
+    const __m256d score_eq = _mm256_cmp_pd(scores, key_score, _CMP_EQ_OQ);
+    const __m256i id_gt =
+        _mm256_cmpgt_epi64(_mm256_castpd_si256(ids), key_id);
+    const __m256d greater = _mm256_or_pd(
+        score_lt, _mm256_and_pd(score_eq, _mm256_castsi256_pd(id_gt)));
+    vcount = _mm256_sub_epi64(vcount, _mm256_castpd_si256(greater));
+  }
+  alignas(32) std::int64_t c[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(c), vcount);
+  std::size_t count = static_cast<std::size_t>(c[0] + c[1] + c[2] + c[3]);
+  for (; i < n; ++i) count += key < keys[i] ? 1 : 0;
+  return count;
+}
+
+// On a sorted array, lower_bound index == count of elements < key. For
+// long arrays (the chunk directory) a few branchy binary-search steps
+// narrow to a 16-element span first, then the branchless count finishes
+// (each binary step on an effectively-random probe is a coin-flip branch;
+// four count iterations beat the remaining mispredict recoveries).
+std::size_t LowerBoundKeysAvx2(const Key16* keys, std::size_t n, Key16 key) {
+  std::size_t lo = 0;
+  std::size_t hi = n;
+  while (hi - lo > 16) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (keys[mid] < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo + CountLess(keys + lo, hi - lo, key);
+}
+
+std::size_t UpperBoundKeysAvx2(const Key16* keys, std::size_t n, Key16 key) {
+  std::size_t lo = 0;
+  std::size_t hi = n;
+  while (hi - lo > 16) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (key < keys[mid]) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return hi - CountGreater(keys + lo, hi - lo, key);
+}
+
+std::size_t FindId64Avx2(const std::int64_t* base, std::size_t n,
+                         std::size_t stride, std::int64_t id) {
+  if (stride != 2) return detail::FindId64Scalar(base, n, stride, id);
+  const __m256i key = _mm256_set1_epi64x(id);
+  std::size_t i = 0;
+  // Strict i + 4 < n: the second load touches base[2i + 7], which only
+  // exists for the final group when `base` is the FIRST field of the
+  // 16-byte records; callers may hand the second field, so the last full
+  // group goes to the scalar tail instead of risking a one-word overread.
+  while (i + 4 < n) {
+    const __m256i v0 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(base + 2 * i));
+    const __m256i v1 = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(base + 2 * i + 4));
+    // The ids sit in lanes 0 and 2 of each vector (lanes 1 and 3 hold the
+    // interleaved other field); mask with 0x5 before trusting a hit.
+    const int m0 = _mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpeq_epi64(v0, key)));
+    const int m1 = _mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpeq_epi64(v1, key)));
+    if (((m0 | m1) & 0x5) != 0) {
+      if ((m0 & 0x1) != 0) return i;
+      if ((m0 & 0x4) != 0) return i + 1;
+      if ((m1 & 0x1) != 0) return i + 2;
+      return i + 3;
+    }
+    i += 4;
+  }
+  for (; i < n; ++i) {
+    if (base[i * stride] == id) return i;
+  }
+  return n;
+}
+
+void CopyKeysAvx2(Key16* dst, const Key16* src, std::size_t n) {
+  // Forward 32-byte moves; with dst <= src every store lands at or below
+  // the next load, so overlapping left shifts stay safe.
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    _mm256_storeu_pd(&dst[i].score, _mm256_loadu_pd(&src[i].score));
+  }
+  if (i < n) dst[i] = src[i];
+}
+
+void CopyKeysBackwardAvx2(Key16* dst, const Key16* src, std::size_t n) {
+  // Descending 32-byte moves; with dst >= src every store lands at or
+  // above the next (lower) load, so overlapping right shifts stay safe.
+  std::size_t i = n;
+  if ((i & 1) != 0) {
+    --i;
+    dst[i] = src[i];
+  }
+  while (i >= 2) {
+    i -= 2;
+    _mm256_storeu_pd(&dst[i].score, _mm256_loadu_pd(&src[i].score));
+  }
+}
+
+double DenseDotAvx2(const double* a, const double* b, std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_pd(
+        acc, _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  }
+  double lanes[4];
+  _mm256_storeu_pd(lanes, acc);
+  for (; i < n; ++i) lanes[i & 3] += a[i] * b[i];
+  return detail::CombineLanes(lanes);
+}
+
+double SumSquaresAvx2(const double* v, std::size_t n, std::size_t stride) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  if (stride == 1) {
+    for (; i + 4 <= n; i += 4) {
+      const __m256d x = _mm256_loadu_pd(v + i);
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(x, x));
+    }
+  } else if (stride == 2) {
+    // Gather touches exactly the four strided addresses (no overread on a
+    // mid-record base) and lands element i + k in lane k, preserving the
+    // canonical lane mapping.
+    const __m256i offsets = _mm256_set_epi64x(6, 4, 2, 0);
+    for (; i + 4 <= n; i += 4) {
+      const __m256d x = _mm256_i64gather_pd(v + 2 * i, offsets, 8);
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(x, x));
+    }
+  } else {
+    return detail::SumSquaresScalar(v, n, stride);
+  }
+  double lanes[4];
+  _mm256_storeu_pd(lanes, acc);
+  for (; i < n; ++i) {
+    const double x = v[i * stride];
+    lanes[i & 3] += x * x;
+  }
+  return detail::CombineLanes(lanes);
+}
+
+double WeightedSumArgmaxAvx2(const double* sum_vals, const double* max_vals,
+                             std::size_t n, std::size_t* argmax) {
+  if (n < 8) return detail::WeightedSumArgmaxScalar(sum_vals, max_vals, n,
+                                                    argmax);
+  // Group 0 is peeled: it seeds the running per-lane maxima (so -inf
+  // inputs need no sentinel) while the sum still goes through 0.0 + x to
+  // keep -0.0 handling bitwise with the scalar reference.
+  __m256d sum = _mm256_add_pd(_mm256_setzero_pd(), _mm256_loadu_pd(sum_vals));
+  __m256d best = _mm256_loadu_pd(max_vals);
+  __m256i best_idx = _mm256_set_epi64x(3, 2, 1, 0);
+  __m256i idx = _mm256_set_epi64x(7, 6, 5, 4);
+  const __m256i step = _mm256_set1_epi64x(4);
+  std::size_t i = 4;
+  for (; i + 4 <= n; i += 4) {
+    sum = _mm256_add_pd(sum, _mm256_loadu_pd(sum_vals + i));
+    const __m256d m = _mm256_loadu_pd(max_vals + i);
+    // Strict > keeps the earliest index within each lane.
+    const __m256d gt = _mm256_cmp_pd(m, best, _CMP_GT_OQ);
+    best = _mm256_blendv_pd(best, m, gt);
+    best_idx = _mm256_castpd_si256(_mm256_blendv_pd(
+        _mm256_castsi256_pd(best_idx), _mm256_castsi256_pd(idx), gt));
+    idx = _mm256_add_epi64(idx, step);
+  }
+  double lanes[4];
+  double lane_max[4];
+  std::int64_t lane_idx[4];
+  _mm256_storeu_pd(lanes, sum);
+  _mm256_storeu_pd(lane_max, best);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lane_idx), best_idx);
+  for (; i < n; ++i) {
+    const std::size_t lane = i & 3;
+    lanes[lane] += sum_vals[i];
+    if (max_vals[i] > lane_max[lane]) {
+      lane_max[lane] = max_vals[i];
+      lane_idx[lane] = static_cast<std::int64_t>(i);
+    }
+  }
+  // Combine lanes: max value first, smallest index on ties — exactly the
+  // scalar reference's sequential strict-> scan.
+  double best_val = lane_max[0];
+  std::size_t best_i = static_cast<std::size_t>(lane_idx[0]);
+  for (int lane = 1; lane < 4; ++lane) {
+    const std::size_t cand = static_cast<std::size_t>(lane_idx[lane]);
+    if (lane_max[lane] > best_val ||
+        (lane_max[lane] == best_val && cand < best_i)) {
+      best_val = lane_max[lane];
+      best_i = cand;
+    }
+  }
+  *argmax = best_i;
+  return detail::CombineLanes(lanes);
+}
+
+}  // namespace
+
+const KernelTable& Avx2Table();
+
+const KernelTable& Avx2Table() {
+  static const KernelTable table = {
+      "avx2",
+      &LowerBoundKeysAvx2,
+      &UpperBoundKeysAvx2,
+      &FindId64Avx2,
+      &CopyKeysAvx2,
+      &CopyKeysBackwardAvx2,
+      &detail::MergeKeysScalar,
+      &DenseDotAvx2,
+      &SumSquaresAvx2,
+      &WeightedSumArgmaxAvx2,
+      &detail::ScatterAddEntriesScalar,
+  };
+  return table;
+}
+
+}  // namespace kernels
+}  // namespace ksir
+
+#endif  // KSIR_KERNELS_X86

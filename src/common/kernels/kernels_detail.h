@@ -1,0 +1,130 @@
+// Shared canonical kernel bodies. Every dispatch arm includes this header:
+// the scalar arm exports these functions directly, and the vector arms use
+// them for loop tails, for strides they do not accelerate, and for the
+// kernels that are inherently sequential (merge, scatter-add). Keeping the
+// one definition here is what makes "scalar == dispatched, bitwise" hold by
+// construction on every path a vector arm does not fully cover.
+#ifndef KSIR_COMMON_KERNELS_KERNELS_DETAIL_H_
+#define KSIR_COMMON_KERNELS_KERNELS_DETAIL_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/kernels/kernels.h"
+
+namespace ksir {
+namespace kernels {
+namespace detail {
+
+/// Canonical combine of the four reduction lanes. Matches the cheapest
+/// AVX2 horizontal add (low128 + high128, then pairwise), so the vector
+/// arms get it for free and the scalar arm pays two extra adds.
+static inline double CombineLanes(const double lanes[4]) {
+  return (lanes[0] + lanes[2]) + (lanes[1] + lanes[3]);
+}
+
+static inline std::size_t LowerBoundKeysScalar(const Key16* keys, std::size_t n,
+                                        Key16 key) {
+  return static_cast<std::size_t>(std::lower_bound(keys, keys + n, key) -
+                                  keys);
+}
+
+static inline std::size_t UpperBoundKeysScalar(const Key16* keys, std::size_t n,
+                                        Key16 key) {
+  return static_cast<std::size_t>(std::upper_bound(keys, keys + n, key) -
+                                  keys);
+}
+
+static inline std::size_t FindId64Scalar(const std::int64_t* base, std::size_t n,
+                                  std::size_t stride, std::int64_t id) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (base[i * stride] == id) return i;
+  }
+  return n;
+}
+
+static inline void CopyKeysScalar(Key16* dst, const Key16* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = src[i];
+}
+
+static inline void CopyKeysBackwardScalar(Key16* dst, const Key16* src,
+                                   std::size_t n) {
+  for (std::size_t i = n; i-- > 0;) dst[i] = src[i];
+}
+
+static inline void MergeKeysScalar(Key16* dst, const Key16* a, std::size_t na,
+                            const Key16* b, std::size_t nb) {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::size_t k = 0;
+  while (i < na && j < nb) {
+    dst[k++] = b[j] < a[i] ? b[j++] : a[i++];
+  }
+  while (i < na) dst[k++] = a[i++];
+  while (j < nb) dst[k++] = b[j++];
+}
+
+static inline double DenseDotScalar(const double* a, const double* b,
+                             std::size_t n) {
+  double lanes[4] = {0.0, 0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) lanes[i & 3] += a[i] * b[i];
+  return CombineLanes(lanes);
+}
+
+static inline double SumSquaresScalar(const double* v, std::size_t n,
+                               std::size_t stride) {
+  double lanes[4] = {0.0, 0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = v[i * stride];
+    lanes[i & 3] += x * x;
+  }
+  return CombineLanes(lanes);
+}
+
+static inline double WeightedSumArgmaxScalar(const double* sum_vals,
+                                      const double* max_vals, std::size_t n,
+                                      std::size_t* argmax) {
+  double lanes[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t best = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    lanes[i & 3] += sum_vals[i];
+    // Strict > keeps the smallest index among equal maxima; NaN-free by
+    // the kernel contract. The selection is integral, so it is exact no
+    // matter how the vector arms regroup it.
+    if (best == n || max_vals[i] > max_vals[best]) best = i;
+  }
+  *argmax = best;
+  return CombineLanes(lanes);
+}
+
+/// Layout twin of SparseVector::Entry (= std::pair<int32_t, double> under
+/// this ABI: 16 bytes, value at offset 8). The kernel takes void* so the
+/// header does not depend on common/sparse_vector.h; callers static_assert
+/// the layout at the call site.
+struct IndexValue {
+  std::int32_t index;
+  double value;
+};
+static_assert(sizeof(IndexValue) == 16);
+
+static inline void ScatterAddEntriesScalar(const void* entries, std::size_t n,
+                                    double* values, std::uint64_t* stamps,
+                                    std::uint64_t epoch) {
+  const IndexValue* e = static_cast<const IndexValue*>(entries);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t slot = static_cast<std::size_t>(e[i].index);
+    if (stamps[slot] != epoch) {
+      stamps[slot] = epoch;
+      values[slot] = e[i].value;
+    } else {
+      values[slot] += e[i].value;
+    }
+  }
+}
+
+}  // namespace detail
+}  // namespace kernels
+}  // namespace ksir
+
+#endif  // KSIR_COMMON_KERNELS_KERNELS_DETAIL_H_

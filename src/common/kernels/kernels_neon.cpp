@@ -1,0 +1,89 @@
+// NEON dispatch arm (aarch64). Mirrors the SSE2 arm's coverage: FP
+// reductions on two 128-bit accumulators for canonical lanes 0/1 and 2/3,
+// plus 16-byte key moves; searches, scans, merge, and scatter stay on the
+// shared scalar bodies. vmulq/vaddq are used instead of vfmaq so the
+// reductions round exactly like the scalar reference.
+#if defined(KSIR_KERNELS_NEON) && defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include "common/kernels/kernels_detail.h"
+
+namespace ksir {
+namespace kernels {
+namespace {
+
+void CopyKeysNeon(Key16* dst, const Key16* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    vst1q_f64(&dst[i].score, vld1q_f64(&src[i].score));
+  }
+}
+
+void CopyKeysBackwardNeon(Key16* dst, const Key16* src, std::size_t n) {
+  for (std::size_t i = n; i-- > 0;) {
+    vst1q_f64(&dst[i].score, vld1q_f64(&src[i].score));
+  }
+}
+
+double DenseDotNeon(const double* a, const double* b, std::size_t n) {
+  float64x2_t acc01 = vdupq_n_f64(0.0);
+  float64x2_t acc23 = vdupq_n_f64(0.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc01 = vaddq_f64(acc01, vmulq_f64(vld1q_f64(a + i), vld1q_f64(b + i)));
+    acc23 = vaddq_f64(acc23,
+                      vmulq_f64(vld1q_f64(a + i + 2), vld1q_f64(b + i + 2)));
+  }
+  double lanes[4];
+  vst1q_f64(lanes, acc01);
+  vst1q_f64(lanes + 2, acc23);
+  for (; i < n; ++i) lanes[i & 3] += a[i] * b[i];
+  return detail::CombineLanes(lanes);
+}
+
+double SumSquaresNeon(const double* v, std::size_t n, std::size_t stride) {
+  if (stride != 1) return detail::SumSquaresScalar(v, n, stride);
+  float64x2_t acc01 = vdupq_n_f64(0.0);
+  float64x2_t acc23 = vdupq_n_f64(0.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float64x2_t x01 = vld1q_f64(v + i);
+    const float64x2_t x23 = vld1q_f64(v + i + 2);
+    acc01 = vaddq_f64(acc01, vmulq_f64(x01, x01));
+    acc23 = vaddq_f64(acc23, vmulq_f64(x23, x23));
+  }
+  double lanes[4];
+  vst1q_f64(lanes, acc01);
+  vst1q_f64(lanes + 2, acc23);
+  for (; i < n; ++i) {
+    const double x = v[i * stride];
+    lanes[i & 3] += x * x;
+  }
+  return detail::CombineLanes(lanes);
+}
+
+}  // namespace
+
+const KernelTable& NeonTable();
+
+const KernelTable& NeonTable() {
+  static const KernelTable table = {
+      "neon",
+      &detail::LowerBoundKeysScalar,
+      &detail::UpperBoundKeysScalar,
+      &detail::FindId64Scalar,
+      &CopyKeysNeon,
+      &CopyKeysBackwardNeon,
+      &detail::MergeKeysScalar,
+      &DenseDotNeon,
+      &SumSquaresNeon,
+      &detail::WeightedSumArgmaxScalar,
+      &detail::ScatterAddEntriesScalar,
+  };
+  return table;
+}
+
+}  // namespace kernels
+}  // namespace ksir
+
+#endif  // KSIR_KERNELS_NEON && __aarch64__

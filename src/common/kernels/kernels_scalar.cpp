@@ -1,0 +1,28 @@
+// Portable reference arm: exports the shared canonical bodies verbatim.
+// Built unconditionally (including under KSIR_SIMD=OFF) and kept as the
+// ground truth the differential kernel tests compare every other arm
+// against.
+#include "common/kernels/kernels_detail.h"
+
+namespace ksir {
+namespace kernels {
+
+const KernelTable& ScalarTable() {
+  static const KernelTable table = {
+      "scalar",
+      &detail::LowerBoundKeysScalar,
+      &detail::UpperBoundKeysScalar,
+      &detail::FindId64Scalar,
+      &detail::CopyKeysScalar,
+      &detail::CopyKeysBackwardScalar,
+      &detail::MergeKeysScalar,
+      &detail::DenseDotScalar,
+      &detail::SumSquaresScalar,
+      &detail::WeightedSumArgmaxScalar,
+      &detail::ScatterAddEntriesScalar,
+  };
+  return table;
+}
+
+}  // namespace kernels
+}  // namespace ksir

@@ -1,0 +1,178 @@
+// SSE2 dispatch arm: the x86-64 baseline, selected when AVX2 is absent.
+// SSE2 lacks 64-bit integer compares, so the key searches and id scans
+// stay on the shared scalar bodies; the FP reductions and the 16-byte key
+// moves are vectorized with two 128-bit accumulators standing in for the
+// canonical lanes 0/1 and 2/3. No FMA exists pre-AVX2, so bitwise equality
+// with the scalar reference needs no flag care here.
+#if defined(KSIR_KERNELS_X86)
+
+#include <emmintrin.h>
+
+#include "common/kernels/kernels_detail.h"
+
+namespace ksir {
+namespace kernels {
+namespace {
+
+// Branchless select: (mask & a) | (~mask & b), mask all-ones per lane.
+inline __m128d Select(__m128d mask, __m128d a, __m128d b) {
+  return _mm_or_pd(_mm_and_pd(mask, a), _mm_andnot_pd(mask, b));
+}
+
+void CopyKeysSse2(Key16* dst, const Key16* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    _mm_storeu_pd(&dst[i].score, _mm_loadu_pd(&src[i].score));
+  }
+}
+
+void CopyKeysBackwardSse2(Key16* dst, const Key16* src, std::size_t n) {
+  for (std::size_t i = n; i-- > 0;) {
+    _mm_storeu_pd(&dst[i].score, _mm_loadu_pd(&src[i].score));
+  }
+}
+
+double DenseDotSse2(const double* a, const double* b, std::size_t n) {
+  __m128d acc01 = _mm_setzero_pd();
+  __m128d acc23 = _mm_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc01 = _mm_add_pd(
+        acc01, _mm_mul_pd(_mm_loadu_pd(a + i), _mm_loadu_pd(b + i)));
+    acc23 = _mm_add_pd(
+        acc23, _mm_mul_pd(_mm_loadu_pd(a + i + 2), _mm_loadu_pd(b + i + 2)));
+  }
+  double lanes[4];
+  _mm_storeu_pd(lanes, acc01);
+  _mm_storeu_pd(lanes + 2, acc23);
+  for (; i < n; ++i) lanes[i & 3] += a[i] * b[i];
+  return detail::CombineLanes(lanes);
+}
+
+double SumSquaresSse2(const double* v, std::size_t n, std::size_t stride) {
+  __m128d acc01 = _mm_setzero_pd();
+  __m128d acc23 = _mm_setzero_pd();
+  std::size_t i = 0;
+  if (stride == 1) {
+    for (; i + 4 <= n; i += 4) {
+      const __m128d x01 = _mm_loadu_pd(v + i);
+      const __m128d x23 = _mm_loadu_pd(v + i + 2);
+      acc01 = _mm_add_pd(acc01, _mm_mul_pd(x01, x01));
+      acc23 = _mm_add_pd(acc23, _mm_mul_pd(x23, x23));
+    }
+  } else if (stride == 2) {
+    // Strict i + 4 < n: the last pair load would touch v[2i + 7], one
+    // word past the final element when `v` is the second field of the
+    // 16-byte records, so the final full group goes to the scalar tail.
+    while (i + 4 < n) {
+      const __m128d p0 = _mm_loadu_pd(v + 2 * i);       // v[2i],   gap
+      const __m128d p1 = _mm_loadu_pd(v + 2 * i + 2);   // v[2i+2], gap
+      const __m128d p2 = _mm_loadu_pd(v + 2 * i + 4);
+      const __m128d p3 = _mm_loadu_pd(v + 2 * i + 6);
+      const __m128d x01 = _mm_shuffle_pd(p0, p1, 0x0);  // lanes 0, 1
+      const __m128d x23 = _mm_shuffle_pd(p2, p3, 0x0);  // lanes 2, 3
+      acc01 = _mm_add_pd(acc01, _mm_mul_pd(x01, x01));
+      acc23 = _mm_add_pd(acc23, _mm_mul_pd(x23, x23));
+      i += 4;
+    }
+  } else {
+    return detail::SumSquaresScalar(v, n, stride);
+  }
+  double lanes[4];
+  _mm_storeu_pd(lanes, acc01);
+  _mm_storeu_pd(lanes + 2, acc23);
+  for (; i < n; ++i) {
+    const double x = v[i * stride];
+    lanes[i & 3] += x * x;
+  }
+  return detail::CombineLanes(lanes);
+}
+
+double WeightedSumArgmaxSse2(const double* sum_vals, const double* max_vals,
+                             std::size_t n, std::size_t* argmax) {
+  if (n < 8) return detail::WeightedSumArgmaxScalar(sum_vals, max_vals, n,
+                                                    argmax);
+  __m128d sum01 = _mm_add_pd(_mm_setzero_pd(), _mm_loadu_pd(sum_vals));
+  __m128d sum23 = _mm_add_pd(_mm_setzero_pd(), _mm_loadu_pd(sum_vals + 2));
+  __m128d best01 = _mm_loadu_pd(max_vals);
+  __m128d best23 = _mm_loadu_pd(max_vals + 2);
+  // Indices tracked as double-bit patterns of small integers would lose
+  // exactness past 2^53 — keep them as epi64 moved through FP blends,
+  // which only shuffle bits.
+  __m128i idx01 = _mm_set_epi64x(1, 0);
+  __m128i idx23 = _mm_set_epi64x(3, 2);
+  __m128i cur01 = _mm_set_epi64x(5, 4);
+  __m128i cur23 = _mm_set_epi64x(7, 6);
+  const __m128i step = _mm_set1_epi64x(4);
+  std::size_t i = 4;
+  for (; i + 4 <= n; i += 4) {
+    sum01 = _mm_add_pd(sum01, _mm_loadu_pd(sum_vals + i));
+    sum23 = _mm_add_pd(sum23, _mm_loadu_pd(sum_vals + i + 2));
+    const __m128d m01 = _mm_loadu_pd(max_vals + i);
+    const __m128d m23 = _mm_loadu_pd(max_vals + i + 2);
+    const __m128d gt01 = _mm_cmpgt_pd(m01, best01);
+    const __m128d gt23 = _mm_cmpgt_pd(m23, best23);
+    best01 = Select(gt01, m01, best01);
+    best23 = Select(gt23, m23, best23);
+    idx01 = _mm_castpd_si128(Select(gt01, _mm_castsi128_pd(cur01),
+                                    _mm_castsi128_pd(idx01)));
+    idx23 = _mm_castpd_si128(Select(gt23, _mm_castsi128_pd(cur23),
+                                    _mm_castsi128_pd(idx23)));
+    cur01 = _mm_add_epi64(cur01, step);
+    cur23 = _mm_add_epi64(cur23, step);
+  }
+  double lanes[4];
+  double lane_max[4];
+  std::int64_t lane_idx[4];
+  _mm_storeu_pd(lanes, sum01);
+  _mm_storeu_pd(lanes + 2, sum23);
+  _mm_storeu_pd(lane_max, best01);
+  _mm_storeu_pd(lane_max + 2, best23);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(lane_idx), idx01);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(lane_idx + 2), idx23);
+  for (; i < n; ++i) {
+    const std::size_t lane = i & 3;
+    lanes[lane] += sum_vals[i];
+    if (max_vals[i] > lane_max[lane]) {
+      lane_max[lane] = max_vals[i];
+      lane_idx[lane] = static_cast<std::int64_t>(i);
+    }
+  }
+  double best_val = lane_max[0];
+  std::size_t best_i = static_cast<std::size_t>(lane_idx[0]);
+  for (int lane = 1; lane < 4; ++lane) {
+    const std::size_t cand = static_cast<std::size_t>(lane_idx[lane]);
+    if (lane_max[lane] > best_val ||
+        (lane_max[lane] == best_val && cand < best_i)) {
+      best_val = lane_max[lane];
+      best_i = cand;
+    }
+  }
+  *argmax = best_i;
+  return detail::CombineLanes(lanes);
+}
+
+}  // namespace
+
+const KernelTable& Sse2Table();
+
+const KernelTable& Sse2Table() {
+  static const KernelTable table = {
+      "sse2",
+      &detail::LowerBoundKeysScalar,
+      &detail::UpperBoundKeysScalar,
+      &detail::FindId64Scalar,
+      &CopyKeysSse2,
+      &CopyKeysBackwardSse2,
+      &detail::MergeKeysScalar,
+      &DenseDotSse2,
+      &SumSquaresSse2,
+      &WeightedSumArgmaxSse2,
+      &detail::ScatterAddEntriesScalar,
+  };
+  return table;
+}
+
+}  // namespace kernels
+}  // namespace ksir
+
+#endif  // KSIR_KERNELS_X86

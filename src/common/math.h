@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/kernels/kernels.h"
 
 namespace ksir {
 
@@ -34,17 +35,14 @@ inline double NormalizeInPlace(std::vector<double>* v) {
 }
 
 /// Cosine similarity of two equal-length dense vectors (0 when either is 0).
+/// Dot and norms run on the dispatched dense kernels (canonical lane
+/// order, bitwise identical across ISA arms).
 inline double CosineSimilarity(const std::vector<double>& a,
                                const std::vector<double>& b) {
   KSIR_DCHECK(a.size() == b.size());
-  double dot = 0.0;
-  double na = 0.0;
-  double nb = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    dot += a[i] * b[i];
-    na += a[i] * a[i];
-    nb += b[i] * b[i];
-  }
+  const double dot = kernels::DenseDot(a.data(), b.data(), a.size());
+  const double na = kernels::SumSquares(a.data(), a.size(), 1);
+  const double nb = kernels::SumSquares(b.data(), b.size(), 1);
   if (na <= 0.0 || nb <= 0.0) return 0.0;
   return dot / (std::sqrt(na) * std::sqrt(nb));
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/kernels/kernels.h"
 
 namespace ksir {
 
@@ -79,6 +80,10 @@ void SparseVector::NormalizeL1() {
 }
 
 double SparseVector::Dot(const SparseVector& a, const SparseVector& b) {
+  // Sparse-sparse merge join: the index comparison chain is inherently
+  // sequential (each step's advance depends on the previous compare), so
+  // this stays scalar by design — the kernel layer accelerates the dense
+  // and strided reductions around it instead.
   double dot = 0.0;
   auto ia = a.entries_.begin();
   auto ib = b.entries_.begin();
@@ -97,10 +102,18 @@ double SparseVector::Dot(const SparseVector& a, const SparseVector& b) {
 }
 
 double SparseVector::Cosine(const SparseVector& a, const SparseVector& b) {
-  double na = 0.0;
-  double nb = 0.0;
-  for (const auto& [i, v] : a.entries_) na += v * v;
-  for (const auto& [i, v] : b.entries_) nb += v * v;
+  // The norms walk the value halves of the (index, value) entries: a
+  // stride-2 strided square sum in the canonical kernel lane order.
+  static_assert(sizeof(Entry) == 2 * sizeof(double),
+                "Entry must be a 16-byte (int32, double) record");
+  const double na = a.entries_.empty()
+                        ? 0.0
+                        : kernels::SumSquares(&a.entries_[0].second,
+                                              a.entries_.size(), 2);
+  const double nb = b.entries_.empty()
+                        ? 0.0
+                        : kernels::SumSquares(&b.entries_[0].second,
+                                              b.entries_.size(), 2);
   if (na <= 0.0 || nb <= 0.0) return 0.0;
   return Dot(a, b) / (std::sqrt(na) * std::sqrt(nb));
 }

@@ -9,7 +9,10 @@
 #define KSIR_COMMON_STAMPED_ACCUMULATOR_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
+
+#include "common/kernels/kernels.h"
 
 namespace ksir {
 
@@ -37,6 +40,19 @@ class StampedAccumulator {
     } else {
       values_[slot] += delta;
     }
+  }
+
+  /// Add() over a sorted (index, value) entry span (SparseVector layout),
+  /// routed through the kernel layer's dispatch-invariant scatter: the
+  /// fold of many sparse topic vectors into the dense row is the scoring
+  /// stage's per-referrer hot loop. Indices must be within the resized
+  /// range.
+  void AddEntries(const std::pair<std::int32_t, double>* entries,
+                  std::size_t n) {
+    static_assert(sizeof(*entries) == 16,
+                  "entry must be a 16-byte (int32, double) record");
+    kernels::ScatterAddEntries(entries, n, values_.data(), stamps_.data(),
+                               epoch_);
   }
 
   /// True when `slot` was touched since the last Begin().

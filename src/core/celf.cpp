@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/kernels/kernels.h"
 #include "common/timer.h"
 #include "core/candidate_state.h"
 
@@ -100,21 +101,28 @@ QueryResult RunGreedy(const ScoringContext& ctx, const ActiveWindow& window,
   std::vector<ElementId> ids = window.ActiveIds();
   std::sort(ids.begin(), ids.end());  // deterministic tie-breaking
 
-  for (std::int32_t round = 0; round < query.k; ++round) {
-    const SocialElement* best = nullptr;
-    double best_gain = 0.0;
-    for (ElementId id : ids) {
-      if (candidate.Contains(id)) continue;
-      const SocialElement* e = window.Find(id);
-      KSIR_CHECK(e != nullptr);
-      const double gain = candidate.MarginalGain(*e);
-      ++result.stats.num_gain_evaluations;
-      if (gain > best_gain) {
-        best_gain = gain;
-        best = e;
+  // Per-round gain buffer: evaluate every marginal gain into a contiguous
+  // array, then take the round winner with the vectorized argmax kernel
+  // (smallest index on ties == the sequential scan's first-max-wins).
+  // Members hold the sentinel -1.0, below the 0.0 acceptance floor.
+  std::vector<double> gains(ids.size(), -1.0);
+  for (std::int32_t round = 0; round < query.k && !ids.empty(); ++round) {
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (candidate.Contains(ids[i])) {
+        gains[i] = -1.0;
+        continue;
       }
+      const SocialElement* e = window.Find(ids[i]);
+      KSIR_CHECK(e != nullptr);
+      gains[i] = candidate.MarginalGain(*e);
+      ++result.stats.num_gain_evaluations;
     }
-    if (best == nullptr) break;  // no positive gain remains
+    std::size_t best_i = 0;
+    kernels::WeightedSumArgmax(gains.data(), gains.data(), ids.size(),
+                               &best_i);
+    if (!(gains[best_i] > 0.0)) break;  // no positive gain remains
+    const SocialElement* best = window.Find(ids[best_i]);
+    KSIR_CHECK(best != nullptr);
     candidate.Add(*best);
   }
 

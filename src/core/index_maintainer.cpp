@@ -39,8 +39,7 @@ IndexMaintainer::IndexMaintainer(const ScoringContext* ctx,
       "Bucket-apply stage: fresh scoring, edge folding, score composition");
   stage_gather_hist_ = reg.GetHistogram(
       "ksir_maintainer_stage_gather_seconds",
-      "Bucket-apply stage: deterministic gather into per-topic runs "
-      "(parallel apply only)");
+      "Bucket-apply stage: deterministic gather into per-topic runs");
   stage_list_apply_hist_ = reg.GetHistogram(
       "ksir_maintainer_stage_list_apply_seconds",
       "Bucket-apply stage: ranked-list inserts and reposition runs");
@@ -222,7 +221,9 @@ void IndexMaintainer::ApplyIncremental(
       ProcessTouched(t, reposition_losses, /*te_changed=*/false);
     }
   }
-  StageScope scope(telemetry_, stage_list_apply_hist_, "maint.list_apply");
+  // FlushRepositions times its own gather and list-apply stages (the
+  // serial path's run gather was invisible in the stage breakdown when the
+  // whole flush was lumped under list_apply).
   FlushRepositions();
 }
 
@@ -382,11 +383,12 @@ void IndexMaintainer::FoldEdges(const ActiveWindow::Touched& t,
   // merge per edge.
   acc->Begin();
   for (std::uint32_t i = 0; i < t.num_gained; ++i) {
-    for (const auto& [topic, prob] : t.gained_topics[i]->entries()) {
-      acc->Add(static_cast<std::size_t>(topic), prob);
-    }
+    const auto& entries = t.gained_topics[i]->entries();
+    acc->AddEntries(entries.data(), entries.size());
   }
   for (std::uint32_t i = 0; i < t.num_lost; ++i) {
+    // Lost edges subtract; the bulk scatter adds entry values as-is, so
+    // the negated fold stays on the per-entry path.
     for (const auto& [topic, prob] : t.lost_topics[i]->entries()) {
       acc->Add(static_cast<std::size_t>(topic), -prob);
     }
@@ -409,24 +411,34 @@ void IndexMaintainer::FlushRuns(std::vector<PendingT>* pending,
   // sorted only for determinism of the arena layout; the runs are
   // independent.
   using Payload = decltype(PendingT::payload);
-  run_arena_.Reset();
-  auto* runs = run_arena_.AllocateArray<Payload>(pending->size());
-  std::sort(touched_.begin(), touched_.end());
-  // offsets[t] = start of topic t's run; reuses topic_counts_ as cursor.
-  auto* offsets = run_arena_.AllocateArray<std::uint32_t>(touched_.size());
-  std::uint32_t offset = 0;
-  for (std::size_t i = 0; i < touched_.size(); ++i) {
-    offsets[i] = offset;
-    const auto t = static_cast<std::size_t>(touched_[i]);
-    const std::uint32_t count = topic_counts_[t];
-    // Repurpose topic_counts_ as the scatter cursor (start index).
-    topic_counts_[t] = offset;
-    offset += count;
+  Payload* runs = nullptr;
+  std::uint32_t* offsets = nullptr;
+  {
+    // Stage accounting mirrors the parallel apply: the sort + run scatter
+    // is the gather stage, the per-list sweeps below are list_apply. Both
+    // record on every bucket (including empty ones) so the serial and
+    // parallel stage breakdowns stay comparable.
+    StageScope scope(telemetry_, stage_gather_hist_, "maint.gather");
+    run_arena_.Reset();
+    runs = run_arena_.AllocateArray<Payload>(pending->size());
+    std::sort(touched_.begin(), touched_.end());
+    // offsets[t] = start of topic t's run; reuses topic_counts_ as cursor.
+    offsets = run_arena_.AllocateArray<std::uint32_t>(touched_.size());
+    std::uint32_t offset = 0;
+    for (std::size_t i = 0; i < touched_.size(); ++i) {
+      offsets[i] = offset;
+      const auto t = static_cast<std::size_t>(touched_[i]);
+      const std::uint32_t count = topic_counts_[t];
+      // Repurpose topic_counts_ as the scatter cursor (start index).
+      topic_counts_[t] = offset;
+      offset += count;
+    }
+    for (const PendingT& item : *pending) {
+      runs[topic_counts_[static_cast<std::size_t>(item.topic)]++] =
+          item.payload;
+    }
   }
-  for (const PendingT& item : *pending) {
-    runs[topic_counts_[static_cast<std::size_t>(item.topic)]++] =
-        item.payload;
-  }
+  StageScope scope(telemetry_, stage_list_apply_hist_, "maint.list_apply");
   for (std::size_t i = 0; i < touched_.size(); ++i) {
     const TopicId topic = touched_[i];
     const std::uint32_t begin = offsets[i];
@@ -700,8 +712,9 @@ void IndexMaintainer::ApplyIncrementalParallel(
 }
 
 void IndexMaintainer::FlushRepositions() {
+  // No early-out on empty queues: FlushRuns degenerates to two cheap
+  // stage-scope records, keeping the per-bucket histogram counts exact.
   if (use_handles_) {
-    if (pending_handles_.empty()) return;
     FlushRuns(&pending_handles_,
               [this](TopicId topic, const RankedList::HandleUpdate* runs,
                      std::size_t n, bool merge) {
@@ -709,7 +722,6 @@ void IndexMaintainer::FlushRepositions() {
                                                &batch_scratch_);
               });
   } else {
-    if (pending_tuples_.empty()) return;
     FlushRuns(&pending_tuples_,
               [this](TopicId topic, const RankedList::Tuple* runs,
                      std::size_t n, bool merge) {

@@ -10,11 +10,11 @@ namespace ksir {
 std::size_t RankedList::FindChunk(const Key& key) const {
   // First chunk whose last (greatest in comparator order, i.e. lowest-score)
   // key is not ordered before `key`; keys beyond every chunk map to the
-  // final chunk.
-  const auto it = std::partition_point(
-      chunk_last_.begin(), chunk_last_.end(),
-      [&key](const Key& last) { return last < key; });
-  const std::size_t idx = static_cast<std::size_t>(it - chunk_last_.begin());
+  // final chunk. The dispatched kernel narrows branchily, then counts the
+  // final span branchlessly — the probe keys are effectively random, so a
+  // pure binary search mispredicts half its steps.
+  const std::size_t idx =
+      kernels::LowerBoundKeys(chunk_last_.data(), chunk_last_.size(), key);
   return idx == chunks_.size() ? idx - 1 : idx;
 }
 
@@ -64,11 +64,13 @@ RankedList::Chunk* RankedList::ChunkForId(ElementId id) const {
 }
 
 std::uint32_t RankedList::OffsetOfId(const Chunk* chunk, ElementId id) {
-  for (std::uint32_t i = 0; i < chunk->size; ++i) {
-    if (chunk->keys[i].id == id) return i;
-  }
-  KSIR_CHECK(false && "element missing from its side-table chunk");
-  return 0;
+  // Strided id scan over <= 64 contiguous keys (ids interleave with the
+  // scores, stride 2 in 8-byte words).
+  const std::size_t offset =
+      kernels::FindId64(&chunk->keys[0].id, chunk->size, 2, id);
+  KSIR_CHECK(offset < chunk->size &&
+             "element missing from its side-table chunk");
+  return static_cast<std::uint32_t>(offset);
 }
 
 RankedList::Chunk* RankedList::Locate(ElementId id, double old_score,
@@ -79,10 +81,9 @@ RankedList::Chunk* RankedList::Locate(ElementId id, double old_score,
     if (chunk != nullptr) {
       const Key key{old_score, id};
       const Key* const first = chunk->keys.data();
-      const Key* const last = first + chunk->size;
-      const Key* const pos = std::lower_bound(first, last, key);
-      if (pos != last && *pos == key) {
-        *offset = static_cast<std::uint32_t>(pos - first);
+      const std::size_t pos = kernels::LowerBoundKeys(first, chunk->size, key);
+      if (pos < chunk->size && first[pos] == key) {
+        *offset = static_cast<std::uint32_t>(pos);
         return chunk;
       }
     }
@@ -94,10 +95,9 @@ RankedList::Chunk* RankedList::Locate(ElementId id, double old_score,
     const Key key{old_score, id};
     Chunk* chunk = chunks_[FindChunk(key)].get();
     const Key* const first = chunk->keys.data();
-    const Key* const last = first + chunk->size;
-    const Key* const pos = std::lower_bound(first, last, key);
-    KSIR_CHECK(pos != last && *pos == key);
-    *offset = static_cast<std::uint32_t>(pos - first);
+    const std::size_t pos = kernels::LowerBoundKeys(first, chunk->size, key);
+    KSIR_CHECK(pos < chunk->size && first[pos] == key);
+    *offset = static_cast<std::uint32_t>(pos);
     return chunk;
   }
   // Handle miss (or id-keyed caller): the side table still knows the chunk;
@@ -129,8 +129,8 @@ RankedList::Chunk* RankedList::InsertKey(const Key& key) {
     auto upper_owned = NewChunk();
     Chunk* upper = upper_owned.get();
     constexpr std::uint32_t kHalf = kChunkCapacity / 2;
-    std::copy(chunk->keys.begin() + kHalf, chunk->keys.end(),
-              upper->keys.begin());
+    kernels::CopyKeys(upper->keys.data(), chunk->keys.data() + kHalf,
+                      kChunkCapacity - kHalf);
     upper->size = kChunkCapacity - kHalf;
     chunk->size = kHalf;
     if (track_ids_) {
@@ -150,10 +150,9 @@ RankedList::Chunk* RankedList::InsertKey(const Key& key) {
     chunk = chunks_[idx].get();
   }
   Key* const first = chunk->keys.data();
-  Key* const last = first + chunk->size;
-  Key* const pos = std::lower_bound(first, last, key);
-  std::copy_backward(pos, last, last + 1);
-  *pos = key;
+  const std::size_t pos = kernels::LowerBoundKeys(first, chunk->size, key);
+  kernels::CopyKeysBackward(first + pos + 1, first + pos, chunk->size - pos);
+  first[pos] = key;
   ++chunk->size;
   chunk_last_[idx] = chunk->keys[chunk->size - 1];
   ++size_;
@@ -164,7 +163,8 @@ void RankedList::EraseKeyAt(Chunk* chunk, std::uint32_t offset) {
   const std::size_t idx = chunk->pos;
   KSIR_DCHECK(chunks_[idx].get() == chunk);
   Key* const first = chunk->keys.data();
-  std::copy(first + offset + 1, first + chunk->size, first + offset);
+  kernels::CopyKeys(first + offset, first + offset + 1,
+                    chunk->size - offset - 1);
   --chunk->size;
   --size_;
   if (chunk->size == 0) {
@@ -184,10 +184,9 @@ void RankedList::EraseKey(const Key& key) {
   const std::size_t idx = FindChunk(key);
   Chunk* chunk = chunks_[idx].get();
   Key* const first = chunk->keys.data();
-  Key* const last = first + chunk->size;
-  Key* const pos = std::lower_bound(first, last, key);
-  KSIR_CHECK(pos != last && *pos == key);
-  EraseKeyAt(chunk, static_cast<std::uint32_t>(pos - first));
+  const std::size_t pos = kernels::LowerBoundKeys(first, chunk->size, key);
+  KSIR_CHECK(pos < chunk->size && first[pos] == key);
+  EraseKeyAt(chunk, static_cast<std::uint32_t>(pos));
 }
 
 void RankedList::MaybeMerge(std::size_t idx) {
@@ -197,8 +196,7 @@ void RankedList::MaybeMerge(std::size_t idx) {
   const auto merge_into = [this](std::size_t dst, std::size_t src) {
     Chunk* a = chunks_[dst].get();
     Chunk* b = chunks_[src].get();
-    std::copy(b->keys.begin(), b->keys.begin() + b->size,
-              a->keys.begin() + a->size);
+    kernels::CopyKeys(a->keys.data() + a->size, b->keys.data(), b->size);
     if (track_ids_) {
       for (std::uint32_t i = 0; i < b->size; ++i) {
         ++probes_;
@@ -255,16 +253,18 @@ RankedList::Chunk* RankedList::MoveAt(Chunk* chunk, std::uint32_t offset,
     return dest;
   }
   Key* const first = chunk->keys.data();
-  Key* const last = first + chunk->size;
   Key* const old_pos = first + offset;
-  Key* const new_pos = std::lower_bound(first, last, new_key);
+  Key* const new_pos =
+      first + kernels::LowerBoundKeys(first, chunk->size, new_key);
   if (new_pos == old_pos || new_pos == old_pos + 1) {
     *old_pos = new_key;  // neighbors unchanged: overwrite in place
   } else if (new_pos < old_pos) {
-    std::copy_backward(new_pos, old_pos, old_pos + 1);
+    kernels::CopyKeysBackward(new_pos + 1, new_pos,
+                              static_cast<std::size_t>(old_pos - new_pos));
     *new_pos = new_key;
   } else {
-    std::copy(old_pos + 1, new_pos, old_pos);
+    kernels::CopyKeys(old_pos, old_pos + 1,
+                      static_cast<std::size_t>(new_pos - old_pos) - 1);
     *(new_pos - 1) = new_key;
   }
   chunk_last_[idx] = chunk->keys[chunk->size - 1];
@@ -418,49 +418,53 @@ void RankedList::MergeBatch(BatchScratch* scratch) {
             ? removals[r_end - 1]
             : insertions[i_end - 1].key;
     const auto s = static_cast<std::uint32_t>(
-        std::lower_bound(keys, keys + old_size, lo) - keys);
+        kernels::LowerBoundKeys(keys, old_size, lo));
     const auto e = static_cast<std::uint32_t>(
-        std::upper_bound(keys, keys + old_size, hi) - keys);
+        kernels::UpperBoundKeys(keys, old_size, hi));
     const std::uint32_t old_span = e - s;
     const auto new_span = static_cast<std::uint32_t>(
         old_span - (r_end - ri) + (i_end - ii));
     std::array<Key, kChunkCapacity> tmp;
-    std::copy(keys + s, keys + e, tmp.begin());
-    if (new_span != old_span) {  // shift the untouched suffix once
-      if (new_span < old_span) {
-        std::copy(keys + e, keys + old_size, keys + s + new_span);
-      } else {
-        std::copy_backward(keys + e, keys + old_size,
-                           keys + old_size + (new_span - old_span));
-      }
-    }
-    std::uint32_t src = 0;
-    std::uint32_t dst = s;
-    const std::uint32_t dst_end = s + new_span;
-    while (src < old_span || ii < i_end) {
-      if (src < old_span && ri < r_end && removals[ri] == tmp[src]) {
+    // Three steps, each a kernel: (1) copy the span aside compacting the
+    // removal run out of it, (2) shift the untouched suffix once, (3)
+    // two-way merge of the kept keys with the insertion run back into
+    // place. Handle minting needs only the destination chunk's slot/gen,
+    // so it runs after the merge, off the hot key-move path.
+    std::uint32_t kept = 0;
+    for (std::uint32_t src = s; src < e; ++src) {
+      if (ri < r_end && removals[ri] == keys[src]) {
         ++ri;
-        ++src;
         continue;
       }
-      if (ii < i_end && (src >= old_span || insertions[ii].key < tmp[src])) {
-        const BatchScratch::PendingInsert& ins = insertions[ii++];
-        keys[dst] = ins.key;
-        if (ins.handle != nullptr) {
-          *ins.handle = Handle{chunk->slot, chunk->gen};
-        }
-        if (track_ids_ && ins.old_slot != chunk->slot) {
-          ++probes_;
-          chunk_of_[ins.key.id] = chunk->slot;
-        }
-        ++dst;
+      tmp[kept++] = keys[src];
+    }
+    KSIR_CHECK(ri == r_end);
+    if (new_span != old_span) {  // shift the untouched suffix once
+      if (new_span < old_span) {
+        kernels::CopyKeys(keys + s + new_span, keys + e, old_size - e);
       } else {
-        keys[dst] = tmp[src];
-        ++dst;
-        ++src;
+        kernels::CopyKeysBackward(keys + e + (new_span - old_span), keys + e,
+                                  old_size - e);
       }
     }
-    KSIR_CHECK(ri == r_end && dst == dst_end);
+    const auto ins_count = static_cast<std::uint32_t>(i_end - ii);
+    KSIR_CHECK(kept + ins_count == new_span);
+    std::array<Key, kChunkCapacity> ins_keys;
+    for (std::uint32_t k = 0; k < ins_count; ++k) {
+      ins_keys[k] = insertions[ii + k].key;
+    }
+    kernels::MergeKeys(keys + s, tmp.data(), kept, ins_keys.data(),
+                       ins_count);
+    for (; ii < i_end; ++ii) {
+      const BatchScratch::PendingInsert& ins = insertions[ii];
+      if (ins.handle != nullptr) {
+        *ins.handle = Handle{chunk->slot, chunk->gen};
+      }
+      if (track_ids_ && ins.old_slot != chunk->slot) {
+        ++probes_;
+        chunk_of_[ins.key.id] = chunk->slot;
+      }
+    }
     chunk->size = static_cast<std::uint32_t>(new_size);
     if (new_size > 0) chunk_last_[c] = keys[new_size - 1];
     if (new_size < kChunkCapacity / 4) any_small = true;
@@ -482,8 +486,8 @@ void RankedList::MergeBatch(BatchScratch* scratch) {
           chunks_[write - 1]->size + chunks_[c]->size <= kChunkCapacity) {
         Chunk* dst = chunks_[write - 1].get();
         Chunk* src = chunks_[c].get();
-        std::copy(src->keys.begin(), src->keys.begin() + src->size,
-                  dst->keys.begin() + dst->size);
+        kernels::CopyKeys(dst->keys.data() + dst->size, src->keys.data(),
+                          src->size);
         if (track_ids_) {
           for (std::uint32_t i = 0; i < src->size; ++i) {
             ++probes_;
@@ -569,8 +573,7 @@ std::size_t RankedList::DrainTop(const_iterator* pos, Key* out,
     const Chunk* chunk = chunks_[pos->chunk_].get();
     const auto avail = static_cast<std::size_t>(chunk->size - pos->offset_);
     const std::size_t take = std::min(avail, n - copied);
-    std::copy(chunk->keys.data() + pos->offset_,
-              chunk->keys.data() + pos->offset_ + take, out + copied);
+    kernels::CopyKeys(out + copied, chunk->keys.data() + pos->offset_, take);
     copied += take;
     pos->offset_ += static_cast<std::uint32_t>(take);
     if (pos->offset_ == chunk->size) {
@@ -587,10 +590,9 @@ RankedList::HandleState RankedList::ProbeHandle(Handle handle, ElementId id,
   if (chunk == nullptr) return HandleState::kStale;
   const Key key{score, id};
   const Key* const first = chunk->keys.data();
-  const Key* const last = first + chunk->size;
-  const Key* const pos = std::lower_bound(first, last, key);
-  return pos != last && *pos == key ? HandleState::kValid
-                                    : HandleState::kStale;
+  const std::size_t pos = kernels::LowerBoundKeys(first, chunk->size, key);
+  return pos < chunk->size && first[pos] == key ? HandleState::kValid
+                                                : HandleState::kStale;
 }
 
 RankedListIndex::RankedListIndex(std::size_t num_topics, bool track_ids) {

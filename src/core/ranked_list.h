@@ -34,10 +34,12 @@
 #include <cstdint>
 #include <iterator>
 #include <memory>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "common/flat_hash_map.h"
+#include "common/kernels/kernels.h"
 #include "common/small_vector.h"
 #include "common/types.h"
 
@@ -46,19 +48,13 @@ namespace ksir {
 /// One topic's ranked list.
 class RankedList {
  public:
-  /// Ordering key: score descending, id ascending for determinism.
-  struct Key {
-    double score;
-    ElementId id;
-
-    bool operator<(const Key& other) const {
-      if (score != other.score) return score > other.score;
-      return id < other.id;
-    }
-    bool operator==(const Key& other) const {
-      return score == other.score && id == other.id;
-    }
-  };
+  /// Ordering key: score descending, id ascending for determinism. Aliases
+  /// the kernel layer's 16-byte key so the directory probes, in-chunk
+  /// searches, and span moves run on the dispatched SIMD kernels without
+  /// any type-punning at the call sites.
+  using Key = kernels::Key16;
+  static_assert(std::is_same_v<decltype(Key::id), ElementId>,
+                "kernels::Key16 must carry the engine's element id type");
 
   /// One pending id-keyed reposition (the t_e half of the paper's tuple
   /// lives in RankedListIndex, once per element).

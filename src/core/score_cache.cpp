@@ -49,9 +49,8 @@ void ScoreCache::ComputeHalves(const SocialElement& e, TopicList* topics,
       const SocialElement* referrer = window.Find(r.id);
       KSIR_DCHECK(referrer != nullptr);
       if (referrer == nullptr) continue;
-      for (const auto& [topic, prob] : referrer->topics.entries()) {
-        acc->Add(static_cast<std::size_t>(topic), prob);
-      }
+      const auto& entries = referrer->topics.entries();
+      acc->AddEntries(entries.data(), entries.size());
     }
   }
   for (TopicHalves& half : *topics) {

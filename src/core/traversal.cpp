@@ -1,6 +1,7 @@
 #include "core/traversal.h"
 
 #include "common/check.h"
+#include "common/kernels/kernels.h"
 
 namespace ksir {
 
@@ -20,6 +21,8 @@ RankedListCursor::RankedListCursor(const RankedListIndex* index,
     pos.next = list.begin();
     lists_.push_back(pos);
   }
+  head_ub_.resize(lists_.size(), 0.0);
+  head_max_.resize(lists_.size(), -1.0);
   for (ListPos& pos : lists_) AdvanceHead(&pos);
 }
 
@@ -29,21 +32,28 @@ void RankedListCursor::AdvanceHead(ListPos* pos) {
            visited_.contains(pos->buffer[pos->cursor].id)) {
       ++pos->cursor;
     }
-    if (pos->cursor < pos->filled) return;
+    if (pos->cursor < pos->filled) break;
     pos->filled = static_cast<std::uint32_t>(
         pos->list->DrainTop(&pos->next, pos->buffer.data(), kPullBlock));
     pos->cursor = 0;
-    if (pos->filled == 0) return;  // list exhausted
+    if (pos->filled == 0) break;  // list exhausted
+  }
+  const auto slot = static_cast<std::size_t>(pos - lists_.data());
+  if (pos->has_head()) {
+    const double value = pos->weight * pos->head().score;
+    head_ub_[slot] = value;
+    head_max_[slot] = value;
+  } else {
+    head_ub_[slot] = 0.0;
+    head_max_[slot] = -1.0;
   }
 }
 
 double RankedListCursor::UpperBound() const {
-  double ub = 0.0;
-  for (const ListPos& pos : lists_) {
-    if (!pos.has_head()) continue;
-    ub += pos.weight * pos.head().score;
-  }
-  return ub;
+  if (lists_.empty()) return 0.0;
+  std::size_t argmax = 0;
+  return kernels::WeightedSumArgmax(head_ub_.data(), head_max_.data(),
+                                    lists_.size(), &argmax);
 }
 
 bool RankedListCursor::Exhausted() const {
@@ -54,18 +64,14 @@ bool RankedListCursor::Exhausted() const {
 }
 
 std::optional<ElementId> RankedListCursor::PopNext() {
-  ListPos* best = nullptr;
-  double best_value = -1.0;
-  for (ListPos& pos : lists_) {
-    if (!pos.has_head()) continue;
-    const double value = pos.weight * pos.head().score;
-    if (value > best_value) {
-      best_value = value;
-      best = &pos;
-    }
-  }
-  if (best == nullptr) return std::nullopt;
-  const ElementId id = best->head().id;
+  if (lists_.empty()) return std::nullopt;
+  std::size_t argmax = 0;
+  kernels::WeightedSumArgmax(head_ub_.data(), head_max_.data(), lists_.size(),
+                             &argmax);
+  // The sentinel -1.0 is below every live head value; when even the argmax
+  // sits at (or below) it, no list has a selectable head.
+  if (!(head_max_[argmax] > -1.0)) return std::nullopt;
+  const ElementId id = lists_[argmax].head().id;
   visited_.insert(id);
   ++num_retrieved_;
   // Keep the invariant: every head position points at an unvisited tuple,
@@ -76,23 +82,15 @@ std::optional<ElementId> RankedListCursor::PopNext() {
 
 std::size_t RankedListCursor::PopWhileAtLeast(double min_value,
                                               std::vector<ElementId>* out) {
+  if (lists_.empty()) return 0;
   std::size_t popped = 0;
   while (true) {
-    // One pass finds both the upper bound and the best head.
-    double ub = 0.0;
-    ListPos* best = nullptr;
-    double best_value = -1.0;
-    for (ListPos& pos : lists_) {
-      if (!pos.has_head()) continue;
-      const double value = pos.weight * pos.head().score;
-      ub += value;
-      if (value > best_value) {
-        best_value = value;
-        best = &pos;
-      }
-    }
-    if (best == nullptr || ub < min_value) break;
-    const ElementId id = best->head().id;
+    // One kernel scan finds both the upper bound and the best head.
+    std::size_t argmax = 0;
+    const double ub = kernels::WeightedSumArgmax(
+        head_ub_.data(), head_max_.data(), lists_.size(), &argmax);
+    if (!(head_max_[argmax] > -1.0) || ub < min_value) break;
+    const ElementId id = lists_[argmax].head().id;
     visited_.insert(id);
     ++num_retrieved_;
     out->push_back(id);

@@ -76,10 +76,19 @@ class RankedListCursor {
   };
 
   /// Advances `pos` past visited entries, refilling the buffer as needed;
-  /// afterwards the head (if any) is unvisited.
+  /// afterwards the head (if any) is unvisited and the head shadow arrays
+  /// reflect the new head value.
   void AdvanceHead(ListPos* pos);
 
   std::vector<ListPos> lists_;
+  /// Contiguous shadows of the per-list head values x_i * delta_i(head),
+  /// kept in lockstep with lists_ by AdvanceHead so the per-pop scans run
+  /// on the vectorized sum/argmax kernel instead of a pointer-chasing
+  /// loop over ListPos records. head_ub_ holds 0.0 for exhausted lists
+  /// (identity for the UB sum); head_max_ holds -1.0 (the scalar scan's
+  /// "nothing selected" sentinel, below any real head value).
+  std::vector<double> head_ub_;
+  std::vector<double> head_max_;
   FlatHashSet<ElementId> visited_;
   std::size_t num_retrieved_ = 0;
 };

@@ -1,10 +1,12 @@
 #include "window/active_window.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <string>
 
 #include "common/check.h"
 #include "common/flat_hash_map.h"
+#include "common/kernels/kernels.h"
 
 namespace ksir {
 
@@ -164,11 +166,14 @@ StatusOr<ActiveWindow::UpdateResult> ActiveWindow::Advance(
     for (Entry* target_entry : leaver->ref_targets) {
       KSIR_DCHECK(target_entry->active);
       auto& referrers = target_entry->referrers;
-      std::size_t pos = 0;
-      while (referrers[pos].id != id) {
-        ++pos;
-        KSIR_DCHECK(pos < referrers.size() && referrers[pos].ts <= cutoff);
-      }
+      // The leaver's record sits in the ts-expired prefix; the id scan over
+      // the 16-byte (id, ts) records is the dispatched strided kernel.
+      static_assert(sizeof(Referrer) == 2 * sizeof(std::int64_t) &&
+                        offsetof(Referrer, id) == 0,
+                    "Referrer must be a 16-byte record led by its id");
+      const std::size_t pos =
+          kernels::FindId64(&referrers[0].id, referrers.size(), 2, id);
+      KSIR_DCHECK(pos < referrers.size() && referrers[pos].ts <= cutoff);
       referrers.erase(referrers.begin() + static_cast<std::ptrdiff_t>(pos),
                       referrers.begin() +
                           static_cast<std::ptrdiff_t>(pos + 1));

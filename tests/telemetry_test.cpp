@@ -362,6 +362,10 @@ TEST_F(TelemetryIntegrationTest, IngestAndQueryPopulateExpectedMetrics) {
   // shards and 8 buckets there are 16 applies.
   EXPECT_EQ(hist_count("ksir_maintainer_bucket_apply_seconds"), 16);
   EXPECT_EQ(hist_count("ksir_maintainer_stage_expiry_seconds"), 16);
+  // Regression check: the serial apply path must time its run gather too
+  // (it used to report a permanent 0.000 gather stage because only the
+  // parallel path owned a gather scope).
+  EXPECT_EQ(hist_count("ksir_maintainer_stage_gather_seconds"), 16);
   EXPECT_EQ(hist_count("ksir_maintainer_stage_list_apply_seconds"), 16);
   EXPECT_EQ(hist_count("ksir_engine_advance_seconds"), 16);
   EXPECT_EQ(hist_count("ksir_ingest_bucket_seconds"), 8);

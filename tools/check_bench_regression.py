@@ -38,6 +38,16 @@ registered-times-rounds count, and the measured naive reference must
 equal that analytic count exactly (it is exact by construction; a
 mismatch means the naive baseline silently stopped being naive).
 
+When the fresh document carries a "kernels" section, the vectorized
+kernel layer is gated in-run: the chunk-merge composite and the dense-dot
+reduction must run at least KERNEL_MIN_SPEEDUP (1.2x) faster on the
+runtime-dispatched arm than on the forced-scalar reference measured in
+the same process. The chunk-merge bound is only enforced on the AVX2 arm
+(the SSE2 arm vectorizes the copies but not the searches, so its
+composite win is real but below the bound); dense_dot is gated on every
+non-scalar arm. A document whose active ISA is "scalar" (KSIR_SIMD=OFF,
+or a CPU with no compiled arm) skips the section cleanly.
+
 Comparisons only make sense at matching scale; a scale mismatch is
 reported and skipped (exit 0) so the gate never silently compares apples
 to oranges.
@@ -58,6 +68,12 @@ TELEMETRY_OVERHEAD_LIMIT = 0.02
 # space, so their rows are smoke coverage, not the claimed regime.
 SUBSCRIPTION_MIN_REDUCTION = 10.0
 SUBSCRIPTION_GATE_MIN_REGISTERED = 10000
+
+# Minimum in-run dispatched-vs-scalar speedup for the gated kernels.
+KERNEL_MIN_SPEEDUP = 1.2
+# chunk_merge is gated on these ISAs only (see module docstring);
+# dense_dot is gated on every non-scalar ISA.
+KERNEL_CHUNK_MERGE_ISAS = ("avx2",)
 
 # The serial production engine key, newest first: older baselines predate
 # the handle path and archive the batched engine instead.
@@ -179,6 +195,44 @@ def main(argv):
             print("NOTE [telemetry overhead]: one estimator above the "
                   "bound, the other within it — measurement drift, not "
                   "gated")
+
+    kernels = fresh.get("kernels")
+    if kernels is None:
+        print("NOTE: no kernels section in the fresh document; "
+              "kernel speedup gate skipped")
+    else:
+        isa = kernels.get("isa", "scalar")
+        results = kernels.get("results", {})
+        if isa == "scalar":
+            print("SKIP [kernels]: scalar dispatch only (KSIR_SIMD off or "
+                  "no SIMD arm for this CPU); nothing to gate")
+        else:
+            print(f"[kernels] active ISA = {isa} "
+                  f"(cpu: {fresh.get('cpu_features', '?')})")
+            gated = ["dense_dot"]
+            if isa in KERNEL_CHUNK_MERGE_ISAS:
+                gated.insert(0, "chunk_merge")
+            else:
+                print(f"NOTE [kernels]: chunk_merge bound not enforced on "
+                      f"the {isa} arm")
+            for name, row in results.items():
+                speedup = row.get("speedup", 0.0)
+                gate = name in gated
+                print(f"[kernels] {name}: scalar {row.get('scalar_ns')} ns, "
+                      f"dispatched {row.get('dispatched_ns')} ns, "
+                      f"{speedup:.2f}x{' (gated)' if gate else ''}")
+            for name in gated:
+                row = results.get(name)
+                if row is None:
+                    print(f"FAIL [kernels]: gated kernel '{name}' missing "
+                          f"from the results")
+                    ok = False
+                    continue
+                if row.get("speedup", 0.0) < KERNEL_MIN_SPEEDUP:
+                    print(f"FAIL [kernels]: {name} dispatched arm only "
+                          f"{row.get('speedup', 0.0):.2f}x over scalar "
+                          f"(< {KERNEL_MIN_SPEEDUP:.1f}x)")
+                    ok = False
 
     subscriptions = fresh.get("subscriptions")
     if subscriptions is None:
