@@ -344,8 +344,10 @@ int Run(const char* out_path) {
 
   // Maintenance-thread sweep: fresh engines, same stream, varying the
   // staged apply's participant count (1 = the serial reference path).
-  // Scaling needs cores — see available_cores in the JSON.
-  const std::size_t kThreadSweep[] = {1, 2, 4};
+  // Scaling needs cores — see available_cores in the JSON; the 1-vs-4 row
+  // pair feeds check_bench_regression's --require-scaling floor, and the
+  // 8-thread row shows where the per-bucket work runs out of shards.
+  const std::size_t kThreadSweep[] = {1, 2, 4, 8};
   struct ThreadSweepPoint {
     std::size_t threads;
     double total_ms;

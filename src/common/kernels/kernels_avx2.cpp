@@ -75,15 +75,32 @@ std::size_t CountGreater(const Key16* keys, std::size_t n, Key16 key) {
   return count;
 }
 
+// Span length at which the hybrid bound searches stop binary-narrowing and
+// let the branchless count finish. Swept at 2 / 4 / 8 / 16 / 32 / 64 on an
+// AVX2 Xeon against BOTH kernel_bench rows. The two disagree: on the
+// standalone random-probe row the vector tail loses slightly (0.85-0.91x
+// at 4-16; pure binary at 2 is parity) because a tight probe loop keeps
+// the binary search's branches cheap — but in the chunk_merge composite,
+// whose bound calls are interleaved with merge/copy work exactly like the
+// MergeBatch list-apply inner loop, the tail is what carries the kernel:
+// 1.33-1.39x at 8-16 versus 1.08x at 2. The composite is the shape the
+// hot path actually runs, so 16 is the default and the standalone row is
+// gated only against catastrophic regression (see
+// tools/check_bench_regression.py). Overridable so new silicon can be
+// re-swept without touching code.
+#ifndef KSIR_AVX2_BOUND_CUTOVER
+#define KSIR_AVX2_BOUND_CUTOVER 16
+#endif
+constexpr std::size_t kBoundCutover = KSIR_AVX2_BOUND_CUTOVER;
+
 // On a sorted array, lower_bound index == count of elements < key. For
 // long arrays (the chunk directory) a few branchy binary-search steps
-// narrow to a 16-element span first, then the branchless count finishes
-// (each binary step on an effectively-random probe is a coin-flip branch;
-// four count iterations beat the remaining mispredict recoveries).
+// narrow to a kBoundCutover-element span first, then the branchless count
+// finishes.
 std::size_t LowerBoundKeysAvx2(const Key16* keys, std::size_t n, Key16 key) {
   std::size_t lo = 0;
   std::size_t hi = n;
-  while (hi - lo > 16) {
+  while (hi - lo > kBoundCutover) {
     const std::size_t mid = lo + (hi - lo) / 2;
     if (keys[mid] < key) {
       lo = mid + 1;
@@ -97,7 +114,7 @@ std::size_t LowerBoundKeysAvx2(const Key16* keys, std::size_t n, Key16 key) {
 std::size_t UpperBoundKeysAvx2(const Key16* keys, std::size_t n, Key16 key) {
   std::size_t lo = 0;
   std::size_t hi = n;
-  while (hi - lo > 16) {
+  while (hi - lo > kBoundCutover) {
     const std::size_t mid = lo + (hi - lo) / 2;
     if (key < keys[mid]) {
       hi = mid;

@@ -73,6 +73,8 @@ IndexMaintainer::IndexMaintainer(const ScoringContext* ctx,
     pool_ = pool;
     workers_ = parallel_workers;
     insert_counts_.resize(index->num_topics(), 0);
+    erase_seen_.resize(index->num_topics(), 0);
+    topic_shard_.resize(index->num_topics(), 0);
     worker_acc_.resize(workers_);
     for (StampedAccumulator& acc : worker_acc_) {
       acc.Resize(index->num_topics());
@@ -507,9 +509,59 @@ void IndexMaintainer::ApplyIncrementalParallel(
   std::uint32_t* update_off = nullptr;
   {
     StageScope scope(telemetry_, stage_expiry_hist_, "maint.expiry");
-    // Stage 1 (serial): expiry, exactly as the serial path — an erase
-    // touches the membership map and several lists per element.
-    for (const ActiveWindow::Touched& t : update.expired) EraseExpired(t);
+    // Stage 1: topic-sharded expiry. A serial prologue walks the expired
+    // elements in order — summary touches, membership and cache erases are
+    // single-threaded state — copying each carried hint OUT of the dying
+    // cache entry (cache_.Erase frees the pool row the halves live in).
+    // The per-list erases then fan out, each touched topic owned by one
+    // shard; a shard replays its lists' erases in element order, so every
+    // list sees exactly the serial erase sequence.
+    erase_items_.clear();
+    erase_topics_.clear();
+    for (const ActiveWindow::Touched& t : update.expired) {
+      const ScoreCache::TopicList* halves = ScoreCache::FromSlot(*t.user_slot);
+      KSIR_CHECK(halves != nullptr);
+      KSIR_DCHECK(halves == cache_.Find(t.id));
+      topic_id_scratch_.clear();
+      for (const ScoreCache::TopicHalves& half : *halves) {
+        TouchSummary(half.topic, std::abs(half.listed));
+        erase_items_.push_back(
+            PendingErase{half.topic, t.id, half.listed, half.handle});
+        topic_id_scratch_.push_back(half.topic);
+        const auto slot = static_cast<std::size_t>(half.topic);
+        if (erase_seen_[slot] == 0) {
+          erase_seen_[slot] = 1;
+          erase_topics_.push_back(half.topic);
+        }
+      }
+      index_->EraseMembership(t.id, topic_id_scratch_.data(),
+                              topic_id_scratch_.size());
+      cache_.Erase(t.id);
+    }
+    if (!erase_topics_.empty()) {
+      // Canonical topic order keeps the topic -> shard assignment (and so
+      // the worker each list lands on) stable across buckets and runs.
+      std::sort(erase_topics_.begin(), erase_topics_.end());
+      const std::size_t shards = std::min(workers_, erase_topics_.size());
+      for (std::size_t i = 0; i < erase_topics_.size(); ++i) {
+        const auto slot = static_cast<std::size_t>(erase_topics_[i]);
+        erase_seen_[slot] = 0;  // restored for the next bucket
+        topic_shard_[slot] = static_cast<std::uint32_t>(i % shards);
+      }
+      ParallelRunAffine(
+          pool_, shards, shards, [&](std::size_t, std::size_t shard) {
+            // Each shard scans the full item sequence and executes only its
+            // topics' erases: per-list element order is preserved by
+            // construction, and the shards-many passes over the packed item
+            // vector are cheap next to the chunk memmoves they feed.
+            for (const PendingErase& e : erase_items_) {
+              if (topic_shard_[static_cast<std::size_t>(e.topic)] != shard) {
+                continue;
+              }
+              index_->EraseListEntry(e.topic, e.id, e.score, e.handle);
+            }
+          });
+    }
 
     // Stage 2 (serial): lay out the bucket's work. Fresh elements get
     // their cache entry rows and membership record (hash maps and pools
@@ -655,51 +707,64 @@ void IndexMaintainer::ApplyIncrementalParallel(
     }
     insert_off[touched_.size()] = ins;
     update_off[touched_.size()] = upd;
-    for (const FreshItem& item : fresh_items_) {
-      const ElementId id = item.element->id;
-      for (ScoreCache::TopicHalves& half : *item.halves) {
-        insert_runs[insert_counts_[static_cast<std::size_t>(half.topic)]++] =
-            PendingInsert{id, half.listed, &half.handle};
-      }
+    // Stage 4b (parallel, topic-sharded): the scatter itself. Each shard
+    // owns a disjoint topic subset — the same i % shards residue stage 5
+    // prefers through ParallelRunAffine, so the worker that writes a
+    // topic's runs is the one that applies them next. A shard scans the
+    // element-ordered item lists and advances only its topics' cursors, so
+    // the runs land byte-identically to a serial scatter.
+    const std::size_t shards = std::min(workers_, touched_.size());
+    for (std::size_t i = 0; i < touched_.size(); ++i) {
+      topic_shard_[static_cast<std::size_t>(touched_[i])] =
+          static_cast<std::uint32_t>(i % shards);
     }
-    for (const TouchedItem& item : touched_items_) {
-      if (!item.reposition) continue;  // summary-only touches, folded above
-      for (std::uint32_t i = 0; i < item.num_updates; ++i) {
-        update_runs[topic_counts_[static_cast<std::size_t>(
-            item.updates[i].topic)]++] = item.updates[i].payload;
-      }
-    }
+    ParallelRunAffine(
+        pool_, shards, shards, [&](std::size_t, std::size_t shard) {
+          for (const FreshItem& item : fresh_items_) {
+            const ElementId id = item.element->id;
+            for (ScoreCache::TopicHalves& half : *item.halves) {
+              const auto topic = static_cast<std::size_t>(half.topic);
+              if (topic_shard_[topic] != shard) continue;
+              insert_runs[insert_counts_[topic]++] =
+                  PendingInsert{id, half.listed, &half.handle};
+            }
+          }
+          for (const TouchedItem& item : touched_items_) {
+            if (!item.reposition) continue;  // summary-only, folded above
+            for (std::uint32_t i = 0; i < item.num_updates; ++i) {
+              const auto topic =
+                  static_cast<std::size_t>(item.updates[i].topic);
+              if (topic_shard_[topic] != shard) continue;
+              update_runs[topic_counts_[topic]++] = item.updates[i].payload;
+            }
+          }
+        });
   }
 
   StageScope list_scope(telemetry_, stage_list_apply_hist_,
                         "maint.list_apply");
   // Stage 5 (parallel, topic-sharded): apply each touched topic's fresh
-  // inserts, then its reposition run. A topic is claimed by exactly one
+  // inserts, then its reposition run. A topic is executed by exactly one
   // participant and no list state is shared across topics, so there is no
   // list-level locking; handle minting and the ScoreCache handle
   // write-backs land identically to the serial order because each list
-  // executes its serial operation sequence. Per-participant BatchScratch
-  // keeps the merge sweeps allocation- and contention-free.
-  std::atomic<std::size_t> topic_cursor{0};
-  ParallelRun(
-      pool_, std::min(workers_, touched_.size()), [&](std::size_t p) {
+  // executes its serial operation sequence. ParallelRunAffine gives unit i
+  // the i % P residue that scattered its runs in stage 4b — warm caches —
+  // while the steal sweep keeps the stage work-conserving; per-participant
+  // BatchScratch keeps the merge sweeps allocation- and contention-free.
+  ParallelRunAffine(
+      pool_, workers_, touched_.size(), [&](std::size_t p, std::size_t i) {
         RankedList::BatchScratch& scratch = worker_scratch_[p];
-        for (;;) {
-          const std::size_t i =
-              topic_cursor.fetch_add(1, std::memory_order_relaxed);
-          if (i >= touched_.size()) return;
-          const TopicId topic = touched_[i];
-          for (std::uint32_t k = insert_off[i]; k < insert_off[i + 1]; ++k) {
-            *insert_runs[k].handle = index_->InsertListEntry(
-                topic, insert_runs[k].id, insert_runs[k].score);
-          }
-          const std::uint32_t begin = update_off[i];
-          const std::uint32_t n = update_off[i + 1] - begin;
-          if (n > 0) {
-            index_->BatchRepositionHandles(topic, update_runs + begin, n,
-                                           /*merge=*/n >= batch_min_,
-                                           &scratch);
-          }
+        const TopicId topic = touched_[i];
+        for (std::uint32_t k = insert_off[i]; k < insert_off[i + 1]; ++k) {
+          *insert_runs[k].handle = index_->InsertListEntry(
+              topic, insert_runs[k].id, insert_runs[k].score);
+        }
+        const std::uint32_t begin = update_off[i];
+        const std::uint32_t n = update_off[i + 1] - begin;
+        if (n > 0) {
+          index_->BatchRepositionHandles(topic, update_runs + begin, n,
+                                         /*merge=*/n >= batch_min_, &scratch);
         }
       });
 

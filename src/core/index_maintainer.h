@@ -68,18 +68,34 @@ inline constexpr std::size_t kDefaultRepositionBatchMin = 2;
 /// shards in parallel.
 ///
 /// With a runtime WorkerPool and `parallel_workers >= 2` the handle
-/// pipeline's bucket apply runs STAGED (see ApplyIncrementalParallel):
-/// serial expiry + entry allocation, a parallel element-sharded stage
-/// (fresh-element scoring, edge folding, score composition — elements are
-/// disjoint, each worker gets its own dense accumulator), a serial
-/// deterministic gather that scatters the per-element outputs into
-/// per-topic runs in exactly the serial path's queue order, and a parallel
-/// topic-sharded list stage (each topic's RankedList — fresh inserts then
-/// the reposition run — is claimed by exactly one worker, so no list-level
-/// locking; per-worker BatchScratch keeps allocation contention-free).
-/// Because every list sees the identical operation sequence the serial
-/// path would produce, the resulting lists, handles and ScoreCache state
-/// are BITWISE identical to the serial handle path.
+/// pipeline's bucket apply runs STAGED (see ApplyIncrementalParallel),
+/// and every stage that touches list memory fans out:
+///   1. expiry — a serial prologue walks the expired elements (summary
+///      touches, membership + cache erases: hash maps and pools are
+///      single-threaded state) copying each carried per-topic hint out of
+///      the dying cache entry, then the per-list erases run TOPIC-SHARDED
+///      (each touched topic is owned by one worker, which replays that
+///      list's erases in element order);
+///   2. layout (serial) — cache entry rows, membership records and arena
+///      buffers for the bucket's touched elements;
+///   3. scoring (parallel, element-sharded) — fresh-element scoring, edge
+///      folding, score composition; each participant folds through its own
+///      dense accumulator;
+///   4. gather — a serial counting pass fixes the per-topic run layout,
+///      summary touches and t_e writes, then the scatter into per-topic
+///      runs is TOPIC-SHARDED: each worker owns a disjoint topic subset
+///      and writes exactly its topics' runs, in element order, so the
+///      concatenated runs equal the serial queue order by construction;
+///   5. list apply (parallel, topic-sharded) — each touched topic's
+///      RankedList (fresh inserts then the reposition run) is claimed by
+///      exactly one worker, so no list-level locking; per-worker
+///      BatchScratch keeps the merge sweeps allocation-free.
+/// The topic-keyed stages run through ParallelRunAffine, so the same
+/// topic shard lands on the same pool worker bucket after bucket (cache
+/// affinity; see runtime/worker_pool.h). Because every list sees the
+/// identical operation sequence the serial path would produce, the
+/// resulting lists, handles and ScoreCache state are BITWISE identical to
+/// the serial handle path.
 class IndexMaintainer {
  public:
   /// `ctx` and `index` must outlive the maintainer; `ctx`'s window must be
@@ -125,8 +141,9 @@ class IndexMaintainer {
   void ApplyIncrementalParallel(const ActiveWindow::UpdateResult& update);
   void ApplyRecompute(const ActiveWindow::UpdateResult& update);
 
-  /// Erases one expired element from the lists and the cache (shared by
-  /// the serial and parallel applies; always serial).
+  /// Erases one expired element from the lists and the cache (the serial
+  /// apply path; the parallel apply shards the list erases by topic — see
+  /// ApplyIncrementalParallel stage 1).
   void EraseExpired(const ActiveWindow::Touched& t);
 
   /// Inserts a fresh / resurrected element into the cache and the lists,
@@ -267,8 +284,27 @@ class IndexMaintainer {
     double score;
     RankedList::Handle* handle;
   };
+  /// One per-list erase of the topic-sharded expiry stage, in element
+  /// order. The hint fields are copied OUT of the dying cache entry by the
+  /// serial prologue: cache_.Erase frees the pool row the halves live in,
+  /// so the fan-out must not read through the entry.
+  struct PendingErase {
+    TopicId topic;
+    ElementId id;
+    double score;
+    RankedList::Handle handle;
+  };
   void ProcessTouchedParallel(TouchedItem* item, StampedAccumulator* acc);
 
+  std::vector<PendingErase> erase_items_;
+  /// Distinct topics with erases this bucket (deduped through erase_seen_,
+  /// which is restored to zero during shard assignment).
+  std::vector<TopicId> erase_topics_;
+  std::vector<std::uint8_t> erase_seen_;
+  /// Dense topic -> owning shard map for the bucket's topic-sharded stages
+  /// (expiry erases; gather scatter + list apply). Never reset: a bucket
+  /// only reads the topics it wrote first.
+  std::vector<std::uint32_t> topic_shard_;
   std::vector<FreshItem> fresh_items_;
   std::vector<TouchedItem> touched_items_;
   std::vector<TopicId> topic_id_scratch_;

@@ -745,6 +745,25 @@ void RankedListIndex::EraseWithHints(ElementId id,
   membership_.erase(it);
 }
 
+void RankedListIndex::EraseMembership(ElementId id, const TopicId* topics,
+                                      std::size_t n) {
+  const auto it = membership_.find(id);
+  KSIR_CHECK(it != membership_.end());
+  KSIR_CHECK(it->second.topics.size() == n);
+  for (std::size_t i = 0; i < n; ++i) {
+    KSIR_DCHECK(it->second.topics[i] == topics[i]);
+  }
+  total_entries_ -= n;
+  membership_.erase(it);
+}
+
+void RankedListIndex::EraseListEntry(TopicId topic, ElementId id,
+                                     double score,
+                                     RankedList::Handle handle) {
+  KSIR_DCHECK(topic >= 0 && static_cast<std::size_t>(topic) < lists_.size());
+  lists_[static_cast<std::size_t>(topic)].EraseHandle(id, score, handle);
+}
+
 const RankedList& RankedListIndex::list(TopicId topic) const {
   KSIR_CHECK(topic >= 0 && static_cast<std::size_t>(topic) < lists_.size());
   return lists_[static_cast<std::size_t>(topic)];

@@ -396,9 +396,24 @@ class RankedListIndex {
   void Erase(ElementId id);
 
   /// Removes `id` using carried per-topic hints; `hints` must cover exactly
-  /// the element's insertion support (debug-verified).
+  /// the element's insertion support (debug-verified). Equivalent to
+  /// EraseMembership + one EraseListEntry per hint, in hint order.
   void EraseWithHints(ElementId id, const RankedList::ErasureHint* hints,
                       std::size_t n);
+
+  /// Serial half of the topic-sharded expiry path: drops `id`'s membership
+  /// row and entry count WITHOUT touching any list (the mirror of
+  /// InsertMembership). `topics` must be the element's exact insertion
+  /// support in membership order (debug-verified). The per-topic
+  /// EraseListEntry calls remove the list halves.
+  void EraseMembership(ElementId id, const TopicId* topics, std::size_t n);
+
+  /// Removes one carried (score, handle) entry from one topic's list.
+  /// Touches ONLY that list, so topic-disjoint callers (the maintainer's
+  /// parallel expiry stage) run concurrently without locks; the membership
+  /// row is dropped separately (EraseMembership).
+  void EraseListEntry(TopicId topic, ElementId id, double score,
+                      RankedList::Handle handle);
 
   bool Contains(ElementId id) const { return membership_.contains(id); }
 

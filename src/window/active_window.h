@@ -97,7 +97,11 @@ class ActiveWindow {
     std::vector<Touched> lost_referrer;
     /// Elements that left A_t (deactivated; removed from the ranked
     /// lists). Edge spans are empty; element/te/user_slot are carried
-    /// (the entries stay alive through this call).
+    /// (the entries stay alive through this call). The slot target is
+    /// consumer-owned and the consumer may free it while handling the
+    /// expiry — the maintainer's topic-sharded erase copies its hints out
+    /// of the slot's record BEFORE releasing it, and nothing may read the
+    /// slot after the consumer's own release.
     std::vector<Touched> expired;
     /// References whose target was neither active nor archived.
     std::int64_t dangling_refs = 0;

@@ -18,6 +18,7 @@
 
 #include "common/rng.h"
 #include "core/engine.h"
+#include "runtime/worker_pool.h"
 #include "stream/element.h"
 #include "stream_gen.h"
 #include "topic/topic_model.h"
@@ -38,15 +39,17 @@ SocialElement RandomElement(Rng* rng, ElementId id, Timestamp ts,
   return testing::RandomElement(rng, id, ts, history, config);
 }
 
-/// Feeds the same random stream to five engines bucket by bucket — the
+/// Feeds the same random stream to six engines bucket by bucket — the
 /// handle-carrying batched path (production default), the PARALLEL staged
-/// apply over that same path (maintenance_threads = 3), the id-keyed
-/// batched path (the PR 3 baseline), the single-reposition path (the PR 2
-/// baseline) and the recompute baseline — checking list-state equality
-/// after every advance. The four incremental engines must agree bitwise
-/// (they compose identical doubles from the same cache, and the parallel
-/// stages replay the serial per-list operation order exactly); recompute
-/// agrees within kTol.
+/// apply over that same path (maintenance_threads = 3), the AFFINE flavor
+/// of the parallel apply (maintenance_threads = 4 on an externally shared
+/// CPU-pinned pool: topic-sharded expiry + gather + list apply riding
+/// ParallelRunAffine), the id-keyed batched path (the PR 3 baseline), the
+/// single-reposition path (the PR 2 baseline) and the recompute baseline —
+/// checking list-state equality after every advance. The five incremental
+/// engines must agree bitwise (they compose identical doubles from the
+/// same cache, and the parallel stages replay the serial per-list
+/// operation order exactly); recompute agrees within kTol.
 void RunEquivalenceStream(std::uint64_t seed, RefreshMode mode) {
   Rng rng(seed);
   TopicModel model = MakeModel(&rng);
@@ -68,6 +71,12 @@ void RunEquivalenceStream(std::uint64_t seed, RefreshMode mode) {
   // ...vs. the staged parallel apply of the same pipeline...
   EngineConfig parallel_config = handle_config;
   parallel_config.maintenance_threads = 3;
+  // ...vs. the same staged apply at a different worker count, on a shared
+  // pool with CPU pinning requested (exercises SubmitTo placement, the
+  // steal path, and pin fallback on restricted runners — determinism must
+  // not depend on where the shards physically run)...
+  EngineConfig affine_config = handle_config;
+  affine_config.maintenance_threads = 4;
   // ...vs. the same sweep resolving every tuple by id (PR 3)...
   EngineConfig batched_config = handle_config;
   batched_config.carry_handles = false;
@@ -79,6 +88,8 @@ void RunEquivalenceStream(std::uint64_t seed, RefreshMode mode) {
 
   KsirEngine handle(handle_config, &model);
   KsirEngine parallel(parallel_config, &model);
+  auto affine_pool = MakeWorkerPool(3, 1, nullptr, PoolOptions{true});
+  KsirEngine affine(affine_config, &model, affine_pool.get());
   KsirEngine batched(batched_config, &model);
   KsirEngine single(single_config, &model);
   KsirEngine recompute(recompute_config, &model);
@@ -101,6 +112,7 @@ void RunEquivalenceStream(std::uint64_t seed, RefreshMode mode) {
               });
     ASSERT_TRUE(handle.AdvanceTo(bucket_end, bucket).ok());
     ASSERT_TRUE(parallel.AdvanceTo(bucket_end, bucket).ok());
+    ASSERT_TRUE(affine.AdvanceTo(bucket_end, bucket).ok());
     ASSERT_TRUE(batched.AdvanceTo(bucket_end, bucket).ok());
     ASSERT_TRUE(single.AdvanceTo(bucket_end, bucket).ok());
     ASSERT_TRUE(recompute.AdvanceTo(bucket_end, std::move(bucket)).ok());
@@ -116,6 +128,8 @@ void RunEquivalenceStream(std::uint64_t seed, RefreshMode mode) {
     ASSERT_EQ(handle.index().total_entries(),
               parallel.index().total_entries());
     ASSERT_EQ(handle.index().total_entries(),
+              affine.index().total_entries());
+    ASSERT_EQ(handle.index().total_entries(),
               batched.index().total_entries());
     ASSERT_EQ(handle.index().total_entries(),
               single.index().total_entries());
@@ -127,10 +141,13 @@ void RunEquivalenceStream(std::uint64_t seed, RefreshMode mode) {
             << "t=" << bucket_end << " e=" << id;
         ASSERT_TRUE(recompute.index().list(topic).Contains(id));
         const double lhs = handle.index().list(topic).Get(id);
+        const double aff = affine.index().list(topic).Get(id);
         const double bat = batched.index().list(topic).Get(id);
         const double mid = single.index().list(topic).Get(id);
         const double rhs = recompute.index().list(topic).Get(id);
-        // The three incremental paths must agree EXACTLY.
+        // The incremental paths must agree EXACTLY.
+        EXPECT_EQ(lhs, aff)
+            << "t=" << bucket_end << " e=" << id << " topic=" << topic;
         EXPECT_EQ(lhs, bat)
             << "t=" << bucket_end << " e=" << id << " topic=" << topic;
         EXPECT_EQ(lhs, mid)
@@ -146,32 +163,40 @@ void RunEquivalenceStream(std::uint64_t seed, RefreshMode mode) {
       // t_e is per element; all engines must agree exactly.
       EXPECT_EQ(handle.index().TimeOf(id), parallel.index().TimeOf(id))
           << "t=" << bucket_end << " e=" << id;
+      EXPECT_EQ(handle.index().TimeOf(id), affine.index().TimeOf(id))
+          << "t=" << bucket_end << " e=" << id;
       EXPECT_EQ(handle.index().TimeOf(id), batched.index().TimeOf(id))
           << "t=" << bucket_end << " e=" << id;
       EXPECT_EQ(handle.index().TimeOf(id), single.index().TimeOf(id));
       EXPECT_EQ(handle.index().TimeOf(id), recompute.index().TimeOf(id));
     }
-    // The whole key sequence of every list must match across the four
+    // The whole key sequence of every list must match across the five
     // incremental engines (same order, bitwise-equal scores).
     for (TopicId topic = 0; topic < kNumTopics; ++topic) {
       const auto& hlist = handle.index().list(topic);
       const auto& plist = parallel.index().list(topic);
+      const auto& alist = affine.index().list(topic);
       const auto& blist = batched.index().list(topic);
       const auto& slist = single.index().list(topic);
       ASSERT_EQ(hlist.size(), plist.size());
+      ASSERT_EQ(hlist.size(), alist.size());
       ASSERT_EQ(hlist.size(), blist.size());
       ASSERT_EQ(hlist.size(), slist.size());
       auto pit = plist.begin();
+      auto ait = alist.begin();
       auto bit = blist.begin();
       auto sit = slist.begin();
       for (const auto& key : hlist) {
         ASSERT_EQ(key.id, pit->id) << "t=" << bucket_end << " topic=" << topic;
         ASSERT_EQ(key.score, pit->score);
+        ASSERT_EQ(key.id, ait->id) << "t=" << bucket_end << " topic=" << topic;
+        ASSERT_EQ(key.score, ait->score);
         ASSERT_EQ(key.id, bit->id) << "t=" << bucket_end << " topic=" << topic;
         ASSERT_EQ(key.score, bit->score);
         ASSERT_EQ(key.id, sit->id) << "t=" << bucket_end << " topic=" << topic;
         ASSERT_EQ(key.score, sit->score);
         ++pit;
+        ++ait;
         ++bit;
         ++sit;
       }
@@ -190,16 +215,20 @@ void RunEquivalenceStream(std::uint64_t seed, RefreshMode mode) {
     query.algorithm = algorithm;
     const auto lhs = handle.Query(query);
     const auto par = parallel.Query(query);
+    const auto aff = affine.Query(query);
     const auto bat = batched.Query(query);
     const auto mid = single.Query(query);
     const auto rhs = recompute.Query(query);
     ASSERT_TRUE(lhs.ok());
     ASSERT_TRUE(par.ok());
+    ASSERT_TRUE(aff.ok());
     ASSERT_TRUE(bat.ok());
     ASSERT_TRUE(mid.ok());
     ASSERT_TRUE(rhs.ok());
     EXPECT_EQ(lhs->element_ids, par->element_ids) << AlgorithmName(algorithm);
     EXPECT_EQ(lhs->score, par->score) << AlgorithmName(algorithm);
+    EXPECT_EQ(lhs->element_ids, aff->element_ids) << AlgorithmName(algorithm);
+    EXPECT_EQ(lhs->score, aff->score) << AlgorithmName(algorithm);
     EXPECT_EQ(lhs->element_ids, bat->element_ids) << AlgorithmName(algorithm);
     EXPECT_EQ(lhs->score, bat->score) << AlgorithmName(algorithm);
     EXPECT_EQ(lhs->element_ids, mid->element_ids) << AlgorithmName(algorithm);

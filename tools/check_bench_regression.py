@@ -45,15 +45,34 @@ runtime-dispatched arm than on the forced-scalar reference measured in
 the same process. The chunk-merge bound is only enforced on the AVX2 arm
 (the SSE2 arm vectorizes the copies but not the searches, so its
 composite win is real but below the bound); dense_dot is gated on every
-non-scalar arm. A document whose active ISA is "scalar" (KSIR_SIMD=OFF,
-or a CPU with no compiled arm) skips the section cleanly.
+non-scalar arm. On AVX2 the standalone hybrid bound search
+(lower_bound_keys) is additionally floored at 0.85x: the cutover sweep
+(see kernels_avx2.cpp) showed the vector tail trades ~0.1x on this
+synthetic random-probe row for +0.25x on the chunk_merge composite —
+the shape the list apply actually runs — so the composite's 1.2x gate
+is the binding contract for the bounds and the standalone floor exists
+only to catch a catastrophic tail regression (e.g. a cutover pushed past
+the 0.44x-at-64 cliff). A document whose active
+ISA is "scalar" (KSIR_SIMD=OFF, or a CPU with no compiled arm) skips the
+section cleanly.
+
+When the fresh document carries a "thread_sweep" section, the parallel-
+maintenance SCALING floor is evaluated: 4-thread p50 must be at least
+PARALLEL_MIN_SCALING (1.25x) faster than the same run's 1-thread p50.
+The floor only FAILS the gate when --require-scaling is passed (the
+multi-core CI job) AND the run saw >= PARALLEL_SCALING_MIN_CORES (4)
+available cores — a single-core runner cannot exercise the parallel
+stages at all, so it reports the ratio and skips cleanly.
 
 Comparisons only make sense at matching scale; a scale mismatch is
 reported and skipped (exit 0) so the gate never silently compares apples
 to oranges.
 
 Usage: check_bench_regression.py BASELINE.json FRESH.json [THRESHOLD]
+           [--require-scaling]
   THRESHOLD is the allowed relative regression, default 0.15 (= +15%).
+  --require-scaling turns the thread-sweep scaling floor into a hard
+  failure (given enough cores) instead of a report.
 """
 
 import json
@@ -74,6 +93,20 @@ KERNEL_MIN_SPEEDUP = 1.2
 # chunk_merge is gated on these ISAs only (see module docstring);
 # dense_dot is gated on every non-scalar ISA.
 KERNEL_CHUNK_MERGE_ISAS = ("avx2",)
+# Floor for the STANDALONE hybrid bound search row on AVX2. This row is
+# deliberately not held to parity: the default cutover keeps the vector
+# counting tail because it wins ~0.25x on the chunk_merge composite (the
+# real list-apply shape, gated at 1.2x above) at the cost of ~0.1x on
+# this synthetic tight-loop row (cutover sweep; see kernels_avx2.cpp).
+# The floor only catches a catastrophically losing tail.
+KERNEL_BOUND_MIN_PARITY = 0.85
+KERNEL_BOUND_ISAS = ("avx2",)
+
+# Parallel-maintenance scaling floor: 4-thread p50 vs. the same run's
+# 1-thread p50, enforced only under --require-scaling on runners with at
+# least PARALLEL_SCALING_MIN_CORES available cores.
+PARALLEL_MIN_SCALING = 1.25
+PARALLEL_SCALING_MIN_CORES = 4
 
 # The serial production engine key, newest first: older baselines predate
 # the handle path and archive the batched engine instead.
@@ -111,11 +144,13 @@ def check_pair(label, base_p50, fresh_p50, threshold):
 
 
 def main(argv):
-    if len(argv) < 3:
+    require_scaling = "--require-scaling" in argv[1:]
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    if len(args) < 2:
         print(__doc__, file=sys.stderr)
         return 2
-    baseline_path, fresh_path = argv[1], argv[2]
-    threshold = float(argv[3]) if len(argv) > 3 else 0.15
+    baseline_path, fresh_path = args[0], args[1]
+    threshold = float(args[2]) if len(args) > 2 else 0.15
 
     baseline = load(baseline_path)
     fresh = load(fresh_path)
@@ -151,6 +186,34 @@ def main(argv):
             ok = check_pair(
                 "parallel", base_parallel["bucket_update"]["p50_ms"],
                 fresh_parallel["bucket_update"]["p50_ms"], threshold) and ok
+
+    sweep = {row.get("maintenance_threads"): row.get("p50_ms", 0.0)
+             for row in fresh.get("thread_sweep", [])}
+    if 1 in sweep and 4 in sweep and sweep[4] > 0.0:
+        scaling = sweep[1] / sweep[4]
+        cores = fresh.get("available_cores")
+        print(f"[thread sweep] 1-thread p50 = {sweep[1]:.6f} ms, "
+              f"4-thread p50 = {sweep[4]:.6f} ms: {scaling:.2f}x scaling "
+              f"(floor {PARALLEL_MIN_SCALING:.2f}x on >= "
+              f"{PARALLEL_SCALING_MIN_CORES} cores)")
+        if not require_scaling:
+            print("NOTE [thread sweep]: scaling floor reported only "
+                  "(pass --require-scaling to enforce)")
+        elif cores is None or cores < PARALLEL_SCALING_MIN_CORES:
+            print(f"SKIP [thread sweep]: {cores} available core(s) cannot "
+                  f"exercise 4-way parallel maintenance; floor not gated")
+        elif scaling < PARALLEL_MIN_SCALING:
+            print(f"FAIL [thread sweep]: 4-thread p50 only {scaling:.2f}x "
+                  f"over 1-thread (< {PARALLEL_MIN_SCALING:.2f}x) on "
+                  f"{cores} cores")
+            ok = False
+    elif require_scaling:
+        print("FAIL [thread sweep]: --require-scaling passed but the "
+              "fresh document lacks usable 1- and 4-thread sweep rows")
+        ok = False
+    else:
+        print("NOTE: no usable thread_sweep in the fresh document; "
+              "scaling not reported")
 
     telemetry = fresh.get("telemetry")
     if telemetry is None:
@@ -209,29 +272,32 @@ def main(argv):
         else:
             print(f"[kernels] active ISA = {isa} "
                   f"(cpu: {fresh.get('cpu_features', '?')})")
-            gated = ["dense_dot"]
+            gated = {"dense_dot": KERNEL_MIN_SPEEDUP}
             if isa in KERNEL_CHUNK_MERGE_ISAS:
-                gated.insert(0, "chunk_merge")
+                gated["chunk_merge"] = KERNEL_MIN_SPEEDUP
             else:
                 print(f"NOTE [kernels]: chunk_merge bound not enforced on "
                       f"the {isa} arm")
+            if isa in KERNEL_BOUND_ISAS:
+                gated["lower_bound_keys"] = KERNEL_BOUND_MIN_PARITY
             for name, row in results.items():
                 speedup = row.get("speedup", 0.0)
                 gate = name in gated
                 print(f"[kernels] {name}: scalar {row.get('scalar_ns')} ns, "
                       f"dispatched {row.get('dispatched_ns')} ns, "
-                      f"{speedup:.2f}x{' (gated)' if gate else ''}")
-            for name in gated:
+                      f"{speedup:.2f}x"
+                      f"{f' (gated >= {gated[name]:.2f}x)' if gate else ''}")
+            for name, floor in gated.items():
                 row = results.get(name)
                 if row is None:
                     print(f"FAIL [kernels]: gated kernel '{name}' missing "
                           f"from the results")
                     ok = False
                     continue
-                if row.get("speedup", 0.0) < KERNEL_MIN_SPEEDUP:
+                if row.get("speedup", 0.0) < floor:
                     print(f"FAIL [kernels]: {name} dispatched arm only "
                           f"{row.get('speedup', 0.0):.2f}x over scalar "
-                          f"(< {KERNEL_MIN_SPEEDUP:.1f}x)")
+                          f"(< {floor:.2f}x)")
                     ok = False
 
     subscriptions = fresh.get("subscriptions")
